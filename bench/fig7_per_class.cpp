@@ -1,0 +1,77 @@
+/// \file fig7_per_class.cpp
+/// Reproduces **Fig. 7** of the paper: per-class normalized L1/L2 distances
+/// and average fuzzing iterations to generate an adversarial image.
+///
+/// The paper's qualitative findings the reproduction should show:
+///  - some classes (e.g. "1") need drastically more iterations than others
+///    (digits visually dissimilar from everything else resist flipping);
+///  - visually confusable digits (e.g. "9" vs "8"/"3") flip easily;
+///  - iteration count and distance are not obviously correlated.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/confusion.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/report.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace hdtest;
+  benchutil::BenchParams params;
+  // Per-class statistics need more samples per class than the default.
+  params.fuzz_images = benchutil::env_u64("HDTEST_FUZZ_IMAGES", 200);
+  const auto setup = benchutil::make_standard_setup(params);
+  benchutil::print_banner("fig7_per_class",
+                          "Fig. 7 (per-class L1/L2 and #iterations)", setup);
+
+  // The paper's per-class figure uses the standard HDTest configuration;
+  // gauss gives the densest success coverage for stable per-class stats, and
+  // 'rand' exposes iteration differences better. We report both.
+  for (const char* name : {"gauss", "rand"}) {
+    const auto strategy = fuzz::make_strategy(name);
+    fuzz::FuzzConfig fuzz_config;
+    fuzz_config.budget = fuzz::default_budget_for_strategy(name);
+    const fuzz::Fuzzer fuzzer(*setup.model, *strategy, fuzz_config);
+
+    fuzz::CampaignConfig campaign_config;
+    campaign_config.fuzz = fuzz_config;
+    campaign_config.max_images = setup.params.fuzz_images;
+    campaign_config.workers = setup.params.workers;
+    campaign_config.seed = setup.params.seed;
+    const auto campaign =
+        fuzz::run_campaign(fuzzer, setup.data.test, campaign_config);
+
+    std::printf("strategy '%s' (%zu/%zu adversarial):\n", name,
+                campaign.successes(), campaign.images_fuzzed());
+    std::printf("%s\n", fuzz::render_per_class_table(campaign, 10).c_str());
+
+    // Where do the flips land? (paper V-C: "'9' has quite a few
+    // similarities such as '8' and '3'").
+    const auto matrix = fuzz::flip_matrix(campaign, 10);
+    std::printf("adversarial flip matrix (reference -> adversarial):\n%s",
+                matrix.to_table().c_str());
+    std::printf("dominant flip channels:");
+    for (const auto& edge : matrix.top_edges(5)) {
+      std::printf("  %zu->%zu (%zu)", edge.from, edge.to, edge.count);
+    }
+    std::printf("\n\n");
+
+    const auto classes = campaign.per_class(10);
+    util::CsvWriter csv(benchutil::out_dir() + "/fig7_" + name + ".csv");
+    csv.header({"class", "attempts", "successes", "avg_l1", "avg_l2",
+                "avg_iterations"});
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      csv.row(c, classes[c].attempts, classes[c].successes,
+              classes[c].l1.mean(), classes[c].l2.mean(),
+              classes[c].iterations.mean());
+    }
+  }
+  std::printf(
+      "paper Fig. 7 shape check: expect large iteration spread across\n"
+      "classes (hard digits like '1' high, confusable digits low), and no\n"
+      "strict correlation between iterations and distance.\n");
+  std::printf("CSV written to %s/fig7_*.csv\n", benchutil::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file guided_vs_unguided.cpp
+/// Reproduces the **section IV claim**: "using such guided testing can
+/// generate adversarial inputs faster than unguided testing by 12% on
+/// average".
+///
+/// Both fuzzers run the identical Algorithm-1 loop; the only difference is
+/// seed survival (top-N by hypervector-distance fitness vs uniform random).
+/// We compare average iterations, total model queries (the hardware-neutral
+/// cost metric), and wall time, for the strategies where guidance matters
+/// (rand and row_col_rand need multi-iteration searches; gauss flips almost
+/// immediately so guidance has nothing to optimize there).
+
+#include <cstdio>
+
+#include "baseline/unguided.hpp"
+#include "bench_common.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/mutation.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hdtest;
+  const auto setup = benchutil::make_standard_setup();
+  benchutil::print_banner("guided_vs_unguided",
+                          "section IV (distance-guided fuzzing, ~12% faster)",
+                          setup);
+
+  util::TextTable table;
+  table.set_header({"Strategy", "Mode", "Success", "Avg #Iter.", "Encodes",
+                    "Time (s)", "Iter. speedup"});
+  table.set_alignments({util::Align::kLeft, util::Align::kLeft,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight});
+  util::CsvWriter csv(benchutil::out_dir() + "/guided_vs_unguided.csv");
+  csv.header({"strategy", "mode", "successes", "images", "avg_iterations",
+              "encodes", "seconds"});
+
+  for (const char* name : {"rand", "row_col_rand"}) {
+    const auto strategy = fuzz::make_strategy(name);
+    fuzz::FuzzConfig fuzz_config;
+    fuzz_config.budget = fuzz::default_budget_for_strategy(name);
+    const fuzz::Fuzzer guided_fuzzer(*setup.model, *strategy, fuzz_config);
+
+    fuzz::CampaignConfig campaign_config;
+    campaign_config.fuzz = fuzz_config;
+    campaign_config.max_images = setup.params.fuzz_images;
+    campaign_config.workers = setup.params.workers;
+    campaign_config.seed = setup.params.seed;
+
+    const auto guided =
+        fuzz::run_campaign(guided_fuzzer, setup.data.test, campaign_config);
+    const auto unguided = baseline::run_unguided_campaign(
+        *setup.model, *strategy, setup.data.test, campaign_config);
+
+    const double speedup =
+        guided.avg_iterations() > 0
+            ? 100.0 * (unguided.avg_iterations() - guided.avg_iterations()) /
+                  unguided.avg_iterations()
+            : 0.0;
+
+    const auto add = [&](const fuzz::CampaignResult& c, const char* mode,
+                         const std::string& note) {
+      table.add_row({name, mode, std::to_string(c.successes()),
+                     util::TextTable::num(c.avg_iterations(), 2),
+                     std::to_string(c.total_encodes()),
+                     util::TextTable::num(c.total_seconds, 1), note});
+      csv.row(name, mode, c.successes(), c.images_fuzzed(),
+              c.avg_iterations(), c.total_encodes(), c.total_seconds);
+    };
+    add(guided, "guided", util::TextTable::num(speedup, 1) + "%");
+    add(unguided, "unguided", "-");
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "paper: guided fuzzing generates adversarial inputs ~12%% faster than\n"
+      "unguided on average (here measured as the reduction in average\n"
+      "fuzzing iterations at identical configurations).\n");
+  std::printf("CSV written to %s/guided_vs_unguided.csv\n",
+              benchutil::out_dir().c_str());
+  return 0;
+}

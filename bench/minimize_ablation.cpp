@@ -1,0 +1,97 @@
+/// \file minimize_ablation.cpp
+/// Ablation: adversarial-input minimization (delta debugging) applied to the
+/// findings of each Table II strategy.
+///
+/// The paper emphasizes "invisible perturbations"; the minimizer quantifies
+/// how much of each strategy's perturbation is actually *load-bearing* by
+/// greedily reverting mutated pixels while the misprediction persists.
+/// Expected shape: dense-noise findings (gauss) shed most of their changed
+/// pixels (the flip hinges on a small subset), while sparse findings (rand)
+/// are already near-minimal.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/mutation.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hdtest;
+  benchutil::BenchParams params;
+  params.fuzz_images = benchutil::env_u64("HDTEST_FUZZ_IMAGES", 40);
+  const auto setup = benchutil::make_standard_setup(params);
+  benchutil::print_banner("minimize_ablation",
+                          "extension: finding minimization (how many mutated "
+                          "pixels are load-bearing?)",
+                          setup);
+
+  util::TextTable table;
+  table.set_header({"Strategy", "Findings", "Px before", "Px after",
+                    "Reduction", "L2 before", "L2 after", "Queries/find"});
+  table.set_alignments({util::Align::kLeft, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight});
+  util::CsvWriter csv(benchutil::out_dir() + "/minimize_ablation.csv");
+  csv.header({"strategy", "findings", "avg_pixels_before", "avg_pixels_after",
+              "avg_reduction", "avg_l2_before", "avg_l2_after",
+              "avg_queries"});
+
+  for (const char* name : {"gauss", "rand", "row_col_rand"}) {
+    const auto strategy = fuzz::make_strategy(name);
+    fuzz::FuzzConfig fuzz_config;
+    fuzz_config.budget = fuzz::default_budget_for_strategy(name);
+    const fuzz::Fuzzer fuzzer(*setup.model, *strategy, fuzz_config);
+    fuzz::CampaignConfig campaign_config;
+    campaign_config.fuzz = fuzz_config;
+    campaign_config.max_images = params.fuzz_images;
+    campaign_config.workers = setup.params.workers;
+    campaign_config.seed = setup.params.seed;
+    const auto campaign =
+        fuzz::run_campaign(fuzzer, setup.data.test, campaign_config);
+
+    util::RunningStats px_before;
+    util::RunningStats px_after;
+    util::RunningStats reduction;
+    util::RunningStats l2_before;
+    util::RunningStats l2_after;
+    util::RunningStats queries;
+    for (const auto& record : campaign.records) {
+      if (!record.outcome.success) continue;
+      const auto& original = setup.data.test.images[record.image_index];
+      const auto result = fuzz::minimize_adversarial(
+          *setup.model, original, record.outcome.adversarial);
+      px_before.add(static_cast<double>(result.pixels_before));
+      px_after.add(static_cast<double>(result.pixels_after));
+      reduction.add(result.reduction());
+      l2_before.add(record.outcome.perturbation.l2);
+      l2_after.add(result.perturbation.l2);
+      queries.add(static_cast<double>(result.encodes));
+    }
+
+    table.add_row({name, std::to_string(px_before.count()),
+                   util::TextTable::num(px_before.mean(), 1),
+                   util::TextTable::num(px_after.mean(), 1),
+                   util::TextTable::num(100.0 * reduction.mean(), 1) + "%",
+                   util::TextTable::num(l2_before.mean(), 3),
+                   util::TextTable::num(l2_after.mean(), 3),
+                   util::TextTable::num(queries.mean(), 0)});
+    csv.row(name, px_before.count(), px_before.mean(), px_after.mean(),
+            reduction.mean(), l2_before.mean(), l2_after.mean(),
+            queries.mean());
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "interpretation: the reduction column is the fraction of mutated\n"
+      "pixels that were *not* needed for the flip — dense strategies carry\n"
+      "large redundant perturbations, sparse 'rand' findings are near-\n"
+      "minimal already (consistent with Table II's distance profile).\n");
+  std::printf("CSV written to %s/minimize_ablation.csv\n",
+              benchutil::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "baseline/unguided.hpp"
+
+#include "util/stats.hpp"
+
+namespace hdtest::baseline {
+
+fuzz::CampaignResult run_unguided_campaign(
+    const hdc::HdcClassifier& model, const fuzz::MutationStrategy& strategy,
+    const data::Dataset& inputs, fuzz::CampaignConfig config) {
+  config.fuzz.guided = false;
+  const fuzz::Fuzzer fuzzer(model, strategy, config.fuzz);
+  auto result = fuzz::run_campaign(fuzzer, inputs, config);
+  result.strategy_name += " (unguided)";
+  return result;
+}
+
+RandomAttackResult run_random_attack(const hdc::HdcClassifier& model,
+                                     const fuzz::MutationStrategy& strategy,
+                                     const data::Dataset& inputs,
+                                     const fuzz::PerturbationBudget& budget,
+                                     std::size_t tries_per_image,
+                                     std::uint64_t seed) {
+  RandomAttackResult result;
+  util::RunningStats l2_stats;
+  util::Rng master(seed);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    util::Rng rng = master.child(i);
+    const auto& original = inputs.images[i];
+    const auto reference = model.predict(original);
+    ++result.attempts;
+    for (std::size_t t = 0; t < tries_per_image; ++t) {
+      const auto mutant = strategy.mutate(original, rng);
+      const auto perturbation = fuzz::measure_perturbation(original, mutant);
+      if (!budget.accepts(perturbation)) continue;
+      if (model.predict(mutant) != reference) {
+        ++result.successes;
+        l2_stats.add(perturbation.l2);
+        break;
+      }
+    }
+  }
+  result.avg_l2 = l2_stats.mean();
+  return result;
+}
+
+}  // namespace hdtest::baseline

@@ -1,0 +1,52 @@
+#pragma once
+/// \file unguided.hpp
+/// Baseline fuzzers HDTest is compared against.
+///
+/// 1. Unguided fuzzing: identical loop to HDTest but surviving seeds are
+///    chosen uniformly at random instead of by hypervector-distance fitness.
+///    The paper claims distance guidance generates adversarial inputs "faster
+///    than unguided testing by 12% on average"; bench/guided_vs_unguided
+///    reproduces that comparison. Implemented by flipping
+///    FuzzConfig::guided — this header provides the convenience wrapper so
+///    baselines are explicit call sites, not config tweaks scattered around.
+///
+/// 2. Single-shot random attack: adds one fixed-budget noise burst with no
+///    iteration or feedback. This sanity baseline shows that the iterative
+///    differential loop (not the noise itself) is what finds adversarials
+///    under tight budgets.
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdtest::baseline {
+
+/// Runs the same campaign with guidance disabled (everything else equal).
+[[nodiscard]] fuzz::CampaignResult run_unguided_campaign(
+    const hdc::HdcClassifier& model, const fuzz::MutationStrategy& strategy,
+    const data::Dataset& inputs, fuzz::CampaignConfig config);
+
+/// Result of the single-shot random attack baseline.
+struct RandomAttackResult {
+  std::size_t attempts = 0;   ///< images attacked
+  std::size_t successes = 0;  ///< label flips within the budget
+  double avg_l2 = 0.0;        ///< mean L2 of successful flips
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(successes) / static_cast<double>(attempts);
+  }
+};
+
+/// For each input: apply \p strategy once (no iteration, no guidance) and
+/// check for a label flip. \p tries_per_image single-shot attempts each.
+[[nodiscard]] RandomAttackResult run_random_attack(
+    const hdc::HdcClassifier& model, const fuzz::MutationStrategy& strategy,
+    const data::Dataset& inputs, const fuzz::PerturbationBudget& budget,
+    std::size_t tries_per_image, std::uint64_t seed);
+
+}  // namespace hdtest::baseline

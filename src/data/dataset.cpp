@@ -1,0 +1,128 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::data {
+
+void Dataset::validate() const {
+  if (images.size() != labels.size()) {
+    throw std::invalid_argument("Dataset: images/labels size mismatch");
+  }
+  if (num_classes <= 0 && !images.empty()) {
+    throw std::invalid_argument("Dataset: num_classes must be positive");
+  }
+  for (const auto label : labels) {
+    if (label < 0 || label >= num_classes) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+  if (!images.empty()) {
+    const auto w = images.front().width();
+    const auto h = images.front().height();
+    for (const auto& image : images) {
+      if (image.width() != w || image.height() != h) {
+        throw std::invalid_argument("Dataset: inconsistent image dimensions");
+      }
+    }
+  }
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  // Shuffle an index permutation, then apply to both arrays so that
+  // image/label pairing is preserved.
+  std::vector<std::size_t> perm(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+
+  std::vector<Image> new_images;
+  std::vector<int> new_labels;
+  new_images.reserve(size());
+  new_labels.reserve(size());
+  for (const auto i : perm) {
+    new_images.push_back(std::move(images[i]));
+    new_labels.push_back(labels[i]);
+  }
+  images = std::move(new_images);
+  labels = std::move(new_labels);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.images.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (const auto i : indices) {
+    if (i >= size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    out.images.push_back(images[i]);
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  n = std::min(n, size());
+  Dataset out;
+  out.num_classes = num_classes;
+  out.images.assign(images.begin(),
+                    images.begin() + static_cast<std::ptrdiff_t>(n));
+  out.labels.assign(labels.begin(),
+                    labels.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double fraction) const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("Dataset::split: fraction must be in [0, 1]");
+  }
+  const auto cut = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(size())));
+  Dataset head = take(cut);
+  Dataset tail;
+  tail.num_classes = num_classes;
+  tail.images.assign(images.begin() + static_cast<std::ptrdiff_t>(cut),
+                     images.end());
+  tail.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(cut),
+                     labels.end());
+  return {std::move(head), std::move(tail)};
+}
+
+Dataset Dataset::filter_class(int cls) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (labels[i] == cls) {
+      out.images.push_back(images[i]);
+      out.labels.push_back(labels[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (const auto label : labels) {
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  return counts;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.num_classes != num_classes && !empty() && !other.empty()) {
+    throw std::invalid_argument("Dataset::append: num_classes mismatch");
+  }
+  if (!images.empty() && !other.images.empty()) {
+    if (images.front().width() != other.images.front().width() ||
+        images.front().height() != other.images.front().height()) {
+      throw std::invalid_argument("Dataset::append: image shape mismatch");
+    }
+  }
+  if (num_classes == 0) num_classes = other.num_classes;
+  images.insert(images.end(), other.images.begin(), other.images.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+}  // namespace hdtest::data

@@ -1,0 +1,53 @@
+#pragma once
+/// \file dataset.hpp
+/// Labeled image collections: the substrate consumed by HDC training,
+/// evaluation, and fuzzing campaigns.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/image.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::data {
+
+/// A labeled set of same-sized grayscale images.
+///
+/// Invariants (checked by validate()): images.size() == labels.size(); all
+/// images share dimensions; labels lie in [0, num_classes).
+struct Dataset {
+  std::vector<Image> images;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return images.size(); }
+  [[nodiscard]] bool empty() const noexcept { return images.empty(); }
+
+  /// Throws std::invalid_argument if any invariant is violated.
+  void validate() const;
+
+  /// In-place deterministic shuffle (images and labels move together).
+  void shuffle(util::Rng& rng);
+
+  /// Returns the subset selected by \p indices (copies).
+  /// \throws std::out_of_range for invalid indices.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Returns the first \p n items (or all if n >= size).
+  [[nodiscard]] Dataset take(std::size_t n) const;
+
+  /// Splits into (train, test) where train receives round(fraction * size).
+  /// \pre 0 <= fraction <= 1. Order is preserved; shuffle first if needed.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double fraction) const;
+
+  /// All items whose label equals \p cls.
+  [[nodiscard]] Dataset filter_class(int cls) const;
+
+  /// Item count per class (size == num_classes).
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// Appends another dataset (must agree on num_classes and image shape).
+  void append(const Dataset& other);
+};
+
+}  // namespace hdtest::data

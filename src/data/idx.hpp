@@ -1,0 +1,45 @@
+#pragma once
+/// \file idx.hpp
+/// Reader/writer for the IDX binary format used by the MNIST distribution
+/// (train-images-idx3-ubyte, train-labels-idx1-ubyte, ...).
+///
+/// The paper evaluates on MNIST. This environment is offline, so experiments
+/// default to the synthetic digit generator (synthetic_digits.hpp), but any
+/// real MNIST download can be plugged in unchanged via load_mnist_dataset()
+/// (see examples/fuzz_campaign --mnist-dir). Files must be un-gzipped.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/image.hpp"
+
+namespace hdtest::data {
+
+/// Parses an idx3-ubyte image file (magic 0x00000803).
+/// \throws std::runtime_error on I/O failure or malformed header.
+[[nodiscard]] std::vector<Image> read_idx_images(const std::string& path);
+
+/// Parses an idx1-ubyte label file (magic 0x00000801).
+/// \throws std::runtime_error on I/O failure or malformed header.
+[[nodiscard]] std::vector<std::uint8_t> read_idx_labels(const std::string& path);
+
+/// Writes images in idx3-ubyte format. All images must share dimensions.
+void write_idx_images(const std::vector<Image>& images, const std::string& path);
+
+/// Writes labels in idx1-ubyte format.
+void write_idx_labels(const std::vector<std::uint8_t>& labels,
+                      const std::string& path);
+
+/// Loads a (images, labels) pair into a Dataset with \p num_classes classes.
+/// \throws std::runtime_error when counts mismatch or labels are out of range.
+[[nodiscard]] Dataset load_idx_dataset(const std::string& images_path,
+                                       const std::string& labels_path,
+                                       int num_classes = 10);
+
+/// Convenience: loads the canonical MNIST file pair from a directory.
+/// \p train selects train-* vs t10k-* file names.
+[[nodiscard]] Dataset load_mnist_dataset(const std::string& dir, bool train);
+
+}  // namespace hdtest::data

@@ -1,0 +1,169 @@
+#include "data/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdtest::data {
+
+Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: dimensions must be non-zero");
+  }
+}
+
+Image::Image(std::size_t width, std::size_t height,
+             std::vector<std::uint8_t> pixels)
+    : width_(width), height_(height), pixels_(std::move(pixels)) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: dimensions must be non-zero");
+  }
+  if (pixels_.size() != width * height) {
+    throw std::invalid_argument("Image: pixel buffer size mismatch");
+  }
+}
+
+std::uint8_t Image::at(std::size_t row, std::size_t col) const {
+  if (row >= height_ || col >= width_) {
+    throw std::out_of_range("Image::at: index out of range");
+  }
+  return pixels_[row * width_ + col];
+}
+
+void Image::set(std::size_t row, std::size_t col, std::uint8_t value) {
+  if (row >= height_ || col >= width_) {
+    throw std::out_of_range("Image::set: index out of range");
+  }
+  pixels_[row * width_ + col] = value;
+}
+
+void Image::add_clamped(std::size_t row, std::size_t col, int delta) noexcept {
+  auto& px = pixels_[row * width_ + col];
+  px = static_cast<std::uint8_t>(std::clamp(static_cast<int>(px) + delta, 0, kMaxPixel));
+}
+
+double Image::mean_intensity() const noexcept {
+  if (pixels_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto px : pixels_) sum += px;
+  return sum / static_cast<double>(pixels_.size());
+}
+
+std::size_t Image::count_diff(const Image& other) const {
+  if (width_ != other.width_ || height_ != other.height_) {
+    throw std::invalid_argument("Image::count_diff: dimension mismatch");
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    count += pixels_[i] != other.pixels_[i];
+  }
+  return count;
+}
+
+namespace {
+
+void check_same_shape(const Image& a, const Image& b, const char* who) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument(std::string(who) + ": dimension mismatch");
+  }
+}
+
+}  // namespace
+
+double l1_distance(const Image& a, const Image& b) {
+  check_same_shape(a, b, "l1_distance");
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    sum += std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i]));
+  }
+  return sum / kMaxPixel;
+}
+
+double l2_distance(const Image& a, const Image& b) {
+  check_same_shape(a, b, "l2_distance");
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d =
+        (static_cast<int>(pa[i]) - static_cast<int>(pb[i])) /
+        static_cast<double>(kMaxPixel);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double linf_distance(const Image& a, const Image& b) {
+  check_same_shape(a, b, "linf_distance");
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  int worst = 0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return static_cast<double>(worst) / kMaxPixel;
+}
+
+Image diff_mask(const Image& a, const Image& b) {
+  check_same_shape(a, b, "diff_mask");
+  Image mask(a.width(), a.height(), 0);
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  auto pm = mask.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    pm[i] = pa[i] != pb[i] ? 255 : 0;
+  }
+  return mask;
+}
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw std::runtime_error("read_pgm: not a P5 PGM: " + path);
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int maxval = 0;
+  in >> width >> height >> maxval;
+  if (!in || maxval != 255 || width == 0 || height == 0) {
+    throw std::runtime_error("read_pgm: bad header in " + path);
+  }
+  in.get();  // single whitespace after maxval
+  std::vector<std::uint8_t> pixels(width * height);
+  in.read(reinterpret_cast<char*>(pixels.data()),
+          static_cast<std::streamsize>(pixels.size()));
+  if (!in) throw std::runtime_error("read_pgm: truncated pixel data in " + path);
+  return Image(width, height, std::move(pixels));
+}
+
+std::string ascii_art(const Image& image) {
+  static constexpr std::string_view ramp = " .:-=+*#%@";
+  std::ostringstream os;
+  for (std::size_t row = 0; row < image.height(); ++row) {
+    for (std::size_t col = 0; col < image.width(); ++col) {
+      const auto px = image(row, col);
+      const auto idx = static_cast<std::size_t>(px) * (ramp.size() - 1) / 255;
+      os << ramp[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hdtest::data

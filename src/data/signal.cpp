@@ -1,0 +1,162 @@
+#include "data/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::data {
+
+Signal::Signal(std::size_t channels_in, std::size_t timesteps_in,
+               std::uint8_t fill)
+    : channels(channels_in),
+      timesteps(timesteps_in),
+      samples(channels_in * timesteps_in, fill) {
+  if (channels == 0 || timesteps == 0) {
+    throw std::invalid_argument("Signal: dimensions must be non-zero");
+  }
+}
+
+std::uint8_t Signal::at(std::size_t channel, std::size_t t) const {
+  if (channel >= channels || t >= timesteps) {
+    throw std::out_of_range("Signal::at: index out of range");
+  }
+  return samples[channel * timesteps + t];
+}
+
+void Signal::set(std::size_t channel, std::size_t t, std::uint8_t value) {
+  if (channel >= channels || t >= timesteps) {
+    throw std::out_of_range("Signal::set: index out of range");
+  }
+  samples[channel * timesteps + t] = value;
+}
+
+double signal_l2(const Signal& a, const Signal& b) {
+  if (a.channels != b.channels || a.timesteps != b.timesteps) {
+    throw std::invalid_argument("signal_l2: shape mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const double d = (static_cast<int>(a.samples[i]) -
+                      static_cast<int>(b.samples[i])) /
+                     255.0;
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void GestureStyle::validate() const {
+  if (channels == 0 || timesteps == 0) {
+    throw std::invalid_argument("GestureStyle: dimensions must be non-zero");
+  }
+  if (timing_jitter < 0 || amplitude_jitter < 0 || noise < 0) {
+    throw std::invalid_argument("GestureStyle: negative variation magnitude");
+  }
+}
+
+namespace {
+
+/// Class blueprint: per channel, an activation window and amplitude.
+struct ChannelPattern {
+  double onset;      ///< window start, fraction of the timeline
+  double duration;   ///< window length, fraction of the timeline
+  double amplitude;  ///< peak deviation from rest, in 8-bit levels
+  bool positive;     ///< contraction direction
+};
+
+std::vector<ChannelPattern> class_blueprint(int gesture, int num_classes,
+                                            std::uint64_t class_seed,
+                                            std::size_t channels) {
+  // Deterministic per (seed, class): each class activates channels at
+  // characteristic times/strengths. A class-specific phase offset keeps
+  // blueprints well separated even for many classes.
+  util::Rng rng(util::derive_seed(class_seed,
+                                  static_cast<std::uint64_t>(gesture) * 7919));
+  (void)num_classes;
+  std::vector<ChannelPattern> blueprint;
+  blueprint.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    ChannelPattern p;
+    p.onset = rng.uniform_real(0.05, 0.55);
+    p.duration = rng.uniform_real(0.2, 0.4);
+    p.amplitude = rng.uniform_real(40.0, 100.0);
+    p.positive = rng.bernoulli(0.5);
+    blueprint.push_back(p);
+  }
+  return blueprint;
+}
+
+}  // namespace
+
+Signal render_gesture(int gesture, int num_classes, std::uint64_t class_seed,
+                      util::Rng& rng, const GestureStyle& style) {
+  style.validate();
+  if (gesture < 0 || gesture >= num_classes) {
+    throw std::invalid_argument("render_gesture: gesture class out of range");
+  }
+  const auto blueprint =
+      class_blueprint(gesture, num_classes, class_seed, style.channels);
+
+  Signal signal(style.channels, style.timesteps, 128);
+  for (std::size_t c = 0; c < style.channels; ++c) {
+    const auto& p = blueprint[c];
+    // Per-sample jitter of the blueprint.
+    const double onset =
+        std::clamp(p.onset + rng.gaussian(0.0, style.timing_jitter), 0.0, 0.9);
+    const double duration = std::max(0.05, p.duration +
+                                               rng.gaussian(0.0, style.timing_jitter));
+    const double amplitude =
+        p.amplitude * (1.0 + rng.gaussian(0.0, style.amplitude_jitter));
+
+    for (std::size_t t = 0; t < style.timesteps; ++t) {
+      const double phase =
+          static_cast<double>(t) / static_cast<double>(style.timesteps);
+      // Smooth attack/decay envelope inside the activation window.
+      double envelope = 0.0;
+      if (phase >= onset && phase <= onset + duration) {
+        const double local = (phase - onset) / duration;  // 0..1 in window
+        envelope = std::sin(local * 3.14159265358979);    // rise and fall
+      }
+      const double rest = 128.0;
+      const double direction = p.positive ? 1.0 : -1.0;
+      const double value = rest + direction * amplitude * envelope +
+                           rng.gaussian(0.0, style.noise);
+      signal.samples[c * style.timesteps + t] = static_cast<std::uint8_t>(
+          std::clamp(static_cast<int>(std::lround(value)), 0, 255));
+    }
+  }
+  return signal;
+}
+
+SignalDataset make_gesture_dataset(int num_classes, std::size_t n_per_class,
+                                   std::uint64_t seed,
+                                   const GestureStyle& style,
+                                   std::uint64_t sample_salt) {
+  style.validate();
+  if (num_classes <= 0) {
+    throw std::invalid_argument("make_gesture_dataset: need >= 1 class");
+  }
+  SignalDataset ds;
+  ds.num_classes = num_classes;
+  ds.signals.reserve(static_cast<std::size_t>(num_classes) * n_per_class);
+  // Blueprints stay keyed on `seed` (inside render_gesture); only the
+  // per-item variation stream shifts with the salt.
+  util::Rng master(util::derive_seed(seed, 0xba5e + sample_salt));
+  for (int g = 0; g < num_classes; ++g) {
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      util::Rng item_rng = master.child(
+          static_cast<std::uint64_t>(g) * std::uint64_t{1000003} + i);
+      ds.signals.push_back(render_gesture(g, num_classes, seed, item_rng, style));
+      ds.labels.push_back(g);
+    }
+  }
+  // Deterministic shuffle (pairing preserved).
+  util::Rng shuffle_rng = master.child(0xc0ffeeULL);
+  for (std::size_t i = ds.signals.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(shuffle_rng.uniform_u64(i));
+    std::swap(ds.signals[i - 1], ds.signals[j]);
+    std::swap(ds.labels[i - 1], ds.labels[j]);
+  }
+  return ds;
+}
+
+}  // namespace hdtest::data

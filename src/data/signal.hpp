@@ -1,0 +1,87 @@
+#pragma once
+/// \file signal.hpp
+/// Synthetic multi-channel biosignal generator (EMG-style gestures).
+///
+/// The paper motivates HDC with biosignal workloads — EMG hand-gesture
+/// recognition (Rahimi et al., ICRC'16; Moin et al., ISCAS'18) — and section
+/// V-E claims HDTest extends to any HDC model exposing HV distances. This
+/// module provides the third modality (after images and text): labeled
+/// multi-channel time series with gesture-like structure, consumed by
+/// hdc::TimeSeriesEncoder and the gesture_fuzz example.
+///
+/// Each gesture class is a characteristic *activation pattern*: per channel,
+/// an envelope (attack/hold/decay at class-specific times and amplitudes)
+/// modulating band-limited noise — a standard surface-EMG phenomenological
+/// model. Within-class variation jitters timing, amplitude, and noise.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hdtest::data {
+
+/// One multi-channel sample: channels x timesteps, values quantized to
+/// 8 bits (0..255) like the image pixels — letting the same value-memory
+/// machinery encode signal levels.
+struct Signal {
+  std::size_t channels = 0;
+  std::size_t timesteps = 0;
+  std::vector<std::uint8_t> samples;  ///< row-major: channel * timesteps + t
+
+  Signal() = default;
+  /// \throws std::invalid_argument for zero dimensions.
+  Signal(std::size_t channels, std::size_t timesteps, std::uint8_t fill = 128);
+
+  [[nodiscard]] std::uint8_t at(std::size_t channel, std::size_t t) const;
+  void set(std::size_t channel, std::size_t t, std::uint8_t value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples.size(); }
+  bool operator==(const Signal& other) const = default;
+};
+
+/// Normalized L2 distance between same-shaped signals (same scale as the
+/// image metric: per-sample deltas / 255, Euclidean norm).
+/// \throws std::invalid_argument on shape mismatch.
+[[nodiscard]] double signal_l2(const Signal& a, const Signal& b);
+
+/// A labeled gesture dataset.
+struct SignalDataset {
+  std::vector<Signal> signals;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return signals.size(); }
+};
+
+/// Generation knobs.
+struct GestureStyle {
+  std::size_t channels = 4;     ///< EMG electrode count
+  std::size_t timesteps = 64;   ///< samples per channel
+  double timing_jitter = 0.06;  ///< fraction-of-window std-dev of onsets
+  double amplitude_jitter = 0.15;  ///< relative amplitude std-dev
+  double noise = 6.0;           ///< additive sample noise (8-bit levels)
+
+  /// \throws std::invalid_argument for zero dims / negative magnitudes.
+  void validate() const;
+};
+
+/// Renders one gesture of class \p gesture in [0, num_classes).
+/// Classes are defined procedurally (deterministic in \p class_seed), so any
+/// class count works; within-class variation comes from \p rng.
+[[nodiscard]] Signal render_gesture(int gesture, int num_classes,
+                                    std::uint64_t class_seed, util::Rng& rng,
+                                    const GestureStyle& style = {});
+
+/// Balanced, shuffled dataset of \p n_per_class gestures per class.
+///
+/// Class blueprints depend only on \p seed; \p sample_salt varies the drawn
+/// samples — use distinct salts (same seed) for train/test splits of one
+/// gesture vocabulary.
+[[nodiscard]] SignalDataset make_gesture_dataset(int num_classes,
+                                                 std::size_t n_per_class,
+                                                 std::uint64_t seed,
+                                                 const GestureStyle& style = {},
+                                                 std::uint64_t sample_salt = 0);
+
+}  // namespace hdtest::data

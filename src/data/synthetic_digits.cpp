@@ -1,0 +1,247 @@
+#include "data/synthetic_digits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hdtest::data {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+/// Samples an elliptical arc (angles in degrees, y-down screen coordinates)
+/// into a polyline. Angles may exceed 360 to express long sweeps.
+Stroke arc(double cx, double cy, double rx, double ry, double a0_deg,
+           double a1_deg, int segments = 28) {
+  Stroke stroke;
+  stroke.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double t = static_cast<double>(i) / segments;
+    const double a = (a0_deg + (a1_deg - a0_deg) * t) * kDegToRad;
+    stroke.push_back(Point{cx + rx * std::cos(a), cy + ry * std::sin(a)});
+  }
+  return stroke;
+}
+
+Stroke line(std::initializer_list<Point> points) { return Stroke(points); }
+
+}  // namespace
+
+StrokeSet digit_skeleton(int digit) {
+  switch (digit) {
+    case 0:
+      return {arc(0.50, 0.50, 0.30, 0.40, 0, 360)};
+    case 1:
+      return {line({{0.35, 0.28}, {0.52, 0.12}, {0.52, 0.88}})};
+    case 2: {
+      StrokeSet s;
+      s.push_back(arc(0.50, 0.32, 0.25, 0.20, 180, 395));
+      s.push_back(line({{0.695, 0.40}, {0.27, 0.88}, {0.76, 0.88}}));
+      return s;
+    }
+    case 3: {
+      StrokeSet s;
+      s.push_back(arc(0.47, 0.30, 0.22, 0.19, 150, 450));
+      s.push_back(arc(0.47, 0.69, 0.24, 0.21, 270, 510));
+      return s;
+    }
+    case 4:
+      return {line({{0.62, 0.10}, {0.24, 0.58}, {0.80, 0.58}}),
+              line({{0.62, 0.10}, {0.62, 0.90}})};
+    case 5: {
+      StrokeSet s;
+      s.push_back(line({{0.70, 0.12}, {0.30, 0.12}, {0.285, 0.47}}));
+      s.push_back(arc(0.47, 0.65, 0.24, 0.22, 230, 520));
+      return s;
+    }
+    case 6: {
+      StrokeSet s;
+      s.push_back(line({{0.66, 0.10}, {0.52, 0.22}, {0.40, 0.40}, {0.315, 0.58}}));
+      s.push_back(arc(0.48, 0.68, 0.20, 0.19, 0, 360));
+      return s;
+    }
+    case 7:
+      return {line({{0.24, 0.14}, {0.76, 0.14}, {0.42, 0.90}})};
+    case 8: {
+      StrokeSet s;
+      s.push_back(arc(0.50, 0.30, 0.19, 0.17, 0, 360));
+      s.push_back(arc(0.50, 0.68, 0.22, 0.20, 0, 360));
+      return s;
+    }
+    case 9: {
+      StrokeSet s;
+      s.push_back(arc(0.50, 0.32, 0.20, 0.18, 0, 360));
+      s.push_back(line({{0.70, 0.34}, {0.68, 0.60}, {0.58, 0.90}}));
+      return s;
+    }
+    default:
+      throw std::invalid_argument("digit_skeleton: digit must be in [0, 9]");
+  }
+}
+
+void DigitStyle::validate() const {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("DigitStyle: dimensions must be non-zero");
+  }
+  if (min_scale > max_scale || min_thickness > max_thickness ||
+      min_peak > max_peak) {
+    throw std::invalid_argument("DigitStyle: inverted parameter range");
+  }
+  if (max_rotation < 0 || max_shear < 0 || max_translate < 0 || wobble < 0 ||
+      noise_stddev < 0) {
+    throw std::invalid_argument("DigitStyle: negative variation magnitude");
+  }
+  if (speckle_prob < 0.0 || speckle_prob > 1.0) {
+    throw std::invalid_argument("DigitStyle: speckle_prob must be in [0, 1]");
+  }
+  if (min_peak < 0 || max_peak > 255) {
+    throw std::invalid_argument("DigitStyle: peak intensity outside [0, 255]");
+  }
+}
+
+Image render_digit(int digit, util::Rng& rng, const DigitStyle& style) {
+  style.validate();
+  StrokeSet skeleton = digit_skeleton(digit);  // validates digit
+
+  // Draw the per-image variation parameters.
+  const double rotation = rng.uniform_real(-style.max_rotation, style.max_rotation);
+  const double scale_x = rng.uniform_real(style.min_scale, style.max_scale);
+  const double scale_y = rng.uniform_real(style.min_scale, style.max_scale);
+  const double shear = rng.uniform_real(-style.max_shear, style.max_shear);
+  const double dx = rng.uniform_real(-style.max_translate, style.max_translate);
+  const double dy = rng.uniform_real(-style.max_translate, style.max_translate);
+  const double thickness = rng.uniform_real(style.min_thickness, style.max_thickness);
+  const int peak = static_cast<int>(rng.uniform_int(style.min_peak, style.max_peak));
+  const double cos_r = std::cos(rotation);
+  const double sin_r = std::sin(rotation);
+
+  // Affine transform about the glyph center (0.5, 0.5) in unit coordinates,
+  // then map the unit square into the pixel box inside the margin.
+  const double box_w = static_cast<double>(style.width) - 2.0 * style.margin;
+  const double box_h = static_cast<double>(style.height) - 2.0 * style.margin;
+  const auto to_pixels = [&](Point p) {
+    double x = p.x - 0.5;
+    double y = p.y - 0.5;
+    x *= scale_x;
+    y *= scale_y;
+    x += shear * y;
+    const double rx = cos_r * x - sin_r * y;
+    const double ry = sin_r * x + cos_r * y;
+    x = rx + 0.5 + dx;
+    y = ry + 0.5 + dy;
+    return Point{style.margin + x * box_w, style.margin + y * box_h};
+  };
+
+  // Apply wobble in skeleton space, then transform to pixel space.
+  for (auto& stroke : skeleton) {
+    for (auto& point : stroke) {
+      point.x += rng.gaussian(0.0, style.wobble);
+      point.y += rng.gaussian(0.0, style.wobble);
+      point = to_pixels(point);
+    }
+  }
+
+  Image image(style.width, style.height, 0);
+
+  // Stamp a soft disc at a dense sampling of every segment; max-blend so
+  // crossing strokes do not over-saturate.
+  const auto stamp = [&](Point c) {
+    const double reach = thickness + 1.0;
+    const auto row_lo = static_cast<long>(std::floor(c.y - reach));
+    const auto row_hi = static_cast<long>(std::ceil(c.y + reach));
+    const auto col_lo = static_cast<long>(std::floor(c.x - reach));
+    const auto col_hi = static_cast<long>(std::ceil(c.x + reach));
+    for (long row = row_lo; row <= row_hi; ++row) {
+      if (row < 0 || row >= static_cast<long>(style.height)) continue;
+      for (long col = col_lo; col <= col_hi; ++col) {
+        if (col < 0 || col >= static_cast<long>(style.width)) continue;
+        const double ddx = static_cast<double>(col) - c.x;
+        const double ddy = static_cast<double>(row) - c.y;
+        const double dist = std::sqrt(ddx * ddx + ddy * ddy);
+        // Soft edge: full intensity inside (thickness - 0.5), linear falloff
+        // over one pixel.
+        const double cover =
+            std::clamp(thickness + 0.5 - dist, 0.0, 1.0);
+        if (cover <= 0.0) continue;
+        const int value = static_cast<int>(std::lround(cover * peak));
+        auto& px = image(static_cast<std::size_t>(row),
+                         static_cast<std::size_t>(col));
+        px = static_cast<std::uint8_t>(std::max<int>(px, value));
+      }
+    }
+  };
+
+  for (const auto& stroke : skeleton) {
+    for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+      const Point a = stroke[i];
+      const Point b = stroke[i + 1];
+      const double len = std::hypot(b.x - a.x, b.y - a.y);
+      const int steps = std::max(1, static_cast<int>(std::ceil(len / 0.3)));
+      for (int s = 0; s <= steps; ++s) {
+        const double t = static_cast<double>(s) / steps;
+        stamp(Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t});
+      }
+    }
+  }
+
+  // Optional dense Gaussian noise (off by default; see DigitStyle docs).
+  if (style.noise_stddev > 0.0) {
+    for (std::size_t row = 0; row < style.height; ++row) {
+      for (std::size_t col = 0; col < style.width; ++col) {
+        const int noise =
+            static_cast<int>(std::lround(rng.gaussian(0.0, style.noise_stddev)));
+        if (noise != 0) image.add_clamped(row, col, noise);
+      }
+    }
+  }
+  // Sparse salt-and-pepper speckle.
+  if (style.speckle_prob > 0.0) {
+    for (std::size_t row = 0; row < style.height; ++row) {
+      for (std::size_t col = 0; col < style.width; ++col) {
+        if (rng.bernoulli(style.speckle_prob)) {
+          image(row, col) = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Dataset make_digit_dataset(std::size_t n_per_class, std::uint64_t seed,
+                           const DigitStyle& style) {
+  style.validate();
+  Dataset ds;
+  ds.num_classes = 10;
+  ds.images.reserve(n_per_class * 10);
+  ds.labels.reserve(n_per_class * 10);
+  util::Rng master(seed);
+  for (int digit = 0; digit < 10; ++digit) {
+    // Each (digit, index) pair gets an independent stream so that changing
+    // n_per_class does not reshuffle previously generated images.
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      util::Rng item_rng = master.child(
+          static_cast<std::uint64_t>(digit) * std::uint64_t{1000003} + i);
+      ds.images.push_back(render_digit(digit, item_rng, style));
+      ds.labels.push_back(digit);
+    }
+  }
+  util::Rng shuffle_rng = master.child(0xfeedbeefULL);
+  ds.shuffle(shuffle_rng);
+  return ds;
+}
+
+TrainTestPair make_digit_train_test(std::size_t train_per_class,
+                                    std::size_t test_per_class,
+                                    std::uint64_t seed,
+                                    const DigitStyle& style) {
+  TrainTestPair pair;
+  pair.train = make_digit_dataset(train_per_class,
+                                  util::derive_seed(seed, 1), style);
+  pair.test = make_digit_dataset(test_per_class,
+                                 util::derive_seed(seed, 2), style);
+  return pair;
+}
+
+}  // namespace hdtest::data

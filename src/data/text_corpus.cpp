@@ -1,0 +1,111 @@
+#include "data/text_corpus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::data {
+
+const std::string& SyntheticLanguage::alphabet() {
+  static const std::string kAlphabet = "abcdefghijklmnopqrstuvwxyz ";
+  return kAlphabet;
+}
+
+std::size_t SyntheticLanguage::char_index(char c) const {
+  const auto pos = alphabet().find(c);
+  if (pos == std::string::npos) {
+    throw std::invalid_argument("SyntheticLanguage: character not in alphabet");
+  }
+  return pos;
+}
+
+SyntheticLanguage::SyntheticLanguage(std::uint64_t seed, int language_id,
+                                     double skew) {
+  if (skew <= 0.0) {
+    throw std::invalid_argument("SyntheticLanguage: skew must be positive");
+  }
+  const std::size_t n = alphabet().size();
+  util::Rng rng(util::derive_seed(seed, static_cast<std::uint64_t>(language_id)));
+
+  // Each language prefers a characteristic subset of letters; transitions
+  // into preferred letters receive exponentially boosted weight.
+  std::vector<double> preference(n);
+  for (auto& p : preference) p = std::exp(skew * rng.uniform01());
+
+  probs_.assign(n, std::vector<double>(n, 0.0));
+  cumulative_.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t row = 0; row < n; ++row) {
+    double total = 0.0;
+    for (std::size_t col = 0; col < n; ++col) {
+      // Base mass keeps every transition possible (mutations cannot create
+      // impossible strings), preference shapes the language signature, and a
+      // per-cell random factor decorrelates languages with similar
+      // preferences.
+      const double w = 0.05 + preference[col] * std::exp(skew * 0.5 * rng.uniform01());
+      probs_[row][col] = w;
+      total += w;
+    }
+    double acc = 0.0;
+    for (std::size_t col = 0; col < n; ++col) {
+      probs_[row][col] /= total;
+      acc += probs_[row][col];
+      cumulative_[row][col] = acc;
+    }
+    cumulative_[row][n - 1] = 1.0;  // guard against rounding
+  }
+}
+
+std::string SyntheticLanguage::generate(std::size_t length,
+                                        util::Rng& rng) const {
+  std::string out;
+  out.reserve(length);
+  const std::size_t n = alphabet().size();
+  std::size_t current = rng.uniform_u64(n);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(alphabet()[current]);
+    const double u = rng.uniform01();
+    const auto& cdf = cumulative_[current];
+    // Linear scan is fine: the alphabet has 27 symbols.
+    std::size_t next = 0;
+    while (next + 1 < n && cdf[next] < u) ++next;
+    current = next;
+  }
+  return out;
+}
+
+double SyntheticLanguage::transition_prob(char current, char next) const {
+  return probs_[char_index(current)][char_index(next)];
+}
+
+TextDataset make_text_dataset(int num_languages, std::size_t n_per_class,
+                              std::size_t text_length, std::uint64_t seed,
+                              double skew, std::uint64_t sample_salt) {
+  if (num_languages <= 0) {
+    throw std::invalid_argument("make_text_dataset: need >= 1 language");
+  }
+  TextDataset ds;
+  ds.num_classes = num_languages;
+  ds.samples.reserve(static_cast<std::size_t>(num_languages) * n_per_class);
+  // Sampling streams incorporate the salt; the languages themselves derive
+  // only from (seed, language id) so different salts draw fresh texts from
+  // the *same* languages (train/test splits of one corpus).
+  const std::uint64_t sampling_seed = util::derive_seed(seed, sample_salt);
+  for (int lang = 0; lang < num_languages; ++lang) {
+    const SyntheticLanguage language(seed, lang, skew);
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      util::Rng rng(util::derive_seed(
+          sampling_seed,
+          std::uint64_t{0x1000000} +
+              static_cast<std::uint64_t>(lang) * std::uint64_t{100000} + i));
+      ds.samples.push_back(TextSample{language.generate(text_length, rng), lang});
+    }
+  }
+  // Deterministic interleave so consumers see mixed classes.
+  util::Rng shuffle_rng(util::derive_seed(sampling_seed, 0xabcdefULL));
+  for (std::size_t i = ds.samples.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(shuffle_rng.uniform_u64(i));
+    std::swap(ds.samples[i - 1], ds.samples[j]);
+  }
+  return ds;
+}
+
+}  // namespace hdtest::data

@@ -1,0 +1,77 @@
+#pragma once
+/// \file text_corpus.hpp
+/// Synthetic language-identification corpus.
+///
+/// The paper (section V-E) argues HDTest "can be naturally extended to other
+/// HDC model structures" because it only needs hypervector distances. The
+/// language_fuzz example demonstrates this on an n-gram text classifier; this
+/// module generates its data: several synthetic "languages", each a distinct
+/// first-order Markov chain over lowercase letters, mimicking the
+/// letter-statistics signal that real language identification exploits
+/// (Rahimi et al., ISLPED'16).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hdtest::data {
+
+/// A labeled text sample.
+struct TextSample {
+  std::string text;
+  int label = 0;
+};
+
+/// A labeled collection of text samples.
+struct TextDataset {
+  std::vector<TextSample> samples;
+  int num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples.size(); }
+};
+
+/// A synthetic language: a first-order Markov chain over 'a'..'z' plus space.
+///
+/// Each language is derived deterministically from (corpus seed, language id)
+/// and biases both its stationary letter distribution and its transition
+/// structure, so languages are separable yet overlapping — adversarially
+/// mutable by small edits.
+class SyntheticLanguage {
+ public:
+  /// \p skew controls separability: higher skew concentrates probability mass
+  /// on fewer language-specific letter pairs. \pre skew > 0.
+  SyntheticLanguage(std::uint64_t seed, int language_id, double skew = 3.0);
+
+  /// Generates a text of exactly \p length characters.
+  [[nodiscard]] std::string generate(std::size_t length, util::Rng& rng) const;
+
+  /// The alphabet used ('a'..'z' and ' ').
+  [[nodiscard]] static const std::string& alphabet();
+
+  /// Transition probability P(next | current) for inspection/tests.
+  [[nodiscard]] double transition_prob(char current, char next) const;
+
+ private:
+  [[nodiscard]] std::size_t char_index(char c) const;
+
+  std::vector<std::vector<double>> cumulative_;  // row: current char -> CDF
+  std::vector<std::vector<double>> probs_;
+};
+
+/// Generates \p n_per_class samples of each of \p num_languages languages,
+/// each of length \p text_length, deterministically from \p seed.
+///
+/// The language definitions (transition matrices) depend only on \p seed and
+/// \p skew; \p sample_salt varies which texts are drawn *from those same
+/// languages*. Use distinct salts (not distinct seeds) to build train/test
+/// splits of one corpus.
+[[nodiscard]] TextDataset make_text_dataset(int num_languages,
+                                            std::size_t n_per_class,
+                                            std::size_t text_length,
+                                            std::uint64_t seed,
+                                            double skew = 3.0,
+                                            std::uint64_t sample_salt = 0);
+
+}  // namespace hdtest::data

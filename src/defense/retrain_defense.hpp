@@ -1,0 +1,78 @@
+#pragma once
+/// \file retrain_defense.hpp
+/// The adversarial-defense case study (paper section V-D, Fig. 8).
+///
+/// Pipeline:
+///  (1) run HDTest against the victim model to generate a pool of
+///      adversarial images (the paper uses 1000);
+///  (2) randomly split the pool; retrain the model on the first subset with
+///      the correct labels ("updating the reference HVs");
+///  (3) attack the retrained model with the *held-out* subset and measure
+///      how far the attack success rate drops (paper: > 20% drop from the
+///      by-construction 100% on the original model).
+///
+/// The correct label of an adversarial image is the model's (reference)
+/// prediction on the *original* image it was derived from — still no human
+/// labeling, consistent with the paper's differential setting.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdtest::defense {
+
+/// Options for the defense experiment.
+struct DefenseConfig {
+  /// Fraction of the adversarial pool used for retraining (rest attacks).
+  double retrain_fraction = 0.5;
+
+  /// Retraining update rule (see hdc::RetrainMode).
+  hdc::RetrainMode retrain_mode = hdc::RetrainMode::kAddSubtract;
+
+  /// Number of retraining epochs over the retrain subset.
+  std::size_t epochs = 1;
+
+  /// Seed for the random pool split.
+  std::uint64_t split_seed = 0xdefe25eULL;
+
+  void validate() const;
+};
+
+/// Results of the defense experiment.
+struct DefenseResult {
+  std::size_t pool_size = 0;          ///< adversarial images generated
+  std::size_t retrain_size = 0;       ///< subset used for retraining
+  std::size_t attack_size = 0;        ///< held-out subset used to attack
+  double attack_rate_before = 0.0;    ///< held-out success vs original model
+  double attack_rate_after = 0.0;     ///< held-out success vs retrained model
+  double clean_accuracy_before = 0.0; ///< accuracy on clean test set, before
+  double clean_accuracy_after = 0.0;  ///< accuracy on clean test set, after
+
+  /// Absolute drop in attack success rate (paper: "> 20%").
+  [[nodiscard]] double attack_rate_drop() const noexcept {
+    return attack_rate_before - attack_rate_after;
+  }
+};
+
+/// Builds a labeled adversarial dataset from a campaign: each successful
+/// record becomes (adversarial image, reference label of its original).
+[[nodiscard]] data::Dataset collect_adversarials(
+    const fuzz::CampaignResult& campaign, std::size_t num_classes);
+
+/// Runs the full defense experiment against \p model (which is retrained in
+/// place — pass a copy to keep the original).
+///
+/// \param model          victim model; mutated by retraining
+/// \param adversarials   labeled pool from collect_adversarials()
+/// \param clean_test     clean test set for accuracy-regression reporting
+/// \throws std::invalid_argument on empty pools or bad config.
+[[nodiscard]] DefenseResult run_defense(hdc::HdcClassifier& model,
+                                        const data::Dataset& adversarials,
+                                        const data::Dataset& clean_test,
+                                        const DefenseConfig& config);
+
+}  // namespace hdtest::defense

@@ -1,0 +1,106 @@
+#pragma once
+/// \file campaign.hpp
+/// Multi-image fuzzing campaigns and the aggregate metrics of the paper's
+/// evaluation (section V-A):
+///
+///  - Avg. normalized L1/L2 distance over generated adversarial images;
+///  - Avg. #iterations = total fuzzing iterations / #images fuzzed;
+///  - execution time to generate K adversarial images (reported per-1K);
+///  - per-class breakdowns (Fig. 7).
+///
+/// Campaigns parallelize across input images with deterministic per-image
+/// RNG streams: results are bit-identical for any worker count.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "util/stats.hpp"
+
+namespace hdtest::fuzz {
+
+/// Campaign-level options on top of the per-input FuzzConfig.
+struct CampaignConfig {
+  FuzzConfig fuzz;
+
+  /// Stop after this many adversarial images (0 = fuzz every input once).
+  /// When the input set is exhausted first, it wraps around with fresh
+  /// mutation streams, mirroring the paper's "generate 1000 images" runs.
+  std::size_t target_adversarials = 0;
+
+  /// Upper bound on inputs fuzzed (0 = no bound). Applies only when
+  /// target_adversarials == 0.
+  std::size_t max_images = 0;
+
+  /// Worker threads (1 = sequential; results identical either way).
+  std::size_t workers = 1;
+
+  /// Master seed for all mutation randomness.
+  std::uint64_t seed = 0x5eedULL;
+
+  void validate() const;
+};
+
+/// Per-input record: the outcome plus the true label when the dataset has
+/// one (used only for per-class reporting, never by the fuzzer itself —
+/// HDTest is label-free).
+struct CampaignRecord {
+  std::size_t image_index = 0;
+  int true_label = -1;
+  FuzzOutcome outcome;
+};
+
+/// Aggregated campaign results.
+struct CampaignResult {
+  std::vector<CampaignRecord> records;
+  double total_seconds = 0.0;
+  std::string strategy_name;
+
+  [[nodiscard]] std::size_t images_fuzzed() const noexcept {
+    return records.size();
+  }
+  [[nodiscard]] std::size_t successes() const noexcept;
+  [[nodiscard]] double success_rate() const noexcept;
+
+  /// Paper metric: total iterations / #images fuzzed.
+  [[nodiscard]] double avg_iterations() const noexcept;
+
+  /// Mean normalized L1/L2 over successful (adversarial) records.
+  [[nodiscard]] double avg_l1() const noexcept;
+  [[nodiscard]] double avg_l2() const noexcept;
+
+  /// Mean pixels changed over successes.
+  [[nodiscard]] double avg_pixels_changed() const noexcept;
+
+  /// Total model queries (encodes) spent.
+  [[nodiscard]] std::size_t total_encodes() const noexcept;
+
+  /// Wall time extrapolated to 1000 adversarial images (paper Table II's
+  /// "Time Per-1K Gen. Img."); 0 when there were no successes.
+  [[nodiscard]] double time_per_1k_seconds() const noexcept;
+
+  /// Adversarial images per minute (paper's headline "~400 per minute").
+  [[nodiscard]] double adversarials_per_minute() const noexcept;
+
+  /// Per-class aggregation keyed by *true* label (Fig. 7). Classes with no
+  /// data report zeroed stats. \p num_classes sizes the result.
+  struct PerClass {
+    util::RunningStats l1;
+    util::RunningStats l2;
+    util::RunningStats iterations;
+    std::size_t attempts = 0;
+    std::size_t successes = 0;
+  };
+  [[nodiscard]] std::vector<PerClass> per_class(std::size_t num_classes) const;
+};
+
+/// Runs \p fuzzer over the images of \p inputs (labels, when present, are
+/// used only for reporting).
+[[nodiscard]] CampaignResult run_campaign(const Fuzzer& fuzzer,
+                                          const data::Dataset& inputs,
+                                          const CampaignConfig& config);
+
+}  // namespace hdtest::fuzz

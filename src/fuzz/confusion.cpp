@@ -1,0 +1,92 @@
+#include "fuzz/confusion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace hdtest::fuzz {
+
+std::size_t FlipMatrix::total() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& row : flips) {
+    for (const auto count : row) sum += count;
+  }
+  return sum;
+}
+
+std::size_t FlipMatrix::out_of(std::size_t from) const {
+  if (from >= flips.size()) {
+    throw std::out_of_range("FlipMatrix::out_of: class index out of range");
+  }
+  std::size_t sum = 0;
+  for (const auto count : flips[from]) sum += count;
+  return sum;
+}
+
+std::size_t FlipMatrix::into(std::size_t to) const {
+  if (to >= flips.size()) {
+    throw std::out_of_range("FlipMatrix::into: class index out of range");
+  }
+  std::size_t sum = 0;
+  for (const auto& row : flips) sum += row[to];
+  return sum;
+}
+
+std::vector<FlipMatrix::Edge> FlipMatrix::top_edges(std::size_t k) const {
+  std::vector<Edge> edges;
+  for (std::size_t from = 0; from < flips.size(); ++from) {
+    for (std::size_t to = 0; to < flips[from].size(); ++to) {
+      if (flips[from][to] > 0) {
+        edges.push_back(Edge{from, to, flips[from][to]});
+      }
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.count > b.count; });
+  if (edges.size() > k) edges.resize(k);
+  return edges;
+}
+
+std::string FlipMatrix::to_table() const {
+  util::TextTable table;
+  std::vector<std::string> header{"ref\\adv"};
+  for (std::size_t c = 0; c < flips.size(); ++c) {
+    header.push_back(std::to_string(c));
+  }
+  header.push_back("out");
+  table.set_header(header);
+  std::vector<util::Align> aligns(header.size(), util::Align::kRight);
+  aligns[0] = util::Align::kLeft;
+  table.set_alignments(aligns);
+  for (std::size_t from = 0; from < flips.size(); ++from) {
+    std::vector<std::string> row{std::to_string(from)};
+    for (std::size_t to = 0; to < flips[from].size(); ++to) {
+      row.push_back(flips[from][to] == 0 ? "." : std::to_string(flips[from][to]));
+    }
+    row.push_back(std::to_string(out_of(from)));
+    table.add_row(row);
+  }
+  return table.to_string();
+}
+
+FlipMatrix flip_matrix(const CampaignResult& campaign,
+                       std::size_t num_classes) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("flip_matrix: num_classes must be >= 1");
+  }
+  FlipMatrix matrix;
+  matrix.flips.assign(num_classes, std::vector<std::size_t>(num_classes, 0));
+  for (const auto& record : campaign.records) {
+    if (!record.outcome.success) continue;
+    const auto from = record.outcome.reference_label;
+    const auto to = record.outcome.adversarial_label;
+    if (from >= num_classes || to >= num_classes) {
+      throw std::invalid_argument("flip_matrix: label outside [0, num_classes)");
+    }
+    ++matrix.flips[from][to];
+  }
+  return matrix;
+}
+
+}  // namespace hdtest::fuzz

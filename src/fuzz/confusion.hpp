@@ -1,0 +1,58 @@
+#pragma once
+/// \file confusion.hpp
+/// Adversarial confusion analysis.
+///
+/// The paper's per-class discussion (section V-C) reasons about *which*
+/// classes absorb the flipped predictions: "all the other digits except for
+/// '7' are visually dissimilar from '1' while '9' has quite a few
+/// similarities such as '8' and '3'". This module materializes that
+/// analysis: an adversarial flip matrix counting, for every reference class,
+/// which class each adversarial finding was flipped *into* — the attack-
+/// direction complement of a standard confusion matrix.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+
+namespace hdtest::fuzz {
+
+/// flips[i][j] = number of findings whose reference label was i and whose
+/// adversarial label was j (diagonal is structurally zero).
+struct FlipMatrix {
+  std::vector<std::vector<std::size_t>> flips;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return flips.size();
+  }
+
+  /// Total findings recorded.
+  [[nodiscard]] std::size_t total() const noexcept;
+
+  /// Findings flipped out of class \p from. \throws std::out_of_range.
+  [[nodiscard]] std::size_t out_of(std::size_t from) const;
+
+  /// Findings flipped into class \p to. \throws std::out_of_range.
+  [[nodiscard]] std::size_t into(std::size_t to) const;
+
+  /// The (from, to, count) pairs sorted by count descending — the dominant
+  /// adversarial confusion channels.
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] std::vector<Edge> top_edges(std::size_t k) const;
+
+  /// Renders the full matrix as an ASCII table (rows = reference class).
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Builds the flip matrix from a finished campaign.
+/// \throws std::invalid_argument when num_classes is zero or a record's
+/// labels fall outside [0, num_classes).
+[[nodiscard]] FlipMatrix flip_matrix(const CampaignResult& campaign,
+                                     std::size_t num_classes);
+
+}  // namespace hdtest::fuzz

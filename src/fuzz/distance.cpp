@@ -1,0 +1,57 @@
+#include "fuzz/distance.hpp"
+
+#include <sstream>
+
+namespace hdtest::fuzz {
+
+Perturbation measure_perturbation(const data::Image& original,
+                                  const data::Image& mutant) {
+  Perturbation p;
+  p.l1 = data::l1_distance(original, mutant);
+  p.l2 = data::l2_distance(original, mutant);
+  p.linf = data::linf_distance(original, mutant);
+  p.pixels_changed = original.count_diff(mutant);
+  return p;
+}
+
+bool PerturbationBudget::accepts(const Perturbation& p) const noexcept {
+  if (max_l1 && p.l1 > *max_l1) return false;
+  if (max_l2 && p.l2 > *max_l2) return false;
+  if (max_linf && p.linf > *max_linf) return false;
+  if (max_pixels_changed && p.pixels_changed > *max_pixels_changed) return false;
+  return true;
+}
+
+PerturbationBudget PerturbationBudget::unlimited() noexcept {
+  PerturbationBudget budget;
+  budget.max_l2.reset();
+  return budget;
+}
+
+PerturbationBudget default_budget_for_strategy(
+    const std::string& strategy_name) {
+  // Composites containing shift inherit the unlimited budget too.
+  if (strategy_name.find("shift") != std::string::npos) {
+    return PerturbationBudget::unlimited();
+  }
+  return PerturbationBudget{};
+}
+
+std::string PerturbationBudget::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  bool any = false;
+  const auto emit = [&](const char* name, const auto& limit) {
+    if (!limit) return;
+    if (any) os << ", ";
+    os << name << "<=" << *limit;
+    any = true;
+  };
+  emit("L1", max_l1);
+  emit("L2", max_l2);
+  emit("Linf", max_linf);
+  emit("pixels", max_pixels_changed);
+  return any ? os.str() : "unlimited";
+}
+
+}  // namespace hdtest::fuzz

@@ -1,0 +1,53 @@
+#pragma once
+/// \file distance.hpp
+/// Perturbation metrics and the fuzzer's distance budget (paper section IV:
+/// "To ensure the added perturbations are within an 'invisible' range, we set
+/// a threshold for the distance metric during fuzzing (e.g., L2 < 1) ...
+/// This constraint can be modified by the user").
+
+#include <optional>
+#include <string>
+
+#include "data/image.hpp"
+
+namespace hdtest::fuzz {
+
+/// Distances between an original input and a mutant.
+struct Perturbation {
+  double l1 = 0.0;    ///< normalized L1 (sum |delta| / 255)
+  double l2 = 0.0;    ///< normalized L2 (sqrt(sum (delta/255)^2))
+  double linf = 0.0;  ///< normalized Linf (max |delta| / 255)
+  std::size_t pixels_changed = 0;
+};
+
+/// Measures all perturbation metrics between two same-shaped images.
+/// \throws std::invalid_argument on shape mismatch.
+[[nodiscard]] Perturbation measure_perturbation(const data::Image& original,
+                                                const data::Image& mutant);
+
+/// User-configurable limits; mutants exceeding any enabled limit are
+/// discarded by the fuzzer. A disengaged optional disables that limit.
+struct PerturbationBudget {
+  std::optional<double> max_l1;
+  std::optional<double> max_l2 = 1.0;  ///< the paper's example default
+  std::optional<double> max_linf;
+  std::optional<std::size_t> max_pixels_changed;
+
+  /// True when \p p violates no enabled limit.
+  [[nodiscard]] bool accepts(const Perturbation& p) const noexcept;
+
+  /// Budget with every limit disabled (used for the shift strategy, whose
+  /// distances the paper deems "not meaningful").
+  [[nodiscard]] static PerturbationBudget unlimited() noexcept;
+
+  /// Human-readable form for reports ("L2<=1.00" / "unlimited").
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The budget the paper's experiments imply for a strategy: the default
+/// L2 <= 1 for pixel-value strategies, unlimited for "shift" (the paper
+/// deems shift's distance metrics "not meaningful" — every pixel moves).
+[[nodiscard]] PerturbationBudget default_budget_for_strategy(
+    const std::string& strategy_name);
+
+}  // namespace hdtest::fuzz

@@ -1,0 +1,27 @@
+#include "fuzz/fitness.hpp"
+
+#include <algorithm>
+
+namespace hdtest::fuzz {
+
+void keep_fittest(std::vector<ScoredSeed>& pool, std::size_t n) {
+  if (pool.size() <= n) return;
+  // stable_sort keeps insertion order among equal-fitness seeds, making the
+  // fuzzer fully deterministic.
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const ScoredSeed& a, const ScoredSeed& b) {
+                     return a.fitness > b.fitness;
+                   });
+  pool.resize(n);
+}
+
+void keep_random(std::vector<ScoredSeed>& pool, std::size_t n, util::Rng& rng) {
+  if (pool.size() <= n) return;
+  const auto keep = rng.sample_indices(pool.size(), n);
+  std::vector<ScoredSeed> kept;
+  kept.reserve(n);
+  for (const auto i : keep) kept.push_back(std::move(pool[i]));
+  pool = std::move(kept);
+}
+
+}  // namespace hdtest::fuzz

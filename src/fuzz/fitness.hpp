@@ -1,0 +1,43 @@
+#pragma once
+/// \file fitness.hpp
+/// Distance-guided seed selection (paper section IV).
+///
+/// fitness(seed) = 1 - Cosim(AM[y], HDC(seed))
+///
+/// where y is the reference label of the *original* input and HDC(seed) is
+/// the query hypervector of the mutated seed. Higher fitness = the seed has
+/// drifted further from the reference class in hyperdimensional space =
+/// higher chance the next mutation flips the prediction. Only the top-N
+/// fittest seeds survive each fuzzing iteration (paper N = 3).
+
+#include <cstddef>
+#include <vector>
+
+#include "data/image.hpp"
+#include "hdc/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz {
+
+/// A candidate seed with its cached fitness score.
+struct ScoredSeed {
+  data::Image image;
+  double fitness = 0.0;
+};
+
+/// Computes the paper's fitness for an already-encoded query HV.
+[[nodiscard]] inline double fitness_of(const hdc::HdcClassifier& model,
+                                       std::size_t reference_label,
+                                       const hdc::Hypervector& query) {
+  return 1.0 - model.similarity_to_class(reference_label, query);
+}
+
+/// Keeps the \p n highest-fitness seeds (stable for ties), discarding the
+/// rest. No-op when the pool is already within bounds.
+void keep_fittest(std::vector<ScoredSeed>& pool, std::size_t n);
+
+/// Unguided alternative (the baseline of the paper's "12% faster" claim):
+/// keeps \p n uniformly random seeds from the pool.
+void keep_random(std::vector<ScoredSeed>& pool, std::size_t n, util::Rng& rng);
+
+}  // namespace hdtest::fuzz

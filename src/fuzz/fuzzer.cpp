@@ -1,0 +1,110 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace hdtest::fuzz {
+
+void FuzzConfig::validate() const {
+  if (iter_times == 0) {
+    throw std::invalid_argument("FuzzConfig: iter_times must be >= 1");
+  }
+  if (seeds_per_iteration == 0) {
+    throw std::invalid_argument("FuzzConfig: seeds_per_iteration must be >= 1");
+  }
+  if (keep_top_n == 0) {
+    throw std::invalid_argument("FuzzConfig: keep_top_n must be >= 1");
+  }
+}
+
+Fuzzer::Fuzzer(const hdc::HdcClassifier& model,
+               const MutationStrategy& strategy, FuzzConfig config)
+    : model_(&model), strategy_(&strategy), config_(config) {
+  config.validate();
+  if (!model.trained()) {
+    throw std::logic_error("Fuzzer: model must be trained");
+  }
+}
+
+FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng) const {
+  const util::Stopwatch watch;
+  FuzzOutcome outcome;
+
+  // Line 4: reference prediction of the original input (no label needed).
+  const auto reference_query = model_->encode(input);
+  outcome.reference_label = model_->predict_encoded(reference_query);
+  ++outcome.encodes;
+
+  // Delta re-encoder based at the original input: mutants differ from the
+  // original in few pixels for sparse strategies, so re-encoding is cheap.
+  hdc::IncrementalPixelEncoder delta_encoder(model_->encoder());
+  if (config_.use_incremental_encoder) {
+    delta_encoder.rebase(input);
+  }
+  const auto encode = [&](const data::Image& image) {
+    ++outcome.encodes;
+    return config_.use_incremental_encoder ? delta_encoder.encode_mutant(image)
+                                           : model_->encode(image);
+  };
+
+  // The surviving parent pool starts as the original input itself, scored
+  // with its true fitness so elitism treats it like any other seed.
+  std::vector<ScoredSeed> parents;
+  parents.push_back(ScoredSeed{
+      input, fitness_of(*model_, outcome.reference_label, reference_query)});
+
+  for (std::size_t iter = 0; iter < config_.iter_times; ++iter) {
+    ++outcome.iterations;
+
+    // Line 6: generate this iteration's seeds from the surviving parents.
+    std::vector<ScoredSeed> candidates;
+    candidates.reserve(config_.seeds_per_iteration);
+    for (std::size_t s = 0; s < config_.seeds_per_iteration; ++s) {
+      const auto& parent = parents[s % parents.size()].image;
+      data::Image mutant = strategy_->mutate(parent, rng);
+
+      // Paper IV: discard mutants beyond the perturbation threshold.
+      const auto perturbation = measure_perturbation(input, mutant);
+      if (!config_.budget.accepts(perturbation)) {
+        ++outcome.discarded;
+        continue;
+      }
+
+      // Line 7: query the HDC model under test.
+      const auto query = encode(mutant);
+      const auto label = model_->predict_encoded(query);
+
+      // Line 8: differential check against the reference label.
+      if (label != outcome.reference_label) {
+        outcome.success = true;
+        outcome.adversarial = std::move(mutant);
+        outcome.adversarial_label = label;
+        outcome.perturbation = perturbation;
+        outcome.seconds = watch.seconds();
+        return outcome;
+      }
+
+      candidates.push_back(
+          ScoredSeed{std::move(mutant),
+                     fitness_of(*model_, outcome.reference_label, query)});
+    }
+
+    // Line 14: continue fuzzing using only the fittest seeds. Parents stay
+    // in the pool (elitism) so a lucky mutant is never thrown away; when
+    // every candidate was discarded by the budget the parents simply carry
+    // over to the next iteration.
+    for (auto& parent : parents) candidates.push_back(std::move(parent));
+    if (config_.guided) {
+      keep_fittest(candidates, config_.keep_top_n);
+    } else {
+      keep_random(candidates, config_.keep_top_n, rng);
+    }
+    parents = std::move(candidates);
+  }
+
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+}  // namespace hdtest::fuzz

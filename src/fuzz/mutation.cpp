@@ -1,0 +1,277 @@
+#include "fuzz/mutation.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdtest::fuzz {
+
+namespace {
+
+/// A non-zero uniform delta in [-amplitude, amplitude].
+int nonzero_delta(util::Rng& rng, int amplitude) {
+  int delta = 0;
+  while (delta == 0) {
+    delta = static_cast<int>(rng.uniform_int(-amplitude, amplitude));
+  }
+  return delta;
+}
+
+void check_amplitude(int amplitude, const char* who) {
+  if (amplitude < 1) {
+    throw std::invalid_argument(std::string(who) + ": amplitude must be >= 1");
+  }
+}
+
+}  // namespace
+
+RowRandMutation::RowRandMutation(LineNoiseParams params) : params_(params) {
+  check_amplitude(params_.amplitude, "RowRandMutation");
+}
+
+data::Image RowRandMutation::mutate(const data::Image& seed,
+                                    util::Rng& rng) const {
+  data::Image out = seed;
+  const auto row = static_cast<std::size_t>(rng.uniform_u64(seed.height()));
+  for (std::size_t col = 0; col < seed.width(); ++col) {
+    out.add_clamped(row, col, nonzero_delta(rng, params_.amplitude));
+  }
+  return out;
+}
+
+ColRandMutation::ColRandMutation(LineNoiseParams params) : params_(params) {
+  check_amplitude(params_.amplitude, "ColRandMutation");
+}
+
+data::Image ColRandMutation::mutate(const data::Image& seed,
+                                    util::Rng& rng) const {
+  data::Image out = seed;
+  const auto col = static_cast<std::size_t>(rng.uniform_u64(seed.width()));
+  for (std::size_t row = 0; row < seed.height(); ++row) {
+    out.add_clamped(row, col, nonzero_delta(rng, params_.amplitude));
+  }
+  return out;
+}
+
+RowColRandMutation::RowColRandMutation(LineNoiseParams params)
+    : row_(params), col_(params) {}
+
+data::Image RowColRandMutation::mutate(const data::Image& seed,
+                                       util::Rng& rng) const {
+  if (rng.bernoulli(0.5)) {
+    return row_.mutate(seed, rng);
+  }
+  return col_.mutate(seed, rng);
+}
+
+RandNoiseMutation::RandNoiseMutation(Params params) : params_(params) {
+  if (params_.pixels_per_step == 0) {
+    throw std::invalid_argument("RandNoiseMutation: pixels_per_step must be >= 1");
+  }
+  if (params_.amplitude < 1) {
+    throw std::invalid_argument("RandNoiseMutation: amplitude must be >= 1");
+  }
+}
+
+data::Image RandNoiseMutation::mutate(const data::Image& seed,
+                                      util::Rng& rng) const {
+  data::Image out = seed;
+  const std::size_t total = seed.size();
+  const std::size_t count = std::min(params_.pixels_per_step, total);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto p = static_cast<std::size_t>(rng.uniform_u64(total));
+    const auto row = p / seed.width();
+    const auto col = p % seed.width();
+    // Non-zero delta so every touched pixel actually changes.
+    out.add_clamped(row, col, nonzero_delta(rng, params_.amplitude));
+  }
+  return out;
+}
+
+GaussNoiseMutation::GaussNoiseMutation(Params params) : params_(params) {
+  if (!(params_.stddev > 0.0)) {
+    throw std::invalid_argument("GaussNoiseMutation: stddev must be positive");
+  }
+}
+
+data::Image GaussNoiseMutation::mutate(const data::Image& seed,
+                                       util::Rng& rng) const {
+  data::Image out = seed;
+  for (std::size_t row = 0; row < seed.height(); ++row) {
+    for (std::size_t col = 0; col < seed.width(); ++col) {
+      const int delta =
+          static_cast<int>(std::lround(rng.gaussian(0.0, params_.stddev)));
+      if (delta != 0) out.add_clamped(row, col, delta);
+    }
+  }
+  return out;
+}
+
+data::Image ShiftMutation::shift(const data::Image& seed, Direction dir) {
+  data::Image out(seed.width(), seed.height(), 0);
+  const auto w = seed.width();
+  const auto h = seed.height();
+  for (std::size_t row = 0; row < h; ++row) {
+    for (std::size_t col = 0; col < w; ++col) {
+      // Source pixel that lands at (row, col) after the shift.
+      std::ptrdiff_t src_row = static_cast<std::ptrdiff_t>(row);
+      std::ptrdiff_t src_col = static_cast<std::ptrdiff_t>(col);
+      switch (dir) {
+        case Direction::kLeft: src_col += 1; break;   // content moves left
+        case Direction::kRight: src_col -= 1; break;
+        case Direction::kUp: src_row += 1; break;
+        case Direction::kDown: src_row -= 1; break;
+      }
+      if (src_row < 0 || src_col < 0 ||
+          src_row >= static_cast<std::ptrdiff_t>(h) ||
+          src_col >= static_cast<std::ptrdiff_t>(w)) {
+        continue;  // vacated pixels stay background
+      }
+      out(row, col) = seed(static_cast<std::size_t>(src_row),
+                           static_cast<std::size_t>(src_col));
+    }
+  }
+  return out;
+}
+
+data::Image ShiftMutation::mutate(const data::Image& seed,
+                                  util::Rng& rng) const {
+  const auto pick = rng.uniform_u64(4);
+  const Direction dir = pick == 0   ? Direction::kLeft
+                        : pick == 1 ? Direction::kRight
+                        : pick == 2 ? Direction::kUp
+                                    : Direction::kDown;
+  return shift(seed, dir);
+}
+
+BlockRandMutation::BlockRandMutation(Params params) : params_(params) {
+  if (params_.max_block == 0) {
+    throw std::invalid_argument("BlockRandMutation: max_block must be >= 1");
+  }
+  check_amplitude(params_.amplitude, "BlockRandMutation");
+}
+
+data::Image BlockRandMutation::mutate(const data::Image& seed,
+                                      util::Rng& rng) const {
+  data::Image out = seed;
+  const auto block_w = 1 + rng.uniform_u64(std::min<std::uint64_t>(
+                               params_.max_block, seed.width()));
+  const auto block_h = 1 + rng.uniform_u64(std::min<std::uint64_t>(
+                               params_.max_block, seed.height()));
+  const auto row0 = rng.uniform_u64(seed.height() - block_h + 1);
+  const auto col0 = rng.uniform_u64(seed.width() - block_w + 1);
+  for (std::uint64_t r = 0; r < block_h; ++r) {
+    for (std::uint64_t c = 0; c < block_w; ++c) {
+      out.add_clamped(static_cast<std::size_t>(row0 + r),
+                      static_cast<std::size_t>(col0 + c),
+                      nonzero_delta(rng, params_.amplitude));
+    }
+  }
+  return out;
+}
+
+SaltPepperMutation::SaltPepperMutation(Params params) : params_(params) {
+  if (params_.pixels_per_step == 0) {
+    throw std::invalid_argument(
+        "SaltPepperMutation: pixels_per_step must be >= 1");
+  }
+}
+
+data::Image SaltPepperMutation::mutate(const data::Image& seed,
+                                       util::Rng& rng) const {
+  data::Image out = seed;
+  const std::size_t count = std::min(params_.pixels_per_step, seed.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto p = static_cast<std::size_t>(rng.uniform_u64(seed.size()));
+    const auto row = p / seed.width();
+    const auto col = p % seed.width();
+    // Pick the extreme farther from the current value so the pixel always
+    // changes (true impulse noise).
+    out(row, col) = out(row, col) < 128 ? static_cast<std::uint8_t>(255)
+                                        : static_cast<std::uint8_t>(0);
+  }
+  return out;
+}
+
+BrightnessMutation::BrightnessMutation(Params params) : params_(params) {
+  check_amplitude(params_.max_offset, "BrightnessMutation");
+}
+
+data::Image BrightnessMutation::mutate(const data::Image& seed,
+                                       util::Rng& rng) const {
+  data::Image out = seed;
+  const int offset = nonzero_delta(rng, params_.max_offset);
+  for (std::size_t row = 0; row < seed.height(); ++row) {
+    for (std::size_t col = 0; col < seed.width(); ++col) {
+      out.add_clamped(row, col, offset);
+    }
+  }
+  return out;
+}
+
+CompositeMutation::CompositeMutation(
+    std::vector<std::shared_ptr<const MutationStrategy>> parts)
+    : parts_(std::move(parts)) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("CompositeMutation: need at least one strategy");
+  }
+  for (const auto& part : parts_) {
+    if (part == nullptr) {
+      throw std::invalid_argument("CompositeMutation: null strategy");
+    }
+  }
+}
+
+std::string CompositeMutation::name() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) os << '+';
+    os << parts_[i]->name();
+  }
+  return os.str();
+}
+
+data::Image CompositeMutation::mutate(const data::Image& seed,
+                                      util::Rng& rng) const {
+  const auto pick = static_cast<std::size_t>(rng.uniform_u64(parts_.size()));
+  return parts_[pick]->mutate(seed, rng);
+}
+
+std::unique_ptr<MutationStrategy> make_strategy(const std::string& name) {
+  if (name.find('+') != std::string::npos) {
+    if (name.front() == '+' || name.back() == '+' ||
+        name.find("++") != std::string::npos) {
+      throw std::invalid_argument("make_strategy: malformed composite '" +
+                                  name + "'");
+    }
+    std::vector<std::shared_ptr<const MutationStrategy>> parts;
+    std::istringstream stream(name);
+    std::string token;
+    while (std::getline(stream, token, '+')) {
+      if (token.empty()) {
+        throw std::invalid_argument("make_strategy: empty component in '" +
+                                    name + "'");
+      }
+      parts.push_back(std::shared_ptr<const MutationStrategy>(
+          make_strategy(token).release()));
+    }
+    return std::make_unique<CompositeMutation>(std::move(parts));
+  }
+  if (name == "row_rand") return std::make_unique<RowRandMutation>();
+  if (name == "col_rand") return std::make_unique<ColRandMutation>();
+  if (name == "row_col_rand") return std::make_unique<RowColRandMutation>();
+  if (name == "rand") return std::make_unique<RandNoiseMutation>();
+  if (name == "gauss") return std::make_unique<GaussNoiseMutation>();
+  if (name == "shift") return std::make_unique<ShiftMutation>();
+  if (name == "block_rand") return std::make_unique<BlockRandMutation>();
+  if (name == "salt_pepper") return std::make_unique<SaltPepperMutation>();
+  if (name == "brightness") return std::make_unique<BrightnessMutation>();
+  throw std::invalid_argument("make_strategy: unknown strategy '" + name + "'");
+}
+
+std::vector<std::string> strategy_names() {
+  return {"row_rand",   "col_rand",    "row_col_rand", "rand",      "gauss",
+          "shift",      "block_rand",  "salt_pepper",  "brightness"};
+}
+
+}  // namespace hdtest::fuzz

@@ -1,0 +1,42 @@
+#pragma once
+/// \file report.hpp
+/// Rendering campaign results: paper-style tables, CSV exports, and the
+/// Fig. 4-6-style sample dumps (original / mutated-pixel mask / adversarial).
+
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+
+namespace hdtest::fuzz {
+
+/// Renders one Table II-style comparison across campaigns (one column per
+/// strategy): L1, L2, avg #iterations, time per 1K generated images.
+[[nodiscard]] std::string render_strategy_table(
+    const std::vector<CampaignResult>& campaigns);
+
+/// Renders a Fig. 7-style per-class table: class, attempts, successes,
+/// avg L1, avg L2, avg #iterations.
+[[nodiscard]] std::string render_per_class_table(const CampaignResult& campaign,
+                                                 std::size_t num_classes);
+
+/// Writes one CSV row per campaign record (strategy, index, label, success,
+/// labels, iterations, distances, encodes, seconds) to \p path.
+void write_records_csv(const CampaignResult& campaign, const std::string& path);
+
+/// Writes the strategy summary (one row per campaign) to \p path.
+void write_summary_csv(const std::vector<CampaignResult>& campaigns,
+                       const std::string& path);
+
+/// Dumps up to \p max_samples successful findings as PGM triples
+/// (<prefix>_<k>_original.pgm, _mask.pgm, _adversarial.pgm) into \p dir and
+/// returns a human-readable ASCII-art summary of the first few — the
+/// reproduction of the paper's Figs. 4-6.
+/// \p originals must be the dataset the campaign ran on.
+[[nodiscard]] std::string dump_samples(const CampaignResult& campaign,
+                                       const data::Dataset& originals,
+                                       const std::string& dir,
+                                       const std::string& prefix,
+                                       std::size_t max_samples = 8);
+
+}  // namespace hdtest::fuzz

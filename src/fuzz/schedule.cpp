@@ -1,0 +1,158 @@
+#include "fuzz/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fuzz/fitness.hpp"
+#include "fuzz/vulnerability.hpp"
+
+namespace hdtest::fuzz {
+
+void ScheduleConfig::validate() const {
+  fuzz.validate();
+  if (total_encodes == 0) {
+    throw std::invalid_argument("ScheduleConfig: total_encodes must be >= 1");
+  }
+  if (round_encodes == 0 || round_encodes > total_encodes) {
+    throw std::invalid_argument(
+        "ScheduleConfig: round_encodes must be in [1, total_encodes]");
+  }
+  if (explore < 0.0 || explore > 1.0) {
+    throw std::invalid_argument("ScheduleConfig: explore must be in [0, 1]");
+  }
+}
+
+double QueueEntry::priority() const noexcept {
+  // Thin margin -> high urgency; high best fitness -> mutation pressure is
+  // working; rounds spent -> diminishing returns.
+  const double margin_term = 1.0 / (1.0 + 50.0 * margin);
+  const double fitness_term = best_fitness;
+  return (0.6 * margin_term + 0.4 * fitness_term) /
+         (1.0 + static_cast<double>(rounds));
+}
+
+std::size_t ScheduleResult::solved() const noexcept {
+  std::size_t count = 0;
+  for (const auto& entry : queue) count += entry.solved;
+  return count;
+}
+
+namespace {
+
+/// Spends ~budget encodes fuzzing one queue entry, resuming from its best
+/// surviving seed. Returns encodes actually consumed.
+std::size_t fuzz_round(const hdc::HdcClassifier& model,
+                       const MutationStrategy& strategy,
+                       const FuzzConfig& config, const data::Image& original,
+                       QueueEntry& entry, std::size_t budget, util::Rng& rng) {
+  std::size_t spent = 0;
+  hdc::IncrementalPixelEncoder encoder(model.encoder());
+  encoder.rebase(original);
+
+  std::vector<ScoredSeed> parents;
+  parents.push_back(ScoredSeed{entry.best_seed, entry.best_fitness});
+
+  while (spent < budget) {
+    std::vector<ScoredSeed> candidates;
+    for (std::size_t s = 0; s < config.seeds_per_iteration; ++s) {
+      data::Image mutant = strategy.mutate(parents[s % parents.size()].image, rng);
+      const auto perturbation = measure_perturbation(original, mutant);
+      if (!config.budget.accepts(perturbation)) continue;
+      const auto query = encoder.encode_mutant(mutant);
+      ++spent;
+      const auto label = model.predict_encoded(query);
+      if (label != entry.reference_label) {
+        entry.solved = true;
+        entry.adversarial = std::move(mutant);
+        entry.adversarial_label = label;
+        return spent;
+      }
+      const double fitness = fitness_of(model, entry.reference_label, query);
+      candidates.push_back(ScoredSeed{std::move(mutant), fitness});
+    }
+    for (auto& parent : parents) candidates.push_back(std::move(parent));
+    keep_fittest(candidates, config.keep_top_n);
+    parents = std::move(candidates);
+  }
+  // Persist the best seed so the next round resumes instead of restarting —
+  // the scheduler's key difference from independent fixed-budget runs.
+  if (!parents.empty()) {
+    entry.best_seed = parents.front().image;
+    entry.best_fitness = parents.front().fitness;
+  }
+  return spent;
+}
+
+}  // namespace
+
+ScheduleResult run_scheduled_campaign(const hdc::HdcClassifier& model,
+                                      const MutationStrategy& strategy,
+                                      const data::Dataset& inputs,
+                                      const ScheduleConfig& config) {
+  config.validate();
+  if (!model.trained()) {
+    throw std::logic_error("run_scheduled_campaign: model must be trained");
+  }
+  if (inputs.empty()) {
+    throw std::invalid_argument("run_scheduled_campaign: empty input set");
+  }
+
+  ScheduleResult result;
+  result.queue.reserve(inputs.size());
+  util::Rng rng(config.seed);
+
+  // Initialize queue entries with clean margins and reference labels.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    QueueEntry entry;
+    entry.image_index = i;
+    entry.margin = similarity_margin(model, inputs.images[i]);
+    const auto query = model.encode(inputs.images[i]);
+    entry.reference_label = model.predict_encoded(query);
+    entry.best_fitness = fitness_of(model, entry.reference_label, query);
+    entry.best_seed = inputs.images[i];
+    ++result.total_encodes;
+    result.queue.push_back(std::move(entry));
+  }
+
+  while (result.total_encodes < config.total_encodes) {
+    // Pick the pending entry with the highest priority (or explore).
+    std::size_t pick = result.queue.size();
+    if (rng.bernoulli(config.explore)) {
+      // Uniform choice among pending entries.
+      std::vector<std::size_t> pending;
+      for (std::size_t i = 0; i < result.queue.size(); ++i) {
+        if (!result.queue[i].solved) pending.push_back(i);
+      }
+      if (!pending.empty()) {
+        pick = pending[static_cast<std::size_t>(
+            rng.uniform_u64(pending.size()))];
+      }
+    } else {
+      double best = -1.0;
+      for (std::size_t i = 0; i < result.queue.size(); ++i) {
+        if (result.queue[i].solved) continue;
+        const double p = result.queue[i].priority();
+        if (p > best) {
+          best = p;
+          pick = i;
+        }
+      }
+    }
+    if (pick == result.queue.size()) break;  // everything solved
+
+    auto& entry = result.queue[pick];
+    const std::size_t budget = std::min<std::size_t>(
+        config.round_encodes, config.total_encodes - result.total_encodes);
+    const auto spent =
+        fuzz_round(model, strategy, config.fuzz, inputs.images[entry.image_index],
+                   entry, budget, rng);
+    entry.encodes_spent += spent;
+    ++entry.rounds;
+    result.total_encodes += spent;
+    ++result.rounds;
+    if (spent == 0) break;  // budget exhausted mid-round
+  }
+  return result;
+}
+
+}  // namespace hdtest::fuzz

@@ -1,0 +1,142 @@
+#include "hdc/assoc_memory.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hdtest::hdc {
+
+AssociativeMemory::AssociativeMemory(std::size_t num_classes, std::size_t dim,
+                                     std::uint64_t seed, Similarity similarity)
+    : dim_(dim), similarity_(similarity) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("AssociativeMemory: need at least one class");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("AssociativeMemory: dim must be non-zero");
+  }
+  accumulators_.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    accumulators_.emplace_back(dim);
+  }
+  util::Rng rng(util::derive_seed(seed, 0x7ab5ULL));
+  tie_break_ = Hypervector::random(dim, rng);
+}
+
+void AssociativeMemory::add(std::size_t cls, const Hypervector& hv, int weight) {
+  if (cls >= accumulators_.size()) {
+    throw std::out_of_range("AssociativeMemory::add: class index out of range");
+  }
+  accumulators_[cls].add(hv, weight);
+  finalized_ = false;
+}
+
+void AssociativeMemory::load_accumulator(std::size_t cls,
+                                         Accumulator accumulator) {
+  if (cls >= accumulators_.size()) {
+    throw std::out_of_range(
+        "AssociativeMemory::load_accumulator: class index out of range");
+  }
+  if (accumulator.dim() != dim_) {
+    throw std::invalid_argument(
+        "AssociativeMemory::load_accumulator: dimension mismatch");
+  }
+  accumulators_[cls] = std::move(accumulator);
+  finalized_ = false;
+}
+
+void AssociativeMemory::finalize() {
+  class_hvs_.clear();
+  class_hvs_.reserve(accumulators_.size());
+  packed_class_hvs_.clear();
+  packed_class_hvs_.reserve(accumulators_.size());
+  for (const auto& acc : accumulators_) {
+    class_hvs_.push_back(acc.bipolarize(tie_break_));
+    packed_class_hvs_.push_back(PackedHv::from_dense(class_hvs_.back()));
+  }
+  finalized_ = true;
+}
+
+const Hypervector& AssociativeMemory::class_hv(std::size_t cls) const {
+  if (!finalized_) {
+    throw std::logic_error("AssociativeMemory: finalize() before class_hv()");
+  }
+  if (cls >= class_hvs_.size()) {
+    throw std::out_of_range("AssociativeMemory::class_hv: class index out of range");
+  }
+  return class_hvs_[cls];
+}
+
+const Accumulator& AssociativeMemory::accumulator(std::size_t cls) const {
+  if (cls >= accumulators_.size()) {
+    throw std::out_of_range("AssociativeMemory::accumulator: class index out of range");
+  }
+  return accumulators_[cls];
+}
+
+std::vector<double> AssociativeMemory::similarities(
+    const Hypervector& query) const {
+  if (!finalized_) {
+    throw std::logic_error("AssociativeMemory: finalize() before similarities()");
+  }
+  std::vector<double> sims;
+  sims.reserve(class_hvs_.size());
+  for (const auto& ref : class_hvs_) {
+    sims.push_back(similarity_ == Similarity::kCosine
+                       ? cosine(query, ref)
+                       : hamming_similarity(query, ref));
+  }
+  return sims;
+}
+
+std::size_t AssociativeMemory::predict(const Hypervector& query) const {
+  const auto sims = similarities(query);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < sims.size(); ++c) {
+    if (sims[c] > sims[best]) best = c;
+  }
+  return best;
+}
+
+std::vector<double> AssociativeMemory::similarities_packed(
+    const PackedHv& query) const {
+  if (!finalized_) {
+    throw std::logic_error(
+        "AssociativeMemory: finalize() before similarities_packed()");
+  }
+  std::vector<double> sims;
+  sims.reserve(packed_class_hvs_.size());
+  for (const auto& ref : packed_class_hvs_) {
+    if (similarity_ == Similarity::kCosine) {
+      sims.push_back(cosine(query, ref));
+    } else {
+      sims.push_back(1.0 - static_cast<double>(hamming(query, ref)) /
+                               static_cast<double>(dim_));
+    }
+  }
+  return sims;
+}
+
+std::size_t AssociativeMemory::predict_packed(const PackedHv& query) const {
+  const auto sims = similarities_packed(query);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < sims.size(); ++c) {
+    if (sims[c] > sims[best]) best = c;
+  }
+  return best;
+}
+
+double AssociativeMemory::similarity_to(std::size_t cls,
+                                        const Hypervector& query) const {
+  if (!finalized_) {
+    throw std::logic_error("AssociativeMemory: finalize() before similarity_to()");
+  }
+  if (cls >= class_hvs_.size()) {
+    throw std::out_of_range("AssociativeMemory::similarity_to: class index out of range");
+  }
+  return similarity_ == Similarity::kCosine
+             ? cosine(query, class_hvs_[cls])
+             : hamming_similarity(query, class_hvs_[cls]);
+}
+
+}  // namespace hdtest::hdc

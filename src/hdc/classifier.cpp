@@ -1,0 +1,134 @@
+#include "hdc/classifier.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hdtest::hdc {
+
+HdcClassifier::HdcClassifier(const ModelConfig& config, std::size_t width,
+                             std::size_t height, std::size_t num_classes)
+    : encoder_(config, width, height),
+      am_(num_classes, config.dim, util::derive_seed(config.seed, 0xa11ULL),
+          config.similarity) {}
+
+void HdcClassifier::fit(const data::Dataset& train) {
+  if (trained()) {
+    throw std::logic_error("HdcClassifier::fit: model already trained; use retrain()");
+  }
+  train.validate();
+  if (train.empty()) {
+    throw std::invalid_argument("HdcClassifier::fit: empty training set");
+  }
+  if (static_cast<std::size_t>(train.num_classes) != am_.num_classes()) {
+    throw std::invalid_argument("HdcClassifier::fit: class count mismatch");
+  }
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    am_.add(static_cast<std::size_t>(train.labels[i]),
+            encoder_.encode(train.images[i]));
+  }
+  am_.finalize();
+  util::log_info("HdcClassifier: trained on ", train.size(), " images, D=",
+                 encoder_.dim());
+}
+
+void HdcClassifier::restore_accumulators(std::vector<Accumulator> accumulators) {
+  if (trained()) {
+    throw std::logic_error(
+        "HdcClassifier::restore_accumulators: model already trained");
+  }
+  if (accumulators.size() != am_.num_classes()) {
+    throw std::invalid_argument(
+        "HdcClassifier::restore_accumulators: class count mismatch");
+  }
+  for (std::size_t c = 0; c < accumulators.size(); ++c) {
+    am_.load_accumulator(c, std::move(accumulators[c]));
+  }
+  am_.finalize();
+}
+
+std::size_t HdcClassifier::predict(const data::Image& image) const {
+  if (!trained()) {
+    throw std::logic_error("HdcClassifier::predict: model not trained");
+  }
+  return am_.predict(encoder_.encode(image));
+}
+
+std::vector<double> HdcClassifier::similarities(const data::Image& image) const {
+  if (!trained()) {
+    throw std::logic_error("HdcClassifier::similarities: model not trained");
+  }
+  return am_.similarities(encoder_.encode(image));
+}
+
+EvalResult HdcClassifier::evaluate(const data::Dataset& test) const {
+  if (!trained()) {
+    throw std::logic_error("HdcClassifier::evaluate: model not trained");
+  }
+  test.validate();
+  EvalResult result;
+  result.confusion.assign(am_.num_classes(),
+                          std::vector<std::size_t>(am_.num_classes(), 0));
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto predicted = predict(test.images[i]);
+    const auto truth = static_cast<std::size_t>(test.labels[i]);
+    ++result.total;
+    result.correct += predicted == truth;
+    ++result.confusion[truth][predicted];
+  }
+  return result;
+}
+
+std::size_t HdcClassifier::retrain(std::span<const data::Image> images,
+                                   std::span<const int> labels,
+                                   RetrainMode mode) {
+  if (!trained()) {
+    throw std::logic_error("HdcClassifier::retrain: fit() first");
+  }
+  if (images.size() != labels.size()) {
+    throw std::invalid_argument("HdcClassifier::retrain: image/label count mismatch");
+  }
+  // Two-phase batch update: all predictions are made against the epoch-start
+  // reference HVs, then all lane updates are applied and the memory is
+  // re-finalized once. (Online updating would change the model mid-epoch and
+  // make results depend on example order.)
+  struct Update {
+    Hypervector query;
+    std::size_t truth;
+    std::size_t predicted;
+  };
+  std::vector<Update> updates;
+  updates.reserve(images.size());
+  std::size_t mispredicted = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const auto truth = labels[i];
+    if (truth < 0 || static_cast<std::size_t>(truth) >= am_.num_classes()) {
+      throw std::invalid_argument("HdcClassifier::retrain: label out of range");
+    }
+    auto query = encoder_.encode(images[i]);
+    const auto predicted = am_.predict(query);
+    mispredicted += predicted != static_cast<std::size_t>(truth);
+    updates.push_back(
+        Update{std::move(query), static_cast<std::size_t>(truth), predicted});
+  }
+  for (const auto& update : updates) {
+    // Reinforce the correct class for every example ("updating the reference
+    // HVs"); under kAddSubtract additionally push the query out of the class
+    // it was mistaken for.
+    am_.add(update.truth, update.query, +1);
+    if (mode == RetrainMode::kAddSubtract && update.predicted != update.truth) {
+      am_.add(update.predicted, update.query, -1);
+    }
+  }
+  am_.finalize();
+  return mispredicted;
+}
+
+std::size_t HdcClassifier::retrain(const data::Dataset& labeled,
+                                   RetrainMode mode) {
+  labeled.validate();
+  return retrain(std::span<const data::Image>(labeled.images),
+                 std::span<const int>(labeled.labels), mode);
+}
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,123 @@
+#pragma once
+/// \file classifier.hpp
+/// The complete HDC image classifier under test (paper section III).
+///
+/// HdcClassifier ties together the pixel encoder and the associative memory:
+/// fit() performs the paper's one-epoch training (encode every image, bundle
+/// into its class lane, bipolarize); predict()/similarities() implement the
+/// testing phase; retrain() implements the update used both by accuracy
+/// refinement and by the adversarial-defense case study (section V-D).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/image.hpp"
+#include "hdc/assoc_memory.hpp"
+#include "hdc/config.hpp"
+#include "hdc/encoder.hpp"
+
+namespace hdtest::hdc {
+
+/// How retrain() updates the associative memory for a labeled example.
+enum class RetrainMode {
+  /// Add the example's HV to its correct class only (the paper's wording:
+  /// "feed adversarial images with correct labels to retrain").
+  kAddOnly,
+  /// Perceptron-style: additionally subtract the HV from the class the model
+  /// currently (mis)predicts — the standard HDC retraining rule, strictly
+  /// stronger in practice (ablated in bench/fig8_defense).
+  kAddSubtract,
+};
+
+/// Classification accuracy plus error census over a dataset.
+struct EvalResult {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  /// confusion[i][j] counts true class i predicted as class j.
+  std::vector<std::vector<std::size_t>> confusion;
+
+  [[nodiscard]] double accuracy() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) / static_cast<double>(total);
+  }
+};
+
+/// An HDC image classifier (encoder + associative memory).
+///
+/// Thread-safety: after fit(), all const member functions are safe to call
+/// concurrently (they only read immutable state).
+class HdcClassifier {
+ public:
+  /// Constructs an untrained model for images of the given shape.
+  /// \throws std::invalid_argument on bad config/shape/class count.
+  HdcClassifier(const ModelConfig& config, std::size_t width, std::size_t height,
+                std::size_t num_classes);
+
+  [[nodiscard]] const ModelConfig& config() const noexcept {
+    return encoder_.config();
+  }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return am_.num_classes();
+  }
+  [[nodiscard]] const PixelEncoder& encoder() const noexcept { return encoder_; }
+  [[nodiscard]] const AssociativeMemory& am() const noexcept { return am_; }
+
+  /// One-epoch one-shot training (paper III-B). May be called once; use
+  /// retrain() for subsequent updates.
+  /// \throws std::invalid_argument on dataset/shape mismatch;
+  ///         std::logic_error if already trained.
+  void fit(const data::Dataset& train);
+
+  /// Restores associative-memory state from checkpointed accumulators (one
+  /// per class) and finalizes. Used by hdc::load_model.
+  /// \throws std::logic_error if already trained; std::invalid_argument on
+  ///         class-count or dimension mismatch.
+  void restore_accumulators(std::vector<Accumulator> accumulators);
+
+  [[nodiscard]] bool trained() const noexcept { return am_.finalized(); }
+
+  /// Encodes an image with this model's encoder (the "query HV").
+  [[nodiscard]] Hypervector encode(const data::Image& image) const {
+    return encoder_.encode(image);
+  }
+
+  /// Predicted class of an image. \throws std::logic_error if untrained.
+  [[nodiscard]] std::size_t predict(const data::Image& image) const;
+
+  /// Predicted class for an already-encoded query HV.
+  [[nodiscard]] std::size_t predict_encoded(const Hypervector& query) const {
+    return am_.predict(query);
+  }
+
+  /// Similarity of an image to every class.
+  [[nodiscard]] std::vector<double> similarities(const data::Image& image) const;
+
+  /// HDTest's fitness ingredient: similarity between the reference HV of
+  /// class \p cls and the query HV of \p image (fitness = 1 - this value).
+  [[nodiscard]] double similarity_to_class(std::size_t cls,
+                                           const Hypervector& query) const {
+    return am_.similarity_to(cls, query);
+  }
+
+  /// Accuracy + confusion matrix over a dataset.
+  [[nodiscard]] EvalResult evaluate(const data::Dataset& test) const;
+
+  /// Single retraining pass over labeled examples (see RetrainMode).
+  /// Finalizes the associative memory afterwards.
+  /// \returns the number of examples that were mispredicted before update.
+  std::size_t retrain(std::span<const data::Image> images,
+                      std::span<const int> labels,
+                      RetrainMode mode = RetrainMode::kAddSubtract);
+
+  /// Convenience overload over a dataset.
+  std::size_t retrain(const data::Dataset& labeled,
+                      RetrainMode mode = RetrainMode::kAddSubtract);
+
+ private:
+  PixelEncoder encoder_;
+  AssociativeMemory am_;
+};
+
+}  // namespace hdtest::hdc

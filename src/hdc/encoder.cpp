@@ -1,0 +1,160 @@
+#include "hdc/encoder.hpp"
+
+#include <stdexcept>
+
+namespace hdtest::hdc {
+
+namespace {
+
+// Distinct sub-seed tags so the three random structures never collide.
+constexpr std::uint64_t kPositionTag = 0x01;
+constexpr std::uint64_t kValueTag = 0x02;
+constexpr std::uint64_t kTieBreakTag = 0x03;
+constexpr std::uint64_t kSymbolTag = 0x04;
+
+}  // namespace
+
+PixelEncoder::PixelEncoder(const ModelConfig& config, std::size_t width,
+                           std::size_t height)
+    : config_((config.validate(), config)),  // validate before building memories
+      width_(width),
+      height_(height),
+      position_memory_(width * height, config.dim,
+                       util::derive_seed(config.seed, kPositionTag),
+                       ValueStrategy::kRandom),
+      value_memory_(config.value_levels, config.dim,
+                    util::derive_seed(config.seed, kValueTag),
+                    config.value_strategy),
+      tie_break_([&] {
+        util::Rng rng(util::derive_seed(config.seed, kTieBreakTag));
+        return Hypervector::random(config.dim, rng);
+      }()) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("PixelEncoder: image dimensions must be non-zero");
+  }
+}
+
+void PixelEncoder::check_shape(const data::Image& image) const {
+  if (image.width() != width_ || image.height() != height_) {
+    throw std::invalid_argument("PixelEncoder: image shape mismatch");
+  }
+}
+
+std::size_t PixelEncoder::value_index(std::uint8_t value) const noexcept {
+  if (config_.value_levels >= 256) return value;
+  // Uniform quantization of [0, 255] onto [0, value_levels).
+  return static_cast<std::size_t>(value) * config_.value_levels / 256;
+}
+
+Hypervector PixelEncoder::pixel_hv(std::size_t position,
+                                   std::uint8_t value) const {
+  return bind(position_memory_.at(position),
+              value_memory_.at(value_index(value)));
+}
+
+void PixelEncoder::encode_into(const data::Image& image,
+                               Accumulator& acc) const {
+  check_shape(image);
+  if (acc.dim() != config_.dim) {
+    throw std::invalid_argument("PixelEncoder::encode_into: accumulator dim mismatch");
+  }
+  const auto pixels = image.pixels();
+  for (std::size_t p = 0; p < pixels.size(); ++p) {
+    acc.add_bound(position_memory_[p], value_memory_[value_index(pixels[p])]);
+  }
+}
+
+Hypervector PixelEncoder::encode(const data::Image& image) const {
+  Accumulator acc(config_.dim);
+  encode_into(image, acc);
+  return acc.bipolarize(tie_break_);
+}
+
+IncrementalPixelEncoder::IncrementalPixelEncoder(const PixelEncoder& encoder)
+    : encoder_(&encoder), base_acc_(encoder.dim()) {}
+
+void IncrementalPixelEncoder::rebase(const data::Image& image) {
+  base_acc_.clear();
+  encoder_->encode_into(image, base_acc_);
+  base_ = image;
+}
+
+Hypervector IncrementalPixelEncoder::encode_mutant(
+    const data::Image& mutant) const {
+  if (!has_base()) {
+    throw std::logic_error("IncrementalPixelEncoder: rebase() before encode_mutant()");
+  }
+  if (mutant.width() != base_.width() || mutant.height() != base_.height()) {
+    throw std::invalid_argument("IncrementalPixelEncoder: shape mismatch with base");
+  }
+  // Copy the base accumulator and patch only the changed pixels:
+  //   acc += pixelHV(p, new) - pixelHV(p, old)
+  Accumulator acc = base_acc_;
+  const auto base_px = base_.pixels();
+  const auto mut_px = mutant.pixels();
+  const auto& positions = encoder_->position_memory();
+  const auto& values = encoder_->value_memory();
+  std::size_t deltas = 0;
+  for (std::size_t p = 0; p < base_px.size(); ++p) {
+    if (base_px[p] == mut_px[p]) continue;
+    const auto old_idx = encoder_->value_index(base_px[p]);
+    const auto new_idx = encoder_->value_index(mut_px[p]);
+    if (old_idx != new_idx) {
+      acc.add_bound(positions[p], values[old_idx], -1);
+      acc.add_bound(positions[p], values[new_idx], +1);
+    }
+    ++deltas;
+  }
+  last_delta_count_ = deltas;
+  return acc.bipolarize(encoder_->tie_break());
+}
+
+NGramTextEncoder::NGramTextEncoder(const ModelConfig& config,
+                                   std::string_view alphabet, std::size_t n)
+    : config_((config.validate(), config)),
+      alphabet_(alphabet),
+      n_(n),
+      symbol_memory_(alphabet.empty() ? 1 : alphabet.size(), config.dim,
+                     util::derive_seed(config.seed, kSymbolTag),
+                     ValueStrategy::kRandom),
+      tie_break_([&] {
+        util::Rng rng(util::derive_seed(config.seed, kTieBreakTag));
+        return Hypervector::random(config.dim, rng);
+      }()) {
+  if (alphabet.empty()) {
+    throw std::invalid_argument("NGramTextEncoder: alphabet must be non-empty");
+  }
+  if (n == 0) {
+    throw std::invalid_argument("NGramTextEncoder: n must be >= 1");
+  }
+}
+
+std::size_t NGramTextEncoder::symbol_index(char c) const {
+  const auto pos = alphabet_.find(c);
+  if (pos == std::string::npos) {
+    throw std::invalid_argument(std::string("NGramTextEncoder: character '") +
+                                c + "' not in alphabet");
+  }
+  return pos;
+}
+
+Hypervector NGramTextEncoder::encode(std::string_view text) const {
+  Accumulator acc(config_.dim);
+  if (text.size() >= n_) {
+    for (std::size_t i = 0; i + n_ <= text.size(); ++i) {
+      // gram = rho^{n-1}(HV(c_i)) (*) ... (*) rho^0(HV(c_{i+n-1}))
+      Hypervector gram =
+          permute(symbol_memory_.at(symbol_index(text[i])),
+                  static_cast<std::ptrdiff_t>(n_ - 1));
+      for (std::size_t k = 1; k < n_; ++k) {
+        const auto& sym = symbol_memory_.at(symbol_index(text[i + k]));
+        const auto shift = static_cast<std::ptrdiff_t>(n_ - 1 - k);
+        bind_inplace(gram, shift == 0 ? sym : permute(sym, shift));
+      }
+      acc.add(gram);
+    }
+  }
+  return acc.bipolarize(tie_break_);
+}
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,147 @@
+#pragma once
+/// \file encoder.hpp
+/// Encoders: mapping raw inputs to hypervectors (paper section III-A).
+///
+/// The paper's image encoding has three steps:
+///   1. flatten the W x H image into a pixel array;
+///   2. per pixel, bind the position HV with the gray-level value HV;
+///   3. bundle (sum) all pixel HVs and re-bipolarize with Eq. 1.
+///
+/// PixelEncoder implements exactly that. IncrementalPixelEncoder exploits
+/// bundling's linearity to re-encode a mutated image in time proportional to
+/// the number of changed pixels — a large win for the fuzzer's row/column
+/// mutations (exactness is unit-tested; speedup ablated in bench).
+/// NGramTextEncoder implements the classic permute-bind n-gram text encoding
+/// (Rahimi et al., ISLPED'16) used by the language-extension example.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "data/image.hpp"
+#include "hdc/config.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+
+namespace hdtest::hdc {
+
+/// Encodes fixed-size grayscale images into hypervectors.
+///
+/// Thread-safety: encode() is const and touches only immutable state, so a
+/// single PixelEncoder may be shared across fuzzing threads.
+class PixelEncoder {
+ public:
+  /// Builds position and value item memories for images of the given shape.
+  /// \throws std::invalid_argument for zero dimensions or a bad config.
+  PixelEncoder(const ModelConfig& config, std::size_t width, std::size_t height);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+  [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
+
+  /// Encodes an image: bipolarize(sum_p posHV(p) (*) valueHV(img[p])).
+  /// \throws std::invalid_argument when the image shape mismatches.
+  [[nodiscard]] Hypervector encode(const data::Image& image) const;
+
+  /// Encodes into a caller-provided accumulator (no bipolarization); used by
+  /// training, which bundles many images before a single bipolarize.
+  void encode_into(const data::Image& image, Accumulator& acc) const;
+
+  /// The bound pixel HV for (flat position, value) — step 2 of the paper.
+  [[nodiscard]] Hypervector pixel_hv(std::size_t position, std::uint8_t value) const;
+
+  /// The fixed tie-break HV used to resolve Eq. 1 zeros deterministically.
+  [[nodiscard]] const Hypervector& tie_break() const noexcept { return tie_break_; }
+
+  [[nodiscard]] const ItemMemory& position_memory() const noexcept {
+    return position_memory_;
+  }
+  [[nodiscard]] const ItemMemory& value_memory() const noexcept {
+    return value_memory_;
+  }
+
+  /// Maps an 8-bit gray level onto a value-memory index. With 256 levels this
+  /// is the identity; fewer levels quantize uniformly.
+  [[nodiscard]] std::size_t value_index(std::uint8_t value) const noexcept;
+
+ private:
+  void check_shape(const data::Image& image) const;
+
+  ModelConfig config_;
+  std::size_t width_;
+  std::size_t height_;
+  ItemMemory position_memory_;
+  ItemMemory value_memory_;
+  Hypervector tie_break_;
+};
+
+/// Delta re-encoder for mutated images.
+///
+/// Bundling is linear: changing pixel p from value u to v shifts the
+/// accumulator by pixelHV(p, v) - pixelHV(p, u). rebase() performs a full
+/// encode; encode_mutant() re-encodes any same-shape image in
+/// O(changed_pixels * D) instead of O(W*H*D). Produces *exactly* the same
+/// hypervector as PixelEncoder::encode (asserted by tests/encoder_test).
+class IncrementalPixelEncoder {
+ public:
+  /// \param encoder must outlive this object.
+  explicit IncrementalPixelEncoder(const PixelEncoder& encoder);
+
+  /// Sets the base image (full encode, cost O(W*H*D)).
+  void rebase(const data::Image& image);
+
+  /// True once rebase() has been called.
+  [[nodiscard]] bool has_base() const noexcept { return !base_.empty(); }
+
+  /// Encodes \p mutant relative to the current base.
+  /// \throws std::logic_error without a base; std::invalid_argument on shape
+  /// mismatch.
+  [[nodiscard]] Hypervector encode_mutant(const data::Image& mutant) const;
+
+  /// Number of pixel-HV updates performed by the last encode_mutant() call
+  /// (for the ablation bench).
+  [[nodiscard]] std::size_t last_delta_count() const noexcept {
+    return last_delta_count_;
+  }
+
+ private:
+  const PixelEncoder* encoder_;
+  data::Image base_;
+  Accumulator base_acc_;
+  mutable std::size_t last_delta_count_ = 0;
+};
+
+/// Permute-bind n-gram text encoder for the language-identification
+/// extension (paper section V-E: HDTest only needs HV distances, so it
+/// applies to any HDC model structure).
+///
+/// gram(i) = rho^{n-1}(HV(c_i)) (*) rho^{n-2}(HV(c_{i+1})) (*) ... (*) HV(c_{i+n-1})
+/// textHV  = bipolarize(sum_i gram(i))
+class NGramTextEncoder {
+ public:
+  /// \param alphabet the symbol set (index = item-memory slot)
+  /// \param n        n-gram order (>= 1)
+  /// \throws std::invalid_argument for empty alphabet or n == 0.
+  NGramTextEncoder(const ModelConfig& config, std::string_view alphabet,
+                   std::size_t n);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+  [[nodiscard]] std::size_t ngram_order() const noexcept { return n_; }
+
+  /// Encodes a text. Characters outside the alphabet throw
+  /// std::invalid_argument. Texts shorter than n yield the tie-break HV's
+  /// sign pattern (empty bundle).
+  [[nodiscard]] Hypervector encode(std::string_view text) const;
+
+ private:
+  [[nodiscard]] std::size_t symbol_index(char c) const;
+
+  ModelConfig config_;
+  std::string alphabet_;
+  std::size_t n_;
+  ItemMemory symbol_memory_;
+  Hypervector tie_break_;
+};
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,73 @@
+#include "hdc/item_memory.hpp"
+
+#include <stdexcept>
+
+namespace hdtest::hdc {
+
+ItemMemory::ItemMemory(std::size_t count, std::size_t dim, std::uint64_t seed,
+                       ValueStrategy strategy)
+    : dim_(dim), strategy_(strategy) {
+  if (count == 0) {
+    throw std::invalid_argument("ItemMemory: count must be non-zero");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("ItemMemory: dim must be non-zero");
+  }
+  entries_.reserve(count);
+  switch (strategy) {
+    case ValueStrategy::kRandom:
+      for (std::size_t i = 0; i < count; ++i) {
+        util::Rng rng(util::derive_seed(seed, i));
+        entries_.push_back(Hypervector::random(dim, rng));
+      }
+      break;
+    case ValueStrategy::kLevel: {
+      // Level encoding: start from a random HV; between consecutive levels
+      // flip a fixed-size batch of fresh positions so that level 0 and level
+      // count-1 differ in ~dim/2 positions (near-orthogonal endpoints) and
+      // similarity decays linearly with level distance.
+      util::Rng rng(util::derive_seed(seed, 0));
+      Hypervector current = Hypervector::random(dim, rng);
+      entries_.push_back(current);
+      if (count > 1) {
+        // Random permutation of positions; each step flips the next batch.
+        auto order = rng.sample_indices(dim, dim);
+        const std::size_t total_flips = dim / 2;
+        std::size_t flipped = 0;
+        for (std::size_t level = 1; level < count; ++level) {
+          const std::size_t target =
+              total_flips * level / (count - 1);
+          while (flipped < target && flipped < order.size()) {
+            current.flip(order[flipped]);
+            ++flipped;
+          }
+          entries_.push_back(current);
+        }
+      }
+      break;
+    }
+    case ValueStrategy::kThermometer: {
+      // Thermometer code over a fixed random permutation: level i is +1 on
+      // the first floor(dim * i / (count-1)) permuted positions.
+      util::Rng rng(util::derive_seed(seed, 0));
+      auto order = rng.sample_indices(dim, dim);
+      for (std::size_t level = 0; level < count; ++level) {
+        std::vector<std::int8_t> raw(dim, -1);
+        const std::size_t ones =
+            count > 1 ? dim * level / (count - 1) : dim;
+        for (std::size_t i = 0; i < ones; ++i) raw[order[i]] = 1;
+        entries_.push_back(Hypervector::from_raw(std::move(raw)));
+      }
+      break;
+    }
+  }
+}
+
+const Hypervector& ItemMemory::at(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("ItemMemory::at: index out of range");
+  }
+  return entries_[index];
+}
+
+}  // namespace hdtest::hdc

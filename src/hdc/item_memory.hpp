@@ -1,0 +1,53 @@
+#pragma once
+/// \file item_memory.hpp
+/// Item memories: the fixed random codebooks of HDC (paper section III-A).
+///
+/// An item memory maps a discrete symbol (a pixel position, a gray level, a
+/// character) to a fixed pseudo-random hypervector. The paper's image model
+/// uses two: the *position memory* (one HV per pixel index, always i.i.d.
+/// random) and the *value memory* (one HV per gray level; the paper draws
+/// these i.i.d. random as well — ValueStrategy::kRandom — with correlated
+/// alternatives provided for ablation).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/config.hpp"
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::hdc {
+
+/// A fixed codebook of \c count hypervectors of dimension \c dim, generated
+/// deterministically from a seed at construction.
+class ItemMemory {
+ public:
+  /// Generates the codebook.
+  /// \param count   number of entries (e.g. 784 positions or 256 levels)
+  /// \param dim     hypervector dimensionality
+  /// \param seed    generation seed (item i derives from child stream i)
+  /// \param strategy how entries relate to one another (see ValueStrategy)
+  /// \throws std::invalid_argument for zero count/dim.
+  ItemMemory(std::size_t count, std::size_t dim, std::uint64_t seed,
+             ValueStrategy strategy = ValueStrategy::kRandom);
+
+  [[nodiscard]] std::size_t count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] ValueStrategy strategy() const noexcept { return strategy_; }
+
+  /// Entry accessor. \throws std::out_of_range.
+  [[nodiscard]] const Hypervector& at(std::size_t index) const;
+
+  /// Unchecked entry accessor (hot path).
+  [[nodiscard]] const Hypervector& operator[](std::size_t index) const noexcept {
+    return entries_[index];
+  }
+
+ private:
+  std::size_t dim_;
+  ValueStrategy strategy_;
+  std::vector<Hypervector> entries_;
+};
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,78 @@
+#pragma once
+/// \file packed_hv.hpp
+/// Bit-packed bipolar hypervector backend.
+///
+/// A bipolar HV stores one of two values per element, so it packs into one
+/// bit per element (bit = 1 encodes -1). Binding becomes XOR and the dot
+/// product reduces to popcounts:
+///
+///   dot(a, b) = D - 2 * popcount(pack(a) ^ pack(b))
+///
+/// This is the dense-binary-HDC rematerialization trick (Schmuck et al.,
+/// JETC'19) referenced in the paper's related work. The packed backend is an
+/// internal accelerator: tests assert bit-exact agreement with the dense
+/// int8 implementation, and bench/hv_ops_gbench quantifies the speedup
+/// (design decision 1 in DESIGN.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::hdc {
+
+/// Bit-packed bipolar hypervector (bit = 1 encodes element value -1).
+class PackedHv {
+ public:
+  PackedHv() = default;
+
+  /// All-(+1) packed HV of dimension \p dim.
+  /// \throws std::invalid_argument when dim is zero.
+  explicit PackedHv(std::size_t dim);
+
+  /// Generates an i.i.d. random packed HV (same distribution as
+  /// Hypervector::random but not the same sequence — packing order differs).
+  [[nodiscard]] static PackedHv random(std::size_t dim, util::Rng& rng);
+
+  /// Packs a dense bipolar HV.
+  [[nodiscard]] static PackedHv from_dense(const Hypervector& v);
+
+  /// Unpacks into a dense bipolar HV.
+  [[nodiscard]] Hypervector to_dense() const;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Element access: +1 or -1.
+  [[nodiscard]] std::int8_t get(std::size_t i) const;
+  void set(std::size_t i, std::int8_t value);
+
+  /// In-place XOR-bind: *this <- *this (*) other. \pre equal dims.
+  void bind_with(const PackedHv& other);
+
+  bool operator==(const PackedHv& other) const = default;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// XOR-bind: exact packed counterpart of dense bind. \pre equal dims.
+[[nodiscard]] PackedHv bind(const PackedHv& a, const PackedHv& b);
+
+/// Integer dot product via popcount. \pre equal dims.
+[[nodiscard]] std::int64_t dot(const PackedHv& a, const PackedHv& b);
+
+/// Cosine similarity (= dot / D for bipolar). \pre equal non-zero dims.
+[[nodiscard]] double cosine(const PackedHv& a, const PackedHv& b);
+
+/// Hamming distance via popcount. \pre equal dims.
+[[nodiscard]] std::size_t hamming(const PackedHv& a, const PackedHv& b);
+
+}  // namespace hdtest::hdc

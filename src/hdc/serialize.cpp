@@ -1,0 +1,152 @@
+#include "hdc/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hdtest::hdc {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'T', 'M'};
+
+/// FNV-1a over a byte buffer — cheap corruption detection.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char byte : bytes) {
+    hash ^= static_cast<std::uint8_t>(byte);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) {
+    throw std::runtime_error(std::string("load_model: truncated ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_model(const HdcClassifier& model, std::ostream& out) {
+  if (!model.trained()) {
+    throw std::logic_error("save_model: model is not trained");
+  }
+  // Serialize the payload into a buffer first so the checksum can follow it.
+  std::ostringstream payload;
+  const auto& config = model.config();
+  put(payload, static_cast<std::uint64_t>(config.dim));
+  put(payload, config.seed);
+  put(payload, static_cast<std::uint64_t>(config.value_levels));
+  put(payload, static_cast<std::uint32_t>(config.value_strategy));
+  put(payload, static_cast<std::uint32_t>(config.similarity));
+  put(payload, static_cast<std::uint64_t>(model.encoder().width()));
+  put(payload, static_cast<std::uint64_t>(model.encoder().height()));
+  put(payload, static_cast<std::uint64_t>(model.num_classes()));
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    const auto lanes = model.am().accumulator(c).lanes();
+    payload.write(reinterpret_cast<const char*>(lanes.data()),
+                  static_cast<std::streamsize>(lanes.size() * sizeof(std::int32_t)));
+  }
+  const std::string bytes = payload.str();
+
+  out.write(kMagic, sizeof kMagic);
+  put(out, kModelFormatVersion);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put(out, fnv1a(bytes));
+  if (!out) throw std::runtime_error("save_model: write failed");
+}
+
+void save_model(const HdcClassifier& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+  save_model(model, out);
+}
+
+HdcClassifier load_model(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_model: bad magic (not an HDTest model)");
+  }
+  const auto version = get<std::uint32_t>(in, "version");
+  if (version != kModelFormatVersion) {
+    throw std::runtime_error("load_model: unsupported format version " +
+                             std::to_string(version));
+  }
+
+  // Read the rest of the stream, split payload/checksum, verify.
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  std::string bytes = rest.str();
+  if (bytes.size() < sizeof(std::uint64_t)) {
+    throw std::runtime_error("load_model: truncated payload");
+  }
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + bytes.size() - sizeof stored_checksum,
+              sizeof stored_checksum);
+  bytes.resize(bytes.size() - sizeof stored_checksum);
+  if (fnv1a(bytes) != stored_checksum) {
+    throw std::runtime_error("load_model: checksum mismatch (corrupt file)");
+  }
+
+  std::istringstream payload(bytes);
+  ModelConfig config;
+  config.dim = static_cast<std::size_t>(get<std::uint64_t>(payload, "dim"));
+  config.seed = get<std::uint64_t>(payload, "seed");
+  config.value_levels =
+      static_cast<std::size_t>(get<std::uint64_t>(payload, "value_levels"));
+  const auto strategy_raw = get<std::uint32_t>(payload, "value_strategy");
+  if (strategy_raw > static_cast<std::uint32_t>(ValueStrategy::kThermometer)) {
+    throw std::runtime_error("load_model: invalid value strategy");
+  }
+  config.value_strategy = static_cast<ValueStrategy>(strategy_raw);
+  const auto similarity_raw = get<std::uint32_t>(payload, "similarity");
+  if (similarity_raw > static_cast<std::uint32_t>(Similarity::kHamming)) {
+    throw std::runtime_error("load_model: invalid similarity metric");
+  }
+  config.similarity = static_cast<Similarity>(similarity_raw);
+  const auto width = static_cast<std::size_t>(get<std::uint64_t>(payload, "width"));
+  const auto height = static_cast<std::size_t>(get<std::uint64_t>(payload, "height"));
+  const auto classes =
+      static_cast<std::size_t>(get<std::uint64_t>(payload, "num_classes"));
+  if (classes == 0 || classes > 1'000'000) {
+    throw std::runtime_error("load_model: implausible class count");
+  }
+
+  HdcClassifier model(config, width, height, classes);
+  std::vector<Accumulator> accumulators;
+  accumulators.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::vector<std::int32_t> lanes(config.dim);
+    payload.read(reinterpret_cast<char*>(lanes.data()),
+                 static_cast<std::streamsize>(lanes.size() * sizeof(std::int32_t)));
+    if (!payload) {
+      throw std::runtime_error("load_model: truncated accumulator lanes");
+    }
+    accumulators.push_back(Accumulator::from_lanes(std::move(lanes)));
+  }
+  model.restore_accumulators(std::move(accumulators));
+  return model;
+}
+
+HdcClassifier load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,45 @@
+#pragma once
+/// \file serialize.hpp
+/// Binary model persistence.
+///
+/// A trained HDC model is tiny — item memories regenerate from the seed, so
+/// only the configuration and the associative-memory accumulators need to be
+/// stored (the accumulators, not the bipolarized class HVs, so that a loaded
+/// model can continue retraining exactly where it left off — the defense
+/// workflow of section V-D across process restarts).
+///
+/// Format (little-endian, versioned):
+///   magic "HDTM" | u32 version | ModelConfig fields | shape | num_classes |
+///   per-class accumulator lanes (i32) | u64 FNV-1a checksum of the payload.
+///
+/// Loading validates magic, version, config, and checksum; any mismatch
+/// throws std::runtime_error with a precise reason.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "hdc/classifier.hpp"
+
+namespace hdtest::hdc {
+
+/// Current serialization format version.
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Writes a trained model to a stream.
+/// \throws std::logic_error if the model is untrained;
+///         std::runtime_error on I/O failure.
+void save_model(const HdcClassifier& model, std::ostream& out);
+
+/// Writes a trained model to a file.
+void save_model(const HdcClassifier& model, const std::string& path);
+
+/// Reads a model from a stream. The returned model is finalized and ready
+/// for prediction and further retraining.
+/// \throws std::runtime_error on malformed input.
+[[nodiscard]] HdcClassifier load_model(std::istream& in);
+
+/// Reads a model from a file.
+[[nodiscard]] HdcClassifier load_model(const std::string& path);
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,65 @@
+#include "hdc/trainer.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::hdc {
+
+void TrainerConfig::validate() const {
+  if (target_accuracy < 0.0 || target_accuracy > 1.0) {
+    throw std::invalid_argument(
+        "TrainerConfig: target_accuracy must be in [0, 1]");
+  }
+  if (patience == 0) {
+    throw std::invalid_argument("TrainerConfig: patience must be >= 1");
+  }
+}
+
+TrainHistory train_with_retraining(HdcClassifier& model,
+                                   const data::Dataset& train,
+                                   const data::Dataset& validation,
+                                   const TrainerConfig& config) {
+  config.validate();
+  if (model.trained()) {
+    throw std::logic_error("train_with_retraining: model already trained");
+  }
+
+  TrainHistory history;
+  model.fit(train);
+  history.train_accuracy.push_back(model.evaluate(train).accuracy());
+  history.val_accuracy.push_back(model.evaluate(validation).accuracy());
+  history.best_epoch = 0;
+  history.best_val_accuracy = history.val_accuracy.back();
+  util::log_info("trainer: one-shot fit, val accuracy ",
+                 history.best_val_accuracy);
+
+  data::Dataset epoch_set = train;
+  util::Rng shuffle_rng(config.shuffle_seed);
+  std::size_t stale_epochs = 0;
+
+  for (std::size_t epoch = 1; epoch <= config.max_epochs; ++epoch) {
+    if (history.best_val_accuracy >= config.target_accuracy) break;
+    if (config.shuffle_each_epoch) epoch_set.shuffle(shuffle_rng);
+
+    const auto missed = model.retrain(epoch_set, config.mode);
+    history.train_accuracy.push_back(model.evaluate(train).accuracy());
+    history.val_accuracy.push_back(model.evaluate(validation).accuracy());
+    util::log_info("trainer: epoch ", epoch, " corrected ", missed,
+                   ", val accuracy ", history.val_accuracy.back());
+
+    if (history.val_accuracy.back() > history.best_val_accuracy) {
+      history.best_val_accuracy = history.val_accuracy.back();
+      history.best_epoch = epoch;
+      stale_epochs = 0;
+    } else {
+      ++stale_epochs;
+      if (stale_epochs >= config.patience) break;  // early stop
+    }
+    if (missed == 0) break;  // training set fully absorbed
+  }
+  return history;
+}
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,51 @@
+#pragma once
+/// \file trainer.hpp
+/// Multi-epoch retraining (the "intensive ongoing research ... training
+/// mechanism (e.g., retraining)" the paper's section V-E points to).
+///
+/// The paper's base model trains in one shot (section III-B). Standard HDC
+/// practice boosts accuracy by a few points with perceptron-style retraining
+/// epochs: re-run the training set, and for every misprediction add the
+/// query HV to the true class and subtract it from the predicted one. This
+/// module wraps that loop with shuffling, early stopping, and per-epoch
+/// metrics — used by the accuracy ablation and available to examples.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdtest::hdc {
+
+/// Options for train_with_retraining().
+struct TrainerConfig {
+  std::size_t max_epochs = 10;      ///< retraining epochs after the one-shot fit
+  double target_accuracy = 1.0;     ///< stop once validation reaches this
+  std::size_t patience = 3;         ///< stop after this many non-improving epochs
+  bool shuffle_each_epoch = true;   ///< reshuffle the train set per epoch
+  RetrainMode mode = RetrainMode::kAddSubtract;
+  std::uint64_t shuffle_seed = 0x7a15eedULL;  ///< per-epoch shuffle stream seed
+
+  void validate() const;
+};
+
+/// Accuracy trace of a training run.
+struct TrainHistory {
+  std::vector<double> train_accuracy;  ///< after each epoch (epoch 0 = one-shot)
+  std::vector<double> val_accuracy;
+  std::size_t best_epoch = 0;
+  double best_val_accuracy = 0.0;
+};
+
+/// One-shot fit followed by up to max_epochs retraining passes with early
+/// stopping on \p validation accuracy.
+///
+/// \pre model is untrained. \throws std::logic_error otherwise.
+TrainHistory train_with_retraining(HdcClassifier& model,
+                                   const data::Dataset& train,
+                                   const data::Dataset& validation,
+                                   const TrainerConfig& config = {});
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,134 @@
+#include "hdc/ts_encoder.hpp"
+
+#include <stdexcept>
+
+namespace hdtest::hdc {
+
+namespace {
+constexpr std::uint64_t kChannelTag = 0x05;
+constexpr std::uint64_t kTsValueTag = 0x06;
+constexpr std::uint64_t kTsTieTag = 0x07;
+constexpr std::uint64_t kTsContextTag = 0x08;
+}  // namespace
+
+TimeSeriesEncoder::TimeSeriesEncoder(const ModelConfig& config,
+                                     std::size_t channels,
+                                     std::size_t timesteps, std::size_t window)
+    : config_((config.validate(), config)),
+      channels_(channels),
+      timesteps_(timesteps),
+      window_(window),
+      channel_memory_(channels == 0 ? 1 : channels, config.dim,
+                      util::derive_seed(config.seed, kChannelTag),
+                      ValueStrategy::kRandom),
+      value_memory_(config.value_levels, config.dim,
+                    util::derive_seed(config.seed, kTsValueTag),
+                    config.value_strategy),
+      tie_break_([&] {
+        util::Rng rng(util::derive_seed(config.seed, kTsTieTag));
+        return Hypervector::random(config.dim, rng);
+      }()),
+      context_([&] {
+        util::Rng rng(util::derive_seed(config.seed, kTsContextTag));
+        return Hypervector::random(config.dim, rng);
+      }()) {
+  if (channels == 0 || timesteps == 0) {
+    throw std::invalid_argument("TimeSeriesEncoder: dimensions must be non-zero");
+  }
+  if (window == 0 || window > timesteps) {
+    throw std::invalid_argument(
+        "TimeSeriesEncoder: window must be in [1, timesteps]");
+  }
+}
+
+std::size_t TimeSeriesEncoder::value_index(std::uint8_t value) const noexcept {
+  if (config_.value_levels >= 256) return value;
+  return static_cast<std::size_t>(value) * config_.value_levels / 256;
+}
+
+Hypervector TimeSeriesEncoder::timestep_hv(const data::Signal& signal,
+                                           std::size_t t) const {
+  Accumulator acc(config_.dim);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    acc.add_bound(channel_memory_[c],
+                  value_memory_[value_index(signal.samples[c * timesteps_ + t])]);
+  }
+  if (channels_ % 2 == 0) {
+    acc.add(context_);  // odd operand count -> no zero lanes (see header)
+  }
+  return acc.bipolarize(tie_break_);
+}
+
+Hypervector TimeSeriesEncoder::encode(const data::Signal& signal) const {
+  if (signal.channels != channels_ || signal.timesteps != timesteps_) {
+    throw std::invalid_argument("TimeSeriesEncoder: signal shape mismatch");
+  }
+  // Step 1: all timestep HVs.
+  std::vector<Hypervector> steps;
+  steps.reserve(timesteps_);
+  for (std::size_t t = 0; t < timesteps_; ++t) {
+    steps.push_back(timestep_hv(signal, t));
+  }
+  // Steps 2+3: permute-bind windows, bundle.
+  Accumulator acc(config_.dim);
+  for (std::size_t t = 0; t + window_ <= timesteps_; ++t) {
+    Hypervector gram =
+        permute(steps[t], static_cast<std::ptrdiff_t>(window_ - 1));
+    for (std::size_t k = 1; k < window_; ++k) {
+      const auto shift = static_cast<std::ptrdiff_t>(window_ - 1 - k);
+      bind_inplace(gram,
+                   shift == 0 ? steps[t + k] : permute(steps[t + k], shift));
+    }
+    acc.add(gram);
+  }
+  return acc.bipolarize(tie_break_);
+}
+
+GestureClassifier::GestureClassifier(const ModelConfig& config,
+                                     std::size_t channels,
+                                     std::size_t timesteps,
+                                     std::size_t num_classes,
+                                     std::size_t window)
+    : encoder_(config, channels, timesteps, window),
+      am_(num_classes, config.dim, util::derive_seed(config.seed, 0x9e5ULL),
+          config.similarity) {}
+
+void GestureClassifier::fit(const data::SignalDataset& train) {
+  if (trained()) {
+    throw std::logic_error("GestureClassifier::fit: already trained");
+  }
+  if (train.signals.empty()) {
+    throw std::invalid_argument("GestureClassifier::fit: empty training set");
+  }
+  if (train.signals.size() != train.labels.size()) {
+    throw std::invalid_argument(
+        "GestureClassifier::fit: signal/label count mismatch");
+  }
+  for (std::size_t i = 0; i < train.signals.size(); ++i) {
+    const auto label = train.labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= am_.num_classes()) {
+      throw std::invalid_argument("GestureClassifier::fit: label out of range");
+    }
+    am_.add(static_cast<std::size_t>(label), encoder_.encode(train.signals[i]));
+  }
+  am_.finalize();
+}
+
+std::size_t GestureClassifier::predict(const data::Signal& signal) const {
+  if (!trained()) {
+    throw std::logic_error("GestureClassifier::predict: not trained");
+  }
+  return am_.predict(encoder_.encode(signal));
+}
+
+double GestureClassifier::accuracy(const data::SignalDataset& test) const {
+  if (test.signals.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.signals.size(); ++i) {
+    correct += predict(test.signals[i]) ==
+               static_cast<std::size_t>(test.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.signals.size());
+}
+
+}  // namespace hdtest::hdc

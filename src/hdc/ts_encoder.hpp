@@ -1,0 +1,94 @@
+#pragma once
+/// \file ts_encoder.hpp
+/// Time-series encoder for multi-channel biosignals (EMG-style HDC, after
+/// Rahimi et al., ICRC'16 — the gesture workload the paper's introduction
+/// cites).
+///
+/// Encoding (spatio-temporal, the standard biosignal HDC recipe):
+///   1. per timestep t: spatial record
+///        R_t = sum_c  channelHV(c) (*) valueHV(level(sample[c][t]))
+///      bipolarized to a timestep HV;
+///   2. temporal binding over a window of n consecutive timestep HVs:
+///        G_t = rho^{n-1}(R_t) (*) ... (*) rho^0(R_{t+n-1})
+///   3. signal HV = bipolarize( sum_t G_t ).
+///
+/// Like the pixel encoder, the whole construction is deterministic in the
+/// model seed and exposes only HV distances — exactly what HDTest needs.
+
+#include "data/signal.hpp"
+#include "hdc/assoc_memory.hpp"
+#include "hdc/config.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+
+namespace hdtest::hdc {
+
+/// Encoder for data::Signal inputs.
+class TimeSeriesEncoder {
+ public:
+  /// \param window temporal n-gram length (>= 1).
+  /// \throws std::invalid_argument on zero dims/window or bad config.
+  TimeSeriesEncoder(const ModelConfig& config, std::size_t channels,
+                    std::size_t timesteps, std::size_t window = 3);
+
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t timesteps() const noexcept { return timesteps_; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+  [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
+
+  /// Encodes a signal. \throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] Hypervector encode(const data::Signal& signal) const;
+
+  /// The per-timestep spatial record HV (step 1) — exposed for tests.
+  [[nodiscard]] Hypervector timestep_hv(const data::Signal& signal,
+                                        std::size_t t) const;
+
+ private:
+  [[nodiscard]] std::size_t value_index(std::uint8_t value) const noexcept;
+
+  ModelConfig config_;
+  std::size_t channels_;
+  std::size_t timesteps_;
+  std::size_t window_;
+  ItemMemory channel_memory_;
+  ItemMemory value_memory_;
+  Hypervector tie_break_;
+  // Bundled alongside the channels when their count is even: an even operand
+  // count makes zero lanes common (~37% for 4 channels) and every zero
+  // resolves to the same tie-break pattern, spuriously correlating all
+  // timestep HVs. One extra fixed operand makes the lane sums odd — no ties.
+  Hypervector context_;
+};
+
+/// An HDC gesture classifier: TimeSeriesEncoder + AssociativeMemory, with
+/// the same fit/predict/similarity surface the fuzzer consumes.
+class GestureClassifier {
+ public:
+  GestureClassifier(const ModelConfig& config, std::size_t channels,
+                    std::size_t timesteps, std::size_t num_classes,
+                    std::size_t window = 3);
+
+  void fit(const data::SignalDataset& train);
+  [[nodiscard]] bool trained() const noexcept { return am_.finalized(); }
+
+  [[nodiscard]] Hypervector encode(const data::Signal& signal) const {
+    return encoder_.encode(signal);
+  }
+  [[nodiscard]] std::size_t predict(const data::Signal& signal) const;
+  [[nodiscard]] double similarity_to_class(std::size_t cls,
+                                           const Hypervector& query) const {
+    return am_.similarity_to(cls, query);
+  }
+  [[nodiscard]] double accuracy(const data::SignalDataset& test) const;
+
+  [[nodiscard]] const TimeSeriesEncoder& encoder() const noexcept {
+    return encoder_;
+  }
+
+ private:
+  TimeSeriesEncoder encoder_;
+  AssociativeMemory am_;
+};
+
+}  // namespace hdtest::hdc

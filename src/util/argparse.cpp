@@ -1,0 +1,141 @@
+#include "util/argparse.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hdtest::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, std::string default_value,
+                         std::string help) {
+  Flag flag;
+  flag.value = default_value;
+  flag.default_value = std::move(default_value);
+  flag.help = std::move(help);
+  flag.is_bool = false;
+  flags_[name] = std::move(flag);
+}
+
+void ArgParser::add_bool(const std::string& name, std::string help) {
+  Flag flag;
+  flag.value = "false";
+  flag.default_value = "false";
+  flag.help = std::move(help);
+  flag.is_bool = true;
+  flags_[name] = std::move(flag);
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!arg.starts_with("--")) {
+      positionals_.emplace_back(arg);
+      continue;
+    }
+    std::string name;
+    std::optional<std::string> value;
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(2, eq - 2));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg.substr(2));
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag --" + name + "\n" + usage());
+    }
+    Flag& flag = it->second;
+    if (flag.is_bool) {
+      flag.value = value.value_or("true");
+      if (flag.value != "true" && flag.value != "false") {
+        throw std::invalid_argument("boolean flag --" + name +
+                                    " expects true/false");
+      }
+    } else {
+      if (!value.has_value()) {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("flag --" + name + " expects a value");
+        }
+        value = std::string(argv[++i]);
+      }
+      flag.value = *value;
+    }
+    flag.set_on_cli = true;
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.is_bool) os << "=<value>";
+    os << "  " << flag.help;
+    if (!flag.is_bool) os << " (default: " << flag.default_value << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::out_of_range("ArgParser: flag --" + name + " not registered");
+  }
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  return find(name).value;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return find(name).value == "true";
+}
+
+std::int64_t ArgParser::get_i64(const std::string& name) const {
+  const auto& text = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const auto parsed = std::stoll(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": '" + text +
+                                "' is not an integer");
+  }
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& name) const {
+  const auto value = get_i64(name);
+  if (value < 0) {
+    throw std::invalid_argument("flag --" + name + " must be non-negative");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const auto& text = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const auto parsed = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": '" + text +
+                                "' is not a number");
+  }
+}
+
+bool ArgParser::was_set(const std::string& name) const {
+  return find(name).set_on_cli;
+}
+
+}  // namespace hdtest::util

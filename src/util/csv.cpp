@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace hdtest::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (wrote_header_ || rows_ > 0) {
+    throw std::logic_error("CsvWriter: header must be the first row");
+  }
+  wrote_header_ = true;
+  bool first = true;
+  for (const auto& col : columns) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << csv_escape(col);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << csv_escape(field);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace hdtest::util

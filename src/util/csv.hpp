@@ -1,0 +1,74 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission for benchmark results and campaign reports.
+///
+/// Every bench binary emits both a human-readable table (see table.hpp) and a
+/// CSV file so that downstream plotting of the reproduced figures is trivial.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdtest::util {
+
+/// Escapes a field per RFC 4180 (quotes fields containing comma/quote/newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streaming CSV writer.
+///
+/// Usage:
+/// \code
+///   CsvWriter csv("out.csv");
+///   csv.header({"strategy", "l1", "l2"});
+///   csv.row("gauss", 2.91, 0.38);
+/// \endcode
+class CsvWriter {
+ public:
+  /// Opens \p path for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row. Must be the first row written, if used.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes a row of heterogeneous printable values.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::ostringstream line;
+    bool first = true;
+    (append_field(line, fields, first), ...);
+    out_ << line.str() << '\n';
+    ++rows_;
+  }
+
+  /// Writes a row from a vector of preformatted strings.
+  void row_strings(const std::vector<std::string>& fields);
+
+  /// Number of data rows written (excluding the header).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Flushes buffered output to disk.
+  void flush() { out_.flush(); }
+
+ private:
+  template <typename Field>
+  void append_field(std::ostringstream& line, const Field& field, bool& first) {
+    if (!first) line << ',';
+    first = false;
+    if constexpr (std::is_convertible_v<Field, std::string_view>) {
+      line << csv_escape(std::string_view(field));
+    } else {
+      std::ostringstream tmp;
+      tmp.precision(10);
+      tmp << field;
+      line << csv_escape(tmp.str());
+    }
+  }
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+  bool wrote_header_ = false;
+};
+
+}  // namespace hdtest::util

@@ -1,0 +1,67 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace hdtest::util {
+
+namespace {
+
+std::atomic<int>& level_storage() noexcept {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("HDTEST_LOG");
+    return static_cast<int>(env != nullptr ? parse_log_level(env)
+                                           : LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  auto eq = [&](std::string_view want) {
+    if (text.size() != want.size()) return false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char a = text[i] >= 'A' && text[i] <= 'Z'
+                         ? static_cast<char>(text[i] - 'A' + 'a')
+                         : text[i];
+      if (a != want[i]) return false;
+    }
+    return true;
+  };
+  if (eq("error")) return LogLevel::kError;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("debug")) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[hdtest %s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace hdtest::util

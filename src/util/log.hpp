@@ -1,0 +1,58 @@
+#pragma once
+/// \file log.hpp
+/// Leveled logging for library diagnostics.
+///
+/// The level is taken from the HDTEST_LOG environment variable at first use
+/// ("error", "warn", "info", "debug"; default "warn") and can be overridden
+/// programmatically with set_level(). Logging goes to stderr so that bench
+/// tables on stdout stay machine-parsable.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hdtest::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current global log level.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Overrides the global log level (wins over HDTEST_LOG).
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "error"/"warn"/"info"/"debug" (case-insensitive); returns kWarn for
+/// unknown strings.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
+
+/// Emits one log line if \p level is enabled. Prefer the HDTEST_LOG_* macros.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Parts>
+std::string concat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+/// Convenience wrappers: hdtest::util::log_info("trained ", n, " classes");
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+
+}  // namespace hdtest::util

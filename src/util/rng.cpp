@@ -1,0 +1,63 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hdtest::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  // Lemire 2019: fast unbiased bounded random numbers.
+  __uint128_t m = static_cast<__uint128_t>(engine_()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(engine_()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi == lo gives range 1
+  if (range == 0) {
+    // Full 64-bit range requested: [INT64_MIN, INT64_MAX].
+    return static_cast<std::int64_t>(engine_());
+  }
+  return lo + static_cast<std::int64_t>(uniform_u64(range));
+}
+
+double Rng::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform01();
+  double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("Rng::sample_indices: k exceeds n");
+  }
+  // Partial Fisher-Yates over an index vector: O(n) setup, exact.
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::size_t>(uniform_u64(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace hdtest::util

@@ -1,0 +1,177 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for HDTest.
+///
+/// Every stochastic component in this project (item memories, synthetic
+/// datasets, mutation strategies, campaign scheduling) draws from an explicit
+/// seed through the engines defined here, so that experiments are reproducible
+/// bit-for-bit across runs and across thread counts.
+///
+/// Two engines are provided:
+///  - SplitMix64: tiny, used for seed derivation and stream splitting.
+///  - Xoshiro256StarStar: the workhorse generator (fast, 256-bit state,
+///    passes BigCrush), wrapped by Rng with distribution helpers.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace hdtest::util {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014).
+///
+/// Used for deriving independent child seeds from a master seed: consecutive
+/// outputs of SplitMix64 are statistically independent enough to seed
+/// separate Xoshiro streams, which is the recommended seeding procedure for
+/// the xoshiro family.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value and advances the state.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives the \p index-th child seed of \p master.
+///
+/// Children with distinct indices are independent streams; this is how
+/// per-image fuzzing RNGs are created so that a multi-threaded campaign
+/// produces exactly the same results as a sequential one.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t index) noexcept {
+  SplitMix64 sm(master ^ (0xa0761d6478bd642fULL * (index + 1)));
+  // Burn a few outputs so that nearby (master, index) pairs decorrelate.
+  sm.next();
+  sm.next();
+  return sm.next();
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a 64-bit seed via SplitMix64.
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper bundling an engine with the distributions HDTest needs.
+///
+/// All distribution code is hand-rolled (no std::uniform_int_distribution)
+/// because the standard distributions are not guaranteed to produce the same
+/// sequences across standard-library implementations, which would break
+/// cross-platform reproducibility of the experiments.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+      : engine_(seed), seed_(seed) {}
+
+  /// The seed this generator was constructed with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Creates an independent child generator (stable under threading).
+  [[nodiscard]] Rng child(std::uint64_t index) const noexcept {
+    return Rng(derive_seed(seed_, index));
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept { return engine_(); }
+
+  /// Uniform integer in [0, bound). \pre bound > 0.
+  ///
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. \pre lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    // 53 random mantissa bits.
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Random sign: +1 or -1 with equal probability.
+  int sign() noexcept { return (engine_() & 1u) ? 1 : -1; }
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Samples \p k distinct indices from [0, n) in random order.
+  /// \pre k <= n.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  Xoshiro256StarStar engine_;
+  std::uint64_t seed_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace hdtest::util

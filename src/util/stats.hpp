@@ -1,0 +1,79 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics used by campaign aggregation and benchmark reports.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hdtest::util {
+
+/// Numerically-stable streaming accumulator (Welford's algorithm).
+///
+/// Collects count / mean / variance / min / max in one pass without storing
+/// the samples. Used for per-strategy and per-class aggregation of fuzzing
+/// metrics (L1, L2, iteration counts, wall times).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// "mean ± stddev (min..max, n=count)" for log lines.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-th percentile (0 <= p <= 100) of \p samples using linear
+/// interpolation between order statistics. \pre samples non-empty.
+/// The input vector is copied; the original order is preserved.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Arithmetic mean; 0 for an empty vector.
+[[nodiscard]] double mean_of(const std::vector<double>& samples) noexcept;
+
+/// Equal-width histogram over [lo, hi] used in report rendering.
+class Histogram {
+ public:
+  /// \pre bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds an observation; values outside [lo, hi] clamp to the edge bins.
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin (inclusive for the last bin).
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Renders a compact ASCII bar chart (one line per bin).
+  [[nodiscard]] std::string to_string(std::size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hdtest::util

@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdtest::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() > header_.size()) {
+    throw std::invalid_argument("TextTable: row has more cells than header");
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  // Column widths over header and all rows.
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.cells.size());
+  if (cols == 0) return "";
+
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t col) {
+    const std::size_t width = widths[col];
+    const Align align =
+        col < alignments_.size() ? alignments_[col] : Align::kLeft;
+    std::string padding(width - std::min(width, text.size()), ' ');
+    return align == Align::kLeft ? text + padding : padding + text;
+  };
+
+  const auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < cols; ++c) {
+      line += std::string(widths[c] + 2, '-');
+      line += "+";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream os;
+  os << rule();
+  if (!header_.empty()) {
+    os << "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << " " << pad(c < header_.size() ? header_[c] : "", c) << " |";
+    }
+    os << "\n" << rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << rule();
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << " " << pad(c < row.cells.size() ? row.cells[c] : "", c) << " |";
+    }
+    os << "\n";
+  }
+  os << rule();
+  return os.str();
+}
+
+}  // namespace hdtest::util

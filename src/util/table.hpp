@@ -1,0 +1,54 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width ASCII table rendering.
+///
+/// The bench harnesses print paper-style result tables (e.g. Table II) with
+/// this printer so the reproduced numbers can be compared to the paper at a
+/// glance.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hdtest::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with aligned columns and a
+/// box-drawing-free ASCII frame (portable to any terminal / log file).
+class TextTable {
+ public:
+  /// Sets the header row; resets alignment to kLeft for new columns.
+  void set_header(std::vector<std::string> header);
+
+  /// Sets per-column alignment; missing entries default to kLeft.
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Appends a data row. Rows may have fewer cells than the header
+  /// (remaining cells render empty) but not more.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  /// Convenience: formats a double with \p precision digits after the point.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+  /// Renders the full table.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hdtest::util

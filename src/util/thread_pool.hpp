@@ -1,0 +1,60 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size worker pool used to parallelize fuzzing campaigns.
+///
+/// Determinism contract: parallel_for hands each index its own work item, and
+/// HDTest derives a per-index RNG from the campaign master seed, so results
+/// are identical regardless of the number of workers (only completion order
+/// differs, and aggregation is order-insensitive).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hdtest::util {
+
+/// A minimal fixed-size thread pool.
+class ThreadPool {
+ public:
+  /// Spawns \p workers threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues a task and returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, count), blocking until all complete.
+  /// Exceptions from the body are rethrown (the first one encountered).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// One-shot helper: runs body(i) for i in [0, count) over \p workers threads.
+/// With workers <= 1 the loop runs inline (no thread overhead), which is also
+/// the fallback used by tests that must be single-threaded.
+void parallel_for(std::size_t count, std::size_t workers,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace hdtest::util

@@ -1,0 +1,25 @@
+#include "util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hdtest::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.0f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else {
+    const auto mins = static_cast<long>(seconds / 60.0);
+    const auto rem = seconds - static_cast<double>(mins) * 60.0;
+    std::snprintf(buf, sizeof buf, "%ld min %02.0f s", mins, rem);
+  }
+  return buf;
+}
+
+}  // namespace hdtest::util

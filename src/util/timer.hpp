@@ -1,0 +1,39 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock measurement helpers for the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hdtest::util {
+
+/// Monotonic stopwatch.
+///
+/// Measures wall time with std::chrono::steady_clock; used for the paper's
+/// "time per 1K generated images" and "adversarial images per minute" metrics.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept { restart(); }
+
+  /// Resets the origin to now.
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a human-readable string
+/// ("824 us", "1.52 s", "2 min 05 s").
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace hdtest::util

@@ -1,0 +1,170 @@
+// Tests for data/dataset: invariants, shuffling, splitting, filtering.
+
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hdtest::data {
+namespace {
+
+Dataset make_tagged_dataset(std::size_t n, int num_classes) {
+  // Image i has all pixels = i so shuffles are easy to track.
+  Dataset ds;
+  ds.num_classes = num_classes;
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.images.emplace_back(4, 4, static_cast<std::uint8_t>(i));
+    ds.labels.push_back(static_cast<int>(i) % num_classes);
+  }
+  return ds;
+}
+
+TEST(Dataset, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(make_tagged_dataset(10, 3).validate());
+  EXPECT_NO_THROW(Dataset{}.validate());
+}
+
+TEST(Dataset, ValidateRejectsSizeMismatch) {
+  auto ds = make_tagged_dataset(4, 2);
+  ds.labels.pop_back();
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsBadLabels) {
+  auto ds = make_tagged_dataset(4, 2);
+  ds.labels[0] = 2;  // == num_classes
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+  ds.labels[0] = -1;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsMixedShapes) {
+  auto ds = make_tagged_dataset(2, 2);
+  ds.images[1] = Image(5, 4, 0);
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ShuffleKeepsImageLabelPairing) {
+  auto ds = make_tagged_dataset(50, 5);
+  util::Rng rng(7);
+  ds.shuffle(rng);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const int tag = ds.images[i](0, 0);
+    EXPECT_EQ(ds.labels[i], tag % 5);
+  }
+}
+
+TEST(Dataset, ShuffleIsDeterministicInSeed) {
+  auto a = make_tagged_dataset(20, 2);
+  auto b = make_tagged_dataset(20, 2);
+  util::Rng ra(9);
+  util::Rng rb(9);
+  a.shuffle(ra);
+  b.shuffle(rb);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Dataset, SubsetSelectsRequestedItems) {
+  const auto ds = make_tagged_dataset(10, 2);
+  const auto sub = ds.subset({9, 0, 3});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.images[0](0, 0), 9);
+  EXPECT_EQ(sub.images[1](0, 0), 0);
+  EXPECT_EQ(sub.images[2](0, 0), 3);
+  EXPECT_EQ(sub.num_classes, 2);
+}
+
+TEST(Dataset, SubsetRejectsBadIndex) {
+  const auto ds = make_tagged_dataset(3, 2);
+  EXPECT_THROW(ds.subset({3}), std::out_of_range);
+}
+
+TEST(Dataset, TakeClampsToSize) {
+  const auto ds = make_tagged_dataset(5, 2);
+  EXPECT_EQ(ds.take(3).size(), 3u);
+  EXPECT_EQ(ds.take(99).size(), 5u);
+  EXPECT_EQ(ds.take(0).size(), 0u);
+}
+
+TEST(Dataset, SplitPartitionsWithoutOverlap) {
+  const auto ds = make_tagged_dataset(10, 2);
+  const auto [head, tail] = ds.split(0.3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(tail.size(), 7u);
+  EXPECT_EQ(head.images[0](0, 0), 0);
+  EXPECT_EQ(tail.images[0](0, 0), 3);
+}
+
+TEST(Dataset, SplitExtremes) {
+  const auto ds = make_tagged_dataset(4, 2);
+  {
+    const auto [head, tail] = ds.split(0.0);
+    EXPECT_EQ(head.size(), 0u);
+    EXPECT_EQ(tail.size(), 4u);
+  }
+  {
+    const auto [head, tail] = ds.split(1.0);
+    EXPECT_EQ(head.size(), 4u);
+    EXPECT_EQ(tail.size(), 0u);
+  }
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  const auto ds = make_tagged_dataset(4, 2);
+  EXPECT_THROW(ds.split(-0.1), std::invalid_argument);
+  EXPECT_THROW(ds.split(1.1), std::invalid_argument);
+}
+
+TEST(Dataset, FilterClassSelectsOnlyThatClass) {
+  const auto ds = make_tagged_dataset(10, 3);
+  const auto only1 = ds.filter_class(1);
+  EXPECT_EQ(only1.size(), 3u);  // items 1, 4, 7
+  for (const auto label : only1.labels) EXPECT_EQ(label, 1);
+}
+
+TEST(Dataset, ClassCountsSumToSize) {
+  const auto ds = make_tagged_dataset(11, 3);
+  const auto counts = ds.class_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+            ds.size());
+  EXPECT_EQ(counts[0], 4u);  // 0,3,6,9
+  EXPECT_EQ(counts[1], 4u);  // 1,4,7,10
+  EXPECT_EQ(counts[2], 3u);  // 2,5,8
+}
+
+TEST(Dataset, AppendConcatenates) {
+  auto a = make_tagged_dataset(3, 2);
+  const auto b = make_tagged_dataset(2, 2);
+  a.append(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Dataset, AppendRejectsClassMismatch) {
+  auto a = make_tagged_dataset(3, 2);
+  const auto b = make_tagged_dataset(2, 5);
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(Dataset, AppendRejectsShapeMismatch) {
+  auto a = make_tagged_dataset(3, 2);
+  Dataset b;
+  b.num_classes = 2;
+  b.images.emplace_back(5, 5, 0);
+  b.labels.push_back(0);
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(Dataset, AppendIntoEmptyAdoptsClasses) {
+  Dataset empty;
+  const auto b = make_tagged_dataset(2, 4);
+  empty.append(b);
+  EXPECT_EQ(empty.num_classes, 4);
+  EXPECT_EQ(empty.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdtest::data

@@ -1,0 +1,120 @@
+// Tests for data/idx: the MNIST container format.
+
+#include "data/idx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace hdtest::data {
+namespace {
+
+class IdxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "hdtest_idx";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<Image> make_images(std::size_t n) {
+  std::vector<Image> images;
+  for (std::size_t i = 0; i < n; ++i) {
+    Image img(28, 28, 0);
+    img(i % 28, (i * 3) % 28) = static_cast<std::uint8_t>(i + 1);
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+TEST_F(IdxTest, ImageRoundTrip) {
+  const auto images = make_images(5);
+  write_idx_images(images, path("imgs"));
+  const auto loaded = read_idx_images(path("imgs"));
+  ASSERT_EQ(loaded.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(loaded[i], images[i]);
+}
+
+TEST_F(IdxTest, LabelRoundTrip) {
+  const std::vector<std::uint8_t> labels{0, 1, 9, 5, 3};
+  write_idx_labels(labels, path("labels"));
+  EXPECT_EQ(read_idx_labels(path("labels")), labels);
+}
+
+TEST_F(IdxTest, EmptyImageFileRoundTrips) {
+  write_idx_images({}, path("empty"));
+  EXPECT_TRUE(read_idx_images(path("empty")).empty());
+}
+
+TEST_F(IdxTest, WriterRejectsMixedShapes) {
+  std::vector<Image> images;
+  images.emplace_back(28, 28, 0);
+  images.emplace_back(14, 14, 0);
+  EXPECT_THROW(write_idx_images(images, path("bad")), std::invalid_argument);
+}
+
+TEST_F(IdxTest, ReaderRejectsWrongMagic) {
+  // A label file read as an image file must fail (and vice versa).
+  write_idx_labels({1, 2, 3}, path("labels"));
+  EXPECT_THROW(read_idx_images(path("labels")), std::runtime_error);
+  write_idx_images(make_images(1), path("imgs"));
+  EXPECT_THROW(read_idx_labels(path("imgs")), std::runtime_error);
+}
+
+TEST_F(IdxTest, ReaderRejectsTruncatedFile) {
+  write_idx_images(make_images(3), path("imgs"));
+  // Truncate to half size.
+  const auto full = std::filesystem::file_size(path("imgs"));
+  std::filesystem::resize_file(path("imgs"), full / 2);
+  EXPECT_THROW(read_idx_images(path("imgs")), std::runtime_error);
+}
+
+TEST_F(IdxTest, MissingFileThrows) {
+  EXPECT_THROW(read_idx_images(path("nope")), std::runtime_error);
+  EXPECT_THROW(read_idx_labels(path("nope")), std::runtime_error);
+}
+
+TEST_F(IdxTest, LoadDatasetPairsImagesWithLabels) {
+  write_idx_images(make_images(4), path("imgs"));
+  write_idx_labels({0, 1, 2, 3}, path("labels"));
+  const auto ds = load_idx_dataset(path("imgs"), path("labels"), 10);
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_EQ(ds.labels, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_NO_THROW(ds.validate());
+}
+
+TEST_F(IdxTest, LoadDatasetRejectsCountMismatch) {
+  write_idx_images(make_images(4), path("imgs"));
+  write_idx_labels({0, 1}, path("labels"));
+  EXPECT_THROW(load_idx_dataset(path("imgs"), path("labels"), 10),
+               std::runtime_error);
+}
+
+TEST_F(IdxTest, LoadDatasetRejectsOutOfRangeLabel) {
+  write_idx_images(make_images(2), path("imgs"));
+  write_idx_labels({0, 10}, path("labels"));  // 10 >= num_classes
+  EXPECT_THROW(load_idx_dataset(path("imgs"), path("labels"), 10),
+               std::invalid_argument);
+}
+
+TEST_F(IdxTest, MnistLoaderUsesCanonicalNames) {
+  write_idx_images(make_images(2), path("train-images-idx3-ubyte"));
+  write_idx_labels({1, 2}, path("train-labels-idx1-ubyte"));
+  const auto train = load_mnist_dataset(dir_.string(), /*train=*/true);
+  EXPECT_EQ(train.size(), 2u);
+  // t10k pair absent -> error.
+  EXPECT_THROW(load_mnist_dataset(dir_.string(), /*train=*/false),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdtest::data

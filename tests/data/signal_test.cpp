@@ -1,0 +1,138 @@
+// Tests for data/signal: the EMG-style gesture generator.
+
+#include "data/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::data {
+namespace {
+
+TEST(Signal, ConstructionAndAccess) {
+  Signal s(4, 8, 100);
+  EXPECT_EQ(s.channels, 4u);
+  EXPECT_EQ(s.timesteps, 8u);
+  EXPECT_EQ(s.size(), 32u);
+  s.set(3, 7, 200);
+  EXPECT_EQ(s.at(3, 7), 200);
+  EXPECT_EQ(s.at(0, 0), 100);
+  EXPECT_THROW((void)s.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)s.at(0, 8), std::out_of_range);
+  EXPECT_THROW(s.set(4, 0, 1), std::out_of_range);
+  EXPECT_THROW(Signal(0, 8), std::invalid_argument);
+  EXPECT_THROW(Signal(4, 0), std::invalid_argument);
+}
+
+TEST(Signal, L2MatchesHandComputation) {
+  Signal a(1, 2, 0);
+  Signal b(1, 2, 0);
+  b.set(0, 0, 255);
+  EXPECT_NEAR(signal_l2(a, b), 1.0, 1e-12);
+  b.set(0, 1, 255);
+  EXPECT_NEAR(signal_l2(a, b), std::sqrt(2.0), 1e-12);
+  const Signal c(2, 2, 0);
+  EXPECT_THROW((void)signal_l2(a, c), std::invalid_argument);
+}
+
+TEST(GestureStyle, Validation) {
+  EXPECT_NO_THROW(GestureStyle{}.validate());
+  GestureStyle bad;
+  bad.channels = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  GestureStyle bad2;
+  bad2.noise = -1.0;
+  EXPECT_THROW(bad2.validate(), std::invalid_argument);
+}
+
+TEST(RenderGesture, ShapeAndDeterminism) {
+  GestureStyle style;
+  util::Rng a(1);
+  util::Rng b(1);
+  const auto s1 = render_gesture(2, 5, 42, a, style);
+  const auto s2 = render_gesture(2, 5, 42, b, style);
+  EXPECT_EQ(s1.channels, style.channels);
+  EXPECT_EQ(s1.timesteps, style.timesteps);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(RenderGesture, RejectsOutOfRangeClass) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)render_gesture(-1, 5, 1, rng), std::invalid_argument);
+  EXPECT_THROW((void)render_gesture(5, 5, 1, rng), std::invalid_argument);
+}
+
+TEST(RenderGesture, ClassesHaveDistinctSignatures) {
+  // Mean signals of two classes differ much more than two draws of the same
+  // class (the separability the classifier needs).
+  GestureStyle style;
+  auto mean_signal = [&](int cls, std::uint64_t salt) {
+    std::vector<double> acc(style.channels * style.timesteps, 0.0);
+    constexpr int kDraws = 8;
+    for (int i = 0; i < kDraws; ++i) {
+      util::Rng rng(util::derive_seed(salt, static_cast<std::uint64_t>(i)));
+      const auto s = render_gesture(cls, 4, 77, rng, style);
+      for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += s.samples[j];
+    }
+    for (auto& v : acc) v /= kDraws;
+    return acc;
+  };
+  const auto a1 = mean_signal(0, 1);
+  const auto a2 = mean_signal(0, 2);
+  const auto b = mean_signal(1, 3);
+  double same = 0.0;
+  double cross = 0.0;
+  for (std::size_t j = 0; j < a1.size(); ++j) {
+    same += std::abs(a1[j] - a2[j]);
+    cross += std::abs(a1[j] - b[j]);
+  }
+  EXPECT_LT(same * 2.0, cross);
+}
+
+TEST(RenderGesture, SignalStaysAroundRestOutsideActivation) {
+  GestureStyle style;
+  style.noise = 0.0;
+  util::Rng rng(5);
+  const auto s = render_gesture(0, 3, 11, rng, style);
+  // First sample of each channel precedes any onset (>= 0.05) -> rest level.
+  for (std::size_t c = 0; c < style.channels; ++c) {
+    EXPECT_EQ(s.at(c, 0), 128);
+  }
+}
+
+TEST(MakeGestureDataset, BalancedShuffledDeterministic) {
+  const auto ds = make_gesture_dataset(3, 5, 9);
+  EXPECT_EQ(ds.size(), 15u);
+  EXPECT_EQ(ds.num_classes, 3);
+  std::vector<int> counts(3, 0);
+  for (const auto label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 3);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (const auto c : counts) EXPECT_EQ(c, 5);
+
+  const auto again = make_gesture_dataset(3, 5, 9);
+  EXPECT_EQ(ds.labels, again.labels);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.signals[i], again.signals[i]);
+  }
+}
+
+TEST(MakeGestureDataset, SaltVariesSamplesNotBlueprints) {
+  const auto a = make_gesture_dataset(2, 3, 9, GestureStyle{}, 0);
+  const auto b = make_gesture_dataset(2, 3, 9, GestureStyle{}, 1);
+  bool any_same = false;
+  for (const auto& sa : a.signals) {
+    for (const auto& sb : b.signals) any_same |= sa == sb;
+  }
+  EXPECT_FALSE(any_same);
+}
+
+TEST(MakeGestureDataset, RejectsZeroClasses) {
+  EXPECT_THROW((void)make_gesture_dataset(0, 3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdtest::data

@@ -1,0 +1,207 @@
+// Tests for data/synthetic_digits: the MNIST stand-in generator.
+
+#include "data/synthetic_digits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::data {
+namespace {
+
+TEST(DigitSkeleton, AllTenDigitsHaveStrokesInUnitBox) {
+  for (int d = 0; d <= 9; ++d) {
+    const auto skeleton = digit_skeleton(d);
+    EXPECT_FALSE(skeleton.empty()) << "digit " << d;
+    for (const auto& stroke : skeleton) {
+      EXPECT_GE(stroke.size(), 2u);
+      for (const auto& pt : stroke) {
+        EXPECT_GE(pt.x, -0.05) << "digit " << d;
+        EXPECT_LE(pt.x, 1.05) << "digit " << d;
+        EXPECT_GE(pt.y, -0.05) << "digit " << d;
+        EXPECT_LE(pt.y, 1.05) << "digit " << d;
+      }
+    }
+  }
+}
+
+TEST(DigitSkeleton, RejectsOutOfRangeDigit) {
+  EXPECT_THROW(digit_skeleton(-1), std::invalid_argument);
+  EXPECT_THROW(digit_skeleton(10), std::invalid_argument);
+}
+
+TEST(DigitStyle, DefaultValidates) { EXPECT_NO_THROW(DigitStyle{}.validate()); }
+
+TEST(DigitStyle, RejectsBadRanges) {
+  DigitStyle s;
+  s.min_scale = 2.0;
+  s.max_scale = 1.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  DigitStyle s2;
+  s2.width = 0;
+  EXPECT_THROW(s2.validate(), std::invalid_argument);
+
+  DigitStyle s3;
+  s3.max_rotation = -0.1;
+  EXPECT_THROW(s3.validate(), std::invalid_argument);
+
+  DigitStyle s4;
+  s4.min_peak = 250;
+  s4.max_peak = 200;
+  EXPECT_THROW(s4.validate(), std::invalid_argument);
+
+  DigitStyle s5;
+  s5.speckle_prob = 1.5;
+  EXPECT_THROW(s5.validate(), std::invalid_argument);
+}
+
+TEST(RenderDigit, ProducesRequestedShape) {
+  util::Rng rng(1);
+  const auto img = render_digit(3, rng);
+  EXPECT_EQ(img.width(), 28u);
+  EXPECT_EQ(img.height(), 28u);
+}
+
+TEST(RenderDigit, IsDeterministicInRngState) {
+  util::Rng a(5);
+  util::Rng b(5);
+  EXPECT_EQ(render_digit(7, a), render_digit(7, b));
+}
+
+TEST(RenderDigit, DifferentRngStatesGiveDifferentImages) {
+  util::Rng a(5);
+  util::Rng b(6);
+  EXPECT_NE(render_digit(7, a), render_digit(7, b));
+}
+
+TEST(RenderDigit, HasInkAndBackground) {
+  util::Rng rng(2);
+  for (int d = 0; d <= 9; ++d) {
+    const auto img = render_digit(d, rng);
+    std::size_t bright = 0;
+    std::size_t dark = 0;
+    for (const auto px : img.pixels()) {
+      bright += px > 150;
+      dark += px == 0;
+    }
+    // Strokes cover a meaningful but minor part of the frame.
+    EXPECT_GT(bright, 20u) << "digit " << d;
+    EXPECT_GT(dark, 300u) << "digit " << d;
+  }
+}
+
+TEST(RenderDigit, RespectsCustomDimensions) {
+  DigitStyle style;
+  style.width = 20;
+  style.height = 24;
+  style.margin = 2.0;
+  util::Rng rng(3);
+  const auto img = render_digit(0, rng, style);
+  EXPECT_EQ(img.width(), 20u);
+  EXPECT_EQ(img.height(), 24u);
+}
+
+TEST(RenderDigit, RejectsBadDigit) {
+  util::Rng rng(1);
+  EXPECT_THROW(render_digit(10, rng), std::invalid_argument);
+}
+
+TEST(MakeDigitDataset, SizeAndBalance) {
+  const auto ds = make_digit_dataset(7, 11);
+  EXPECT_EQ(ds.size(), 70u);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_NO_THROW(ds.validate());
+  for (const auto count : ds.class_counts()) EXPECT_EQ(count, 7u);
+}
+
+TEST(MakeDigitDataset, DeterministicInSeed) {
+  const auto a = make_digit_dataset(3, 99);
+  const auto b = make_digit_dataset(3, 99);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.images[i], b.images[i]);
+  }
+}
+
+TEST(MakeDigitDataset, DifferentSeedsDiffer) {
+  const auto a = make_digit_dataset(3, 1);
+  const auto b = make_digit_dataset(3, 2);
+  bool any_diff = a.labels != b.labels;
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = !(a.images[i] == b.images[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MakeDigitDataset, IsShuffled) {
+  const auto ds = make_digit_dataset(5, 4);
+  // The first ten labels should not be ten copies of digit 0.
+  bool all_same = true;
+  for (std::size_t i = 0; i < 10; ++i) all_same &= ds.labels[i] == ds.labels[0];
+  EXPECT_FALSE(all_same);
+}
+
+TEST(MakeDigitTrainTest, PairIsDisjointlySeeded) {
+  const auto pair = make_digit_train_test(2, 2, 5);
+  EXPECT_EQ(pair.train.size(), 20u);
+  EXPECT_EQ(pair.test.size(), 20u);
+  // The two sets derive from different child seeds -> no identical images.
+  for (const auto& train_img : pair.train.images) {
+    for (const auto& test_img : pair.test.images) {
+      EXPECT_NE(train_img, test_img);
+    }
+  }
+}
+
+// Property sweep: every digit class is closer (on average, in pixel space)
+// to its own class centroid than to a uniformly random other centroid.
+// This is the minimal separability property the HDC model relies on.
+class DigitSeparability : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitSeparability, ClassIsCoherent) {
+  const int digit = GetParam();
+  const int other = (digit + 5) % 10;
+  constexpr std::size_t kPerClass = 12;
+  DigitStyle style;  // defaults
+
+  auto centroid = [&](int d, std::uint64_t seed) {
+    std::vector<double> acc(28 * 28, 0.0);
+    for (std::size_t i = 0; i < kPerClass; ++i) {
+      util::Rng rng(util::derive_seed(seed, i));
+      const auto img = render_digit(d, rng, style);
+      for (std::size_t p = 0; p < acc.size(); ++p) acc[p] += img.pixels()[p];
+    }
+    for (auto& v : acc) v /= kPerClass;
+    return acc;
+  };
+
+  const auto own = centroid(digit, 100);
+  const auto foreign = centroid(other, 200);
+
+  // Majority of fresh probes must land closer to their own centroid.
+  // (A single probe can lose for genuinely confusable pairs like 2 vs 7 —
+  // exactly the confusability the fuzzing experiments rely on.)
+  constexpr int kProbes = 9;
+  int closer_to_own = 0;
+  for (int probe = 0; probe < kProbes; ++probe) {
+    util::Rng rng(static_cast<std::uint64_t>(12345 + probe));
+    const auto sample = render_digit(digit, rng, style);
+    double d_own = 0.0;
+    double d_foreign = 0.0;
+    for (std::size_t p = 0; p < own.size(); ++p) {
+      d_own += std::abs(sample.pixels()[p] - own[p]);
+      d_foreign += std::abs(sample.pixels()[p] - foreign[p]);
+    }
+    closer_to_own += d_own < d_foreign;
+  }
+  EXPECT_GT(closer_to_own, kProbes / 2)
+      << "digit " << digit << " vs " << other;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDigits, DigitSeparability,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hdtest::data

@@ -1,0 +1,158 @@
+// Tests for data/text_corpus: the synthetic language generator.
+
+#include "data/text_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::data {
+namespace {
+
+TEST(SyntheticLanguage, AlphabetIsLowercasePlusSpace) {
+  const auto& alpha = SyntheticLanguage::alphabet();
+  EXPECT_EQ(alpha.size(), 27u);
+  EXPECT_NE(alpha.find('a'), std::string::npos);
+  EXPECT_NE(alpha.find('z'), std::string::npos);
+  EXPECT_NE(alpha.find(' '), std::string::npos);
+}
+
+TEST(SyntheticLanguage, GeneratesRequestedLengthWithinAlphabet) {
+  const SyntheticLanguage lang(1, 0);
+  util::Rng rng(2);
+  const auto text = lang.generate(500, rng);
+  EXPECT_EQ(text.size(), 500u);
+  for (const char c : text) {
+    EXPECT_NE(SyntheticLanguage::alphabet().find(c), std::string::npos);
+  }
+}
+
+TEST(SyntheticLanguage, TransitionRowsAreDistributions) {
+  const SyntheticLanguage lang(7, 3);
+  for (const char from : SyntheticLanguage::alphabet()) {
+    double total = 0.0;
+    for (const char to : SyntheticLanguage::alphabet()) {
+      const double p = lang.transition_prob(from, to);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SyntheticLanguage, EveryTransitionIsPossible) {
+  // Base mass guarantees mutations never create impossible strings.
+  const SyntheticLanguage lang(7, 2);
+  for (const char from : SyntheticLanguage::alphabet()) {
+    for (const char to : SyntheticLanguage::alphabet()) {
+      EXPECT_GT(lang.transition_prob(from, to), 0.0);
+    }
+  }
+}
+
+TEST(SyntheticLanguage, DifferentLanguagesHaveDifferentStatistics) {
+  const SyntheticLanguage a(5, 0);
+  const SyntheticLanguage b(5, 1);
+  double total_abs_diff = 0.0;
+  for (const char from : SyntheticLanguage::alphabet()) {
+    for (const char to : SyntheticLanguage::alphabet()) {
+      total_abs_diff +=
+          std::abs(a.transition_prob(from, to) - b.transition_prob(from, to));
+    }
+  }
+  EXPECT_GT(total_abs_diff, 1.0);  // clearly distinct chains
+}
+
+TEST(SyntheticLanguage, RejectsNonPositiveSkew) {
+  EXPECT_THROW(SyntheticLanguage(1, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SyntheticLanguage(1, 0, -2.0), std::invalid_argument);
+}
+
+TEST(SyntheticLanguage, TransitionProbRejectsForeignChars) {
+  const SyntheticLanguage lang(1, 0);
+  EXPECT_THROW((void)lang.transition_prob('A', 'a'), std::invalid_argument);
+  EXPECT_THROW((void)lang.transition_prob('a', '!'), std::invalid_argument);
+}
+
+TEST(MakeTextDataset, SizeClassesAndDeterminism) {
+  const auto ds = make_text_dataset(4, 5, 100, 42);
+  EXPECT_EQ(ds.size(), 20u);
+  EXPECT_EQ(ds.num_classes, 4);
+  std::array<int, 4> counts{};
+  for (const auto& s : ds.samples) {
+    ASSERT_GE(s.label, 0);
+    ASSERT_LT(s.label, 4);
+    ++counts[static_cast<std::size_t>(s.label)];
+    EXPECT_EQ(s.text.size(), 100u);
+  }
+  for (const auto c : counts) EXPECT_EQ(c, 5);
+
+  const auto again = make_text_dataset(4, 5, 100, 42);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.samples[i].text, again.samples[i].text);
+    EXPECT_EQ(ds.samples[i].label, again.samples[i].label);
+  }
+}
+
+TEST(MakeTextDataset, SaltVariesSamplesNotLanguages) {
+  // Different salts must draw *different texts* from the *same languages* —
+  // the train/test-split contract (same seed = same transition matrices).
+  const auto a = make_text_dataset(2, 3, 50, 9, 3.0, /*salt=*/0);
+  const auto b = make_text_dataset(2, 3, 50, 9, 3.0, /*salt=*/1);
+  bool any_same_text = false;
+  for (const auto& sa : a.samples) {
+    for (const auto& sb : b.samples) {
+      any_same_text |= sa.text == sb.text;
+    }
+  }
+  EXPECT_FALSE(any_same_text);
+  // The underlying languages are identical regardless of salt.
+  const SyntheticLanguage lang_a(9, 0);
+  const SyntheticLanguage lang_b(9, 0);
+  EXPECT_DOUBLE_EQ(lang_a.transition_prob('a', 'b'),
+                   lang_b.transition_prob('a', 'b'));
+}
+
+TEST(MakeTextDataset, RejectsZeroLanguages) {
+  EXPECT_THROW((void)make_text_dataset(0, 1, 10, 1), std::invalid_argument);
+}
+
+TEST(MakeTextDataset, SamplesOfSameClassShareLetterBias) {
+  // Letter histograms of two samples from the same language should be more
+  // similar than histograms across languages (cosine in count space).
+  const auto ds = make_text_dataset(2, 2, 2000, 7, /*skew=*/4.0);
+  auto histogram = [](const std::string& text) {
+    std::array<double, 27> h{};
+    for (const char c : text) {
+      h[SyntheticLanguage::alphabet().find(c)] += 1.0;
+    }
+    return h;
+  };
+  auto cosine = [](const std::array<double, 27>& a,
+                   const std::array<double, 27>& b) {
+    double ab = 0.0;
+    double aa = 0.0;
+    double bb = 0.0;
+    for (std::size_t i = 0; i < 27; ++i) {
+      ab += a[i] * b[i];
+      aa += a[i] * a[i];
+      bb += b[i] * b[i];
+    }
+    return ab / std::sqrt(aa * bb);
+  };
+  std::array<std::vector<std::array<double, 27>>, 2> by_class;
+  for (const auto& s : ds.samples) {
+    by_class[static_cast<std::size_t>(s.label)].push_back(histogram(s.text));
+  }
+  ASSERT_EQ(by_class[0].size(), 2u);
+  ASSERT_EQ(by_class[1].size(), 2u);
+  const double same = cosine(by_class[0][0], by_class[0][1]);
+  const double cross = cosine(by_class[0][0], by_class[1][0]);
+  EXPECT_GT(same, cross);
+}
+
+}  // namespace
+}  // namespace hdtest::data

@@ -1,0 +1,90 @@
+// Tests for fuzz/confusion: the adversarial flip matrix.
+
+#include "fuzz/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hdtest::fuzz {
+namespace {
+
+CampaignResult campaign_with_flips(
+    const std::vector<std::pair<std::size_t, std::size_t>>& flips,
+    std::size_t failures = 0) {
+  CampaignResult campaign;
+  for (const auto& [from, to] : flips) {
+    CampaignRecord r;
+    r.outcome.success = true;
+    r.outcome.reference_label = from;
+    r.outcome.adversarial_label = to;
+    campaign.records.push_back(r);
+  }
+  for (std::size_t i = 0; i < failures; ++i) {
+    campaign.records.push_back(CampaignRecord{});  // success = false
+  }
+  return campaign;
+}
+
+TEST(FlipMatrix, CountsFindingsAndIgnoresFailures) {
+  const auto campaign =
+      campaign_with_flips({{1, 7}, {1, 7}, {9, 8}, {9, 3}}, /*failures=*/3);
+  const auto matrix = flip_matrix(campaign, 10);
+  EXPECT_EQ(matrix.num_classes(), 10u);
+  EXPECT_EQ(matrix.total(), 4u);
+  EXPECT_EQ(matrix.flips[1][7], 2u);
+  EXPECT_EQ(matrix.flips[9][8], 1u);
+  EXPECT_EQ(matrix.flips[9][3], 1u);
+  EXPECT_EQ(matrix.flips[0][1], 0u);
+}
+
+TEST(FlipMatrix, OutOfAndIntoMarginals) {
+  const auto matrix =
+      flip_matrix(campaign_with_flips({{1, 7}, {1, 3}, {9, 3}}), 10);
+  EXPECT_EQ(matrix.out_of(1), 2u);
+  EXPECT_EQ(matrix.out_of(9), 1u);
+  EXPECT_EQ(matrix.out_of(0), 0u);
+  EXPECT_EQ(matrix.into(3), 2u);
+  EXPECT_EQ(matrix.into(7), 1u);
+  EXPECT_THROW((void)matrix.out_of(10), std::out_of_range);
+  EXPECT_THROW((void)matrix.into(10), std::out_of_range);
+}
+
+TEST(FlipMatrix, TopEdgesSortedByCount) {
+  const auto matrix = flip_matrix(
+      campaign_with_flips({{1, 7}, {1, 7}, {1, 7}, {9, 8}, {9, 8}, {2, 0}}),
+      10);
+  const auto edges = matrix.top_edges(2);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].from, 1u);
+  EXPECT_EQ(edges[0].to, 7u);
+  EXPECT_EQ(edges[0].count, 3u);
+  EXPECT_EQ(edges[1].from, 9u);
+  EXPECT_EQ(edges[1].count, 2u);
+  // Asking for more edges than exist returns all of them.
+  EXPECT_EQ(matrix.top_edges(100).size(), 3u);
+}
+
+TEST(FlipMatrix, TableRendersAllClasses) {
+  const auto matrix = flip_matrix(campaign_with_flips({{0, 1}}), 3);
+  const auto table = matrix.to_table();
+  EXPECT_NE(table.find("ref\\adv"), std::string::npos);
+  EXPECT_NE(table.find("out"), std::string::npos);
+  // Zero cells render as '.' to keep the matrix readable.
+  EXPECT_NE(table.find("."), std::string::npos);
+}
+
+TEST(FlipMatrix, ValidatesInputs) {
+  EXPECT_THROW((void)flip_matrix(CampaignResult{}, 0), std::invalid_argument);
+  const auto bad = campaign_with_flips({{5, 1}});
+  EXPECT_THROW((void)flip_matrix(bad, 3), std::invalid_argument);
+}
+
+TEST(FlipMatrix, EmptyCampaignGivesZeroMatrix) {
+  const auto matrix = flip_matrix(CampaignResult{}, 4);
+  EXPECT_EQ(matrix.total(), 0u);
+  EXPECT_TRUE(matrix.top_edges(5).empty());
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz

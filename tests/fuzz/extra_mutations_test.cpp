@@ -1,0 +1,181 @@
+// Tests for the extension mutation strategies: block_rand, salt_pepper,
+// brightness — and their factory/composite integration.
+
+#include "fuzz/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace hdtest::fuzz {
+namespace {
+
+data::Image mid_gray(std::size_t w = 28, std::size_t h = 28) {
+  return data::Image(w, h, 128);
+}
+
+TEST(BlockRand, TouchesOnlyOneRectangle) {
+  BlockRandMutation strategy(BlockRandMutation::Params{4, 30});
+  util::Rng rng(1);
+  const auto original = mid_gray();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mutant = strategy.mutate(original, rng);
+    // Bounding box of changed pixels fits in a 4x4 block.
+    std::size_t row_lo = 28;
+    std::size_t row_hi = 0;
+    std::size_t col_lo = 28;
+    std::size_t col_hi = 0;
+    std::size_t changed = 0;
+    for (std::size_t r = 0; r < 28; ++r) {
+      for (std::size_t c = 0; c < 28; ++c) {
+        if (original(r, c) == mutant(r, c)) continue;
+        ++changed;
+        row_lo = std::min(row_lo, r);
+        row_hi = std::max(row_hi, r);
+        col_lo = std::min(col_lo, c);
+        col_hi = std::max(col_hi, c);
+      }
+    }
+    ASSERT_GT(changed, 0u);
+    EXPECT_LE(row_hi - row_lo + 1, 4u);
+    EXPECT_LE(col_hi - col_lo + 1, 4u);
+  }
+}
+
+TEST(BlockRand, DeltasRespectAmplitude) {
+  BlockRandMutation strategy(BlockRandMutation::Params{6, 10});
+  util::Rng rng(2);
+  const auto original = mid_gray();
+  const auto mutant = strategy.mutate(original, rng);
+  for (std::size_t r = 0; r < 28; ++r) {
+    for (std::size_t c = 0; c < 28; ++c) {
+      EXPECT_LE(std::abs(static_cast<int>(original(r, c)) -
+                         static_cast<int>(mutant(r, c))),
+                10);
+    }
+  }
+}
+
+TEST(BlockRand, BlockLargerThanImageClamps) {
+  BlockRandMutation strategy(BlockRandMutation::Params{100, 20});
+  util::Rng rng(3);
+  const data::Image tiny(3, 3, 100);
+  EXPECT_NO_THROW(strategy.mutate(tiny, rng));
+}
+
+TEST(BlockRand, RejectsBadParams) {
+  EXPECT_THROW(BlockRandMutation(BlockRandMutation::Params{0, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(BlockRandMutation(BlockRandMutation::Params{4, 0}),
+               std::invalid_argument);
+}
+
+TEST(SaltPepper, FlipsPixelsToExtremes) {
+  SaltPepperMutation strategy(SaltPepperMutation::Params{5});
+  util::Rng rng(4);
+  const auto original = mid_gray();
+  const auto mutant = strategy.mutate(original, rng);
+  std::size_t changed = 0;
+  for (std::size_t r = 0; r < 28; ++r) {
+    for (std::size_t c = 0; c < 28; ++c) {
+      if (original(r, c) == mutant(r, c)) continue;
+      ++changed;
+      EXPECT_TRUE(mutant(r, c) == 0 || mutant(r, c) == 255);
+    }
+  }
+  EXPECT_GE(changed, 1u);
+  EXPECT_LE(changed, 5u);
+}
+
+TEST(SaltPepper, AlwaysChangesTouchedPixels) {
+  // Dark pixels go white, bright go black — the impulse always registers.
+  SaltPepperMutation strategy(SaltPepperMutation::Params{3});
+  util::Rng rng(5);
+  data::Image dark(8, 8, 0);
+  const auto mutated_dark = strategy.mutate(dark, rng);
+  EXPECT_GT(dark.count_diff(mutated_dark), 0u);
+  data::Image bright(8, 8, 255);
+  const auto mutated_bright = strategy.mutate(bright, rng);
+  EXPECT_GT(bright.count_diff(mutated_bright), 0u);
+}
+
+TEST(SaltPepper, RejectsZeroPixels) {
+  EXPECT_THROW(SaltPepperMutation(SaltPepperMutation::Params{0}),
+               std::invalid_argument);
+}
+
+TEST(Brightness, AppliesOneGlobalOffset) {
+  BrightnessMutation strategy(BrightnessMutation::Params{20});
+  util::Rng rng(6);
+  const auto original = mid_gray();
+  const auto mutant = strategy.mutate(original, rng);
+  // All interior (non-clamped) pixels shift by the same amount.
+  std::set<int> deltas;
+  for (std::size_t r = 0; r < 28; ++r) {
+    for (std::size_t c = 0; c < 28; ++c) {
+      deltas.insert(static_cast<int>(mutant(r, c)) -
+                    static_cast<int>(original(r, c)));
+    }
+  }
+  EXPECT_EQ(deltas.size(), 1u);  // mid-gray never clamps at |offset| <= 20
+  EXPECT_NE(*deltas.begin(), 0);
+  EXPECT_LE(std::abs(*deltas.begin()), 20);
+}
+
+TEST(Brightness, ClampsAtRangeEdges) {
+  BrightnessMutation strategy(BrightnessMutation::Params{25});
+  util::Rng rng(7);
+  const data::Image black(4, 4, 0);
+  const auto mutant = strategy.mutate(black, rng);
+  for (const auto px : mutant.pixels()) {
+    EXPECT_LE(px, 25);
+  }
+}
+
+TEST(Brightness, RejectsBadOffset) {
+  EXPECT_THROW(BrightnessMutation(BrightnessMutation::Params{0}),
+               std::invalid_argument);
+}
+
+TEST(ExtraFactory, AllNewStrategiesConstructible) {
+  for (const char* name : {"block_rand", "salt_pepper", "brightness"}) {
+    const auto strategy = make_strategy(name);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), name);
+  }
+  EXPECT_EQ(strategy_names().size(), 9u);
+}
+
+TEST(ExtraFactory, CompositeWithNewStrategies) {
+  const auto joint = make_strategy("block_rand+salt_pepper+brightness");
+  util::Rng rng(8);
+  const auto original = mid_gray();
+  const auto mutant = joint->mutate(original, rng);
+  EXPECT_NE(mutant, original);
+}
+
+// Contract sweep mirrors mutation_test.cpp for the extensions.
+class ExtraStrategyContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtraStrategyContract, ShapePreservedInputUntouchedDeterministic) {
+  const auto strategy = make_strategy(GetParam());
+  const auto original = mid_gray();
+  const auto copy = original;
+  util::Rng a(9);
+  util::Rng b(9);
+  const auto m1 = strategy->mutate(original, a);
+  const auto m2 = strategy->mutate(original, b);
+  EXPECT_EQ(original, copy);
+  EXPECT_EQ(m1.width(), original.width());
+  EXPECT_EQ(m1.height(), original.height());
+  EXPECT_NE(m1, original);
+  EXPECT_EQ(m1, m2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extensions, ExtraStrategyContract,
+                         ::testing::Values("block_rand", "salt_pepper",
+                                           "brightness"));
+
+}  // namespace
+}  // namespace hdtest::fuzz

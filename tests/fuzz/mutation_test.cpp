@@ -1,0 +1,310 @@
+// Tests for fuzz/mutation: the Table I strategies and their contracts.
+
+#include "fuzz/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace hdtest::fuzz {
+namespace {
+
+data::Image gradient_image(std::size_t w = 28, std::size_t h = 28) {
+  data::Image img(w, h, 0);
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      img(r, c) = static_cast<std::uint8_t>((r * 7 + c * 3) % 256);
+    }
+  }
+  return img;
+}
+
+// Rows/cols touched by a mutation.
+std::set<std::size_t> touched_rows(const data::Image& a, const data::Image& b) {
+  std::set<std::size_t> rows;
+  for (std::size_t r = 0; r < a.height(); ++r) {
+    for (std::size_t c = 0; c < a.width(); ++c) {
+      if (a(r, c) != b(r, c)) rows.insert(r);
+    }
+  }
+  return rows;
+}
+
+std::set<std::size_t> touched_cols(const data::Image& a, const data::Image& b) {
+  std::set<std::size_t> cols;
+  for (std::size_t r = 0; r < a.height(); ++r) {
+    for (std::size_t c = 0; c < a.width(); ++c) {
+      if (a(r, c) != b(r, c)) cols.insert(c);
+    }
+  }
+  return cols;
+}
+
+TEST(RowRand, TouchesExactlyOneRow) {
+  RowRandMutation strategy;
+  util::Rng rng(1);
+  const auto original = gradient_image();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mutant = strategy.mutate(original, rng);
+    const auto rows = touched_rows(original, mutant);
+    EXPECT_EQ(rows.size(), 1u);
+    // Most pixels in that row should change (clamping may fix a few).
+    const auto row = *rows.begin();
+    std::size_t changed = 0;
+    for (std::size_t c = 0; c < original.width(); ++c) {
+      changed += original(row, c) != mutant(row, c);
+    }
+    EXPECT_GT(changed, original.width() / 2);
+  }
+}
+
+TEST(RowRand, DeltasRespectAmplitude) {
+  RowRandMutation strategy(LineNoiseParams{10});
+  util::Rng rng(2);
+  const auto original = gradient_image();
+  const auto mutant = strategy.mutate(original, rng);
+  for (std::size_t r = 0; r < original.height(); ++r) {
+    for (std::size_t c = 0; c < original.width(); ++c) {
+      const int delta = std::abs(static_cast<int>(original(r, c)) -
+                                 static_cast<int>(mutant(r, c)));
+      EXPECT_LE(delta, 10);
+    }
+  }
+}
+
+TEST(ColRand, TouchesExactlyOneColumn) {
+  ColRandMutation strategy;
+  util::Rng rng(3);
+  const auto original = gradient_image();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mutant = strategy.mutate(original, rng);
+    EXPECT_EQ(touched_cols(original, mutant).size(), 1u);
+  }
+}
+
+TEST(RowColRand, MixesRowsAndColumns) {
+  RowColRandMutation strategy;
+  util::Rng rng(4);
+  const auto original = gradient_image();
+  int row_hits = 0;
+  int col_hits = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto mutant = strategy.mutate(original, rng);
+    const auto rows = touched_rows(original, mutant);
+    const auto cols = touched_cols(original, mutant);
+    if (rows.size() == 1 && cols.size() > 1) ++row_hits;
+    if (cols.size() == 1 && rows.size() > 1) ++col_hits;
+  }
+  EXPECT_GT(row_hits, 10);
+  EXPECT_GT(col_hits, 10);
+}
+
+TEST(LineNoise, RejectsBadAmplitude) {
+  EXPECT_THROW(RowRandMutation(LineNoiseParams{0}), std::invalid_argument);
+  EXPECT_THROW(ColRandMutation(LineNoiseParams{-3}), std::invalid_argument);
+}
+
+TEST(RandNoise, TouchesAtMostConfiguredPixels) {
+  RandNoiseMutation strategy(RandNoiseMutation::Params{5, 20});
+  util::Rng rng(5);
+  const auto original = gradient_image();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mutant = strategy.mutate(original, rng);
+    EXPECT_LE(original.count_diff(mutant), 5u);
+    EXPECT_GE(original.count_diff(mutant), 1u);
+  }
+}
+
+TEST(RandNoise, DeltasRespectAmplitude) {
+  RandNoiseMutation strategy(RandNoiseMutation::Params{8, 15});
+  util::Rng rng(6);
+  const auto original = gradient_image();
+  const auto mutant = strategy.mutate(original, rng);
+  for (std::size_t r = 0; r < original.height(); ++r) {
+    for (std::size_t c = 0; c < original.width(); ++c) {
+      EXPECT_LE(std::abs(static_cast<int>(original(r, c)) -
+                         static_cast<int>(mutant(r, c))),
+                15);
+    }
+  }
+}
+
+TEST(RandNoise, PixelCountClampsToImageSize) {
+  RandNoiseMutation strategy(RandNoiseMutation::Params{1000, 5});
+  util::Rng rng(7);
+  const data::Image tiny(3, 3, 128);
+  EXPECT_NO_THROW(strategy.mutate(tiny, rng));
+}
+
+TEST(RandNoise, RejectsBadParams) {
+  EXPECT_THROW(RandNoiseMutation(RandNoiseMutation::Params{0, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(RandNoiseMutation(RandNoiseMutation::Params{3, 0}),
+               std::invalid_argument);
+}
+
+TEST(GaussNoise, PerturbssMostPixelsSlightly) {
+  GaussNoiseMutation strategy(GaussNoiseMutation::Params{3.0});
+  util::Rng rng(8);
+  const auto original = gradient_image();
+  const auto mutant = strategy.mutate(original, rng);
+  const auto changed = original.count_diff(mutant);
+  // sigma=3: the majority of pixels move by at least one level.
+  EXPECT_GT(changed, original.size() / 3);
+  // ... but each by a small amount.
+  int max_delta = 0;
+  for (std::size_t r = 0; r < original.height(); ++r) {
+    for (std::size_t c = 0; c < original.width(); ++c) {
+      max_delta = std::max(max_delta,
+                           std::abs(static_cast<int>(original(r, c)) -
+                                    static_cast<int>(mutant(r, c))));
+    }
+  }
+  EXPECT_LT(max_delta, 20);  // ~6 sigma
+}
+
+TEST(GaussNoise, RejectsNonPositiveSigma) {
+  EXPECT_THROW(GaussNoiseMutation(GaussNoiseMutation::Params{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(GaussNoiseMutation(GaussNoiseMutation::Params{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Shift, PreservesPixelValuesModuloCropping) {
+  // Shift never modifies values: every nonzero pixel of the mutant must
+  // exist in the original (shift only relocates and crops).
+  ShiftMutation strategy;
+  util::Rng rng(9);
+  const auto original = gradient_image(10, 10);
+  const auto mutant = strategy.mutate(original, rng);
+  std::multiset<int> original_values;
+  for (const auto px : original.pixels()) original_values.insert(px);
+  for (const auto px : mutant.pixels()) {
+    if (px == 0) continue;  // background fill is indistinguishable from 0
+    EXPECT_TRUE(original_values.count(px) > 0);
+  }
+}
+
+TEST(Shift, DirectionalShiftsMoveContentExactly) {
+  data::Image img(4, 4, 0);
+  img(1, 1) = 100;
+  {
+    const auto right = ShiftMutation::shift(img, ShiftMutation::Direction::kRight);
+    EXPECT_EQ(right(1, 2), 100);
+    EXPECT_EQ(right(1, 1), 0);
+  }
+  {
+    const auto left = ShiftMutation::shift(img, ShiftMutation::Direction::kLeft);
+    EXPECT_EQ(left(1, 0), 100);
+  }
+  {
+    const auto up = ShiftMutation::shift(img, ShiftMutation::Direction::kUp);
+    EXPECT_EQ(up(0, 1), 100);
+  }
+  {
+    const auto down = ShiftMutation::shift(img, ShiftMutation::Direction::kDown);
+    EXPECT_EQ(down(2, 1), 100);
+  }
+}
+
+TEST(Shift, ContentCroppedAtEdgeDisappears) {
+  data::Image img(3, 3, 0);
+  img(0, 0) = 50;
+  const auto up = ShiftMutation::shift(img, ShiftMutation::Direction::kUp);
+  for (const auto px : up.pixels()) EXPECT_EQ(px, 0);
+}
+
+TEST(Shift, InverseShiftsRestoreInteriorContent) {
+  data::Image img(5, 5, 0);
+  img(2, 2) = 77;
+  const auto there = ShiftMutation::shift(img, ShiftMutation::Direction::kRight);
+  const auto back = ShiftMutation::shift(there, ShiftMutation::Direction::kLeft);
+  EXPECT_EQ(back, img);
+}
+
+TEST(Composite, RejectsEmptyOrNull) {
+  EXPECT_THROW(CompositeMutation({}), std::invalid_argument);
+  std::vector<std::shared_ptr<const MutationStrategy>> with_null{nullptr};
+  EXPECT_THROW(CompositeMutation(std::move(with_null)), std::invalid_argument);
+}
+
+TEST(Composite, NameJoinsParts) {
+  std::vector<std::shared_ptr<const MutationStrategy>> parts;
+  parts.push_back(std::make_shared<GaussNoiseMutation>());
+  parts.push_back(std::make_shared<ShiftMutation>());
+  const CompositeMutation joint(std::move(parts));
+  EXPECT_EQ(joint.name(), "gauss+shift");
+}
+
+TEST(Composite, DelegatesToItsParts) {
+  std::vector<std::shared_ptr<const MutationStrategy>> parts;
+  parts.push_back(std::make_shared<RowRandMutation>());
+  parts.push_back(std::make_shared<ColRandMutation>());
+  const CompositeMutation joint(std::move(parts));
+  util::Rng rng(10);
+  const auto original = gradient_image();
+  int rows = 0;
+  int cols = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto mutant = joint.mutate(original, rng);
+    rows += touched_rows(original, mutant).size() == 1;
+    cols += touched_cols(original, mutant).size() == 1;
+  }
+  EXPECT_GT(rows, 5);
+  EXPECT_GT(cols, 5);
+}
+
+TEST(Factory, BuildsEveryListedStrategy) {
+  for (const auto& name : strategy_names()) {
+    const auto strategy = make_strategy(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(strategy->name(), name);
+  }
+}
+
+TEST(Factory, BuildsComposites) {
+  const auto joint = make_strategy("gauss+shift+rand");
+  EXPECT_EQ(joint->name(), "gauss+shift+rand");
+}
+
+TEST(Factory, RejectsUnknownAndMalformedNames) {
+  EXPECT_THROW(make_strategy("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("gauss+"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("+gauss"), std::invalid_argument);
+  EXPECT_THROW(make_strategy(""), std::invalid_argument);
+}
+
+// Contract sweep: every strategy preserves shape, never aliases its input,
+// and is deterministic given the same Rng state.
+class StrategyContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StrategyContract, PreservesShapeAndInput) {
+  const auto strategy = make_strategy(GetParam());
+  const auto original = gradient_image();
+  const auto copy = original;
+  util::Rng rng(11);
+  const auto mutant = strategy->mutate(original, rng);
+  EXPECT_EQ(original, copy) << "mutate() must not modify its input";
+  EXPECT_EQ(mutant.width(), original.width());
+  EXPECT_EQ(mutant.height(), original.height());
+  EXPECT_NE(mutant, original) << "mutant should differ";
+}
+
+TEST_P(StrategyContract, DeterministicGivenRngState) {
+  const auto strategy = make_strategy(GetParam());
+  const auto original = gradient_image();
+  util::Rng a(12);
+  util::Rng b(12);
+  EXPECT_EQ(strategy->mutate(original, a), strategy->mutate(original, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyContract,
+                         ::testing::Values("row_rand", "col_rand",
+                                           "row_col_rand", "rand", "gauss",
+                                           "shift", "gauss+shift"));
+
+}  // namespace
+}  // namespace hdtest::fuzz

@@ -1,0 +1,272 @@
+// Tests for hdc/encoder: the paper's pixel encoding, the incremental delta
+// re-encoder (must match full encoding bit-for-bit), and the n-gram text
+// encoder used by the language extension.
+
+#include "hdc/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synthetic_digits.hpp"
+
+namespace hdtest::hdc {
+namespace {
+
+ModelConfig small_config(std::size_t dim = 512) {
+  ModelConfig config;
+  config.dim = dim;
+  config.seed = 2024;
+  return config;
+}
+
+data::Image random_image(std::size_t w, std::size_t h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Image img(w, h, 0);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return img;
+}
+
+TEST(PixelEncoder, MemoriesHaveExpectedShapes) {
+  const PixelEncoder enc(small_config(), 8, 6);
+  EXPECT_EQ(enc.width(), 8u);
+  EXPECT_EQ(enc.height(), 6u);
+  EXPECT_EQ(enc.position_memory().count(), 48u);
+  EXPECT_EQ(enc.value_memory().count(), 256u);
+  EXPECT_EQ(enc.dim(), 512u);
+}
+
+TEST(PixelEncoder, RejectsZeroShapeAndBadConfig) {
+  EXPECT_THROW(PixelEncoder(small_config(), 0, 5), std::invalid_argument);
+  EXPECT_THROW(PixelEncoder(small_config(), 5, 0), std::invalid_argument);
+  ModelConfig bad;
+  bad.dim = 0;
+  EXPECT_THROW(PixelEncoder(bad, 4, 4), std::invalid_argument);
+}
+
+TEST(PixelEncoder, EncodeIsDeterministic) {
+  const PixelEncoder enc(small_config(), 8, 8);
+  const auto img = random_image(8, 8, 1);
+  EXPECT_EQ(enc.encode(img), enc.encode(img));
+}
+
+TEST(PixelEncoder, EncodeChecksShape) {
+  const PixelEncoder enc(small_config(), 8, 8);
+  EXPECT_THROW(enc.encode(data::Image(7, 8, 0)), std::invalid_argument);
+}
+
+TEST(PixelEncoder, DifferentSeedsGiveDifferentEncodings) {
+  auto c1 = small_config();
+  auto c2 = small_config();
+  c2.seed = 9999;
+  const PixelEncoder e1(c1, 6, 6);
+  const PixelEncoder e2(c2, 6, 6);
+  const auto img = random_image(6, 6, 2);
+  EXPECT_NE(e1.encode(img), e2.encode(img));
+}
+
+TEST(PixelEncoder, PixelHvIsBindOfPositionAndValue) {
+  const PixelEncoder enc(small_config(), 4, 4);
+  const auto expected = bind(enc.position_memory().at(5),
+                             enc.value_memory().at(100));
+  EXPECT_EQ(enc.pixel_hv(5, 100), expected);
+}
+
+TEST(PixelEncoder, EncodeIntoMatchesEncode) {
+  const PixelEncoder enc(small_config(), 5, 5);
+  const auto img = random_image(5, 5, 3);
+  Accumulator acc(512);
+  enc.encode_into(img, acc);
+  EXPECT_EQ(acc.bipolarize(enc.tie_break()), enc.encode(img));
+}
+
+TEST(PixelEncoder, EncodeIntoChecksAccumulatorDim) {
+  const PixelEncoder enc(small_config(), 5, 5);
+  Accumulator acc(100);
+  EXPECT_THROW(enc.encode_into(data::Image(5, 5, 0), acc),
+               std::invalid_argument);
+}
+
+TEST(PixelEncoder, ValueIndexIdentityAt256Levels) {
+  const PixelEncoder enc(small_config(), 4, 4);
+  EXPECT_EQ(enc.value_index(0), 0u);
+  EXPECT_EQ(enc.value_index(255), 255u);
+  EXPECT_EQ(enc.value_index(100), 100u);
+}
+
+TEST(PixelEncoder, ValueIndexQuantizesUniformly) {
+  auto config = small_config();
+  config.value_levels = 16;
+  const PixelEncoder enc(config, 4, 4);
+  EXPECT_EQ(enc.value_index(0), 0u);
+  EXPECT_EQ(enc.value_index(15), 0u);
+  EXPECT_EQ(enc.value_index(16), 1u);
+  EXPECT_EQ(enc.value_index(255), 15u);
+}
+
+TEST(PixelEncoder, SimilarImagesEncodeSimilarly) {
+  // Changing one pixel of 64 leaves the query HV highly correlated.
+  const PixelEncoder enc(small_config(4096), 8, 8);
+  const auto img = random_image(8, 8, 4);
+  auto mutated = img;
+  mutated(3, 3) = static_cast<std::uint8_t>(mutated(3, 3) ^ 0xff);
+  // One of 64 pixel HVs is re-randomized: expected cosine ~ 63/64 = 0.984,
+  // minus bipolarization noise. 0.85 is a comfortable 5-sigma bound.
+  EXPECT_GT(cosine(enc.encode(img), enc.encode(mutated)), 0.85);
+}
+
+TEST(PixelEncoder, VeryDifferentImagesEncodeDissimilarly) {
+  const PixelEncoder enc(small_config(4096), 8, 8);
+  const auto a = random_image(8, 8, 5);
+  const auto b = random_image(8, 8, 6);
+  EXPECT_LT(cosine(enc.encode(a), enc.encode(b)), 0.3);
+}
+
+TEST(IncrementalEncoder, RequiresRebaseBeforeUse) {
+  const PixelEncoder enc(small_config(), 4, 4);
+  IncrementalPixelEncoder inc(enc);
+  EXPECT_FALSE(inc.has_base());
+  EXPECT_THROW(inc.encode_mutant(data::Image(4, 4, 0)), std::logic_error);
+}
+
+TEST(IncrementalEncoder, MatchesFullEncodeOnIdenticalImage) {
+  const PixelEncoder enc(small_config(), 6, 6);
+  IncrementalPixelEncoder inc(enc);
+  const auto img = random_image(6, 6, 7);
+  inc.rebase(img);
+  EXPECT_EQ(inc.encode_mutant(img), enc.encode(img));
+  EXPECT_EQ(inc.last_delta_count(), 0u);
+}
+
+TEST(IncrementalEncoder, MatchesFullEncodeOnSparseMutation) {
+  const PixelEncoder enc(small_config(), 8, 8);
+  IncrementalPixelEncoder inc(enc);
+  const auto base = random_image(8, 8, 8);
+  inc.rebase(base);
+  auto mutant = base;
+  mutant(0, 0) = 13;
+  mutant(7, 7) = 222;
+  mutant(3, 5) = 0;
+  EXPECT_EQ(inc.encode_mutant(mutant), enc.encode(mutant));
+  EXPECT_LE(inc.last_delta_count(), 3u);
+}
+
+TEST(IncrementalEncoder, MatchesFullEncodeOnTotalRewrite) {
+  const PixelEncoder enc(small_config(), 8, 8);
+  IncrementalPixelEncoder inc(enc);
+  inc.rebase(random_image(8, 8, 9));
+  const auto different = random_image(8, 8, 10);
+  EXPECT_EQ(inc.encode_mutant(different), enc.encode(different));
+}
+
+TEST(IncrementalEncoder, RebaseSwitchesBase) {
+  const PixelEncoder enc(small_config(), 5, 5);
+  IncrementalPixelEncoder inc(enc);
+  const auto first = random_image(5, 5, 11);
+  const auto second = random_image(5, 5, 12);
+  inc.rebase(first);
+  inc.rebase(second);
+  auto mutant = second;
+  mutant(2, 2) = 99;
+  EXPECT_EQ(inc.encode_mutant(mutant), enc.encode(mutant));
+}
+
+TEST(IncrementalEncoder, ShapeMismatchThrows) {
+  const PixelEncoder enc(small_config(), 5, 5);
+  IncrementalPixelEncoder inc(enc);
+  inc.rebase(data::Image(5, 5, 0));
+  EXPECT_THROW(inc.encode_mutant(data::Image(4, 5, 0)), std::invalid_argument);
+}
+
+TEST(IncrementalEncoder, QuantizedValueChangesBelowResolutionAreFree) {
+  // With 16 levels, gray 0 -> 3 maps to the same level: the HV is unchanged.
+  auto config = small_config();
+  config.value_levels = 16;
+  const PixelEncoder enc(config, 4, 4);
+  IncrementalPixelEncoder inc(enc);
+  const data::Image base(4, 4, 0);
+  inc.rebase(base);
+  auto mutant = base;
+  mutant(1, 1) = 3;
+  EXPECT_EQ(inc.encode_mutant(mutant), enc.encode(base));
+}
+
+// Property sweep over random mutation batches: incremental == full, always.
+class IncrementalSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSweep, AgreesWithFullEncode) {
+  const PixelEncoder enc(small_config(1024), 10, 10);
+  IncrementalPixelEncoder inc(enc);
+  util::Rng rng(GetParam());
+  const auto base = random_image(10, 10, GetParam());
+  inc.rebase(base);
+  auto mutant = base;
+  const auto flips = 1 + rng.uniform_u64(30);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const auto row = static_cast<std::size_t>(rng.uniform_u64(10));
+    const auto col = static_cast<std::size_t>(rng.uniform_u64(10));
+    mutant(row, col) = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  EXPECT_EQ(inc.encode_mutant(mutant), enc.encode(mutant));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, IncrementalSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(NGramTextEncoder, ValidatesConstruction) {
+  EXPECT_THROW(NGramTextEncoder(small_config(), "", 3), std::invalid_argument);
+  EXPECT_THROW(NGramTextEncoder(small_config(), "ab", 0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(NGramTextEncoder(small_config(), "ab", 2));
+}
+
+TEST(NGramTextEncoder, DeterministicAndSeedSensitive) {
+  const NGramTextEncoder enc(small_config(), "abc", 2);
+  EXPECT_EQ(enc.encode("abcabc"), enc.encode("abcabc"));
+  auto other_config = small_config();
+  other_config.seed = 777;
+  const NGramTextEncoder enc2(other_config, "abc", 2);
+  EXPECT_NE(enc.encode("abcabc"), enc2.encode("abcabc"));
+}
+
+TEST(NGramTextEncoder, RejectsForeignCharacters) {
+  const NGramTextEncoder enc(small_config(), "abc", 2);
+  EXPECT_THROW(enc.encode("abxc"), std::invalid_argument);
+}
+
+TEST(NGramTextEncoder, ShortTextYieldsEmptyBundleSigns) {
+  const NGramTextEncoder enc(small_config(), "abc", 3);
+  // Text shorter than n has no grams; result is the tie-break pattern and
+  // must at least be a valid bipolar HV of the right dimension.
+  const auto hv = enc.encode("ab");
+  EXPECT_EQ(hv.dim(), 512u);
+}
+
+TEST(NGramTextEncoder, SimilarTextsAreCloserThanDissimilar) {
+  const NGramTextEncoder enc(small_config(8192), "abcdefgh", 3);
+  const auto a1 = enc.encode("abcdabcdabcdabcdabcd");
+  const auto a2 = enc.encode("abcdabcdabcdabcdabce");  // one edit
+  const auto b = enc.encode("efghefghefghefghefgh");   // disjoint grams
+  EXPECT_GT(cosine(a1, a2), cosine(a1, b));
+  EXPECT_GT(cosine(a1, a2), 0.5);
+  EXPECT_LT(std::abs(cosine(a1, b)), 0.2);
+}
+
+TEST(NGramTextEncoder, OrderMatters) {
+  // Permute-bind encodes order: "ab" grams differ from "ba" grams.
+  const NGramTextEncoder enc(small_config(8192), "ab", 2);
+  const auto ab = enc.encode("abababababababab");
+  const auto ba = enc.encode("babababababababa");
+  EXPECT_LT(cosine(ab, ba), 0.9);
+}
+
+TEST(NGramTextEncoder, UnigramOrderIsBagOfSymbols) {
+  const NGramTextEncoder enc(small_config(4096), "abc", 1);
+  EXPECT_GT(cosine(enc.encode("aabbcc"), enc.encode("ccbbaa")), 0.99);
+}
+
+}  // namespace
+}  // namespace hdtest::hdc

@@ -1,0 +1,114 @@
+// Tests for hdc/item_memory: codebook generation strategies.
+
+#include "hdc/item_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::hdc {
+namespace {
+
+TEST(ItemMemory, RejectsZeroCountOrDim) {
+  EXPECT_THROW(ItemMemory(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(ItemMemory(10, 0, 1), std::invalid_argument);
+}
+
+TEST(ItemMemory, SizesAndAccessors) {
+  const ItemMemory mem(5, 64, 7);
+  EXPECT_EQ(mem.count(), 5u);
+  EXPECT_EQ(mem.dim(), 64u);
+  EXPECT_EQ(mem.strategy(), ValueStrategy::kRandom);
+  EXPECT_EQ(mem.at(0).dim(), 64u);
+  EXPECT_THROW((void)mem.at(5), std::out_of_range);
+  EXPECT_EQ(&mem[3], &mem.at(3));
+}
+
+TEST(ItemMemory, DeterministicInSeed) {
+  const ItemMemory a(10, 128, 42);
+  const ItemMemory b(10, 128, 42);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(ItemMemory, DifferentSeedsDiffer) {
+  const ItemMemory a(4, 128, 1);
+  const ItemMemory b(4, 128, 2);
+  EXPECT_NE(a.at(0), b.at(0));
+}
+
+TEST(ItemMemory, GrowingCountPreservesPrefix) {
+  // Each entry derives from its own child stream, so adding entries must not
+  // change existing ones (stability across configuration changes).
+  const ItemMemory small(4, 64, 9, ValueStrategy::kRandom);
+  const ItemMemory large(8, 64, 9, ValueStrategy::kRandom);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(small.at(i), large.at(i));
+}
+
+TEST(ItemMemoryRandom, EntriesAreMutuallyQuasiOrthogonal) {
+  const ItemMemory mem(8, 10000, 3, ValueStrategy::kRandom);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      EXPECT_LT(std::abs(cosine(mem.at(i), mem.at(j))), 0.05)
+          << "entries " << i << ", " << j;
+    }
+  }
+}
+
+TEST(ItemMemoryLevel, SimilarityDecaysWithLevelDistance) {
+  const ItemMemory mem(16, 8192, 5, ValueStrategy::kLevel);
+  // Adjacent levels nearly identical; endpoints near-orthogonal.
+  EXPECT_GT(cosine(mem.at(0), mem.at(1)), 0.85);
+  EXPECT_GT(cosine(mem.at(0), mem.at(4)), cosine(mem.at(0), mem.at(12)));
+  EXPECT_LT(std::abs(cosine(mem.at(0), mem.at(15))), 0.1);
+}
+
+TEST(ItemMemoryLevel, MonotonicDecayFromLevelZero) {
+  const ItemMemory mem(8, 8192, 11, ValueStrategy::kLevel);
+  double previous = 1.1;
+  for (std::size_t level = 0; level < 8; ++level) {
+    const double sim = cosine(mem.at(0), mem.at(level));
+    EXPECT_LE(sim, previous + 1e-9) << "level " << level;
+    previous = sim;
+  }
+}
+
+TEST(ItemMemoryLevel, SingleEntryIsFine) {
+  const ItemMemory mem(1, 64, 1, ValueStrategy::kLevel);
+  EXPECT_EQ(mem.count(), 1u);
+}
+
+TEST(ItemMemoryThermometer, EndpointsAreAllMinusAndAllPlus) {
+  const ItemMemory mem(5, 100, 13, ValueStrategy::kThermometer);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(mem.at(0)[i], -1);
+    EXPECT_EQ(mem.at(4)[i], 1);
+  }
+}
+
+TEST(ItemMemoryThermometer, PlusCountGrowsLinearly) {
+  const ItemMemory mem(5, 100, 13, ValueStrategy::kThermometer);
+  auto plus_count = [&](std::size_t level) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < 100; ++i) count += mem.at(level)[i] == 1;
+    return count;
+  };
+  EXPECT_EQ(plus_count(0), 0u);
+  EXPECT_EQ(plus_count(1), 25u);
+  EXPECT_EQ(plus_count(2), 50u);
+  EXPECT_EQ(plus_count(3), 75u);
+  EXPECT_EQ(plus_count(4), 100u);
+}
+
+TEST(ItemMemoryThermometer, SimilarityDecaysMonotonically) {
+  const ItemMemory mem(9, 1024, 17, ValueStrategy::kThermometer);
+  double previous = 1.1;
+  for (std::size_t level = 0; level < 9; ++level) {
+    const double sim = cosine(mem.at(0), mem.at(level));
+    EXPECT_LE(sim, previous + 1e-9);
+    previous = sim;
+  }
+}
+
+}  // namespace
+}  // namespace hdtest::hdc

@@ -1,0 +1,112 @@
+// Tests for the packed associative-memory fast path: predict_packed /
+// similarities_packed must rank identically to the dense reference path.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/synthetic_digits.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdtest::hdc {
+namespace {
+
+AssociativeMemory small_am(std::size_t classes, std::size_t dim,
+                           Similarity sim = Similarity::kCosine) {
+  AssociativeMemory am(classes, dim, 13, sim);
+  util::Rng rng(7);
+  for (std::size_t c = 0; c < classes; ++c) {
+    am.add(c, Hypervector::random(dim, rng));
+    am.add(c, Hypervector::random(dim, rng));
+  }
+  am.finalize();
+  return am;
+}
+
+TEST(PackedAm, RequiresFinalization) {
+  AssociativeMemory am(2, 64, 1);
+  util::Rng rng(1);
+  const auto query = PackedHv::random(64, rng);
+  EXPECT_THROW((void)am.predict_packed(query), std::logic_error);
+  EXPECT_THROW((void)am.similarities_packed(query), std::logic_error);
+}
+
+TEST(PackedAm, SimilaritiesMatchDenseExactly) {
+  const auto am = small_am(5, 1024);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto dense_query = Hypervector::random(1024, rng);
+    const auto packed_query = PackedHv::from_dense(dense_query);
+    const auto dense_sims = am.similarities(dense_query);
+    const auto packed_sims = am.similarities_packed(packed_query);
+    ASSERT_EQ(dense_sims.size(), packed_sims.size());
+    for (std::size_t c = 0; c < dense_sims.size(); ++c) {
+      EXPECT_DOUBLE_EQ(dense_sims[c], packed_sims[c]) << "class " << c;
+    }
+  }
+}
+
+TEST(PackedAm, PredictionsMatchDenseAtOddDimensions) {
+  // Odd dims exercise the packed tail-word handling.
+  for (const std::size_t dim : {63u, 65u, 1000u, 4097u}) {
+    const auto am = small_am(4, dim);
+    util::Rng rng(dim);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto query = Hypervector::random(dim, rng);
+      EXPECT_EQ(am.predict(query),
+                am.predict_packed(PackedHv::from_dense(query)))
+          << "dim " << dim;
+    }
+  }
+}
+
+TEST(PackedAm, HammingMetricAlsoMatches) {
+  const auto am = small_am(3, 512, Similarity::kHamming);
+  util::Rng rng(9);
+  const auto query = Hypervector::random(512, rng);
+  const auto dense = am.similarities(query);
+  const auto packed = am.similarities_packed(PackedHv::from_dense(query));
+  for (std::size_t c = 0; c < dense.size(); ++c) {
+    EXPECT_DOUBLE_EQ(dense[c], packed[c]);
+  }
+  EXPECT_EQ(am.predict(query), am.predict_packed(PackedHv::from_dense(query)));
+}
+
+TEST(PackedAm, RefinalizeRefreshesPackedCache) {
+  AssociativeMemory am(2, 2048, 3);
+  util::Rng rng(4);
+  const auto a = Hypervector::random(2048, rng);
+  const auto b = Hypervector::random(2048, rng);
+  am.add(0, a);
+  am.add(1, b);
+  am.finalize();
+  EXPECT_EQ(am.predict_packed(PackedHv::from_dense(a)), 0u);
+
+  // Retrain so class 1 absorbs `a` strongly; the packed cache must follow.
+  am.add(1, a);
+  am.add(1, a);
+  am.add(1, a);
+  am.add(0, a, -1);
+  am.add(0, a, -1);
+  am.finalize();
+  EXPECT_EQ(am.predict_packed(PackedHv::from_dense(a)),
+            am.predict(a));
+}
+
+TEST(PackedAm, EndToEndClassifierAgreement) {
+  // Full-model check: packed predictions agree with dense across a test set.
+  ModelConfig config;
+  config.dim = 2048;
+  config.seed = 55;
+  const auto pair = data::make_digit_train_test(20, 6, 717);
+  HdcClassifier model(config, 28, 28, 10);
+  model.fit(pair.train);
+  for (const auto& image : pair.test.images) {
+    const auto query = model.encode(image);
+    EXPECT_EQ(model.am().predict_packed(PackedHv::from_dense(query)),
+              model.predict_encoded(query));
+  }
+}
+
+}  // namespace
+}  // namespace hdtest::hdc

@@ -1,0 +1,181 @@
+// Tests for hdc/ts_encoder: the spatio-temporal biosignal encoder and the
+// gesture classifier built on it.
+
+#include "hdc/ts_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::hdc {
+namespace {
+
+ModelConfig gesture_config(std::size_t dim = 2048) {
+  ModelConfig config;
+  config.dim = dim;
+  config.seed = 17;
+  config.value_levels = 16;
+  config.value_strategy = ValueStrategy::kLevel;
+  return config;
+}
+
+data::Signal flat_signal(std::size_t channels, std::size_t steps,
+                         std::uint8_t level) {
+  return data::Signal(channels, steps, level);
+}
+
+TEST(TimeSeriesEncoder, ValidatesConstruction) {
+  EXPECT_THROW(TimeSeriesEncoder(gesture_config(), 0, 16), std::invalid_argument);
+  EXPECT_THROW(TimeSeriesEncoder(gesture_config(), 4, 0), std::invalid_argument);
+  EXPECT_THROW(TimeSeriesEncoder(gesture_config(), 4, 16, 0),
+               std::invalid_argument);
+  EXPECT_THROW(TimeSeriesEncoder(gesture_config(), 4, 16, 17),
+               std::invalid_argument);
+  EXPECT_NO_THROW(TimeSeriesEncoder(gesture_config(), 4, 16, 16));
+}
+
+TEST(TimeSeriesEncoder, EncodeChecksShapeAndIsDeterministic) {
+  const TimeSeriesEncoder enc(gesture_config(), 4, 16, 3);
+  const auto s = flat_signal(4, 16, 100);
+  EXPECT_EQ(enc.encode(s), enc.encode(s));
+  EXPECT_EQ(enc.encode(s).dim(), 2048u);
+  EXPECT_THROW((void)enc.encode(flat_signal(3, 16, 0)), std::invalid_argument);
+  EXPECT_THROW((void)enc.encode(flat_signal(4, 15, 0)), std::invalid_argument);
+}
+
+TEST(TimeSeriesEncoder, SimilarSignalsEncodeSimilarly) {
+  const TimeSeriesEncoder enc(gesture_config(4096), 4, 32, 3);
+  auto a = flat_signal(4, 32, 100);
+  auto b = a;
+  b.set(2, 10, 110);  // one sample nudged by < one quantization step is free;
+  b.set(2, 11, 160);  // a level-crossing change perturbs a few windows only
+  EXPECT_GT(cosine(enc.encode(a), enc.encode(b)), 0.6);
+}
+
+TEST(TimeSeriesEncoder, DifferentSignalsEncodeDissimilarly) {
+  // Under a *random* value memory distinct amplitudes are orthogonal, so two
+  // random signals must decorrelate. (Under kLevel they deliberately stay
+  // ~0.65 similar per level pair — that is the point of level encoding, and
+  // LevelEncodingKeepsRandomSignalsRelated covers it.)
+  auto config = gesture_config(4096);
+  config.value_strategy = ValueStrategy::kRandom;
+  config.value_levels = 256;
+  const TimeSeriesEncoder enc(config, 4, 32, 3);
+  util::Rng rng(3);
+  data::Signal a(4, 32, 0);
+  data::Signal b(4, 32, 0);
+  for (auto& v : a.samples) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  for (auto& v : b.samples) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  EXPECT_LT(cosine(enc.encode(a), enc.encode(b)), 0.3);
+}
+
+TEST(TimeSeriesEncoder, LevelEncodingKeepsRandomSignalsRelated) {
+  // The flip side of the robustness ablation (E7): level-encoded amplitudes
+  // give *any* two signals substantial baseline similarity, which is what
+  // makes the gesture model resistant to single-shot noise attacks.
+  const TimeSeriesEncoder enc(gesture_config(4096), 4, 32, 3);
+  util::Rng rng(3);
+  data::Signal a(4, 32, 0);
+  data::Signal b(4, 32, 0);
+  for (auto& v : a.samples) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  for (auto& v : b.samples) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  EXPECT_GT(cosine(enc.encode(a), enc.encode(b)), 0.3);
+}
+
+TEST(TimeSeriesEncoder, TimestepHvBundlesChannels) {
+  // With one channel, the timestep HV is that channel's bound pair,
+  // bipolarized — similarity to itself must be exactly 1.
+  const TimeSeriesEncoder enc(gesture_config(), 1, 4, 1);
+  const auto s = flat_signal(1, 4, 42);
+  const auto hv = enc.timestep_hv(s, 0);
+  EXPECT_DOUBLE_EQ(cosine(hv, enc.timestep_hv(s, 1)), 1.0);  // same value
+}
+
+TEST(TimeSeriesEncoder, WindowOrderMatters) {
+  // Reversing a strongly time-asymmetric signal should not give the same HV.
+  const TimeSeriesEncoder enc(gesture_config(4096), 2, 16, 3);
+  data::Signal ramp(2, 16, 0);
+  data::Signal reversed(2, 16, 0);
+  for (std::size_t t = 0; t < 16; ++t) {
+    const auto v = static_cast<std::uint8_t>(t * 16);
+    ramp.set(0, t, v);
+    ramp.set(1, t, v);
+    reversed.set(0, 15 - t, v);
+    reversed.set(1, 15 - t, v);
+  }
+  EXPECT_LT(cosine(enc.encode(ramp), enc.encode(reversed)), 0.9);
+}
+
+class GestureClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GestureStyle style;
+    train_ = new data::SignalDataset(
+        data::make_gesture_dataset(4, 25, 99, style, 0));
+    test_ = new data::SignalDataset(
+        data::make_gesture_dataset(4, 10, 99, style, 1));
+    model_ = new GestureClassifier(gesture_config(), style.channels,
+                                   style.timesteps, 4);
+    model_->fit(*train_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete train_;
+    delete test_;
+  }
+  static const GestureClassifier& model() { return *model_; }
+  static const data::SignalDataset& test_set() { return *test_; }
+  static const data::SignalDataset& train_set() { return *train_; }
+
+ private:
+  static GestureClassifier* model_;
+  static data::SignalDataset* train_;
+  static data::SignalDataset* test_;
+};
+
+GestureClassifier* GestureClassifierTest::model_ = nullptr;
+data::SignalDataset* GestureClassifierTest::train_ = nullptr;
+data::SignalDataset* GestureClassifierTest::test_ = nullptr;
+
+TEST_F(GestureClassifierTest, LearnsTheGestureVocabulary) {
+  EXPECT_GE(model().accuracy(test_set()), 0.8)
+      << "accuracy " << model().accuracy(test_set());
+}
+
+TEST_F(GestureClassifierTest, UntrainedRefusesPredict) {
+  GestureClassifier fresh(gesture_config(), 4, 64, 4);
+  EXPECT_FALSE(fresh.trained());
+  EXPECT_THROW((void)fresh.predict(test_set().signals[0]), std::logic_error);
+}
+
+TEST_F(GestureClassifierTest, FitValidatesInputs) {
+  GestureClassifier fresh(gesture_config(), 4, 64, 4);
+  data::SignalDataset empty;
+  EXPECT_THROW(fresh.fit(empty), std::invalid_argument);
+  data::SignalDataset bad;
+  bad.signals.push_back(data::Signal(4, 64, 0));
+  bad.labels.push_back(7);  // out of range for 4 classes
+  bad.num_classes = 4;
+  EXPECT_THROW(fresh.fit(bad), std::invalid_argument);
+}
+
+TEST_F(GestureClassifierTest, DoubleFitThrows) {
+  GestureClassifier fresh(gesture_config(), 4, 64, 4);
+  fresh.fit(train_set());
+  EXPECT_THROW(fresh.fit(train_set()), std::logic_error);
+}
+
+TEST_F(GestureClassifierTest, SimilarityToClassIsConsistentWithPredict) {
+  const auto& signal = test_set().signals[0];
+  const auto query = model().encode(signal);
+  const auto predicted = model().predict(signal);
+  // The predicted class has the (weakly) highest similarity.
+  const double best = model().similarity_to_class(predicted, query);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GE(best + 1e-12, model().similarity_to_class(c, query));
+  }
+}
+
+}  // namespace
+}  // namespace hdtest::hdc

@@ -1,0 +1,139 @@
+// Tests for util/argparse: flag forms, types, and error behaviour.
+
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hdtest::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("prog", "test program");
+  args.add_flag("dim", "4096", "dimensionality");
+  args.add_flag("name", "gauss", "strategy name");
+  args.add_flag("rate", "0.5", "a ratio");
+  args.add_bool("verbose", "enable chatter");
+  return args;
+}
+
+void parse(ArgParser& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArgs) {
+  auto args = make_parser();
+  parse(args, {});
+  EXPECT_EQ(args.get("name"), "gauss");
+  EXPECT_EQ(args.get_u64("dim"), 4096u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.5);
+  EXPECT_FALSE(args.get_bool("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto args = make_parser();
+  parse(args, {"--dim=128", "--name=shift"});
+  EXPECT_EQ(args.get_u64("dim"), 128u);
+  EXPECT_EQ(args.get("name"), "shift");
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  auto args = make_parser();
+  parse(args, {"--dim", "256"});
+  EXPECT_EQ(args.get_u64("dim"), 256u);
+}
+
+TEST(ArgParser, BoolFlagPresenceSetsTrue) {
+  auto args = make_parser();
+  parse(args, {"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+}
+
+TEST(ArgParser, BoolFlagExplicitValue) {
+  auto args = make_parser();
+  parse(args, {"--verbose=false"});
+  EXPECT_FALSE(args.get_bool("verbose"));
+}
+
+TEST(ArgParser, BoolFlagRejectsJunkValue) {
+  auto args = make_parser();
+  EXPECT_THROW(parse(args, {"--verbose=maybe"}), std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownFlagThrowsWithUsage) {
+  auto args = make_parser();
+  try {
+    parse(args, {"--bogus=1"});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("Flags:"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  auto args = make_parser();
+  EXPECT_THROW(parse(args, {"--dim"}), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpIsRecognizedBothWays) {
+  auto a = make_parser();
+  parse(a, {"--help"});
+  EXPECT_TRUE(a.help_requested());
+  auto b = make_parser();
+  parse(b, {"-h"});
+  EXPECT_TRUE(b.help_requested());
+}
+
+TEST(ArgParser, PositionalsAreCollected) {
+  auto args = make_parser();
+  parse(args, {"input1.pgm", "--dim=8", "input2.pgm"});
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"input1.pgm", "input2.pgm"}));
+}
+
+TEST(ArgParser, NumericConversionErrors) {
+  auto args = make_parser();
+  parse(args, {"--name=not_a_number"});
+  EXPECT_THROW((void)args.get_i64("name"), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("name"), std::invalid_argument);
+}
+
+TEST(ArgParser, TrailingGarbageInNumberThrows) {
+  auto args = make_parser();
+  parse(args, {"--dim=12abc"});
+  EXPECT_THROW((void)args.get_u64("dim"), std::invalid_argument);
+}
+
+TEST(ArgParser, NegativeValueRejectedByU64) {
+  auto args = make_parser();
+  parse(args, {"--dim=-5"});
+  EXPECT_EQ(args.get_i64("dim"), -5);
+  EXPECT_THROW((void)args.get_u64("dim"), std::invalid_argument);
+}
+
+TEST(ArgParser, UnregisteredAccessorThrows) {
+  auto args = make_parser();
+  parse(args, {});
+  EXPECT_THROW((void)args.get("nope"), std::out_of_range);
+}
+
+TEST(ArgParser, WasSetDistinguishesDefaults) {
+  auto args = make_parser();
+  parse(args, {"--dim=8"});
+  EXPECT_TRUE(args.was_set("dim"));
+  EXPECT_FALSE(args.was_set("name"));
+}
+
+TEST(ArgParser, UsageListsAllFlagsAndDefaults) {
+  const auto usage = make_parser().usage();
+  EXPECT_NE(usage.find("--dim"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("default: 4096"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdtest::util

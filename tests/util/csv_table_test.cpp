@@ -1,0 +1,163 @@
+// Tests for util/csv and util/table: escaping, file output, rendering.
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hdtest::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hdtest_csv_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvEscape, EmptyFieldStaysEmpty) { EXPECT_EQ(csv_escape(""), ""); }
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"name", "value"});
+    csv.row("gauss", 2.91);
+    csv.row("rand", 0.58);
+    EXPECT_EQ(csv.rows_written(), 2u);
+    csv.flush();
+  }
+  const auto text = read_file(path_);
+  EXPECT_NE(text.find("name,value"), std::string::npos);
+  EXPECT_NE(text.find("gauss,2.91"), std::string::npos);
+  EXPECT_NE(text.find("rand,0.58"), std::string::npos);
+}
+
+TEST_F(CsvWriterTest, MixedTypesInOneRow) {
+  {
+    CsvWriter csv(path_);
+    csv.row("s", 1, 2.5, std::string("x,y"));
+  }
+  const auto text = read_file(path_);
+  EXPECT_NE(text.find("s,1,2.5,\"x,y\""), std::string::npos);
+}
+
+TEST_F(CsvWriterTest, HeaderAfterRowsThrows) {
+  CsvWriter csv(path_);
+  csv.row("a");
+  EXPECT_THROW(csv.header({"too", "late"}), std::logic_error);
+}
+
+TEST_F(CsvWriterTest, RowStringsEscapes) {
+  {
+    CsvWriter csv(path_);
+    csv.row_strings({"a,b", "c"});
+  }
+  EXPECT_NE(read_file(path_).find("\"a,b\",c"), std::string::npos);
+}
+
+TEST(CsvWriter, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"), std::runtime_error);
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"Metric", "gauss"});
+  t.add_row({"L1", "2.91"});
+  const auto text = t.to_string();
+  EXPECT_NE(text.find("Metric"), std::string::npos);
+  EXPECT_NE(text.find("gauss"), std::string::npos);
+  EXPECT_NE(text.find("2.91"), std::string::npos);
+  EXPECT_NE(text.find("+--"), std::string::npos);  // frame present
+}
+
+TEST(TextTable, RightAlignmentPadsLeft) {
+  TextTable t;
+  t.set_header({"col"});
+  t.set_alignments({Align::kRight});
+  t.add_row({"7"});
+  // Width is 3 ("col"); right-aligned "7" renders as "  7".
+  EXPECT_NE(t.to_string().find("  7 |"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsRenderEmptyCells) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, OverlongRowThrows) {
+  TextTable t;
+  t.set_header({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyTableRendersEmptyString) {
+  TextTable t;
+  EXPECT_EQ(t.to_string(), "");
+}
+
+TEST(TextTable, SeparatorAddsRuleLine) {
+  TextTable t;
+  t.set_header({"h"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const auto text = t.to_string();
+  // Frame: top rule + header rule + separator + bottom = 4 rules.
+  std::size_t rules = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) rules += line.rfind("+-", 0) == 0;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(2.912345, 2), "2.91");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, RowCountTracksDataRows) {
+  TextTable t;
+  t.set_header({"h"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 3u);  // separators counted as structural rows
+}
+
+}  // namespace
+}  // namespace hdtest::util

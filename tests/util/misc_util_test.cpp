@@ -1,0 +1,164 @@
+// Tests for util/thread_pool, util/bitops, util/log, util/timer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace hdtest::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw std::logic_error("13");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ParallelForHelper, SingleWorkerRunsInline) {
+  std::vector<int> order;
+  parallel_for(5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForHelper, MultiWorkerCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(257, 8, [&](std::size_t i) { ++hits[i]; });
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 257);
+}
+
+TEST(Bitops, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(10000), 157u);
+}
+
+TEST(Bitops, TailMask) {
+  EXPECT_EQ(tail_mask(64), ~0ULL);
+  EXPECT_EQ(tail_mask(1), 1ULL);
+  EXPECT_EQ(tail_mask(3), 0b111ULL);
+  EXPECT_EQ(tail_mask(128), ~0ULL);
+}
+
+TEST(Bitops, PopcountSpans) {
+  const std::vector<std::uint64_t> words{0xFFULL, 0x1ULL, 0x0ULL};
+  EXPECT_EQ(popcount(words), 9u);
+}
+
+TEST(Bitops, XorPopcountIsHamming) {
+  const std::vector<std::uint64_t> a{0b1010ULL};
+  const std::vector<std::uint64_t> b{0b0110ULL};
+  EXPECT_EQ(xor_popcount(a, b), 2u);
+}
+
+TEST(Bitops, GetSetBitRoundTrip) {
+  std::vector<std::uint64_t> words(3, 0);
+  set_bit(words, 0, true);
+  set_bit(words, 64, true);
+  set_bit(words, 190, true);
+  EXPECT_TRUE(get_bit(words, 0));
+  EXPECT_TRUE(get_bit(words, 64));
+  EXPECT_TRUE(get_bit(words, 190));
+  EXPECT_FALSE(get_bit(words, 1));
+  set_bit(words, 64, false);
+  EXPECT_FALSE(get_bit(words, 64));
+}
+
+TEST(Log, ParseLevelNamesCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kWarn);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  const auto previous = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(previous);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  const auto previous = log_level();
+  set_log_level(LogLevel::kError);
+  log_debug("invisible ", 42);
+  log_info("also invisible");
+  set_log_level(previous);
+}
+
+TEST(Stopwatch, MeasuresElapsedTimeMonotonically) {
+  Stopwatch watch;
+  const double t1 = watch.seconds();
+  // Busy-wait a tiny amount.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GT(sink, 0.0);
+  const double t2 = watch.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  watch.restart();
+  EXPECT_LT(watch.seconds(), t2 + 1.0);
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_EQ(format_duration(0.0000005), "0 us");
+  EXPECT_NE(format_duration(0.0005).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(0.5).find("ms"), std::string::npos);
+  EXPECT_EQ(format_duration(2.5), "2.50 s");
+  EXPECT_EQ(format_duration(125.0), "2 min 05 s");
+  EXPECT_EQ(format_duration(-3.0), "0 us");  // clamped
+}
+
+}  // namespace
+}  // namespace hdtest::util

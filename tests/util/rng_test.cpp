@@ -1,0 +1,251 @@
+// Tests for util/rng: determinism, distribution sanity, and stream splitting.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hdtest::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, DistinctIndicesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, DistinctMastersGiveDistinctSeeds) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedAccessorReturnsConstructionSeed) {
+  Rng rng(991);
+  EXPECT_EQ(rng.seed(), 991u);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndReproducible) {
+  Rng parent(5);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  Rng c1_again = parent.child(1);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+  Rng c1_b = parent.child(1);
+  EXPECT_EQ(c1_again.next_u64(), c1_b.next_u64());
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 256ull, 1000003ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_u64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformU64BoundOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.uniform_u64(8)];
+  }
+  for (const auto count : counts) {
+    // Expect roughly 1000 each; 5-sigma band.
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform_real(-2.5, 4.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(Rng, GaussianMomentsAreApproximatelyStandardNormal) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianWithParamsScalesAndShifts) {
+  Rng rng(29);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateIsApproximatelyP) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SignIsPlusMinusOneBalanced) {
+  Rng rng(41);
+  int pos = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const int s = rng.sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    pos += s == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleAreNoOps) {
+  Rng rng(47);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(53);
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesFullSetIsPermutation) {
+  Rng rng(59);
+  auto sample = rng.sample_indices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleIndicesRejectsOversizedRequest) {
+  Rng rng(61);
+  EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesZeroOfZeroIsEmpty) {
+  Rng rng(67);
+  EXPECT_TRUE(rng.sample_indices(0, 0).empty());
+}
+
+// Parameterized determinism sweep: any seed reproduces its own stream.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, StreamsReproduce) {
+  Rng a(GetParam());
+  Rng b(GetParam());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST_P(RngSeedSweep, Uniform01MeanIsCentered) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+}  // namespace
+}  // namespace hdtest::util

@@ -1,0 +1,162 @@
+// Tests for util/stats: streaming moments, percentiles, histograms.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdtest::util {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (const auto x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  // Sample variance with n-1 denominator.
+  double ss = 0.0;
+  for (const auto x : xs) ss += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(s.variance(), ss / 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(ss / 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);  // copy into empty
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, ToStringMentionsCount) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_NE(s.to_string().find("n=1"), std::string::npos);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 10, 20, 30, 40. p25 -> rank 0.75 -> 10 + 0.75*10 = 17.5
+  EXPECT_DOUBLE_EQ(percentile({40.0, 10.0, 30.0, 20.0}, 25.0), 17.5);
+}
+
+TEST(Percentile, ExtremesAreMinAndMax) {
+  const std::vector<double> xs{5.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+  EXPECT_EQ(h.count_in_bin(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+}
+
+TEST(Histogram, BinEdgesPartitionTheRange) {
+  Histogram h(2.0, 6.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, BinAccessorsRejectOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count_in_bin(2), std::out_of_range);
+  EXPECT_THROW((void)h.bin_lo(2), std::out_of_range);
+  EXPECT_THROW((void)h.bin_hi(2), std::out_of_range);
+}
+
+TEST(Histogram, ToStringHasOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  const auto text = h.to_string();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace hdtest::util
