@@ -40,6 +40,13 @@ int main() {
   campaign_config.seed = setup.params.seed;
   const auto campaign =
       fuzz::run_campaign(fuzzer, setup.data.test, campaign_config);
+  if (campaign.gave_up) {
+    std::printf("FAILURE: campaign gave up at %zu/%llu adversarials; "
+                "defense numbers would be meaningless\n",
+                campaign.successes(),
+                static_cast<unsigned long long>(target));
+    return 1;
+  }
   const auto pool = defense::collect_adversarials(campaign, 10);
   std::printf("adversarial pool: %zu images (%s)\n\n", pool.size(),
               util::format_duration(campaign.total_seconds).c_str());

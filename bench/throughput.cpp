@@ -7,14 +7,84 @@
 /// images per minute. Absolute numbers are hardware- and dimension-
 /// dependent; the reproduction target is the order of magnitude (hundreds
 /// per minute on commodity hardware).
+///
+/// A second section measures the classification stage in isolation: the
+/// batched packed path (PackedAssocMemory::predict_batch — pack + XOR +
+/// popcount per query) against the per-sample dense path
+/// (AssociativeMemory::predict — one int8 dot per class). This is the
+/// per-mutant cost the fuzz loop pays after its delta re-encode.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/mutation.hpp"
+#include "hdc/packed_assoc_memory.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Packed-vs-dense inference comparison at one dimension. Returns the
+/// speedup (dense time / packed time); clears *ok on any packed/dense
+/// prediction disagreement.
+double bench_packed_inference(std::size_t dim, std::size_t num_queries,
+                              std::size_t reps, hdtest::util::CsvWriter& csv,
+                              bool* ok) {
+  using namespace hdtest;
+  // Class prototypes and queries are random bipolar HVs: the classification
+  // stage only sees finalized +-1 vectors, so this is exactly the shape of
+  // data the fuzz loop queries with.
+  hdc::AssociativeMemory am(10, dim, /*seed=*/99);
+  util::Rng rng(dim);
+  for (std::size_t c = 0; c < am.num_classes(); ++c) {
+    am.add(c, hdc::Hypervector::random(dim, rng));
+  }
+  am.finalize();
+
+  std::vector<hdc::Hypervector> queries;
+  queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(hdc::Hypervector::random(dim, rng));
+  }
+
+  // Per-sample dense path: one dot product per class per query. Labels are
+  // kept (not just summed) so the agreement gate below is exact.
+  std::vector<std::size_t> dense_labels(queries.size());
+  const util::Stopwatch dense_watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      dense_labels[q] = am.predict(queries[q]);
+    }
+  }
+  const double dense_seconds = dense_watch.seconds();
+
+  // Batched packed path: pack each query once, then XOR+popcount sweeps.
+  std::vector<std::size_t> packed_labels;
+  const util::Stopwatch packed_watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    packed_labels = am.packed().predict_batch(queries);
+  }
+  const double packed_seconds = packed_watch.seconds();
+
+  if (dense_labels != packed_labels) {
+    std::printf("ERROR: packed/dense disagreement at dim=%zu\n", dim);
+    *ok = false;
+  }
+  const double total = static_cast<double>(num_queries * reps);
+  const double dense_us = dense_seconds * 1e6 / total;
+  const double packed_us = packed_seconds * 1e6 / total;
+  const double speedup = packed_seconds > 0.0 ? dense_seconds / packed_seconds
+                                              : 0.0;
+  std::printf("  dim=%5zu: dense %8.3f us/query, packed %8.3f us/query"
+              " -> %.1fx\n",
+              dim, dense_us, packed_us, speedup);
+  csv.row(dim, dense_us, packed_us, speedup);
+  return speedup;
+}
+
+}  // namespace
 
 int main() {
   using namespace hdtest;
@@ -63,5 +133,28 @@ int main() {
       "gauss 347/min, rand 263/min — i.e. hundreds per minute with rand\n"
       "slowest. Expect at least the same order of magnitude and rand last.\n");
   std::printf("CSV written to %s/throughput.csv\n", benchutil::out_dir().c_str());
+
+  // --- Batched packed inference vs per-sample dense classification ---
+  const auto queries = benchutil::env_u64("HDTEST_PACKED_QUERIES", 256);
+  const auto reps = benchutil::env_u64("HDTEST_PACKED_REPS", 40);
+  std::printf("\n=== packed predict_batch vs dense per-sample predict ===\n");
+  std::printf("(10 classes, %zu queries x %zu reps per dim)\n", queries, reps);
+  util::CsvWriter packed_csv(benchutil::out_dir() + "/packed_inference.csv");
+  packed_csv.header({"dim", "dense_us_per_query", "packed_us_per_query",
+                     "speedup"});
+  double speedup_8192 = 0.0;
+  bool agreement = true;
+  for (const std::size_t dim : {1024u, 4096u, 8192u, 16384u}) {
+    const auto speedup =
+        bench_packed_inference(dim, queries, reps, packed_csv, &agreement);
+    if (dim == 8192) speedup_8192 = speedup;
+  }
+  std::printf("dim=8192 packed speedup: %.1fx (target: >= 2x)\n", speedup_8192);
+  std::printf("CSV written to %s/packed_inference.csv\n",
+              benchutil::out_dir().c_str());
+  if (!agreement) {
+    std::printf("FAILURE: packed predictions disagreed with the dense path\n");
+    return 1;
+  }
   return 0;
 }

@@ -58,6 +58,15 @@ int main(int argc, char** argv) {
   campaign_config.target_adversarials = args.get_u64("pool");
   campaign_config.seed = seed;
   const auto campaign = fuzz::run_campaign(fuzzer, pair.test, campaign_config);
+  if (campaign.gave_up) {
+    std::fprintf(stderr,
+                 "campaign gave up with %zu/%llu adversarials; pool too small "
+                 "for a meaningful defense run\n",
+                 campaign.successes(),
+                 static_cast<unsigned long long>(
+                     campaign_config.target_adversarials));
+    return 1;
+  }
   const auto pool = defense::collect_adversarials(campaign, 10);
   std::printf("generated %zu adversarial images\n", pool.size());
 

@@ -8,6 +8,7 @@
 ///
 /// Run: ./quickstart [--dim=4096] [--train=100] [--test=50] [--images=20]
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -62,6 +63,24 @@ int main(int argc, char** argv) {
   const auto eval = model.evaluate(pair.test);
   std::printf("clean test accuracy: %.1f%% (%zu/%zu)\n",
               100.0 * eval.accuracy(), eval.correct, eval.total);
+
+  // Batched inference demo: the packed associative-memory path answers the
+  // whole test set in one call, bit-exactly matching per-sample predict()
+  // (spot-checked below against a handful of per-sample calls).
+  util::Stopwatch batch_watch;
+  const auto batch_labels = model.predict_batch(pair.test.images);
+  const double batch_seconds = batch_watch.seconds();
+  std::size_t checked = std::min<std::size_t>(20, batch_labels.size());
+  for (std::size_t i = 0; i < checked; ++i) {
+    if (batch_labels[i] != model.predict(pair.test.images[i])) {
+      std::fprintf(stderr, "packed/dense disagreement on image %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("packed predict_batch over %zu images: %s (bit-exact with "
+              "per-sample predict on %zu spot checks)\n",
+              batch_labels.size(),
+              util::format_duration(batch_seconds).c_str(), checked);
 
   // 3. Fuzz: HDTest with the chosen strategy over a few test images.
   const auto strategy = fuzz::make_strategy(args.get("strategy"));

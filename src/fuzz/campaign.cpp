@@ -145,6 +145,7 @@ CampaignResult run_campaign(const Fuzzer& fuzzer, const data::Dataset& inputs,
       // Safety valve: a model/strategy pair that never yields adversarials
       // must not loop forever.
       if (stream > config.target_adversarials * 1000 + inputs.size() * 100) {
+        result.gave_up = true;
         util::log_warn("run_campaign: giving up before reaching target (",
                        result.successes(), "/", config.target_adversarials, ")");
         break;

@@ -59,6 +59,12 @@ struct CampaignResult {
   double total_seconds = 0.0;
   std::string strategy_name;
 
+  /// True when target-count mode hit its safety valve and stopped before
+  /// reaching target_adversarials. Callers that feed the successes into a
+  /// downstream stage (e.g. the retraining defense) must check this instead
+  /// of silently consuming a short (possibly empty) pool.
+  bool gave_up = false;
+
   [[nodiscard]] std::size_t images_fuzzed() const noexcept {
     return records.size();
   }

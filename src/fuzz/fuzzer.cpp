@@ -54,40 +54,63 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng) const {
   parents.push_back(ScoredSeed{
       input, fitness_of(*model_, outcome.reference_label, reference_query)});
 
+  // The packed snapshot of the associative memory answers the whole mutant
+  // generation with XOR+popcount sweeps (bit-identical to the dense path).
+  const auto& packed_am = model_->am().packed();
+
+  // Per-generation scratch, hoisted out of the loop to reuse allocations.
+  std::vector<data::Image> batch;
+  std::vector<Perturbation> batch_perturbations;
+  std::vector<hdc::Hypervector> batch_queries;
+
   for (std::size_t iter = 0; iter < config_.iter_times; ++iter) {
     ++outcome.iterations;
 
     // Line 6: generate this iteration's seeds from the surviving parents.
-    std::vector<ScoredSeed> candidates;
-    candidates.reserve(config_.seeds_per_iteration);
+    batch.clear();
+    batch_perturbations.clear();
     for (std::size_t s = 0; s < config_.seeds_per_iteration; ++s) {
       const auto& parent = parents[s % parents.size()].image;
       data::Image mutant = strategy_->mutate(parent, rng);
 
       // Paper IV: discard mutants beyond the perturbation threshold.
-      const auto perturbation = measure_perturbation(input, mutant);
+      auto perturbation = measure_perturbation(input, mutant);
       if (!config_.budget.accepts(perturbation)) {
         ++outcome.discarded;
         continue;
       }
+      batch.push_back(std::move(mutant));
+      batch_perturbations.push_back(perturbation);
+    }
 
-      // Line 7: query the HDC model under test.
-      const auto query = encode(mutant);
-      const auto label = model_->predict_encoded(query);
+    // Line 7: query the HDC model under test — the entire surviving
+    // generation in one batched packed pass. fuzz_one itself stays
+    // single-threaded (campaigns already parallelize across inputs).
+    batch_queries.clear();
+    batch_queries.reserve(batch.size());
+    for (const auto& mutant : batch) {
+      batch_queries.push_back(encode(mutant));
+    }
+    const auto labels = packed_am.predict_batch(batch_queries);
 
-      // Line 8: differential check against the reference label.
-      if (label != outcome.reference_label) {
+    // Line 8: differential check against the reference label. Scanning in
+    // generation order returns the same first-flipping mutant as the
+    // original one-at-a-time loop.
+    std::vector<ScoredSeed> candidates;
+    candidates.reserve(batch.size());
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      if (labels[b] != outcome.reference_label) {
         outcome.success = true;
-        outcome.adversarial = std::move(mutant);
-        outcome.adversarial_label = label;
-        outcome.perturbation = perturbation;
+        outcome.adversarial = std::move(batch[b]);
+        outcome.adversarial_label = labels[b];
+        outcome.perturbation = batch_perturbations[b];
         outcome.seconds = watch.seconds();
         return outcome;
       }
-
       candidates.push_back(
-          ScoredSeed{std::move(mutant),
-                     fitness_of(*model_, outcome.reference_label, query)});
+          ScoredSeed{std::move(batch[b]),
+                     fitness_of(*model_, outcome.reference_label,
+                                batch_queries[b])});
     }
 
     // Line 14: continue fuzzing using only the fittest seeds. Parents stay

@@ -63,8 +63,16 @@ struct FuzzOutcome {
   std::size_t adversarial_label = 0;///< HDC(t') when success
   std::size_t iterations = 0;       ///< fuzzing iterations executed
   Perturbation perturbation;        ///< original -> adversarial (when success)
-  std::size_t encodes = 0;          ///< model queries spent (cost metric)
-  std::size_t discarded = 0;        ///< mutants rejected by the budget
+  /// Model queries spent (cost metric). Generations are evaluated as one
+  /// packed batch, so on success this counts every budget-surviving mutant
+  /// of the final generation — up to seeds_per_iteration - 1 more than the
+  /// pre-batching one-at-a-time accounting, which stopped at the winner.
+  std::size_t encodes = 0;
+  /// Mutants rejected by the budget. Subject to the same batch-accounting
+  /// note as encodes: the final generation is fully generated and filtered
+  /// before the differential check, so rejections after the winning mutant
+  /// are included here too.
+  std::size_t discarded = 0;
   double seconds = 0.0;             ///< wall time for this input
 };
 

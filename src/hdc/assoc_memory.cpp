@@ -48,12 +48,10 @@ void AssociativeMemory::load_accumulator(std::size_t cls,
 void AssociativeMemory::finalize() {
   class_hvs_.clear();
   class_hvs_.reserve(accumulators_.size());
-  packed_class_hvs_.clear();
-  packed_class_hvs_.reserve(accumulators_.size());
   for (const auto& acc : accumulators_) {
     class_hvs_.push_back(acc.bipolarize(tie_break_));
-    packed_class_hvs_.push_back(PackedHv::from_dense(class_hvs_.back()));
   }
+  packed_ = PackedAssocMemory(class_hvs_, similarity_);
   finalized_ = true;
 }
 
@@ -104,26 +102,22 @@ std::vector<double> AssociativeMemory::similarities_packed(
     throw std::logic_error(
         "AssociativeMemory: finalize() before similarities_packed()");
   }
-  std::vector<double> sims;
-  sims.reserve(packed_class_hvs_.size());
-  for (const auto& ref : packed_class_hvs_) {
-    if (similarity_ == Similarity::kCosine) {
-      sims.push_back(cosine(query, ref));
-    } else {
-      sims.push_back(1.0 - static_cast<double>(hamming(query, ref)) /
-                               static_cast<double>(dim_));
-    }
-  }
-  return sims;
+  return packed_.similarities(query);
 }
 
 std::size_t AssociativeMemory::predict_packed(const PackedHv& query) const {
-  const auto sims = similarities_packed(query);
-  std::size_t best = 0;
-  for (std::size_t c = 1; c < sims.size(); ++c) {
-    if (sims[c] > sims[best]) best = c;
+  if (!finalized_) {
+    throw std::logic_error(
+        "AssociativeMemory: finalize() before predict_packed()");
   }
-  return best;
+  return packed_.predict(query);
+}
+
+const PackedAssocMemory& AssociativeMemory::packed() const {
+  if (!finalized_) {
+    throw std::logic_error("AssociativeMemory: finalize() before packed()");
+  }
+  return packed_;
 }
 
 double AssociativeMemory::similarity_to(std::size_t cls,

@@ -15,6 +15,7 @@
 
 #include "hdc/config.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/packed_assoc_memory.hpp"
 #include "hdc/packed_hv.hpp"
 
 namespace hdtest::hdc {
@@ -78,12 +79,18 @@ class AssociativeMemory {
   /// Hamming-normalized under kHamming).
   [[nodiscard]] std::vector<double> similarities_packed(const PackedHv& query) const;
 
+  /// The packed snapshot backing the fast path (rebuilt by finalize()).
+  /// This is the batch-inference engine: callers hold onto the reference and
+  /// issue predict_batch() calls against it.
+  /// \throws std::logic_error before finalize().
+  [[nodiscard]] const PackedAssocMemory& packed() const;
+
  private:
   std::size_t dim_;
   Similarity similarity_;
   std::vector<Accumulator> accumulators_;
   std::vector<Hypervector> class_hvs_;
-  std::vector<PackedHv> packed_class_hvs_;  ///< cache built by finalize()
+  PackedAssocMemory packed_;  ///< cache rebuilt by finalize()
   Hypervector tie_break_;
   bool finalized_ = false;
 };

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "hdc/packed_hv.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hdtest::hdc {
 
@@ -61,7 +63,33 @@ std::vector<double> HdcClassifier::similarities(const data::Image& image) const 
   return am_.similarities(encoder_.encode(image));
 }
 
-EvalResult HdcClassifier::evaluate(const data::Dataset& test) const {
+std::vector<std::size_t> HdcClassifier::predict_batch(
+    std::span<const data::Image> images, std::size_t workers) const {
+  if (!trained()) {
+    throw std::logic_error("HdcClassifier::predict_batch: model not trained");
+  }
+  const auto& packed = am_.packed();
+  std::vector<std::size_t> out(images.size());
+  // Each worker writes only its own slot; encoding and the packed argmax are
+  // deterministic functions of the input, so results are worker-count
+  // independent.
+  util::parallel_for(images.size(), workers, [&](std::size_t i) {
+    out[i] = packed.predict(PackedHv::from_dense(encoder_.encode(images[i])));
+  });
+  return out;
+}
+
+std::vector<std::size_t> HdcClassifier::predict_batch_encoded(
+    std::span<const Hypervector> queries, std::size_t workers) const {
+  if (!trained()) {
+    throw std::logic_error(
+        "HdcClassifier::predict_batch_encoded: model not trained");
+  }
+  return am_.packed().predict_batch(queries, workers);
+}
+
+EvalResult HdcClassifier::evaluate(const data::Dataset& test,
+                                   std::size_t workers) const {
   if (!trained()) {
     throw std::logic_error("HdcClassifier::evaluate: model not trained");
   }
@@ -69,12 +97,12 @@ EvalResult HdcClassifier::evaluate(const data::Dataset& test) const {
   EvalResult result;
   result.confusion.assign(am_.num_classes(),
                           std::vector<std::size_t>(am_.num_classes(), 0));
+  const auto predictions = predict_batch(test.images, workers);
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const auto predicted = predict(test.images[i]);
     const auto truth = static_cast<std::size_t>(test.labels[i]);
     ++result.total;
-    result.correct += predicted == truth;
-    ++result.confusion[truth][predicted];
+    result.correct += predictions[i] == truth;
+    ++result.confusion[truth][predictions[i]];
   }
   return result;
 }

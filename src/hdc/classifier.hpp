@@ -91,6 +91,20 @@ class HdcClassifier {
     return am_.predict(query);
   }
 
+  /// Batched inference hot path: encodes every image and classifies through
+  /// the bit-packed associative memory (XOR + popcount), parallelized over
+  /// \p workers threads. Bit-exact with per-sample predict() for every input
+  /// and identical for any worker count (each index is independent and
+  /// deterministic, per the thread_pool.hpp contract).
+  /// \throws std::logic_error if untrained; std::invalid_argument on shape
+  /// mismatch.
+  [[nodiscard]] std::vector<std::size_t> predict_batch(
+      std::span<const data::Image> images, std::size_t workers = 1) const;
+
+  /// Batched inference over already-encoded query HVs.
+  [[nodiscard]] std::vector<std::size_t> predict_batch_encoded(
+      std::span<const Hypervector> queries, std::size_t workers = 1) const;
+
   /// Similarity of an image to every class.
   [[nodiscard]] std::vector<double> similarities(const data::Image& image) const;
 
@@ -101,8 +115,10 @@ class HdcClassifier {
     return am_.similarity_to(cls, query);
   }
 
-  /// Accuracy + confusion matrix over a dataset.
-  [[nodiscard]] EvalResult evaluate(const data::Dataset& test) const;
+  /// Accuracy + confusion matrix over a dataset. Runs through the packed
+  /// batch path; \p workers only affects wall time, never the result.
+  [[nodiscard]] EvalResult evaluate(const data::Dataset& test,
+                                    std::size_t workers = 1) const;
 
   /// Single retraining pass over labeled examples (see RetrainMode).
   /// Finalizes the associative memory afterwards.

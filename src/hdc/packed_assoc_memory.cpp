@@ -1,0 +1,118 @@
+#include "hdc/packed_assoc_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hdtest::hdc {
+
+PackedAssocMemory::PackedAssocMemory(std::span<const Hypervector> class_hvs,
+                                     Similarity similarity)
+    : similarity_(similarity) {
+  if (class_hvs.empty()) {
+    throw std::invalid_argument("PackedAssocMemory: need at least one class");
+  }
+  dim_ = class_hvs.front().dim();
+  if (dim_ == 0) {
+    throw std::invalid_argument("PackedAssocMemory: dim must be non-zero");
+  }
+  num_classes_ = class_hvs.size();
+  stride_ = util::words_for_bits(dim_);
+  words_.assign(num_classes_ * stride_, 0);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    if (class_hvs[c].dim() != dim_) {
+      throw std::invalid_argument(
+          "PackedAssocMemory: class prototypes disagree on dimension");
+    }
+    const auto packed = PackedHv::from_dense(class_hvs[c]);
+    const auto src = packed.words();
+    std::copy(src.begin(), src.end(), words_.begin() + c * stride_);
+  }
+}
+
+void PackedAssocMemory::check_query(std::size_t query_dim) const {
+  if (empty()) {
+    throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
+  }
+  if (query_dim != dim_) {
+    throw std::invalid_argument("PackedAssocMemory: query dimension mismatch");
+  }
+}
+
+std::span<const std::uint64_t> PackedAssocMemory::class_words(
+    std::size_t cls) const {
+  if (cls >= num_classes_) {
+    throw std::out_of_range("PackedAssocMemory::class_words: class out of range");
+  }
+  return {words_.data() + cls * stride_, stride_};
+}
+
+std::size_t PackedAssocMemory::predict(const PackedHv& query) const {
+  check_query(query.dim());
+  const auto q = query.words();
+  std::size_t best = 0;
+  std::size_t best_ham = util::xor_popcount({words_.data(), stride_}, q);
+  for (std::size_t c = 1; c < num_classes_; ++c) {
+    const auto ham = util::xor_popcount({words_.data() + c * stride_, stride_}, q);
+    // Strict < keeps the lowest class index on ties, matching the dense
+    // argmax (sims[c] > sims[best]) exactly: dot = D - 2*ham is a strictly
+    // decreasing function of ham under both metrics.
+    if (ham < best_ham) {
+      best = c;
+      best_ham = ham;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> PackedAssocMemory::hammings(const PackedHv& query) const {
+  check_query(query.dim());
+  const auto q = query.words();
+  std::vector<std::size_t> out(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    out[c] = util::xor_popcount({words_.data() + c * stride_, stride_}, q);
+  }
+  return out;
+}
+
+std::vector<double> PackedAssocMemory::similarities(const PackedHv& query) const {
+  const auto hams = hammings(query);
+  std::vector<double> sims(hams.size());
+  const auto d = static_cast<double>(dim_);
+  for (std::size_t c = 0; c < hams.size(); ++c) {
+    if (similarity_ == Similarity::kCosine) {
+      // cosine = dot/D with dot = D - 2*ham (exact for bipolar HVs).
+      sims[c] = (d - 2.0 * static_cast<double>(hams[c])) / d;
+    } else {
+      sims[c] = 1.0 - static_cast<double>(hams[c]) / d;
+    }
+  }
+  return sims;
+}
+
+std::vector<std::size_t> PackedAssocMemory::predict_batch(
+    std::span<const Hypervector> queries, std::size_t workers) const {
+  if (empty()) {
+    throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
+  }
+  std::vector<std::size_t> out(queries.size());
+  util::parallel_for(queries.size(), workers, [&](std::size_t i) {
+    out[i] = predict(PackedHv::from_dense(queries[i]));
+  });
+  return out;
+}
+
+std::vector<std::size_t> PackedAssocMemory::predict_batch(
+    std::span<const PackedHv> queries, std::size_t workers) const {
+  if (empty()) {
+    throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
+  }
+  std::vector<std::size_t> out(queries.size());
+  util::parallel_for(queries.size(), workers,
+                     [&](std::size_t i) { out[i] = predict(queries[i]); });
+  return out;
+}
+
+}  // namespace hdtest::hdc

@@ -1,0 +1,92 @@
+#pragma once
+/// \file packed_assoc_memory.hpp
+/// Batched bit-packed associative-memory inference (the classification hot
+/// path of the fuzz loop).
+///
+/// A trained associative memory is a small matrix of bipolar class prototypes.
+/// Packing every prototype into sign-bit words once turns each query into
+/// ceil(D/64) XOR+popcount words per class instead of D int8 multiply-adds —
+/// the dense-binary rematerialization trick (Schmuck et al., JETC'19) — and
+/// storing the prototypes contiguously keeps the whole memory in a few cache
+/// lines for the 10-class models the paper studies.
+///
+/// Ranking is bit-exact with the dense path: for bipolar HVs
+///   dot(a, b) = D - 2 * hamming(pack(a), pack(b)),
+/// so argmax cosine == argmin Hamming, under either similarity metric, with
+/// the same lowest-index tie-break as AssociativeMemory::predict. Tests
+/// assert exact agreement across dimensions and worker counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/config.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/packed_hv.hpp"
+
+namespace hdtest::hdc {
+
+/// Immutable packed snapshot of a finalized associative memory.
+///
+/// Thread-safety: all member functions are const and touch only immutable
+/// state, so one instance may serve queries from many threads.
+class PackedAssocMemory {
+ public:
+  /// Empty memory (num_classes() == 0); predict() throws until rebuilt.
+  PackedAssocMemory() = default;
+
+  /// Packs the given class prototypes. All prototypes must share one non-zero
+  /// dimension. \throws std::invalid_argument otherwise.
+  PackedAssocMemory(std::span<const Hypervector> class_hvs,
+                    Similarity similarity);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return num_classes_ == 0; }
+  [[nodiscard]] Similarity similarity_metric() const noexcept {
+    return similarity_;
+  }
+
+  /// Packed words of one class prototype.
+  [[nodiscard]] std::span<const std::uint64_t> class_words(std::size_t cls) const;
+
+  /// Argmax class for a packed query (lowest index wins ties, matching
+  /// AssociativeMemory::predict exactly).
+  /// \throws std::logic_error when empty; std::invalid_argument on dim
+  /// mismatch.
+  [[nodiscard]] std::size_t predict(const PackedHv& query) const;
+
+  /// Convenience: packs a dense query and predicts.
+  [[nodiscard]] std::size_t predict(const Hypervector& query) const {
+    return predict(PackedHv::from_dense(query));
+  }
+
+  /// Hamming distance of the query to every class prototype.
+  [[nodiscard]] std::vector<std::size_t> hammings(const PackedHv& query) const;
+
+  /// Similarity of the query to every class — same values as
+  /// AssociativeMemory::similarities (cosine = dot/D; Hamming = 1 - ham/D).
+  [[nodiscard]] std::vector<double> similarities(const PackedHv& query) const;
+
+  /// Batched argmax over many queries. Each index is handled independently
+  /// (pack + predict), parallelized over \p workers threads with
+  /// util::parallel_for; results are identical for any worker count.
+  [[nodiscard]] std::vector<std::size_t> predict_batch(
+      std::span<const Hypervector> queries, std::size_t workers = 1) const;
+
+  /// Batched argmax over already-packed queries.
+  [[nodiscard]] std::vector<std::size_t> predict_batch(
+      std::span<const PackedHv> queries, std::size_t workers = 1) const;
+
+ private:
+  void check_query(std::size_t query_dim) const;
+
+  std::size_t dim_ = 0;
+  std::size_t num_classes_ = 0;
+  std::size_t stride_ = 0;  ///< words per class prototype
+  Similarity similarity_ = Similarity::kCosine;
+  std::vector<std::uint64_t> words_;  ///< num_classes_ x stride_, row-major
+};
+
+}  // namespace hdtest::hdc

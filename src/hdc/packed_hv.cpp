@@ -1,5 +1,7 @@
 #include "hdc/packed_hv.hpp"
 
+#include <bit>
+#include <cstring>
 #include <stdexcept>
 
 namespace hdtest::hdc {
@@ -10,6 +12,21 @@ void check_same_dim(std::size_t a, std::size_t b, const char* who) {
   if (a != b) {
     throw std::invalid_argument(std::string(who) + ": dimension mismatch");
   }
+}
+
+/// Gathers the sign bits of 8 consecutive int8 elements into the low byte.
+///
+/// A bipolar element is -1 exactly when its sign bit is set, so packing is a
+/// movemask: isolate the sign bits (one per byte), then the multiply by the
+/// main-diagonal constant shifts bit 8k to bit 56+k without carries and the
+/// final shift drops them into the low byte. ~4 scalar ops per 8 elements —
+/// this keeps query packing far cheaper than one dense class dot product,
+/// which is what makes the packed batch path a net win per query.
+inline std::uint64_t gather_sign_bits(const std::int8_t* elems) noexcept {
+  std::uint64_t bytes;
+  std::memcpy(&bytes, elems, sizeof(bytes));
+  const std::uint64_t signs = (bytes >> 7) & 0x0101010101010101ULL;
+  return (signs * 0x0102040810204080ULL) >> 56;
 }
 
 }  // namespace
@@ -30,8 +47,20 @@ PackedHv PackedHv::random(std::size_t dim, util::Rng& rng) {
 
 PackedHv PackedHv::from_dense(const Hypervector& dense) {
   PackedHv v(dense.dim());
-  for (std::size_t i = 0; i < dense.dim(); ++i) {
-    if (dense[i] < 0) {
+  const auto elems = dense.elements();
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    for (std::size_t w = 0; w + 64 <= elems.size(); w += 64) {
+      std::uint64_t word = 0;
+      for (std::size_t j = 0; j < 64; j += 8) {
+        word |= gather_sign_bits(elems.data() + w + j) << j;
+      }
+      v.words_[w / 64] = word;
+    }
+    i = (elems.size() / 64) * 64;
+  }
+  for (; i < elems.size(); ++i) {
+    if (elems[i] < 0) {
       util::set_bit(v.words_, i, true);
     }
   }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 
 #include "baseline/unguided.hpp"
@@ -21,22 +22,28 @@ class DefenseTest : public ::testing::Test {
     hdc::ModelConfig config;
     config.dim = 2048;
     config.seed = 21;
-    pair_ = new data::TrainTestPair(data::make_digit_train_test(30, 10, 888));
-    model_ = new hdc::HdcClassifier(config, 28, 28, 10);
+    pair_ = std::make_unique<data::TrainTestPair>(
+        data::make_digit_train_test(30, 10, 888));
+    model_ = std::make_unique<hdc::HdcClassifier>(config, 28, 28, 10);
     model_->fit(pair_->train);
 
-    // One shared adversarial pool for all defense tests.
+    // One shared adversarial pool for all defense tests. Every test below
+    // feeds these successes into a downstream stage, so an empty pool would
+    // make the whole suite vacuous — assert it produced findings.
     const fuzz::GaussNoiseMutation strategy;
     const fuzz::Fuzzer fuzzer(*model_, strategy, fuzz::FuzzConfig{});
     fuzz::CampaignConfig config_campaign;
     config_campaign.max_images = 60;
-    campaign_ = new fuzz::CampaignResult(
+    campaign_ = std::make_unique<fuzz::CampaignResult>(
         fuzz::run_campaign(fuzzer, pair_->test, config_campaign));
+    ASSERT_FALSE(campaign_->gave_up);
+    ASSERT_GT(campaign_->successes(), 0u)
+        << "shared adversarial pool is empty; defense tests would be vacuous";
   }
   static void TearDownTestSuite() {
-    delete campaign_;
-    delete model_;
-    delete pair_;
+    campaign_.reset();
+    model_.reset();
+    pair_.reset();
   }
 
   static const hdc::HdcClassifier& model() { return *model_; }
@@ -54,18 +61,26 @@ class DefenseTest : public ::testing::Test {
   }
 
  private:
-  static hdc::HdcClassifier* model_;
-  static data::TrainTestPair* pair_;
-  static fuzz::CampaignResult* campaign_;
+  static std::unique_ptr<hdc::HdcClassifier> model_;
+  static std::unique_ptr<data::TrainTestPair> pair_;
+  static std::unique_ptr<fuzz::CampaignResult> campaign_;
 };
 
-hdc::HdcClassifier* DefenseTest::model_ = nullptr;
-data::TrainTestPair* DefenseTest::pair_ = nullptr;
-fuzz::CampaignResult* DefenseTest::campaign_ = nullptr;
+std::unique_ptr<hdc::HdcClassifier> DefenseTest::model_;
+std::unique_ptr<data::TrainTestPair> DefenseTest::pair_;
+std::unique_ptr<fuzz::CampaignResult> DefenseTest::campaign_;
+
+TEST_F(DefenseTest, SharedPoolIsNonEmpty) {
+  EXPECT_FALSE(campaign().gave_up);
+  const auto pool = defense::collect_adversarials(campaign(), 10);
+  EXPECT_GT(pool.size(), 0u)
+      << "defense suite would silently run against an empty adversarial pool";
+}
 
 TEST_F(DefenseTest, CollectAdversarialsKeepsOnlySuccesses) {
   const auto pool = defense::collect_adversarials(campaign(), 10);
   EXPECT_EQ(pool.size(), campaign().successes());
+  EXPECT_GT(pool.size(), 0u);
   EXPECT_EQ(pool.num_classes, 10);
   EXPECT_NO_THROW(pool.validate());
   // Every pooled image fools the original model (differential construction).

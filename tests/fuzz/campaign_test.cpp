@@ -167,6 +167,7 @@ TEST_F(CampaignRunTest, TargetModeReachesRequestedCount) {
   config.target_adversarials = 25;  // more than the 40-image input set yields
   const auto result = run_campaign(fuzzer, inputs(), config);
   EXPECT_GE(result.successes(), 25u);
+  EXPECT_FALSE(result.gave_up);
 }
 
 TEST_F(CampaignRunTest, TargetModeGivesUpOnImpossibleTarget) {
@@ -180,6 +181,17 @@ TEST_F(CampaignRunTest, TargetModeGivesUpOnImpossibleTarget) {
   config.target_adversarials = 5;
   const auto result = run_campaign(fuzzer, inputs().take(3), config);
   EXPECT_EQ(result.successes(), 0u);  // terminated by the safety valve
+  // The give-up is recorded on the result, not just log_warn'ed, so callers
+  // can detect a short/empty pool instead of silently consuming it.
+  EXPECT_TRUE(result.gave_up);
+}
+
+TEST_F(CampaignRunTest, SweepModeNeverGivesUp) {
+  const GaussNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  CampaignConfig config;
+  config.max_images = 4;
+  EXPECT_FALSE(run_campaign(fuzzer, inputs(), config).gave_up);
 }
 
 }  // namespace
