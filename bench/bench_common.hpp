@@ -19,8 +19,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/synthetic_digits.hpp"
 #include "hdc/classifier.hpp"
@@ -95,6 +98,80 @@ inline std::string out_dir() {
   const std::string dir = "bench_out";
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Minimal ordered JSON object builder for machine-readable bench baselines
+/// (the committed BENCH_*.json files that make the perf trajectory
+/// comparable PR-over-PR). Values are rendered on insertion; nest by adding
+/// a rendered object/array with add_raw(). No external dependency.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return add_raw(key, buf);
+  }
+
+  JsonObject& add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return add_raw(key, std::move(quoted));
+  }
+
+  JsonObject& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+
+  JsonObject& add(const std::string& key, bool value) {
+    return add_raw(key, value ? "true" : "false");
+  }
+
+  /// Adds an already-rendered JSON value (nested object or array).
+  JsonObject& add_raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += '"';
+      out += fields_[i].first;
+      out += "\": ";
+      out += fields_[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Renders a JSON array from pre-rendered element strings.
+[[nodiscard]] inline std::string json_array(
+    const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += items[i];
+  }
+  out += ']';
+  return out;
+}
+
+/// Writes a rendered JSON document (with trailing newline) to \p path.
+/// Returns false on I/O failure.
+inline bool write_json(const std::string& path, const std::string& rendered) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << rendered << '\n';
+  return static_cast<bool>(file);
 }
 
 }  // namespace hdtest::benchutil

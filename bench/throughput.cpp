@@ -8,30 +8,58 @@
 /// dependent; the reproduction target is the order of magnitude (hundreds
 /// per minute on commodity hardware).
 ///
-/// A second section measures the classification stage in isolation: the
-/// batched packed path (PackedAssocMemory::predict_batch — pack + XOR +
-/// popcount per query) against the per-sample dense path
-/// (AssociativeMemory::predict — one int8 dot per class). This is the
-/// per-mutant cost the fuzz loop pays after its delta re-encode.
+/// Three micro sections isolate the per-mutant cost stack and gate the
+/// packed kernels against the dense reference path:
+///   1. packed predict_batch vs per-sample dense predict (classification);
+///   2. bit-sliced full-image encode vs per-pixel dense accumulation
+///      (trainer / rebase / seed warm-up path);
+///   3. the end-to-end mutant loop (delta encode + classify + fitness):
+///      the dense-free packed pipeline vs the PR 1 steady state (dense
+///      delta encode, PackedHv::from_dense re-pack, dense fitness dot).
+/// Every section doubles as a bit-exactness gate; any packed/dense
+/// disagreement fails the binary.
+///
+/// Flags:
+///   --self-check   run only the agreement gates (fast; CI's bench smoke)
+///   --json=PATH    additionally write machine-readable results (the
+///                  committed BENCH_throughput.json baseline)
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/mutation.hpp"
+#include "hdc/assoc_memory.hpp"
+#include "hdc/encoder.hpp"
 #include "hdc/packed_assoc_memory.hpp"
+#include "hdc/packed_hv.hpp"
+#include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
+using hdtest::benchutil::JsonObject;
+
+hdtest::data::Image random_image(std::size_t w, std::size_t h,
+                                 std::uint64_t seed) {
+  hdtest::util::Rng rng(seed);
+  hdtest::data::Image img(w, h, 0);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return img;
+}
+
 /// Packed-vs-dense inference comparison at one dimension. Returns the
 /// speedup (dense time / packed time); clears *ok on any packed/dense
 /// prediction disagreement.
 double bench_packed_inference(std::size_t dim, std::size_t num_queries,
                               std::size_t reps, hdtest::util::CsvWriter& csv,
-                              bool* ok) {
+                              std::vector<std::string>& json_rows, bool* ok) {
   using namespace hdtest;
   // Class prototypes and queries are random bipolar HVs: the classification
   // stage only sees finalized +-1 vectors, so this is exactly the shape of
@@ -81,80 +109,373 @@ double bench_packed_inference(std::size_t dim, std::size_t num_queries,
               " -> %.1fx\n",
               dim, dense_us, packed_us, speedup);
   csv.row(dim, dense_us, packed_us, speedup);
+  json_rows.push_back(JsonObject()
+                          .add("dim", static_cast<double>(dim))
+                          .add("dense_us_per_query", dense_us)
+                          .add("packed_us_per_query", packed_us)
+                          .add("speedup", speedup)
+                          .str());
+  return speedup;
+}
+
+/// Full-image encode: the bit-sliced packed kernel (encode_packed) against
+/// the dense reference (per-pixel int8 add_bound + dense bipolarize) that
+/// the trainer/rebase path paid before this pipeline existed. Returns the
+/// speedup; clears *ok on any bit mismatch.
+double bench_full_encode(std::size_t dim, std::size_t num_images,
+                         std::size_t reps, hdtest::util::CsvWriter& csv,
+                         std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
+  hdc::ModelConfig config;
+  config.dim = dim;
+  config.seed = 7;
+  const hdc::PixelEncoder enc(config, 28, 28);
+
+  std::vector<data::Image> images;
+  images.reserve(num_images);
+  for (std::size_t i = 0; i < num_images; ++i) {
+    images.push_back(random_image(28, 28, dim * 1000 + i));
+  }
+
+  // Dense reference: exactly the pre-bit-slicing kernel (per-pixel dense
+  // add_bound, then Eq. 1 into an int8 vector).
+  std::vector<hdc::Hypervector> dense_out(num_images);
+  const util::Stopwatch dense_watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < num_images; ++i) {
+      hdc::Accumulator acc(dim);
+      const auto pixels = images[i].pixels();
+      const auto& positions = enc.position_memory();
+      const auto& values = enc.value_memory();
+      for (std::size_t p = 0; p < pixels.size(); ++p) {
+        acc.add_bound(positions[p], values[enc.value_index(pixels[p])]);
+      }
+      dense_out[i] = acc.bipolarize(enc.tie_break());
+    }
+  }
+  const double dense_seconds = dense_watch.seconds();
+
+  // Packed path: bit-sliced accumulation + fused bipolarize.
+  std::vector<hdc::PackedHv> packed_out(num_images);
+  const util::Stopwatch packed_watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < num_images; ++i) {
+      packed_out[i] = enc.encode_packed(images[i]);
+    }
+  }
+  const double packed_seconds = packed_watch.seconds();
+
+  for (std::size_t i = 0; i < num_images; ++i) {
+    if (hdc::PackedHv::from_dense(dense_out[i]) != packed_out[i]) {
+      std::printf("ERROR: encode_packed/dense disagreement at dim=%zu\n", dim);
+      *ok = false;
+      break;
+    }
+  }
+  const double total = static_cast<double>(num_images * reps);
+  const double dense_us = dense_seconds * 1e6 / total;
+  const double packed_us = packed_seconds * 1e6 / total;
+  const double speedup = packed_seconds > 0.0 ? dense_seconds / packed_seconds
+                                              : 0.0;
+  std::printf("  dim=%5zu: dense %9.1f us/image, bit-sliced %9.1f us/image"
+              " -> %.1fx\n",
+              dim, dense_us, packed_us, speedup);
+  csv.row(dim, dense_us, packed_us, speedup);
+  json_rows.push_back(JsonObject()
+                          .add("dim", static_cast<double>(dim))
+                          .add("dense_us_per_image", dense_us)
+                          .add("bitsliced_us_per_image", packed_us)
+                          .add("speedup", speedup)
+                          .str());
+  return speedup;
+}
+
+/// End-to-end mutant loop (the fuzzer's steady-state cost per mutant):
+/// delta re-encode + classify + fitness against the reference class. The
+/// legacy path reproduces PR 1's pipeline — dense delta patch, dense Eq. 1,
+/// PackedHv::from_dense re-pack, packed argmax, dense fitness dot. The new
+/// path is the dense-free pipeline the fuzzer now runs. Returns the
+/// speedup; clears *ok on any label or fitness disagreement.
+double bench_mutant_loop(std::size_t dim, std::size_t num_mutants,
+                         std::size_t reps, hdtest::util::CsvWriter& csv,
+                         std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
+  hdc::ModelConfig config;
+  config.dim = dim;
+  config.seed = 11;
+  const hdc::PixelEncoder enc(config, 28, 28);
+
+  hdc::AssociativeMemory am(10, dim, /*seed=*/55);
+  util::Rng rng(dim + 1);
+  for (std::size_t c = 0; c < am.num_classes(); ++c) {
+    am.add(c, hdc::Hypervector::random(dim, rng));
+  }
+  am.finalize();
+  const auto& packed_am = am.packed();
+  const std::size_t reference_label = 0;
+
+  const auto base = random_image(28, 28, dim);
+  hdc::Accumulator base_acc(dim);
+  enc.encode_into(base, base_acc);
+
+  // Sparse mutants (4 changed pixels — the 'rand' strategy's shape, where
+  // the delta re-encoder is the designed-for case).
+  std::vector<data::Image> mutants;
+  mutants.reserve(num_mutants);
+  for (std::size_t m = 0; m < num_mutants; ++m) {
+    auto mutant = base;
+    for (int f = 0; f < 4; ++f) {
+      mutant(static_cast<std::size_t>(rng.uniform_u64(28)),
+             static_cast<std::size_t>(rng.uniform_u64(28))) =
+          static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    mutants.push_back(std::move(mutant));
+  }
+
+  // Legacy (PR 1) steady state: dense delta patch + dense bipolarize +
+  // from_dense + packed predict + dense fitness.
+  std::vector<std::size_t> legacy_labels(num_mutants);
+  std::vector<double> legacy_fitness(num_mutants);
+  const auto base_px = base.pixels();
+  const util::Stopwatch legacy_watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t m = 0; m < num_mutants; ++m) {
+      hdc::Accumulator acc = base_acc;
+      const auto mut_px = mutants[m].pixels();
+      const auto& positions = enc.position_memory();
+      const auto& values = enc.value_memory();
+      for (std::size_t p = 0; p < base_px.size(); ++p) {
+        if (base_px[p] == mut_px[p]) continue;
+        acc.add_bound(positions[p], values[enc.value_index(base_px[p])], -1);
+        acc.add_bound(positions[p], values[enc.value_index(mut_px[p])], +1);
+      }
+      const auto dense_query = acc.bipolarize(enc.tie_break());
+      const auto packed_query = hdc::PackedHv::from_dense(dense_query);
+      legacy_labels[m] = packed_am.predict(packed_query);
+      legacy_fitness[m] = 1.0 - am.similarity_to(reference_label, dense_query);
+    }
+  }
+  const double legacy_seconds = legacy_watch.seconds();
+
+  // New dense-free pipeline: packed delta patch + fused bipolarize + packed
+  // predict + packed fitness.
+  hdc::IncrementalPixelEncoder inc(enc);
+  inc.rebase(base, base_acc);
+  std::vector<std::size_t> packed_labels(num_mutants);
+  std::vector<double> packed_fitness(num_mutants);
+  const util::Stopwatch packed_watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t m = 0; m < num_mutants; ++m) {
+      const auto query = inc.encode_mutant_packed(mutants[m]);
+      packed_labels[m] = packed_am.predict(query);
+      packed_fitness[m] = 1.0 - packed_am.similarity_to(reference_label, query);
+    }
+  }
+  const double packed_seconds = packed_watch.seconds();
+
+  if (legacy_labels != packed_labels || legacy_fitness != packed_fitness) {
+    std::printf("ERROR: mutant-loop packed/dense disagreement at dim=%zu\n",
+                dim);
+    *ok = false;
+  }
+  const double total = static_cast<double>(num_mutants * reps);
+  const double legacy_us = legacy_seconds * 1e6 / total;
+  const double packed_us = packed_seconds * 1e6 / total;
+  const double speedup =
+      packed_seconds > 0.0 ? legacy_seconds / packed_seconds : 0.0;
+  std::printf("  dim=%5zu: legacy %8.2f us/mutant, dense-free %8.2f us/mutant"
+              " -> %.1fx\n",
+              dim, legacy_us, packed_us, speedup);
+  csv.row(dim, legacy_us, packed_us, speedup);
+  json_rows.push_back(JsonObject()
+                          .add("dim", static_cast<double>(dim))
+                          .add("legacy_us_per_mutant", legacy_us)
+                          .add("dense_free_us_per_mutant", packed_us)
+                          .add("speedup", speedup)
+                          .str());
   return speedup;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdtest;
-  const auto target = benchutil::env_u64("HDTEST_TARGET_ADV", 200);
-  const auto setup = benchutil::make_standard_setup();
-  benchutil::print_banner("throughput",
-                          "headline: ~400 adversarial images per minute",
-                          setup);
 
-  util::TextTable table;
-  table.set_header({"Strategy", "Adversarials", "Time (s)", "Adv./minute",
-                    "Time per 1K (s)"});
-  table.set_alignments({util::Align::kLeft, util::Align::kRight,
-                        util::Align::kRight, util::Align::kRight,
-                        util::Align::kRight});
-  util::CsvWriter csv(benchutil::out_dir() + "/throughput.csv");
-  csv.header({"strategy", "adversarials", "seconds", "adv_per_minute",
-              "time_per_1k_s"});
-
-  for (const char* name : {"gauss", "rand", "row_col_rand", "shift"}) {
-    const auto strategy = fuzz::make_strategy(name);
-    fuzz::FuzzConfig fuzz_config;
-    fuzz_config.budget = fuzz::default_budget_for_strategy(name);
-    const fuzz::Fuzzer fuzzer(*setup.model, *strategy, fuzz_config);
-
-    fuzz::CampaignConfig campaign_config;
-    campaign_config.fuzz = fuzz_config;
-    campaign_config.target_adversarials = target;
-    campaign_config.seed = setup.params.seed;
-    const auto campaign =
-        fuzz::run_campaign(fuzzer, setup.data.test, campaign_config);
-
-    table.add_row({name, std::to_string(campaign.successes()),
-                   util::TextTable::num(campaign.total_seconds, 1),
-                   util::TextTable::num(campaign.adversarials_per_minute(), 0),
-                   util::TextTable::num(campaign.time_per_1k_seconds(), 1)});
-    csv.row(name, campaign.successes(), campaign.total_seconds,
-            campaign.adversarials_per_minute(),
-            campaign.time_per_1k_seconds());
+  util::ArgParser args("throughput",
+                       "Campaign throughput plus packed-vs-dense kernels");
+  args.add_bool("self-check",
+                "run only the dense-vs-packed agreement gates (fast)");
+  args.add_flag("json", "", "write machine-readable results to this path");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::printf("%s\n%s", error.what(), args.usage().c_str());
+    return 2;
   }
+  if (args.help_requested()) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+  const bool self_check_only = args.get_bool("self-check");
+  const std::string json_path = args.get("json");
 
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf(
-      "paper: ~400 adversarial images per minute on an AMD Ryzen 5 3600.\n"
-      "Per strategy, Table II implies shift 679/min, row&col 525/min,\n"
-      "gauss 347/min, rand 263/min — i.e. hundreds per minute with rand\n"
-      "slowest. Expect at least the same order of magnitude and rand last.\n");
-  std::printf("CSV written to %s/throughput.csv\n", benchutil::out_dir().c_str());
+  bool agreement = true;
+  JsonObject doc;
+  doc.add("bench", "throughput");
+  doc.add("mode", self_check_only ? "self-check" : "full");
+
+  std::vector<std::string> campaign_rows;
+  if (!self_check_only) {
+    const auto target = benchutil::env_u64("HDTEST_TARGET_ADV", 200);
+    const auto setup = benchutil::make_standard_setup();
+    benchutil::print_banner("throughput",
+                            "headline: ~400 adversarial images per minute",
+                            setup);
+    doc.add_raw("params",
+                JsonObject()
+                    .add("dim", static_cast<double>(setup.params.dim))
+                    .add("train_per_class",
+                         static_cast<double>(setup.params.train_per_class))
+                    .add("test_per_class",
+                         static_cast<double>(setup.params.test_per_class))
+                    .add("seed", static_cast<double>(setup.params.seed))
+                    .add("target_adversarials", static_cast<double>(target))
+                    .add("clean_accuracy", setup.clean_accuracy)
+                    .str());
+
+    util::TextTable table;
+    table.set_header({"Strategy", "Adversarials", "Time (s)", "Adv./minute",
+                      "Time per 1K (s)"});
+    table.set_alignments({util::Align::kLeft, util::Align::kRight,
+                          util::Align::kRight, util::Align::kRight,
+                          util::Align::kRight});
+    util::CsvWriter csv(benchutil::out_dir() + "/throughput.csv");
+    csv.header({"strategy", "adversarials", "seconds", "adv_per_minute",
+                "time_per_1k_s"});
+
+    for (const char* name : {"gauss", "rand", "row_col_rand", "shift"}) {
+      const auto strategy = fuzz::make_strategy(name);
+      fuzz::FuzzConfig fuzz_config;
+      fuzz_config.budget = fuzz::default_budget_for_strategy(name);
+      const fuzz::Fuzzer fuzzer(*setup.model, *strategy, fuzz_config);
+
+      fuzz::CampaignConfig campaign_config;
+      campaign_config.fuzz = fuzz_config;
+      campaign_config.target_adversarials = target;
+      campaign_config.seed = setup.params.seed;
+      const auto campaign =
+          fuzz::run_campaign(fuzzer, setup.data.test, campaign_config);
+
+      table.add_row({name, std::to_string(campaign.successes()),
+                     util::TextTable::num(campaign.total_seconds, 1),
+                     util::TextTable::num(campaign.adversarials_per_minute(), 0),
+                     util::TextTable::num(campaign.time_per_1k_seconds(), 1)});
+      csv.row(name, campaign.successes(), campaign.total_seconds,
+              campaign.adversarials_per_minute(),
+              campaign.time_per_1k_seconds());
+      campaign_rows.push_back(
+          JsonObject()
+              .add("strategy", name)
+              .add("adversarials", static_cast<double>(campaign.successes()))
+              .add("seconds", campaign.total_seconds)
+              .add("adv_per_minute", campaign.adversarials_per_minute())
+              .add("time_per_1k_s", campaign.time_per_1k_seconds())
+              .str());
+    }
+
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf(
+        "paper: ~400 adversarial images per minute on an AMD Ryzen 5 3600.\n"
+        "Per strategy, Table II implies shift 679/min, row&col 525/min,\n"
+        "gauss 347/min, rand 263/min — i.e. hundreds per minute with rand\n"
+        "slowest. Expect at least the same order of magnitude and rand last.\n");
+    std::printf("CSV written to %s/throughput.csv\n",
+                benchutil::out_dir().c_str());
+  }
+  doc.add_raw("campaigns", benchutil::json_array(campaign_rows));
+
+  // Self-check mode shrinks the workloads: the gates are bit-exact equality
+  // checks, so one rep over fewer queries proves as much as forty.
+  const auto queries =
+      benchutil::env_u64("HDTEST_PACKED_QUERIES", self_check_only ? 64 : 256);
+  const auto reps =
+      benchutil::env_u64("HDTEST_PACKED_REPS", self_check_only ? 1 : 40);
 
   // --- Batched packed inference vs per-sample dense classification ---
-  const auto queries = benchutil::env_u64("HDTEST_PACKED_QUERIES", 256);
-  const auto reps = benchutil::env_u64("HDTEST_PACKED_REPS", 40);
   std::printf("\n=== packed predict_batch vs dense per-sample predict ===\n");
   std::printf("(10 classes, %zu queries x %zu reps per dim)\n", queries, reps);
   util::CsvWriter packed_csv(benchutil::out_dir() + "/packed_inference.csv");
   packed_csv.header({"dim", "dense_us_per_query", "packed_us_per_query",
                      "speedup"});
-  double speedup_8192 = 0.0;
-  bool agreement = true;
+  std::vector<std::string> inference_rows;
+  double inference_speedup_8192 = 0.0;
   for (const std::size_t dim : {1024u, 4096u, 8192u, 16384u}) {
-    const auto speedup =
-        bench_packed_inference(dim, queries, reps, packed_csv, &agreement);
-    if (dim == 8192) speedup_8192 = speedup;
+    const auto speedup = bench_packed_inference(dim, queries, reps, packed_csv,
+                                                inference_rows, &agreement);
+    if (dim == 8192) inference_speedup_8192 = speedup;
   }
-  std::printf("dim=8192 packed speedup: %.1fx (target: >= 2x)\n", speedup_8192);
-  std::printf("CSV written to %s/packed_inference.csv\n",
-              benchutil::out_dir().c_str());
+  doc.add_raw("packed_inference", benchutil::json_array(inference_rows));
+
+  // --- Bit-sliced full-image encode vs dense per-pixel accumulation ---
+  const auto encode_images =
+      benchutil::env_u64("HDTEST_ENCODE_IMAGES", self_check_only ? 4 : 16);
+  const auto encode_reps =
+      benchutil::env_u64("HDTEST_ENCODE_REPS", self_check_only ? 1 : 4);
+  std::printf("\n=== bit-sliced full encode vs dense per-pixel encode ===\n");
+  std::printf("(28x28 images, %zu images x %zu reps per dim)\n", encode_images,
+              encode_reps);
+  util::CsvWriter encode_csv(benchutil::out_dir() + "/full_encode.csv");
+  encode_csv.header({"dim", "dense_us_per_image", "bitsliced_us_per_image",
+                     "speedup"});
+  std::vector<std::string> encode_rows;
+  double encode_speedup_8192 = 0.0;
+  for (const std::size_t dim : {1024u, 4096u, 8192u}) {
+    const auto speedup = bench_full_encode(dim, encode_images, encode_reps,
+                                           encode_csv, encode_rows, &agreement);
+    if (dim == 8192) encode_speedup_8192 = speedup;
+  }
+  doc.add_raw("full_encode", benchutil::json_array(encode_rows));
+
+  // --- End-to-end mutant loop: dense-free vs PR 1 pipeline ---
+  const auto mutants =
+      benchutil::env_u64("HDTEST_MUTANTS", self_check_only ? 32 : 256);
+  const auto mutant_reps =
+      benchutil::env_u64("HDTEST_MUTANT_REPS", self_check_only ? 1 : 8);
+  std::printf("\n=== mutant loop: dense-free packed vs PR 1 dense path ===\n");
+  std::printf("(encode+predict+fitness per mutant, 4 changed pixels, "
+              "%zu mutants x %zu reps per dim)\n",
+              mutants, mutant_reps);
+  util::CsvWriter mutant_csv(benchutil::out_dir() + "/mutant_loop.csv");
+  mutant_csv.header({"dim", "legacy_us_per_mutant", "dense_free_us_per_mutant",
+                     "speedup"});
+  std::vector<std::string> mutant_rows;
+  double mutant_speedup_8192 = 0.0;
+  for (const std::size_t dim : {1024u, 4096u, 8192u}) {
+    const auto speedup = bench_mutant_loop(dim, mutants, mutant_reps,
+                                           mutant_csv, mutant_rows, &agreement);
+    if (dim == 8192) mutant_speedup_8192 = speedup;
+  }
+  doc.add_raw("mutant_loop", benchutil::json_array(mutant_rows));
+
+  std::printf("\ndim=8192 speedups: inference %.1fx (floor 2x), "
+              "full encode %.1fx (floor 3x), mutant loop %.1fx (floor 2x)\n",
+              inference_speedup_8192, encode_speedup_8192,
+              mutant_speedup_8192);
+  std::printf("CSVs written to %s/\n", benchutil::out_dir().c_str());
+  doc.add("self_check_passed", agreement);
+
+  if (!json_path.empty()) {
+    if (benchutil::write_json(json_path, doc.str())) {
+      std::printf("JSON written to %s\n", json_path.c_str());
+    } else {
+      std::printf("ERROR: could not write JSON to %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   if (!agreement) {
-    std::printf("FAILURE: packed predictions disagreed with the dense path\n");
+    std::printf("FAILURE: packed kernels disagreed with the dense path\n");
     return 1;
   }
+  std::printf("self-check: all packed kernels bit-exact with the dense path\n");
   return 0;
 }

@@ -23,16 +23,20 @@ RandomAttackResult run_random_attack(const hdc::HdcClassifier& model,
   RandomAttackResult result;
   util::RunningStats l2_stats;
   util::Rng master(seed);
+  // Every try is a full encode + classify; run it packed end to end
+  // (bit-sliced encode, XOR+popcount argmax — bit-identical to predict()).
+  const auto& encoder = model.encoder();
+  const auto& packed = model.am().packed();
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     util::Rng rng = master.child(i);
     const auto& original = inputs.images[i];
-    const auto reference = model.predict(original);
+    const auto reference = packed.predict(encoder.encode_packed(original));
     ++result.attempts;
     for (std::size_t t = 0; t < tries_per_image; ++t) {
       const auto mutant = strategy.mutate(original, rng);
       const auto perturbation = fuzz::measure_perturbation(original, mutant);
       if (!budget.accepts(perturbation)) continue;
-      if (model.predict(mutant) != reference) {
+      if (packed.predict(encoder.encode_packed(mutant)) != reference) {
         ++result.successes;
         l2_stats.add(perturbation.l2);
         break;

@@ -1,7 +1,9 @@
 #include "fuzz/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -114,6 +116,10 @@ CampaignResult run_campaign(const Fuzzer& fuzzer, const data::Dataset& inputs,
 
   if (config.target_adversarials == 0) {
     // Fixed sweep: fuzz each input once (optionally capped), in parallel.
+    // Each worker prepares its input's seed context inline (the 1-arg
+    // fuzz_one): every input is visited exactly once, so a separate batch
+    // warm-up would do the same encodes with the same parallelism while
+    // holding O(count * D) contexts alive for the whole campaign.
     std::size_t count = inputs.size();
     if (config.max_images != 0) count = std::min(count, config.max_images);
     // Records are pre-sized and each worker writes only its own slot, so no
@@ -131,15 +137,35 @@ CampaignResult run_campaign(const Fuzzer& fuzzer, const data::Dataset& inputs,
     // Target-count mode (the paper's "generate 1000 adversarial images"):
     // wrap around the input set with fresh RNG streams until the target is
     // reached. Sequential by design — the stopping condition is inherently
-    // ordered; use the fixed sweep for parallel throughput runs.
+    // ordered; use the fixed sweep for parallel throughput runs. Seeds are
+    // warmed up lazily in parallel chunks as the stream advances, and only
+    // up to a fixed retention cap: a campaign that stops early never
+    // encodes (or holds) the unvisited tail, wrap-arounds reuse every
+    // cached context for free, and a huge input set cannot pin O(N * D)
+    // seed memory — inputs past the cap are prepared per visit instead
+    // (each SeedContext holds ~4*D bytes; 1024 at D=8192 is ~34 MB).
+    constexpr std::size_t kWarmupChunk = 64;
+    constexpr std::size_t kMaxRetainedSeeds = 1024;
+    const std::size_t retained = std::min(inputs.size(), kMaxRetainedSeeds);
+    std::vector<SeedContext> seeds;
     std::size_t stream = 0;
     while (result.successes() < config.target_adversarials) {
       const std::size_t i = stream % inputs.size();
+      if (i < retained && i >= seeds.size()) {
+        const std::size_t begin = seeds.size();
+        const std::size_t count = std::min(retained - begin, kWarmupChunk);
+        auto chunk = fuzzer.prepare_seeds(
+            std::span<const data::Image>(inputs.images).subspan(begin, count),
+            config.workers);
+        for (auto& seed : chunk) seeds.push_back(std::move(seed));
+      }
       util::Rng rng = master.child(stream);
       CampaignRecord record;
       record.image_index = i;
       record.true_label = inputs.labels.empty() ? -1 : inputs.labels[i];
-      record.outcome = fuzzer.fuzz_one(inputs.images[i], rng);
+      record.outcome =
+          i < retained ? fuzzer.fuzz_one(inputs.images[i], rng, seeds[i])
+                       : fuzzer.fuzz_one(inputs.images[i], rng);
       result.records.push_back(std::move(record));
       ++stream;
       // Safety valve: a model/strategy pair that never yields adversarials

@@ -32,6 +32,15 @@ struct ScoredSeed {
   return 1.0 - model.similarity_to_class(reference_label, query);
 }
 
+/// Packed-query overload: identical doubles to the dense version (packed
+/// similarity is exact, see PackedAssocMemory::similarity_to), computed from
+/// XOR+popcount instead of a dense dot. The fuzz loop's steady-state path.
+[[nodiscard]] inline double fitness_of(const hdc::PackedAssocMemory& am,
+                                       std::size_t reference_label,
+                                       const hdc::PackedHv& query) {
+  return 1.0 - am.similarity_to(reference_label, query);
+}
+
 /// Keeps the \p n highest-fitness seeds (stable for ties), discarding the
 /// rest. No-op when the pool is already within bounds.
 void keep_fittest(std::vector<ScoredSeed>& pool, std::size_t n);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace hdtest::fuzz {
@@ -27,41 +28,70 @@ Fuzzer::Fuzzer(const hdc::HdcClassifier& model,
   }
 }
 
+SeedContext Fuzzer::prepare_seed(const data::Image& input) const {
+  const auto& encoder = model_->encoder();
+  SeedContext seed;
+  seed.base_acc = hdc::Accumulator(encoder.dim());
+  encoder.encode_into(input, seed.base_acc);
+  seed.reference = seed.base_acc.bipolarize_packed(encoder.tie_break_packed());
+  seed.reference_label = model_->am().packed().predict(seed.reference);
+  return seed;
+}
+
+std::vector<SeedContext> Fuzzer::prepare_seeds(
+    std::span<const data::Image> inputs, std::size_t workers) const {
+  std::vector<SeedContext> seeds(inputs.size());
+  util::parallel_for(inputs.size(), workers,
+                     [&](std::size_t i) { seeds[i] = prepare_seed(inputs[i]); });
+  return seeds;
+}
+
 FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng) const {
+  return fuzz_one(input, rng, prepare_seed(input));
+}
+
+FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng,
+                             const SeedContext& seed) const {
   const util::Stopwatch watch;
   FuzzOutcome outcome;
 
-  // Line 4: reference prediction of the original input (no label needed).
-  const auto reference_query = model_->encode(input);
-  outcome.reference_label = model_->predict_encoded(reference_query);
+  // Line 4: reference prediction of the original input (no label needed);
+  // precomputed in the seed context, still counted as one model query.
+  outcome.reference_label = seed.reference_label;
   ++outcome.encodes;
 
   // Delta re-encoder based at the original input: mutants differ from the
   // original in few pixels for sparse strategies, so re-encoding is cheap.
+  // The base accumulator comes straight from the seed context (one O(D)
+  // copy, no re-encode).
   hdc::IncrementalPixelEncoder delta_encoder(model_->encoder());
   if (config_.use_incremental_encoder) {
-    delta_encoder.rebase(input);
+    delta_encoder.rebase(input, seed.base_acc);
   }
+  // Steady-state query path: packed end to end. No dense Hypervector is
+  // materialized and nothing is re-packed via from_dense per mutant
+  // (asserted by tests/fuzz/dense_free_test).
   const auto encode = [&](const data::Image& image) {
     ++outcome.encodes;
-    return config_.use_incremental_encoder ? delta_encoder.encode_mutant(image)
-                                           : model_->encode(image);
+    return config_.use_incremental_encoder
+               ? delta_encoder.encode_mutant_packed(image)
+               : model_->encoder().encode_packed(image);
   };
-
-  // The surviving parent pool starts as the original input itself, scored
-  // with its true fitness so elitism treats it like any other seed.
-  std::vector<ScoredSeed> parents;
-  parents.push_back(ScoredSeed{
-      input, fitness_of(*model_, outcome.reference_label, reference_query)});
 
   // The packed snapshot of the associative memory answers the whole mutant
   // generation with XOR+popcount sweeps (bit-identical to the dense path).
   const auto& packed_am = model_->am().packed();
 
+  // The surviving parent pool starts as the original input itself, scored
+  // with its true fitness so elitism treats it like any other seed.
+  std::vector<ScoredSeed> parents;
+  parents.push_back(ScoredSeed{
+      input, fitness_of(packed_am, outcome.reference_label, seed.reference)});
+
   // Per-generation scratch, hoisted out of the loop to reuse allocations.
   std::vector<data::Image> batch;
   std::vector<Perturbation> batch_perturbations;
-  std::vector<hdc::Hypervector> batch_queries;
+  std::vector<hdc::PackedHv> batch_queries;
 
   for (std::size_t iter = 0; iter < config_.iter_times; ++iter) {
     ++outcome.iterations;
@@ -96,8 +126,6 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng) const {
     // Line 8: differential check against the reference label. Scanning in
     // generation order returns the same first-flipping mutant as the
     // original one-at-a-time loop.
-    std::vector<ScoredSeed> candidates;
-    candidates.reserve(batch.size());
     for (std::size_t b = 0; b < batch.size(); ++b) {
       if (labels[b] != outcome.reference_label) {
         outcome.success = true;
@@ -107,10 +135,16 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng) const {
         outcome.seconds = watch.seconds();
         return outcome;
       }
-      candidates.push_back(
-          ScoredSeed{std::move(batch[b]),
-                     fitness_of(*model_, outcome.reference_label,
-                                batch_queries[b])});
+    }
+
+    // No flip: score the whole generation against the reference class in
+    // one packed sweep (fitness = 1 - similarity; identical doubles to the
+    // dense cosine, so selection is bit-identical too).
+    const auto sims = packed_am.scores(batch_queries, outcome.reference_label);
+    std::vector<ScoredSeed> candidates;
+    candidates.reserve(batch.size());
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      candidates.push_back(ScoredSeed{std::move(batch[b]), 1.0 - sims[b]});
     }
 
     // Line 14: continue fuzzing using only the fittest seeds. Parents stay

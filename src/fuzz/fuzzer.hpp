@@ -19,12 +19,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "data/image.hpp"
 #include "fuzz/distance.hpp"
 #include "fuzz/fitness.hpp"
 #include "fuzz/mutation.hpp"
 #include "hdc/classifier.hpp"
+#include "hdc/packed_hv.hpp"
 #include "util/rng.hpp"
 
 namespace hdtest::fuzz {
@@ -76,6 +79,19 @@ struct FuzzOutcome {
   double seconds = 0.0;             ///< wall time for this input
 };
 
+/// Precomputed full-encode state of one seed input (Fuzzer::prepare_seed).
+///
+/// Holds everything fuzz_one needs that costs a full O(W*H*D) encode: the
+/// input's bundling accumulator (the delta re-encoder's base), its packed
+/// query HV, and the reference label. Campaigns warm these up for all
+/// inputs in one parallel batch and reuse them across wrap-arounds, so
+/// fuzz_one itself performs no full encode at all.
+struct SeedContext {
+  hdc::Accumulator base_acc;        ///< encode_into(input) lanes
+  hdc::PackedHv reference;          ///< packed query HV of the input
+  std::size_t reference_label = 0;  ///< HDC(t) — the differential reference
+};
+
 /// The HDTest fuzzer bound to one model and one mutation strategy.
 ///
 /// Thread-safety: fuzz_one() is const and creates all mutable state locally,
@@ -94,10 +110,24 @@ class Fuzzer {
     return *strategy_;
   }
 
+  /// Full-encodes one input into its reusable seed context (bit-sliced
+  /// kernel; one model query's worth of work).
+  [[nodiscard]] SeedContext prepare_seed(const data::Image& input) const;
+
+  /// Campaign seed warm-up: prepare_seed for every input, parallelized over
+  /// \p workers threads (deterministic per index).
+  [[nodiscard]] std::vector<SeedContext> prepare_seeds(
+      std::span<const data::Image> inputs, std::size_t workers = 1) const;
+
   /// Runs Algorithm 1 on one input. \p rng drives all mutation randomness;
   /// pass independent child Rngs for reproducible parallel campaigns.
   [[nodiscard]] FuzzOutcome fuzz_one(const data::Image& input,
                                      util::Rng& rng) const;
+
+  /// Same, reusing a prepared seed context (campaigns warm one per input).
+  /// \pre seed was produced by prepare_seed(input) on this fuzzer's model.
+  [[nodiscard]] FuzzOutcome fuzz_one(const data::Image& input, util::Rng& rng,
+                                     const SeedContext& seed) const;
 
  private:
   const hdc::HdcClassifier* model_;

@@ -1,5 +1,6 @@
 #include "hdc/classifier.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hdc/packed_hv.hpp"
@@ -14,7 +15,7 @@ HdcClassifier::HdcClassifier(const ModelConfig& config, std::size_t width,
       am_(num_classes, config.dim, util::derive_seed(config.seed, 0xa11ULL),
           config.similarity) {}
 
-void HdcClassifier::fit(const data::Dataset& train) {
+void HdcClassifier::fit(const data::Dataset& train, std::size_t workers) {
   if (trained()) {
     throw std::logic_error("HdcClassifier::fit: model already trained; use retrain()");
   }
@@ -25,9 +26,17 @@ void HdcClassifier::fit(const data::Dataset& train) {
   if (static_cast<std::size_t>(train.num_classes) != am_.num_classes()) {
     throw std::invalid_argument("HdcClassifier::fit: class count mismatch");
   }
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    am_.add(static_cast<std::size_t>(train.labels[i]),
-            encoder_.encode(train.images[i]));
+  // Encode in parallel chunks (bounding peak memory to kChunk dense HVs),
+  // then accumulate sequentially in dataset order — bit-identical to the
+  // one-at-a-time loop for any worker count.
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t start = 0; start < train.size(); start += kChunk) {
+    const std::size_t len = std::min(kChunk, train.size() - start);
+    const auto queries = encoder_.encode_batch(
+        std::span<const data::Image>(train.images).subspan(start, len), workers);
+    for (std::size_t i = 0; i < len; ++i) {
+      am_.add(static_cast<std::size_t>(train.labels[start + i]), queries[i]);
+    }
   }
   am_.finalize();
   util::log_info("HdcClassifier: trained on ", train.size(), " images, D=",
@@ -72,9 +81,10 @@ std::vector<std::size_t> HdcClassifier::predict_batch(
   std::vector<std::size_t> out(images.size());
   // Each worker writes only its own slot; encoding and the packed argmax are
   // deterministic functions of the input, so results are worker-count
-  // independent.
+  // independent. The whole path stays packed: bit-sliced encode, fused
+  // bipolarize, XOR+popcount argmax — no dense intermediate per image.
   util::parallel_for(images.size(), workers, [&](std::size_t i) {
-    out[i] = packed.predict(PackedHv::from_dense(encoder_.encode(images[i])));
+    out[i] = packed.predict(encoder_.encode_packed(images[i]));
   });
   return out;
 }
@@ -109,43 +119,36 @@ EvalResult HdcClassifier::evaluate(const data::Dataset& test,
 
 std::size_t HdcClassifier::retrain(std::span<const data::Image> images,
                                    std::span<const int> labels,
-                                   RetrainMode mode) {
+                                   RetrainMode mode, std::size_t workers) {
   if (!trained()) {
     throw std::logic_error("HdcClassifier::retrain: fit() first");
   }
   if (images.size() != labels.size()) {
     throw std::invalid_argument("HdcClassifier::retrain: image/label count mismatch");
   }
-  // Two-phase batch update: all predictions are made against the epoch-start
-  // reference HVs, then all lane updates are applied and the memory is
-  // re-finalized once. (Online updating would change the model mid-epoch and
-  // make results depend on example order.)
-  struct Update {
-    Hypervector query;
-    std::size_t truth;
-    std::size_t predicted;
-  };
-  std::vector<Update> updates;
-  updates.reserve(images.size());
-  std::size_t mispredicted = 0;
-  for (std::size_t i = 0; i < images.size(); ++i) {
-    const auto truth = labels[i];
+  for (const auto truth : labels) {
     if (truth < 0 || static_cast<std::size_t>(truth) >= am_.num_classes()) {
       throw std::invalid_argument("HdcClassifier::retrain: label out of range");
     }
-    auto query = encoder_.encode(images[i]);
-    const auto predicted = am_.predict(query);
-    mispredicted += predicted != static_cast<std::size_t>(truth);
-    updates.push_back(
-        Update{std::move(query), static_cast<std::size_t>(truth), predicted});
   }
-  for (const auto& update : updates) {
+  // Two-phase batch update: all predictions are made against the epoch-start
+  // reference HVs (the packed snapshot, fixed until finalize()), then all
+  // lane updates are applied in example order and the memory is re-finalized
+  // once. Encode + predict parallelize; the updated model is identical for
+  // any worker count.
+  const auto queries = encoder_.encode_batch(images, workers);
+  const auto predictions = am_.packed().predict_batch(
+      std::span<const Hypervector>(queries), workers);
+  std::size_t mispredicted = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const auto truth = static_cast<std::size_t>(labels[i]);
+    mispredicted += predictions[i] != truth;
     // Reinforce the correct class for every example ("updating the reference
     // HVs"); under kAddSubtract additionally push the query out of the class
     // it was mistaken for.
-    am_.add(update.truth, update.query, +1);
-    if (mode == RetrainMode::kAddSubtract && update.predicted != update.truth) {
-      am_.add(update.predicted, update.query, -1);
+    am_.add(truth, queries[i], +1);
+    if (mode == RetrainMode::kAddSubtract && predictions[i] != truth) {
+      am_.add(predictions[i], queries[i], -1);
     }
   }
   am_.finalize();
@@ -153,10 +156,10 @@ std::size_t HdcClassifier::retrain(std::span<const data::Image> images,
 }
 
 std::size_t HdcClassifier::retrain(const data::Dataset& labeled,
-                                   RetrainMode mode) {
+                                   RetrainMode mode, std::size_t workers) {
   labeled.validate();
   return retrain(std::span<const data::Image>(labeled.images),
-                 std::span<const int>(labeled.labels), mode);
+                 std::span<const int>(labeled.labels), mode, workers);
 }
 
 }  // namespace hdtest::hdc

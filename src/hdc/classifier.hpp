@@ -65,10 +65,12 @@ class HdcClassifier {
   [[nodiscard]] const AssociativeMemory& am() const noexcept { return am_; }
 
   /// One-epoch one-shot training (paper III-B). May be called once; use
-  /// retrain() for subsequent updates.
+  /// retrain() for subsequent updates. Encoding runs through the parallel
+  /// batch encoder over \p workers threads (chunked to bound memory); the
+  /// model is identical for any worker count.
   /// \throws std::invalid_argument on dataset/shape mismatch;
   ///         std::logic_error if already trained.
-  void fit(const data::Dataset& train);
+  void fit(const data::Dataset& train, std::size_t workers = 1);
 
   /// Restores associative-memory state from checkpointed accumulators (one
   /// per class) and finalizes. Used by hdc::load_model.
@@ -121,15 +123,20 @@ class HdcClassifier {
                                     std::size_t workers = 1) const;
 
   /// Single retraining pass over labeled examples (see RetrainMode).
-  /// Finalizes the associative memory afterwards.
+  /// Encoding and the epoch-start predictions run batched over \p workers
+  /// threads; lane updates are applied in example order, so the updated
+  /// model is identical for any worker count. Finalizes the associative
+  /// memory afterwards.
   /// \returns the number of examples that were mispredicted before update.
   std::size_t retrain(std::span<const data::Image> images,
                       std::span<const int> labels,
-                      RetrainMode mode = RetrainMode::kAddSubtract);
+                      RetrainMode mode = RetrainMode::kAddSubtract,
+                      std::size_t workers = 1);
 
   /// Convenience overload over a dataset.
   std::size_t retrain(const data::Dataset& labeled,
-                      RetrainMode mode = RetrainMode::kAddSubtract);
+                      RetrainMode mode = RetrainMode::kAddSubtract,
+                      std::size_t workers = 1);
 
  private:
   PixelEncoder encoder_;

@@ -1,6 +1,11 @@
 #include "hdc/encoder.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "util/bitops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hdtest::hdc {
 
@@ -28,7 +33,10 @@ PixelEncoder::PixelEncoder(const ModelConfig& config, std::size_t width,
       tie_break_([&] {
         util::Rng rng(util::derive_seed(config.seed, kTieBreakTag));
         return Hypervector::random(config.dim, rng);
-      }()) {
+      }()),
+      packed_positions_(position_memory_),
+      packed_values_(value_memory_),
+      tie_break_packed_(PackedHv::from_dense(tie_break_)) {
   if (width == 0 || height == 0) {
     throw std::invalid_argument("PixelEncoder: image dimensions must be non-zero");
   }
@@ -58,16 +66,37 @@ void PixelEncoder::encode_into(const data::Image& image,
   if (acc.dim() != config_.dim) {
     throw std::invalid_argument("PixelEncoder::encode_into: accumulator dim mismatch");
   }
+  // Bit-sliced bundling: each pixel HV is one XOR of packed codebook rows,
+  // counted carry-save and drained into the int32 lanes once. Exact integer
+  // arithmetic — same sums as per-element add_bound in any order.
+  util::BitSliceAccumulator bits(config_.dim);
   const auto pixels = image.pixels();
   for (std::size_t p = 0; p < pixels.size(); ++p) {
-    acc.add_bound(position_memory_[p], value_memory_[value_index(pixels[p])]);
+    bits.add_xor(packed_positions_[p], packed_values_[value_index(pixels[p])]);
   }
+  acc.add_bitsliced(bits);
 }
 
 Hypervector PixelEncoder::encode(const data::Image& image) const {
   Accumulator acc(config_.dim);
   encode_into(image, acc);
   return acc.bipolarize(tie_break_);
+}
+
+PackedHv PixelEncoder::encode_packed(const data::Image& image) const {
+  Accumulator acc(config_.dim);
+  encode_into(image, acc);
+  return acc.bipolarize_packed(tie_break_packed_);
+}
+
+std::vector<Hypervector> PixelEncoder::encode_batch(
+    std::span<const data::Image> images, std::size_t workers) const {
+  std::vector<Hypervector> out(images.size());
+  // Each worker writes only its own slot; encoding is a deterministic
+  // function of the image, so results are worker-count independent.
+  util::parallel_for(images.size(), workers,
+                     [&](std::size_t i) { out[i] = encode(images[i]); });
+  return out;
 }
 
 IncrementalPixelEncoder::IncrementalPixelEncoder(const PixelEncoder& encoder)
@@ -77,36 +106,191 @@ void IncrementalPixelEncoder::rebase(const data::Image& image) {
   base_acc_.clear();
   encoder_->encode_into(image, base_acc_);
   base_ = image;
+  slices_stale_ = true;
 }
 
-Hypervector IncrementalPixelEncoder::encode_mutant(
-    const data::Image& mutant) const {
+void IncrementalPixelEncoder::rebase(const data::Image& image, Accumulator acc) {
+  if (image.width() != encoder_->width() || image.height() != encoder_->height()) {
+    throw std::invalid_argument("IncrementalPixelEncoder::rebase: image shape mismatch");
+  }
+  if (acc.dim() != encoder_->dim()) {
+    throw std::invalid_argument("IncrementalPixelEncoder::rebase: accumulator dim mismatch");
+  }
+  base_acc_ = std::move(acc);
+  base_ = image;
+  slices_stale_ = true;
+}
+
+void IncrementalPixelEncoder::rebuild_base_slices() const {
+  // Biased bit-sliced mirror of the base lanes for the packed delta path.
+  //
+  // Lane values live in [-P, P] (P = pixel count). With bias B =
+  // bit_ceil(2P) every stored value s = lane + B is non-negative, and after
+  // any in-budget patch (pairs <= P/8, each adding 2*o_bit + 2*inv_n_bit <=
+  // 4 per lane) stays below 2B, so S = log2(B) + 1 slices always suffice —
+  // no carry is ever lost.
+  const std::size_t n = encoder_->dim();
+  const std::size_t words = util::words_for_bits(n);
+  const std::size_t pixels = base_.pixels().size();
+  const std::uint64_t bias = std::bit_ceil(2 * static_cast<std::uint64_t>(pixels));
+  bias_ = static_cast<std::int32_t>(bias);
+  slice_count_ = static_cast<std::size_t>(std::bit_width(bias));
+  base_slices_.assign(slice_count_ * words, 0);
+  const auto lanes = base_acc_.lanes();
+  for (std::size_t w = 0, base_idx = 0; base_idx < n; ++w, base_idx += 64) {
+    const std::size_t chunk = std::min<std::size_t>(64, n - base_idx);
+    for (std::size_t b = 0; b < chunk; ++b) {
+      const auto s = static_cast<std::uint32_t>(lanes[base_idx + b] + bias_);
+      for (std::size_t j = 0; j < slice_count_; ++j) {
+        base_slices_[j * words + w] |= static_cast<std::uint64_t>((s >> j) & 1u)
+                                       << b;
+      }
+    }
+  }
+}
+
+void IncrementalPixelEncoder::collect_patches(const data::Image& mutant) const {
   if (!has_base()) {
     throw std::logic_error("IncrementalPixelEncoder: rebase() before encode_mutant()");
   }
   if (mutant.width() != base_.width() || mutant.height() != base_.height()) {
     throw std::invalid_argument("IncrementalPixelEncoder: shape mismatch with base");
   }
-  // Copy the base accumulator and patch only the changed pixels:
-  //   acc += pixelHV(p, new) - pixelHV(p, old)
-  Accumulator acc = base_acc_;
+  patches_.clear();
   const auto base_px = base_.pixels();
   const auto mut_px = mutant.pixels();
-  const auto& positions = encoder_->position_memory();
-  const auto& values = encoder_->value_memory();
   std::size_t deltas = 0;
   for (std::size_t p = 0; p < base_px.size(); ++p) {
     if (base_px[p] == mut_px[p]) continue;
     const auto old_idx = encoder_->value_index(base_px[p]);
     const auto new_idx = encoder_->value_index(mut_px[p]);
     if (old_idx != new_idx) {
-      acc.add_bound(positions[p], values[old_idx], -1);
-      acc.add_bound(positions[p], values[new_idx], +1);
+      patches_.push_back(Patch{static_cast<std::uint32_t>(p),
+                               static_cast<std::uint32_t>(old_idx),
+                               static_cast<std::uint32_t>(new_idx)});
     }
     ++deltas;
   }
   last_delta_count_ = deltas;
-  return acc.bipolarize(encoder_->tie_break());
+}
+
+void IncrementalPixelEncoder::apply_patches_to_scratch() const {
+  // Copy the base accumulator (reusing scratch storage) and patch only the
+  // changed pixels: acc += pixelHV(p, new) - pixelHV(p, old). The patch
+  // reads the packed codebooks — same integer lane updates as the dense
+  // add_bound, an eighth of the memory traffic.
+  scratch_ = base_acc_;
+  const auto& positions = encoder_->packed_position_memory();
+  const auto& values = encoder_->packed_value_memory();
+  for (const auto& patch : patches_) {
+    scratch_.add_bound_packed(positions[patch.position],
+                              values[patch.old_index], -1);
+    scratch_.add_bound_packed(positions[patch.position],
+                              values[patch.new_index], +1);
+  }
+}
+
+Hypervector IncrementalPixelEncoder::encode_mutant(
+    const data::Image& mutant) const {
+  collect_patches(mutant);
+  apply_patches_to_scratch();
+  return scratch_.bipolarize(encoder_->tie_break());
+}
+
+namespace {
+
+/// Ripple-carry adds \p mask (one bit per lane, weight 2^from_level) into a
+/// level-major slice bank at word column \p w. The caller's bias headroom
+/// guarantees the carry dies inside the bank.
+inline void slice_ripple_add(std::uint64_t* slices, std::size_t words,
+                             std::size_t levels, std::size_t w,
+                             std::uint64_t mask,
+                             std::size_t from_level) noexcept {
+  std::uint64_t carry = mask;
+  for (std::size_t j = from_level; j < levels && carry != 0; ++j) {
+    std::uint64_t& word = slices[j * words + w];
+    const std::uint64_t next = word & carry;
+    word ^= carry;
+    carry = next;
+  }
+}
+
+}  // namespace
+
+PackedHv IncrementalPixelEncoder::encode_mutant_packed(
+    const data::Image& mutant) const {
+  collect_patches(mutant);
+
+  // Dense mutations (e.g. gauss noise rewrites nearly every pixel) are past
+  // the point where patching pays: a fresh bit-sliced full encode costs
+  // O(W*H * D/64) words against the patch path's O(pairs * D) bits. Both
+  // compute the exact same integer sums, so the crossover is pure routing —
+  // and it keeps the slice arithmetic below within its bias headroom.
+  const std::size_t pixels = base_.pixels().size();
+  if (patches_.size() * 8 > pixels) {
+    return encoder_->encode_packed(mutant);
+  }
+
+  // Lazily (re)build the slice bank: dense-only callers and rerouted dense
+  // mutations never pay for it.
+  if (slices_stale_) {
+    rebuild_base_slices();
+    slices_stale_ = false;
+  }
+
+  // Carry-save delta patch entirely in sign-bit space. Each patch pair
+  // contributes 2*(old_bit - new_bit) per lane, rewritten bias-free as
+  //   2*old_bit + 2*(~new_bit) - 2,
+  // so patching is two word-level ripple-carry adds per patch into the
+  // biased slice bank, and the trailing constant folds into the sign
+  // threshold: lane < 0  <=>  stored < T,  lane == 0  <=>  stored == T,
+  // with T = bias + 2*pairs. Eq. 1 then falls out of one bit-parallel
+  // MSB-down comparison per word — never a dense intermediate, never an
+  // O(D) int32 pass. Bit-exact with from_dense(encode_mutant(mutant)).
+  const std::size_t n = encoder_->dim();
+  const std::size_t words = util::words_for_bits(n);
+  const std::size_t levels = slice_count_;
+  const std::uint64_t* src = base_slices_.data();
+  if (!patches_.empty()) {
+    slice_scratch_ = base_slices_;
+    std::uint64_t* slices = slice_scratch_.data();
+    const auto& positions = encoder_->packed_position_memory();
+    const auto& values = encoder_->packed_value_memory();
+    for (const auto& patch : patches_) {
+      const std::uint64_t* pos = positions[patch.position].data();
+      const std::uint64_t* old_val = values[patch.old_index].data();
+      const std::uint64_t* new_val = values[patch.new_index].data();
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t old_bound = pos[w] ^ old_val[w];
+        const std::uint64_t new_inv = ~(pos[w] ^ new_val[w]);
+        // Two weight-2 addends per lane; CSA-combine them first so the
+        // common case ripples once, not twice.
+        slice_ripple_add(slices, words, levels, w, old_bound ^ new_inv, 1);
+        slice_ripple_add(slices, words, levels, w, old_bound & new_inv, 2);
+      }
+    }
+    src = slices;
+  }
+
+  const auto threshold = static_cast<std::uint32_t>(bias_) +
+                         2 * static_cast<std::uint32_t>(patches_.size());
+  const auto tb = encoder_->tie_break_packed().words();
+  std::vector<std::uint64_t> out(words, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    // Bit-parallel compare of 64 stored values against the threshold,
+    // MSB down: less-than decides sign, exact equality is the Eq. 1 tie.
+    std::uint64_t less = 0;
+    std::uint64_t equal = ~0ULL;
+    for (std::size_t j = levels; j-- > 0;) {
+      const std::uint64_t s = src[j * words + w];
+      const std::uint64_t t = ((threshold >> j) & 1u) ? ~0ULL : 0ULL;
+      less |= equal & ~s & t;
+      equal &= ~(s ^ t);
+    }
+    out[w] = less | (equal & tb[w]);
+  }
+  out.back() &= util::tail_mask(n);
+  return PackedHv::from_words(n, std::move(out));
 }
 
 NGramTextEncoder::NGramTextEncoder(const ModelConfig& config,
@@ -127,6 +311,17 @@ NGramTextEncoder::NGramTextEncoder(const ModelConfig& config,
   if (n == 0) {
     throw std::invalid_argument("NGramTextEncoder: n must be >= 1");
   }
+  // Precompute rho^{n-1-offset}(HV(s)) for every gram offset and symbol, so
+  // encode() never allocates a permuted copy per gram (the text path used to
+  // spend O(n*D) allocations per gram on these).
+  permuted_symbols_.reserve(n_ * alphabet_.size());
+  for (std::size_t offset = 0; offset < n_; ++offset) {
+    const auto shift = static_cast<std::ptrdiff_t>(n_ - 1 - offset);
+    for (std::size_t s = 0; s < alphabet_.size(); ++s) {
+      permuted_symbols_.push_back(shift == 0 ? symbol_memory_[s]
+                                             : permute(symbol_memory_[s], shift));
+    }
+  }
 }
 
 std::size_t NGramTextEncoder::symbol_index(char c) const {
@@ -141,15 +336,15 @@ std::size_t NGramTextEncoder::symbol_index(char c) const {
 Hypervector NGramTextEncoder::encode(std::string_view text) const {
   Accumulator acc(config_.dim);
   if (text.size() >= n_) {
+    // gram(i) = rho^{n-1}(HV(c_i)) (*) ... (*) rho^0(HV(c_{i+n-1})), with
+    // every permuted factor read from the precomputed table. The gram buffer
+    // is reused across grams (copy-assign keeps its capacity), so the loop
+    // allocates nothing in steady state.
+    Hypervector gram;
     for (std::size_t i = 0; i + n_ <= text.size(); ++i) {
-      // gram = rho^{n-1}(HV(c_i)) (*) ... (*) rho^0(HV(c_{i+n-1}))
-      Hypervector gram =
-          permute(symbol_memory_.at(symbol_index(text[i])),
-                  static_cast<std::ptrdiff_t>(n_ - 1));
+      gram = permuted_symbol(0, symbol_index(text[i]));
       for (std::size_t k = 1; k < n_; ++k) {
-        const auto& sym = symbol_memory_.at(symbol_index(text[i + k]));
-        const auto shift = static_cast<std::ptrdiff_t>(n_ - 1 - k);
-        bind_inplace(gram, shift == 0 ? sym : permute(sym, shift));
+        bind_inplace(gram, permuted_symbol(k, symbol_index(text[i + k])));
       }
       acc.add(gram);
     }

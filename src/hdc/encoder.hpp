@@ -7,21 +7,33 @@
 ///   2. per pixel, bind the position HV with the gray-level value HV;
 ///   3. bundle (sum) all pixel HVs and re-bipolarize with Eq. 1.
 ///
-/// PixelEncoder implements exactly that. IncrementalPixelEncoder exploits
-/// bundling's linearity to re-encode a mutated image in time proportional to
-/// the number of changed pixels — a large win for the fuzzer's row/column
-/// mutations (exactness is unit-tested; speedup ablated in bench).
+/// PixelEncoder implements exactly that, running step 2+3 through a
+/// bit-sliced kernel: the position/value codebooks are mirrored into packed
+/// sign-bit words at construction (PackedItemMemory), each pixel HV is one
+/// XOR of packed words, and bundling is carry-save counting
+/// (util::BitSliceAccumulator) instead of D int8 multiply-adds — the
+/// dense-binary rematerialization trick (Schmuck et al., JETC'19) applied to
+/// the encoding side. Results are bit-exact with per-element accumulation.
+///
+/// IncrementalPixelEncoder exploits bundling's linearity to re-encode a
+/// mutated image in time proportional to the number of changed pixels — a
+/// large win for the fuzzer's row/column mutations (exactness is
+/// unit-tested; speedup ablated in bench). Its packed variant
+/// (encode_mutant_packed) keeps the fuzz loop dense-free end to end.
 /// NGramTextEncoder implements the classic permute-bind n-gram text encoding
 /// (Rahimi et al., ISLPED'16) used by the language-extension example.
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "data/image.hpp"
 #include "hdc/config.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/item_memory.hpp"
+#include "hdc/packed_hv.hpp"
 
 namespace hdtest::hdc {
 
@@ -44,9 +56,20 @@ class PixelEncoder {
   /// \throws std::invalid_argument when the image shape mismatches.
   [[nodiscard]] Hypervector encode(const data::Image& image) const;
 
+  /// Full encode returning a packed query HV directly — the bit-sliced
+  /// accumulation plus the fused Eq. 1 packing, no dense intermediate.
+  /// Bit-exact: encode_packed(img) == PackedHv::from_dense(encode(img)).
+  [[nodiscard]] PackedHv encode_packed(const data::Image& image) const;
+
   /// Encodes into a caller-provided accumulator (no bipolarization); used by
   /// training, which bundles many images before a single bipolarize.
   void encode_into(const data::Image& image, Accumulator& acc) const;
+
+  /// Encodes a batch in parallel over \p workers threads (util::parallel_for;
+  /// each index is an independent deterministic function of its image, so
+  /// results are identical for any worker count).
+  [[nodiscard]] std::vector<Hypervector> encode_batch(
+      std::span<const data::Image> images, std::size_t workers = 1) const;
 
   /// The bound pixel HV for (flat position, value) — step 2 of the paper.
   [[nodiscard]] Hypervector pixel_hv(std::size_t position, std::uint8_t value) const;
@@ -54,11 +77,24 @@ class PixelEncoder {
   /// The fixed tie-break HV used to resolve Eq. 1 zeros deterministically.
   [[nodiscard]] const Hypervector& tie_break() const noexcept { return tie_break_; }
 
+  /// Packed mirror of tie_break() (same sign pattern, packed once).
+  [[nodiscard]] const PackedHv& tie_break_packed() const noexcept {
+    return tie_break_packed_;
+  }
+
   [[nodiscard]] const ItemMemory& position_memory() const noexcept {
     return position_memory_;
   }
   [[nodiscard]] const ItemMemory& value_memory() const noexcept {
     return value_memory_;
+  }
+
+  /// Packed codebooks backing the bit-sliced kernels (built once here).
+  [[nodiscard]] const PackedItemMemory& packed_position_memory() const noexcept {
+    return packed_positions_;
+  }
+  [[nodiscard]] const PackedItemMemory& packed_value_memory() const noexcept {
+    return packed_values_;
   }
 
   /// Maps an 8-bit gray level onto a value-memory index. With 256 levels this
@@ -74,6 +110,9 @@ class PixelEncoder {
   ItemMemory position_memory_;
   ItemMemory value_memory_;
   Hypervector tie_break_;
+  PackedItemMemory packed_positions_;
+  PackedItemMemory packed_values_;
+  PackedHv tie_break_packed_;
 };
 
 /// Delta re-encoder for mutated images.
@@ -91,6 +130,13 @@ class IncrementalPixelEncoder {
   /// Sets the base image (full encode, cost O(W*H*D)).
   void rebase(const data::Image& image);
 
+  /// Sets the base image reusing an accumulator that already holds its full
+  /// encode (e.g. from Fuzzer seed warm-up), skipping the O(W*H*D) encode.
+  /// \pre acc equals the encode_into() result for \p image — unchecked; a
+  /// mismatched accumulator silently corrupts every subsequent delta.
+  /// \throws std::invalid_argument on shape or dimension mismatch.
+  void rebase(const data::Image& image, Accumulator acc);
+
   /// True once rebase() has been called.
   [[nodiscard]] bool has_base() const noexcept { return !base_.empty(); }
 
@@ -99,16 +145,57 @@ class IncrementalPixelEncoder {
   /// mismatch.
   [[nodiscard]] Hypervector encode_mutant(const data::Image& mutant) const;
 
-  /// Number of pixel-HV updates performed by the last encode_mutant() call
-  /// (for the ablation bench).
+  /// Packed counterpart of encode_mutant: identical delta patch (through the
+  /// packed codebooks) followed by the fused Eq. 1 + pack. Never touches a
+  /// dense Hypervector — the fuzzer's steady-state query path.
+  /// Bit-exact: == PackedHv::from_dense(encode_mutant(mutant)).
+  [[nodiscard]] PackedHv encode_mutant_packed(const data::Image& mutant) const;
+
+  /// Number of pixel-HV updates performed by the last encode_mutant() /
+  /// encode_mutant_packed() call (for the ablation bench).
   [[nodiscard]] std::size_t last_delta_count() const noexcept {
     return last_delta_count_;
   }
 
  private:
+  /// One changed pixel whose value index moved: codebook coordinates of the
+  /// -old/+new patch pair.
+  struct Patch {
+    std::uint32_t position;
+    std::uint32_t old_index;
+    std::uint32_t new_index;
+  };
+
+  /// Validates \p mutant against the base and fills patches_ with the
+  /// changed-pixel pairs (sets last_delta_count_).
+  void collect_patches(const data::Image& mutant) const;
+
+  /// Copies the base accumulator into scratch_ and applies the delta patch
+  /// from patches_ (the dense encode_mutant path).
+  void apply_patches_to_scratch() const;
+
+  /// Rebuilds the biased bit-sliced mirror of base_acc_ (see
+  /// encode_mutant_packed in encoder.cpp for the representation).
+  void rebuild_base_slices() const;
+
   const PixelEncoder* encoder_;
   data::Image base_;
   Accumulator base_acc_;
+  /// Bit-sliced biased base lanes: slice j holds bit j of lane + bias_ for
+  /// every lane (slice_count_ x words, level-major). Built lazily on the
+  /// first encode_mutant_packed() after a rebase — dense-only callers never
+  /// pay for it; the packed delta path patches a copy of this with
+  /// word-level carry-save adds instead of touching int32 lanes.
+  mutable std::vector<std::uint64_t> base_slices_;
+  mutable std::size_t slice_count_ = 0;
+  mutable std::int32_t bias_ = 0;
+  mutable bool slices_stale_ = true;
+  /// Per-call scratch reused across encode_mutant calls (one instance is
+  /// only ever used from one thread; the fuzzer creates one per fuzz_one
+  /// call — mirrors the pre-existing last_delta_count_ contract).
+  mutable Accumulator scratch_;
+  mutable std::vector<std::uint64_t> slice_scratch_;
+  mutable std::vector<Patch> patches_;
   mutable std::size_t last_delta_count_ = 0;
 };
 
@@ -137,11 +224,21 @@ class NGramTextEncoder {
  private:
   [[nodiscard]] std::size_t symbol_index(char c) const;
 
+  /// rho^{n-1-offset}(HV(symbol)) for gram offset \p offset.
+  [[nodiscard]] const Hypervector& permuted_symbol(std::size_t offset,
+                                                   std::size_t symbol) const noexcept {
+    return permuted_symbols_[offset * alphabet_.size() + symbol];
+  }
+
   ModelConfig config_;
   std::string alphabet_;
   std::size_t n_;
   ItemMemory symbol_memory_;
   Hypervector tie_break_;
+  /// Precomputed permuted symbol table (n x alphabet, offset-major): rho^j
+  /// is applied once per symbol/offset at construction, so encode() performs
+  /// zero permute() allocations per gram.
+  std::vector<Hypervector> permuted_symbols_;
 };
 
 }  // namespace hdtest::hdc

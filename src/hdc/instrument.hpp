@@ -1,0 +1,54 @@
+#pragma once
+/// \file instrument.hpp
+/// Process-wide encode-pipeline counters backing the dense-free guarantees.
+///
+/// The fuzzer's steady-state generation loop is required to stay entirely in
+/// packed sign-bit space: zero dense Hypervector materializations and zero
+/// PackedHv::from_dense re-packs per mutant. These relaxed atomic counters
+/// are bumped at the only places a dense vector can enter existence
+/// (Hypervector's storage constructors) or be re-packed (from_dense), so the
+/// property is asserted by tests/fuzz/dense_free_test instead of trusted to
+/// call-site review. Cost: one relaxed increment per O(D) construction,
+/// invisible next to the element work it guards.
+
+#include <atomic>
+#include <cstdint>
+
+namespace hdtest::hdc::instrument {
+
+struct EncodeCounters {
+  /// Fresh dense Hypervector constructions (from raw storage; copies and
+  /// moves of existing HVs are not counted).
+  std::atomic<std::uint64_t> dense_hv_materializations{0};
+  /// PackedHv::from_dense conversions.
+  std::atomic<std::uint64_t> packed_from_dense{0};
+};
+
+[[nodiscard]] inline EncodeCounters& counters() noexcept {
+  static EncodeCounters instance;
+  return instance;
+}
+
+inline void note_dense_hv() noexcept {
+  counters().dense_hv_materializations.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void note_from_dense() noexcept {
+  counters().packed_from_dense.fetch_add(1, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t dense_hv_materializations() noexcept {
+  return counters().dense_hv_materializations.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t packed_from_dense() noexcept {
+  return counters().packed_from_dense.load(std::memory_order_relaxed);
+}
+
+/// Zeroes both counters (tests snapshot around the region under scrutiny).
+inline void reset() noexcept {
+  counters().dense_hv_materializations.store(0, std::memory_order_relaxed);
+  counters().packed_from_dense.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hdtest::hdc::instrument

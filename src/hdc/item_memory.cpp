@@ -1,6 +1,10 @@
 #include "hdc/item_memory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "hdc/packed_hv.hpp"
+#include "util/bitops.hpp"
 
 namespace hdtest::hdc {
 
@@ -68,6 +72,25 @@ const Hypervector& ItemMemory::at(std::size_t index) const {
     throw std::out_of_range("ItemMemory::at: index out of range");
   }
   return entries_[index];
+}
+
+PackedItemMemory::PackedItemMemory(const ItemMemory& source)
+    : dim_(source.dim()),
+      count_(source.count()),
+      stride_(util::words_for_bits(source.dim())) {
+  words_.assign(count_ * stride_, 0);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const auto packed = PackedHv::from_dense(source[i]);
+    const auto src = packed.words();
+    std::copy(src.begin(), src.end(), words_.begin() + i * stride_);
+  }
+}
+
+std::span<const std::uint64_t> PackedItemMemory::at(std::size_t index) const {
+  if (index >= count_) {
+    throw std::out_of_range("PackedItemMemory::at: index out of range");
+  }
+  return (*this)[index];
 }
 
 }  // namespace hdtest::hdc

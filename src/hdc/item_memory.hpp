@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hdc/config.hpp"
@@ -48,6 +49,43 @@ class ItemMemory {
   std::size_t dim_;
   ValueStrategy strategy_;
   std::vector<Hypervector> entries_;
+};
+
+/// Bit-packed mirror of an ItemMemory.
+///
+/// Every codebook entry is packed once into sign-bit words (bit = 1 encodes
+/// -1) and stored contiguously (count x words_per_entry, row-major), so the
+/// bit-sliced encode kernel streams cache-friendly XOR words instead of
+/// dense int8 reads. Entry i here packs exactly entry i of the source
+/// memory; built once per PixelEncoder and immutable afterwards.
+class PackedItemMemory {
+ public:
+  /// Empty memory (count() == 0).
+  PackedItemMemory() = default;
+
+  /// Packs every entry of \p source.
+  explicit PackedItemMemory(const ItemMemory& source);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Packed words per entry (= util::words_for_bits(dim())).
+  [[nodiscard]] std::size_t words_per_entry() const noexcept { return stride_; }
+
+  /// Packed words of entry \p index (unchecked hot path).
+  [[nodiscard]] std::span<const std::uint64_t> operator[](
+      std::size_t index) const noexcept {
+    return {words_.data() + index * stride_, stride_};
+  }
+
+  /// Checked entry accessor. \throws std::out_of_range.
+  [[nodiscard]] std::span<const std::uint64_t> at(std::size_t index) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t count_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::uint64_t> words_;  ///< count_ x stride_, row-major
 };
 
 }  // namespace hdtest::hdc

@@ -92,6 +92,38 @@ std::vector<double> PackedAssocMemory::similarities(const PackedHv& query) const
   return sims;
 }
 
+double PackedAssocMemory::similarity_to(std::size_t cls,
+                                        const PackedHv& query) const {
+  check_query(query.dim());
+  if (cls >= num_classes_) {
+    throw std::out_of_range("PackedAssocMemory::similarity_to: class out of range");
+  }
+  const auto ham = util::xor_popcount({words_.data() + cls * stride_, stride_},
+                                      query.words());
+  const auto d = static_cast<double>(dim_);
+  if (similarity_ == Similarity::kCosine) {
+    // cosine = dot/D with dot = D - 2*ham (exact for bipolar HVs).
+    return (d - 2.0 * static_cast<double>(ham)) / d;
+  }
+  return 1.0 - static_cast<double>(ham) / d;
+}
+
+std::vector<double> PackedAssocMemory::scores(std::span<const PackedHv> queries,
+                                              std::size_t cls,
+                                              std::size_t workers) const {
+  if (empty()) {
+    throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
+  }
+  if (cls >= num_classes_) {
+    throw std::out_of_range("PackedAssocMemory::scores: class out of range");
+  }
+  std::vector<double> out(queries.size());
+  util::parallel_for(queries.size(), workers, [&](std::size_t i) {
+    out[i] = similarity_to(cls, queries[i]);
+  });
+  return out;
+}
+
 std::vector<std::size_t> PackedAssocMemory::predict_batch(
     std::span<const Hypervector> queries, std::size_t workers) const {
   if (empty()) {

@@ -69,6 +69,21 @@ class PackedAssocMemory {
   /// AssociativeMemory::similarities (cosine = dot/D; Hamming = 1 - ham/D).
   [[nodiscard]] std::vector<double> similarities(const PackedHv& query) const;
 
+  /// Similarity of a packed query to one class — identical doubles to
+  /// AssociativeMemory::similarity_to on the dense query (packed dot equals
+  /// dense dot exactly). The fuzzer's fitness ingredient.
+  /// \throws std::logic_error when empty; std::invalid_argument /
+  /// std::out_of_range on dim or class mismatch.
+  [[nodiscard]] double similarity_to(std::size_t cls, const PackedHv& query) const;
+
+  /// Batched similarity-to-one-class sweep: scores[i] = similarity_to(cls,
+  /// queries[i]), parallelized over \p workers threads (deterministic per
+  /// index, identical for any worker count). The fuzzer scores a whole
+  /// surviving generation with one call.
+  [[nodiscard]] std::vector<double> scores(std::span<const PackedHv> queries,
+                                           std::size_t cls,
+                                           std::size_t workers = 1) const;
+
   /// Batched argmax over many queries. Each index is handled independently
   /// (pack + predict), parallelized over \p workers threads with
   /// util::parallel_for; results are identical for any worker count.

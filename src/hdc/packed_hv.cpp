@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "hdc/instrument.hpp"
+
 namespace hdtest::hdc {
 
 namespace {
@@ -46,6 +48,7 @@ PackedHv PackedHv::random(std::size_t dim, util::Rng& rng) {
 }
 
 PackedHv PackedHv::from_dense(const Hypervector& dense) {
+  instrument::note_from_dense();
   PackedHv v(dense.dim());
   const auto elems = dense.elements();
   std::size_t i = 0;
@@ -64,6 +67,23 @@ PackedHv PackedHv::from_dense(const Hypervector& dense) {
       util::set_bit(v.words_, i, true);
     }
   }
+  return v;
+}
+
+PackedHv PackedHv::from_words(std::size_t dim,
+                              std::vector<std::uint64_t> words) {
+  if (dim == 0) {
+    throw std::invalid_argument("PackedHv::from_words: dimension must be non-zero");
+  }
+  if (words.size() != util::words_for_bits(dim)) {
+    throw std::invalid_argument("PackedHv::from_words: word count mismatch");
+  }
+  if ((words.back() & ~util::tail_mask(dim)) != 0) {
+    throw std::invalid_argument("PackedHv::from_words: tail bits must be zero");
+  }
+  PackedHv v;
+  v.dim_ = dim;
+  v.words_ = std::move(words);
   return v;
 }
 

@@ -41,6 +41,13 @@ class PackedHv {
   /// Packs a dense bipolar HV.
   [[nodiscard]] static PackedHv from_dense(const Hypervector& v);
 
+  /// Wraps already-packed sign-bit words (kernel hook for the fused
+  /// bipolarize and the bit-sliced encoder — no dense intermediate).
+  /// \throws std::invalid_argument for zero dim, a word count other than
+  /// words_for_bits(dim), or non-zero bits past dim in the last word.
+  [[nodiscard]] static PackedHv from_words(std::size_t dim,
+                                           std::vector<std::uint64_t> words);
+
   /// Unpacks into a dense bipolar HV.
   [[nodiscard]] Hypervector to_dense() const;
 

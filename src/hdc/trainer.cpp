@@ -15,6 +15,9 @@ void TrainerConfig::validate() const {
   if (patience == 0) {
     throw std::invalid_argument("TrainerConfig: patience must be >= 1");
   }
+  if (workers == 0) {
+    throw std::invalid_argument("TrainerConfig: workers must be >= 1");
+  }
 }
 
 TrainHistory train_with_retraining(HdcClassifier& model,
@@ -27,9 +30,10 @@ TrainHistory train_with_retraining(HdcClassifier& model,
   }
 
   TrainHistory history;
-  model.fit(train);
-  history.train_accuracy.push_back(model.evaluate(train).accuracy());
-  history.val_accuracy.push_back(model.evaluate(validation).accuracy());
+  model.fit(train, config.workers);
+  history.train_accuracy.push_back(model.evaluate(train, config.workers).accuracy());
+  history.val_accuracy.push_back(
+      model.evaluate(validation, config.workers).accuracy());
   history.best_epoch = 0;
   history.best_val_accuracy = history.val_accuracy.back();
   util::log_info("trainer: one-shot fit, val accuracy ",
@@ -43,9 +47,11 @@ TrainHistory train_with_retraining(HdcClassifier& model,
     if (history.best_val_accuracy >= config.target_accuracy) break;
     if (config.shuffle_each_epoch) epoch_set.shuffle(shuffle_rng);
 
-    const auto missed = model.retrain(epoch_set, config.mode);
-    history.train_accuracy.push_back(model.evaluate(train).accuracy());
-    history.val_accuracy.push_back(model.evaluate(validation).accuracy());
+    const auto missed = model.retrain(epoch_set, config.mode, config.workers);
+    history.train_accuracy.push_back(
+        model.evaluate(train, config.workers).accuracy());
+    history.val_accuracy.push_back(
+        model.evaluate(validation, config.workers).accuracy());
     util::log_info("trainer: epoch ", epoch, " corrected ", missed,
                    ", val accuracy ", history.val_accuracy.back());
 

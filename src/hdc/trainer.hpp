@@ -27,6 +27,9 @@ struct TrainerConfig {
   bool shuffle_each_epoch = true;   ///< reshuffle the train set per epoch
   RetrainMode mode = RetrainMode::kAddSubtract;
   std::uint64_t shuffle_seed = 0x7a15eedULL;  ///< per-epoch shuffle stream seed
+  /// Encode/evaluate worker threads (>= 1). Affects wall time only: the
+  /// trained model and history are identical for any worker count.
+  std::size_t workers = 1;
 
   void validate() const;
 };

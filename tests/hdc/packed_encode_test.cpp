@@ -1,0 +1,297 @@
+// Tests for the dense-free encoding pipeline: the fused packed bipolarize
+// (Accumulator::bipolarize_packed), the bit-sliced full encode
+// (PixelEncoder::encode_packed / encode_into via util::BitSliceAccumulator),
+// the packed delta re-encoder (encode_mutant_packed), the parallel batch
+// encoder, and the packed fitness kernels. Everything must be bit-identical
+// to the dense int8 reference path — the same contract PR 1 established for
+// packed inference — across awkward dimensions (off-by-one around the word
+// size), tie-break (zero-lane) cases, and quantized value memories.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "hdc/assoc_memory.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/packed_hv.hpp"
+#include "util/bitops.hpp"
+
+namespace hdtest::hdc {
+namespace {
+
+// Dimensions chosen to straddle the 64-bit word boundary plus the paper's
+// operating points.
+const std::size_t kDims[] = {63, 64, 65, 1000, 8192};
+
+ModelConfig config_for(std::size_t dim, std::size_t value_levels = 256) {
+  ModelConfig config;
+  config.dim = dim;
+  config.seed = 77;
+  config.value_levels = value_levels;
+  return config;
+}
+
+data::Image random_image(std::size_t w, std::size_t h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Image img(w, h, 0);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return img;
+}
+
+/// Accumulator with lanes drawn from a small range centered on zero so that
+/// negative, zero, and positive lanes all occur.
+Accumulator random_accumulator(std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int32_t> lanes(dim);
+  for (auto& lane : lanes) {
+    lane = static_cast<std::int32_t>(rng.uniform_u64(7)) - 3;
+  }
+  return Accumulator::from_lanes(std::move(lanes));
+}
+
+TEST(BipolarizePacked, MatchesDensePathAcrossDims) {
+  for (const auto dim : kDims) {
+    util::Rng rng(dim);
+    const auto tie_break = Hypervector::random(dim, rng);
+    const auto tie_break_packed = PackedHv::from_dense(tie_break);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const auto acc = random_accumulator(dim, seed * 31 + dim);
+      EXPECT_EQ(acc.bipolarize_packed(tie_break_packed),
+                PackedHv::from_dense(acc.bipolarize(tie_break)))
+          << "dim=" << dim << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BipolarizePacked, AllZeroLanesTakeTieBreakPattern) {
+  // A fresh accumulator is all zeros: Eq. 1 resolves every lane from the
+  // tie-break HV, so the packed result must equal the packed tie-break.
+  for (const auto dim : kDims) {
+    util::Rng rng(dim + 1);
+    const auto tie_break = Hypervector::random(dim, rng);
+    const auto tie_break_packed = PackedHv::from_dense(tie_break);
+    const Accumulator zeros(dim);
+    EXPECT_EQ(zeros.bipolarize_packed(tie_break_packed), tie_break_packed);
+    EXPECT_EQ(zeros.bipolarize_packed(tie_break_packed),
+              PackedHv::from_dense(zeros.bipolarize(tie_break)));
+  }
+}
+
+TEST(BipolarizePacked, RejectsDimensionMismatch) {
+  const Accumulator acc(100);
+  util::Rng rng(5);
+  const auto tie_break = PackedHv::random(101, rng);
+  EXPECT_THROW((void)acc.bipolarize_packed(tie_break), std::invalid_argument);
+}
+
+TEST(BitSliceAccumulator, MatchesNaivePerLaneCounts) {
+  for (const auto dim : kDims) {
+    util::Rng rng(dim * 3 + 1);
+    util::BitSliceAccumulator bits(dim);
+    Accumulator reference(dim);
+    Accumulator drained(dim);
+    // Enough vectors to force several carry levels (levels ~ log2(n)).
+    for (std::size_t n = 0; n < 37; ++n) {
+      const auto a = PackedHv::random(dim, rng);
+      const auto b = PackedHv::random(dim, rng);
+      bits.add_xor(a.words(), b.words());
+      reference.add_bound(a.to_dense(), b.to_dense());
+    }
+    EXPECT_EQ(bits.added(), 37u);
+    // Mean per-lane count is ~18.5, so the ladder must have opened at least
+    // the 5 slices that represent counts up to 31.
+    EXPECT_GE(bits.levels(), 5u);
+    drained.add_bitsliced(bits);
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(drained.lane(i), reference.lane(i)) << "dim=" << dim << " lane=" << i;
+    }
+  }
+}
+
+TEST(BitSliceAccumulator, ClearResetsCounts) {
+  util::BitSliceAccumulator bits(128);
+  util::Rng rng(9);
+  const auto v = PackedHv::random(128, rng);
+  bits.add(v.words());
+  bits.clear();
+  EXPECT_EQ(bits.added(), 0u);
+  Accumulator acc(128);
+  acc.add_bitsliced(bits);
+  for (std::size_t i = 0; i < 128; ++i) ASSERT_EQ(acc.lane(i), 0);
+}
+
+TEST(AddBoundPacked, MatchesDenseAddBound) {
+  for (const auto dim : kDims) {
+    util::Rng rng(dim + 17);
+    const auto a = PackedHv::random(dim, rng);
+    const auto b = PackedHv::random(dim, rng);
+    Accumulator dense_acc(dim);
+    Accumulator packed_acc(dim);
+    dense_acc.add_bound(a.to_dense(), b.to_dense(), +1);
+    dense_acc.add_bound(b.to_dense(), a.to_dense(), -2);
+    packed_acc.add_bound_packed(a.words(), b.words(), +1);
+    packed_acc.add_bound_packed(b.words(), a.words(), -2);
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(packed_acc.lane(i), dense_acc.lane(i)) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(PackedHv, FromWordsValidates) {
+  EXPECT_THROW((void)PackedHv::from_words(0, {}), std::invalid_argument);
+  EXPECT_THROW((void)PackedHv::from_words(64, {1, 2}), std::invalid_argument);
+  // Bit 63 set for a 63-bit vector: tail bits must be zero.
+  EXPECT_THROW((void)PackedHv::from_words(63, {1ULL << 63}),
+               std::invalid_argument);
+  const auto v = PackedHv::from_words(65, {~0ULL, 1ULL});
+  EXPECT_EQ(v.dim(), 65u);
+  EXPECT_EQ(v.get(64), -1);
+}
+
+TEST(PackedEncode, MatchesDenseEncodeAcrossDims) {
+  for (const auto dim : kDims) {
+    const PixelEncoder enc(config_for(dim), 9, 7);
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const auto img = random_image(9, 7, seed + dim);
+      EXPECT_EQ(enc.encode_packed(img), PackedHv::from_dense(enc.encode(img)))
+          << "dim=" << dim << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PackedEncode, MatchesDenseEncodeWithQuantizedValues) {
+  // value_levels < 256 exercises the quantized codebook indexing.
+  for (const auto levels : {2u, 16u, 100u}) {
+    const PixelEncoder enc(config_for(1000, levels), 8, 8);
+    const auto img = random_image(8, 8, levels);
+    EXPECT_EQ(enc.encode_packed(img), PackedHv::from_dense(enc.encode(img)))
+        << "levels=" << levels;
+  }
+}
+
+TEST(PackedEncode, PackedCodebooksMirrorDenseEntries) {
+  const PixelEncoder enc(config_for(1000), 6, 5);
+  ASSERT_EQ(enc.packed_position_memory().count(), 30u);
+  ASSERT_EQ(enc.packed_value_memory().count(), 256u);
+  for (std::size_t p = 0; p < 30; ++p) {
+    const auto expected = PackedHv::from_dense(enc.position_memory()[p]);
+    const auto actual = enc.packed_position_memory()[p];
+    ASSERT_TRUE(std::equal(actual.begin(), actual.end(),
+                           expected.words().begin(), expected.words().end()));
+  }
+  EXPECT_EQ(enc.tie_break_packed(), PackedHv::from_dense(enc.tie_break()));
+  EXPECT_THROW((void)enc.packed_position_memory().at(30), std::out_of_range);
+}
+
+TEST(PackedEncode, EncodeMutantPackedMatchesDense) {
+  for (const auto dim : kDims) {
+    const PixelEncoder enc(config_for(dim), 10, 10);
+    IncrementalPixelEncoder inc(enc);
+    util::Rng rng(dim);
+    const auto base = random_image(10, 10, dim);
+    inc.rebase(base);
+    auto mutant = base;
+    for (std::uint64_t f = 0; f < 12; ++f) {
+      mutant(static_cast<std::size_t>(rng.uniform_u64(10)),
+             static_cast<std::size_t>(rng.uniform_u64(10))) =
+          static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    EXPECT_EQ(inc.encode_mutant_packed(mutant),
+              PackedHv::from_dense(inc.encode_mutant(mutant)))
+        << "dim=" << dim;
+    EXPECT_EQ(inc.encode_mutant_packed(mutant),
+              PackedHv::from_dense(enc.encode(mutant)))
+        << "dim=" << dim;
+  }
+}
+
+TEST(PackedEncode, RebaseFromAccumulatorMatchesFullRebase) {
+  const PixelEncoder enc(config_for(1000), 8, 8);
+  const auto base = random_image(8, 8, 21);
+  Accumulator acc(enc.dim());
+  enc.encode_into(base, acc);
+
+  IncrementalPixelEncoder from_acc(enc);
+  from_acc.rebase(base, acc);
+  IncrementalPixelEncoder full(enc);
+  full.rebase(base);
+
+  auto mutant = base;
+  mutant(4, 4) = static_cast<std::uint8_t>(mutant(4, 4) ^ 0xff);
+  EXPECT_EQ(from_acc.encode_mutant_packed(mutant),
+            full.encode_mutant_packed(mutant));
+  EXPECT_EQ(from_acc.encode_mutant(mutant), enc.encode(mutant));
+}
+
+TEST(PackedEncode, RebaseFromAccumulatorValidates) {
+  const PixelEncoder enc(config_for(256), 5, 5);
+  IncrementalPixelEncoder inc(enc);
+  EXPECT_THROW(inc.rebase(data::Image(4, 5, 0), Accumulator(256)),
+               std::invalid_argument);
+  EXPECT_THROW(inc.rebase(data::Image(5, 5, 0), Accumulator(100)),
+               std::invalid_argument);
+}
+
+TEST(PackedEncode, EncodeBatchMatchesSequentialForAnyWorkerCount) {
+  const PixelEncoder enc(config_for(1000), 8, 8);
+  std::vector<data::Image> images;
+  for (std::uint64_t s = 0; s < 9; ++s) images.push_back(random_image(8, 8, s));
+  for (const std::size_t workers : {1u, 4u}) {
+    const auto batch = enc.encode_batch(images, workers);
+    ASSERT_EQ(batch.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      ASSERT_EQ(batch[i], enc.encode(images[i])) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(PackedFitness, SimilarityToMatchesDenseExactly) {
+  // The fuzzer's fitness must be the *same doubles* under both paths, or
+  // seed selection could diverge between dense and packed runs.
+  for (const auto metric : {Similarity::kCosine, Similarity::kHamming}) {
+    AssociativeMemory am(4, 1000, /*seed=*/3, metric);
+    util::Rng rng(13);
+    for (std::size_t c = 0; c < 4; ++c) {
+      am.add(c, Hypervector::random(1000, rng));
+    }
+    am.finalize();
+    std::vector<PackedHv> packed_queries;
+    for (std::size_t q = 0; q < 6; ++q) {
+      const auto query = Hypervector::random(1000, rng);
+      const auto packed = PackedHv::from_dense(query);
+      packed_queries.push_back(packed);
+      for (std::size_t c = 0; c < 4; ++c) {
+        ASSERT_EQ(am.packed().similarity_to(c, packed),
+                  am.similarity_to(c, query));
+      }
+    }
+    for (const std::size_t workers : {1u, 3u}) {
+      const auto scores = am.packed().scores(packed_queries, 2, workers);
+      ASSERT_EQ(scores.size(), packed_queries.size());
+      for (std::size_t q = 0; q < packed_queries.size(); ++q) {
+        ASSERT_EQ(scores[q], am.packed().similarity_to(2, packed_queries[q]));
+      }
+    }
+  }
+}
+
+TEST(PackedFitness, ValidatesClassAndDimension) {
+  AssociativeMemory am(3, 256, /*seed=*/4);
+  util::Rng rng(14);
+  for (std::size_t c = 0; c < 3; ++c) am.add(c, Hypervector::random(256, rng));
+  am.finalize();
+  const auto query = PackedHv::random(256, rng);
+  EXPECT_THROW((void)am.packed().similarity_to(3, query), std::out_of_range);
+  EXPECT_THROW((void)am.packed().similarity_to(0, PackedHv::random(255, rng)),
+               std::invalid_argument);
+  EXPECT_THROW((void)am.packed().scores({&query, 1}, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hdtest::hdc
