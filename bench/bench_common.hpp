@@ -113,10 +113,29 @@ class JsonObject {
   }
 
   JsonObject& add(const std::string& key, const std::string& value) {
+    // Full RFC 8259 string escaping: quotes, backslashes, and control
+    // characters (backend/strategy names come from env vars and subprocess
+    // output, so they are not guaranteed printable).
     std::string quoted = "\"";
     for (const char c : value) {
-      if (c == '"' || c == '\\') quoted += '\\';
-      quoted += c;
+      switch (c) {
+        case '"': quoted += "\\\""; break;
+        case '\\': quoted += "\\\\"; break;
+        case '\b': quoted += "\\b"; break;
+        case '\f': quoted += "\\f"; break;
+        case '\n': quoted += "\\n"; break;
+        case '\r': quoted += "\\r"; break;
+        case '\t': quoted += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            quoted += buf;
+          } else {
+            quoted += c;
+          }
+      }
     }
     quoted += '"';
     return add_raw(key, std::move(quoted));
@@ -172,6 +191,28 @@ inline bool write_json(const std::string& path, const std::string& rendered) {
   if (!file) return false;
   file << rendered << '\n';
   return static_cast<bool>(file);
+}
+
+/// Short git SHA of the working tree (with a "-dirty" suffix when the tree
+/// has uncommitted changes), or "unknown" outside a repo — recorded in the
+/// committed bench baselines so every number is attributable to a commit.
+inline std::string git_sha() {
+  const auto run = [](const char* cmd) -> std::string {
+    std::string out;
+    if (FILE* pipe = popen(cmd, "r")) {
+      char buf[128];
+      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+      pclose(pipe);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    return out;
+  };
+  std::string sha = run("git rev-parse --short HEAD 2>/dev/null");
+  if (sha.empty()) return "unknown";
+  if (!run("git status --porcelain 2>/dev/null").empty()) sha += "-dirty";
+  return sha;
 }
 
 }  // namespace hdtest::benchutil

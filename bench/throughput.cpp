@@ -8,23 +8,36 @@
 /// dependent; the reproduction target is the order of magnitude (hundreds
 /// per minute on commodity hardware).
 ///
-/// Three micro sections isolate the per-mutant cost stack and gate the
-/// packed kernels against the dense reference path:
+/// Four micro sections isolate the per-mutant cost stack and gate the
+/// packed kernels against the dense reference path, each repeated under
+/// EVERY compiled-and-supported SIMD backend (SWAR / AVX2 / AVX-512; forced
+/// via util::simd::set_kernels_for_testing, overridable process-wide with
+/// HDTEST_KERNEL_BACKEND):
 ///   1. packed predict_batch vs per-sample dense predict (classification);
 ///   2. bit-sliced full-image encode vs per-pixel dense accumulation
 ///      (trainer / rebase / seed warm-up path);
 ///   3. the end-to-end mutant loop (delta encode + classify + fitness):
 ///      the dense-free packed pipeline vs the PR 1 steady state (dense
-///      delta encode, PackedHv::from_dense re-pack, dense fitness dot).
-/// Every section doubles as a bit-exactness gate; any packed/dense
-/// disagreement fails the binary.
+///      delta encode, PackedHv::from_dense re-pack, dense fitness dot);
+///   4. the query-blocked AM sweep (predict_block) vs the PR 1 per-query
+///      packed predict.
+/// The dense / PR 1 reference sides are measured ONCE, under the forced
+/// portable SWAR backend (the PR 1 pipeline was portable scalar code), and
+/// shared across every backend section — so per-backend numbers differ only
+/// by the kernel under test, not by thermal drift across a long run. Every
+/// section doubles as a bit-exactness gate; any packed/dense or
+/// cross-backend disagreement fails the binary.
 ///
 /// Flags:
-///   --self-check   run only the agreement gates (fast; CI's bench smoke)
+///   --self-check   run only the agreement gates, on every backend (fast;
+///                  CI's bench smoke; prints the detected backend)
 ///   --json=PATH    additionally write machine-readable results (the
-///                  committed BENCH_throughput.json baseline)
+///                  committed BENCH_throughput.json baseline, stamped with
+///                  git SHA, CPU feature flags, and the active backend)
 
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +50,7 @@
 #include "hdc/packed_hv.hpp"
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
+#include "util/simd/kernels.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -54,246 +68,373 @@ hdtest::data::Image random_image(std::size_t w, std::size_t h,
   return img;
 }
 
-/// Packed-vs-dense inference comparison at one dimension. Returns the
-/// speedup (dense time / packed time); clears *ok on any packed/dense
-/// prediction disagreement.
-double bench_packed_inference(std::size_t dim, std::size_t num_queries,
-                              std::size_t reps, hdtest::util::CsvWriter& csv,
-                              std::vector<std::string>& json_rows, bool* ok) {
+std::unique_ptr<hdtest::hdc::AssociativeMemory> random_am(
+    std::size_t dim, std::uint64_t seed, std::size_t classes = 10) {
   using namespace hdtest;
+  auto am = std::make_unique<hdc::AssociativeMemory>(classes, dim, seed);
+  util::Rng rng(dim + seed);
+  for (std::size_t c = 0; c < am->num_classes(); ++c) {
+    am->add(c, hdc::Hypervector::random(dim, rng));
+  }
+  am->finalize();
+  return am;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline fixtures: the dense / PR 1 reference side of each comparison,
+// measured once (under forced SWAR — see file comment) and reused by every
+// backend section.
+
+/// Classification: per-sample dense predict (one dot per class per query).
+struct InferenceBaseline {
+  std::size_t dim = 0;
+  std::unique_ptr<hdtest::hdc::AssociativeMemory> am;
+  std::vector<hdtest::hdc::Hypervector> queries;
+  std::vector<std::size_t> dense_labels;
+  double dense_us = 0.0;
+};
+
+InferenceBaseline make_inference_baseline(std::size_t dim,
+                                          std::size_t num_queries,
+                                          std::size_t reps) {
+  using namespace hdtest;
+  InferenceBaseline base;
+  base.dim = dim;
   // Class prototypes and queries are random bipolar HVs: the classification
   // stage only sees finalized +-1 vectors, so this is exactly the shape of
   // data the fuzz loop queries with.
-  hdc::AssociativeMemory am(10, dim, /*seed=*/99);
+  base.am = random_am(dim, /*seed=*/99);
   util::Rng rng(dim);
-  for (std::size_t c = 0; c < am.num_classes(); ++c) {
-    am.add(c, hdc::Hypervector::random(dim, rng));
-  }
-  am.finalize();
-
-  std::vector<hdc::Hypervector> queries;
-  queries.reserve(num_queries);
+  base.queries.reserve(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
-    queries.push_back(hdc::Hypervector::random(dim, rng));
+    base.queries.push_back(hdc::Hypervector::random(dim, rng));
   }
-
-  // Per-sample dense path: one dot product per class per query. Labels are
-  // kept (not just summed) so the agreement gate below is exact.
-  std::vector<std::size_t> dense_labels(queries.size());
-  const util::Stopwatch dense_watch;
+  base.dense_labels.resize(num_queries);
+  const util::Stopwatch watch;
   for (std::size_t r = 0; r < reps; ++r) {
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      dense_labels[q] = am.predict(queries[q]);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      base.dense_labels[q] = base.am->predict(base.queries[q]);
     }
   }
-  const double dense_seconds = dense_watch.seconds();
+  base.dense_us =
+      watch.seconds() * 1e6 / static_cast<double>(num_queries * reps);
+  return base;
+}
 
-  // Batched packed path: pack each query once, then XOR+popcount sweeps.
+/// Per-backend side: batched packed inference. Returns the speedup; clears
+/// *ok on any packed/dense prediction disagreement.
+double bench_packed_inference(const char* backend,
+                              const InferenceBaseline& base, std::size_t reps,
+                              hdtest::util::CsvWriter& csv,
+                              std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
   std::vector<std::size_t> packed_labels;
-  const util::Stopwatch packed_watch;
+  const util::Stopwatch watch;
   for (std::size_t r = 0; r < reps; ++r) {
-    packed_labels = am.packed().predict_batch(queries);
+    packed_labels = base.am->packed().predict_batch(base.queries);
   }
-  const double packed_seconds = packed_watch.seconds();
-
-  if (dense_labels != packed_labels) {
-    std::printf("ERROR: packed/dense disagreement at dim=%zu\n", dim);
+  const double packed_us =
+      watch.seconds() * 1e6 /
+      static_cast<double>(base.queries.size() * reps);
+  if (packed_labels != base.dense_labels) {
+    std::printf("ERROR: packed/dense disagreement at dim=%zu\n", base.dim);
     *ok = false;
   }
-  const double total = static_cast<double>(num_queries * reps);
-  const double dense_us = dense_seconds * 1e6 / total;
-  const double packed_us = packed_seconds * 1e6 / total;
-  const double speedup = packed_seconds > 0.0 ? dense_seconds / packed_seconds
-                                              : 0.0;
-  std::printf("  dim=%5zu: dense %8.3f us/query, packed %8.3f us/query"
+  const double speedup = packed_us > 0.0 ? base.dense_us / packed_us : 0.0;
+  std::printf("  [%s] dim=%5zu: dense %8.3f us/query, packed %8.3f us/query"
               " -> %.1fx\n",
-              dim, dense_us, packed_us, speedup);
-  csv.row(dim, dense_us, packed_us, speedup);
+              backend, base.dim, base.dense_us, packed_us, speedup);
+  csv.row(backend, base.dim, base.dense_us, packed_us, speedup);
   json_rows.push_back(JsonObject()
-                          .add("dim", static_cast<double>(dim))
-                          .add("dense_us_per_query", dense_us)
+                          .add("dim", static_cast<double>(base.dim))
+                          .add("dense_us_per_query", base.dense_us)
                           .add("packed_us_per_query", packed_us)
                           .add("speedup", speedup)
                           .str());
   return speedup;
 }
 
-/// Full-image encode: the bit-sliced packed kernel (encode_packed) against
-/// the dense reference (per-pixel int8 add_bound + dense bipolarize) that
-/// the trainer/rebase path paid before this pipeline existed. Returns the
-/// speedup; clears *ok on any bit mismatch.
-double bench_full_encode(std::size_t dim, std::size_t num_images,
-                         std::size_t reps, hdtest::util::CsvWriter& csv,
-                         std::vector<std::string>& json_rows, bool* ok) {
+/// Full-image encode: dense per-pixel int8 accumulation + dense Eq. 1 (the
+/// pre-bit-slicing trainer/rebase kernel).
+struct EncodeBaseline {
+  std::size_t dim = 0;
+  std::unique_ptr<hdtest::hdc::PixelEncoder> enc;
+  std::vector<hdtest::data::Image> images;
+  std::vector<hdtest::hdc::PackedHv> expected;  ///< packed dense results
+  double dense_us = 0.0;
+};
+
+EncodeBaseline make_encode_baseline(std::size_t dim, std::size_t num_images,
+                                    std::size_t reps) {
   using namespace hdtest;
+  EncodeBaseline base;
+  base.dim = dim;
   hdc::ModelConfig config;
   config.dim = dim;
   config.seed = 7;
-  const hdc::PixelEncoder enc(config, 28, 28);
-
-  std::vector<data::Image> images;
-  images.reserve(num_images);
+  base.enc = std::make_unique<hdc::PixelEncoder>(config, 28, 28);
+  base.images.reserve(num_images);
   for (std::size_t i = 0; i < num_images; ++i) {
-    images.push_back(random_image(28, 28, dim * 1000 + i));
+    base.images.push_back(random_image(28, 28, dim * 1000 + i));
   }
-
-  // Dense reference: exactly the pre-bit-slicing kernel (per-pixel dense
-  // add_bound, then Eq. 1 into an int8 vector).
   std::vector<hdc::Hypervector> dense_out(num_images);
-  const util::Stopwatch dense_watch;
+  const util::Stopwatch watch;
   for (std::size_t r = 0; r < reps; ++r) {
     for (std::size_t i = 0; i < num_images; ++i) {
       hdc::Accumulator acc(dim);
-      const auto pixels = images[i].pixels();
-      const auto& positions = enc.position_memory();
-      const auto& values = enc.value_memory();
+      const auto pixels = base.images[i].pixels();
+      const auto& positions = base.enc->position_memory();
+      const auto& values = base.enc->value_memory();
       for (std::size_t p = 0; p < pixels.size(); ++p) {
-        acc.add_bound(positions[p], values[enc.value_index(pixels[p])]);
+        acc.add_bound(positions[p],
+                      values[base.enc->value_index(pixels[p])]);
       }
-      dense_out[i] = acc.bipolarize(enc.tie_break());
+      dense_out[i] = acc.bipolarize(base.enc->tie_break());
     }
   }
-  const double dense_seconds = dense_watch.seconds();
+  base.dense_us =
+      watch.seconds() * 1e6 / static_cast<double>(num_images * reps);
+  base.expected.reserve(num_images);
+  for (const auto& hv : dense_out) {
+    base.expected.push_back(hdc::PackedHv::from_dense(hv));
+  }
+  return base;
+}
 
-  // Packed path: bit-sliced accumulation + fused bipolarize.
-  std::vector<hdc::PackedHv> packed_out(num_images);
-  const util::Stopwatch packed_watch;
+/// Per-backend side: bit-sliced packed encode. Returns the speedup; clears
+/// *ok on any bit mismatch.
+double bench_full_encode(const char* backend, const EncodeBaseline& base,
+                         std::size_t reps, hdtest::util::CsvWriter& csv,
+                         std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
+  std::vector<hdc::PackedHv> packed_out(base.images.size());
+  const util::Stopwatch watch;
   for (std::size_t r = 0; r < reps; ++r) {
-    for (std::size_t i = 0; i < num_images; ++i) {
-      packed_out[i] = enc.encode_packed(images[i]);
+    for (std::size_t i = 0; i < base.images.size(); ++i) {
+      packed_out[i] = base.enc->encode_packed(base.images[i]);
     }
   }
-  const double packed_seconds = packed_watch.seconds();
-
-  for (std::size_t i = 0; i < num_images; ++i) {
-    if (hdc::PackedHv::from_dense(dense_out[i]) != packed_out[i]) {
-      std::printf("ERROR: encode_packed/dense disagreement at dim=%zu\n", dim);
-      *ok = false;
-      break;
-    }
+  const double packed_us =
+      watch.seconds() * 1e6 /
+      static_cast<double>(base.images.size() * reps);
+  if (packed_out != base.expected) {
+    std::printf("ERROR: encode_packed/dense disagreement at dim=%zu\n",
+                base.dim);
+    *ok = false;
   }
-  const double total = static_cast<double>(num_images * reps);
-  const double dense_us = dense_seconds * 1e6 / total;
-  const double packed_us = packed_seconds * 1e6 / total;
-  const double speedup = packed_seconds > 0.0 ? dense_seconds / packed_seconds
-                                              : 0.0;
-  std::printf("  dim=%5zu: dense %9.1f us/image, bit-sliced %9.1f us/image"
-              " -> %.1fx\n",
-              dim, dense_us, packed_us, speedup);
-  csv.row(dim, dense_us, packed_us, speedup);
+  const double speedup = packed_us > 0.0 ? base.dense_us / packed_us : 0.0;
+  std::printf("  [%s] dim=%5zu: dense %9.1f us/image, bit-sliced %9.1f "
+              "us/image -> %.1fx\n",
+              backend, base.dim, base.dense_us, packed_us, speedup);
+  csv.row(backend, base.dim, base.dense_us, packed_us, speedup);
   json_rows.push_back(JsonObject()
-                          .add("dim", static_cast<double>(dim))
-                          .add("dense_us_per_image", dense_us)
+                          .add("dim", static_cast<double>(base.dim))
+                          .add("dense_us_per_image", base.dense_us)
                           .add("bitsliced_us_per_image", packed_us)
                           .add("speedup", speedup)
                           .str());
   return speedup;
 }
 
-/// End-to-end mutant loop (the fuzzer's steady-state cost per mutant):
-/// delta re-encode + classify + fitness against the reference class. The
-/// legacy path reproduces PR 1's pipeline — dense delta patch, dense Eq. 1,
-/// PackedHv::from_dense re-pack, packed argmax, dense fitness dot. The new
-/// path is the dense-free pipeline the fuzzer now runs. Returns the
-/// speedup; clears *ok on any label or fitness disagreement.
-double bench_mutant_loop(std::size_t dim, std::size_t num_mutants,
-                         std::size_t reps, hdtest::util::CsvWriter& csv,
-                         std::vector<std::string>& json_rows, bool* ok) {
+/// End-to-end mutant loop reference: PR 1's pipeline — dense delta patch,
+/// dense Eq. 1, PackedHv::from_dense re-pack, packed argmax, dense fitness
+/// dot — with its packed argmax on the portable SWAR kernels PR 1 shipped.
+struct MutantBaseline {
+  std::size_t dim = 0;
+  std::unique_ptr<hdtest::hdc::PixelEncoder> enc;
+  std::unique_ptr<hdtest::hdc::AssociativeMemory> am;
+  hdtest::data::Image base_image;
+  hdtest::hdc::Accumulator base_acc;
+  std::vector<hdtest::data::Image> mutants;
+  std::vector<std::size_t> legacy_labels;
+  std::vector<double> legacy_fitness;
+  double legacy_us = 0.0;
+};
+
+MutantBaseline make_mutant_baseline(std::size_t dim, std::size_t num_mutants,
+                                    std::size_t reps) {
   using namespace hdtest;
+  MutantBaseline base;
+  base.dim = dim;
   hdc::ModelConfig config;
   config.dim = dim;
   config.seed = 11;
-  const hdc::PixelEncoder enc(config, 28, 28);
-
-  hdc::AssociativeMemory am(10, dim, /*seed=*/55);
+  base.enc = std::make_unique<hdc::PixelEncoder>(config, 28, 28);
+  base.am = random_am(dim, /*seed=*/55);
   util::Rng rng(dim + 1);
-  for (std::size_t c = 0; c < am.num_classes(); ++c) {
-    am.add(c, hdc::Hypervector::random(dim, rng));
-  }
-  am.finalize();
-  const auto& packed_am = am.packed();
-  const std::size_t reference_label = 0;
 
-  const auto base = random_image(28, 28, dim);
-  hdc::Accumulator base_acc(dim);
-  enc.encode_into(base, base_acc);
+  base.base_image = random_image(28, 28, dim);
+  base.base_acc = hdc::Accumulator(dim);
+  base.enc->encode_into(base.base_image, base.base_acc);
 
   // Sparse mutants (4 changed pixels — the 'rand' strategy's shape, where
   // the delta re-encoder is the designed-for case).
-  std::vector<data::Image> mutants;
-  mutants.reserve(num_mutants);
+  base.mutants.reserve(num_mutants);
   for (std::size_t m = 0; m < num_mutants; ++m) {
-    auto mutant = base;
+    auto mutant = base.base_image;
     for (int f = 0; f < 4; ++f) {
       mutant(static_cast<std::size_t>(rng.uniform_u64(28)),
              static_cast<std::size_t>(rng.uniform_u64(28))) =
           static_cast<std::uint8_t>(rng.uniform_u64(256));
     }
-    mutants.push_back(std::move(mutant));
+    base.mutants.push_back(std::move(mutant));
   }
 
-  // Legacy (PR 1) steady state: dense delta patch + dense bipolarize +
-  // from_dense + packed predict + dense fitness.
-  std::vector<std::size_t> legacy_labels(num_mutants);
-  std::vector<double> legacy_fitness(num_mutants);
-  const auto base_px = base.pixels();
-  const util::Stopwatch legacy_watch;
+  const std::size_t reference_label = 0;
+  base.legacy_labels.resize(num_mutants);
+  base.legacy_fitness.resize(num_mutants);
+  const auto base_px = base.base_image.pixels();
+  const auto& packed_am = base.am->packed();
+  const util::Stopwatch watch;
   for (std::size_t r = 0; r < reps; ++r) {
     for (std::size_t m = 0; m < num_mutants; ++m) {
-      hdc::Accumulator acc = base_acc;
-      const auto mut_px = mutants[m].pixels();
-      const auto& positions = enc.position_memory();
-      const auto& values = enc.value_memory();
+      hdc::Accumulator acc = base.base_acc;
+      const auto mut_px = base.mutants[m].pixels();
+      const auto& positions = base.enc->position_memory();
+      const auto& values = base.enc->value_memory();
       for (std::size_t p = 0; p < base_px.size(); ++p) {
         if (base_px[p] == mut_px[p]) continue;
-        acc.add_bound(positions[p], values[enc.value_index(base_px[p])], -1);
-        acc.add_bound(positions[p], values[enc.value_index(mut_px[p])], +1);
+        acc.add_bound(positions[p],
+                      values[base.enc->value_index(base_px[p])], -1);
+        acc.add_bound(positions[p],
+                      values[base.enc->value_index(mut_px[p])], +1);
       }
-      const auto dense_query = acc.bipolarize(enc.tie_break());
+      const auto dense_query = acc.bipolarize(base.enc->tie_break());
       const auto packed_query = hdc::PackedHv::from_dense(dense_query);
-      legacy_labels[m] = packed_am.predict(packed_query);
-      legacy_fitness[m] = 1.0 - am.similarity_to(reference_label, dense_query);
+      base.legacy_labels[m] = packed_am.predict(packed_query);
+      base.legacy_fitness[m] =
+          1.0 - base.am->similarity_to(reference_label, dense_query);
     }
   }
-  const double legacy_seconds = legacy_watch.seconds();
+  base.legacy_us =
+      watch.seconds() * 1e6 / static_cast<double>(num_mutants * reps);
+  return base;
+}
 
-  // New dense-free pipeline: packed delta patch + fused bipolarize + packed
-  // predict + packed fitness.
-  hdc::IncrementalPixelEncoder inc(enc);
-  inc.rebase(base, base_acc);
+/// Per-backend side: PR 2's dense-free steady state — packed delta patch +
+/// fused bipolarize + per-mutant packed predict + a standalone
+/// similarity_to fitness row walk. Kept in this exact shape so the
+/// committed dense_free_us_per_mutant series stays comparable PR-over-PR;
+/// the fuzzer itself now amortizes the last two steps further through one
+/// predict_block sweep per generation (measured by the predict_block
+/// section), so this number is an upper bound on its per-mutant cost.
+/// Returns the speedup; clears *ok on any label or fitness disagreement.
+double bench_mutant_loop(const char* backend, const MutantBaseline& base,
+                         std::size_t reps, hdtest::util::CsvWriter& csv,
+                         std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
+  const std::size_t reference_label = 0;
+  const auto& packed_am = base.am->packed();
+  hdc::IncrementalPixelEncoder inc(*base.enc);
+  inc.rebase(base.base_image, base.base_acc);
+  const std::size_t num_mutants = base.mutants.size();
   std::vector<std::size_t> packed_labels(num_mutants);
   std::vector<double> packed_fitness(num_mutants);
-  const util::Stopwatch packed_watch;
+  const util::Stopwatch watch;
   for (std::size_t r = 0; r < reps; ++r) {
     for (std::size_t m = 0; m < num_mutants; ++m) {
-      const auto query = inc.encode_mutant_packed(mutants[m]);
+      const auto query = inc.encode_mutant_packed(base.mutants[m]);
       packed_labels[m] = packed_am.predict(query);
-      packed_fitness[m] = 1.0 - packed_am.similarity_to(reference_label, query);
+      packed_fitness[m] =
+          1.0 - packed_am.similarity_to(reference_label, query);
     }
   }
-  const double packed_seconds = packed_watch.seconds();
-
-  if (legacy_labels != packed_labels || legacy_fitness != packed_fitness) {
+  const double packed_us =
+      watch.seconds() * 1e6 / static_cast<double>(num_mutants * reps);
+  if (packed_labels != base.legacy_labels ||
+      packed_fitness != base.legacy_fitness) {
     std::printf("ERROR: mutant-loop packed/dense disagreement at dim=%zu\n",
-                dim);
+                base.dim);
     *ok = false;
   }
-  const double total = static_cast<double>(num_mutants * reps);
-  const double legacy_us = legacy_seconds * 1e6 / total;
-  const double packed_us = packed_seconds * 1e6 / total;
-  const double speedup =
-      packed_seconds > 0.0 ? legacy_seconds / packed_seconds : 0.0;
-  std::printf("  dim=%5zu: legacy %8.2f us/mutant, dense-free %8.2f us/mutant"
-              " -> %.1fx\n",
-              dim, legacy_us, packed_us, speedup);
-  csv.row(dim, legacy_us, packed_us, speedup);
+  const double speedup = packed_us > 0.0 ? base.legacy_us / packed_us : 0.0;
+  std::printf("  [%s] dim=%5zu: legacy %8.2f us/mutant, dense-free %8.2f "
+              "us/mutant -> %.1fx\n",
+              backend, base.dim, base.legacy_us, packed_us, speedup);
+  csv.row(backend, base.dim, base.legacy_us, packed_us, speedup);
   json_rows.push_back(JsonObject()
-                          .add("dim", static_cast<double>(dim))
-                          .add("legacy_us_per_mutant", legacy_us)
+                          .add("dim", static_cast<double>(base.dim))
+                          .add("legacy_us_per_mutant", base.legacy_us)
                           .add("dense_free_us_per_mutant", packed_us)
                           .add("speedup", speedup)
                           .str());
   return speedup;
+}
+
+/// Blocked-sweep reference: PR 1's per-query packed predict (every class
+/// row re-read per query) on the portable SWAR kernels. The 10-class cases
+/// are the paper's models (row set L1-resident — the sweep's win there is
+/// pure kernel vectorization); the many-class case is where query blocking
+/// itself pays, because each prototype row is streamed from L2+ once per
+/// block instead of once per query.
+struct BlockBaseline {
+  std::size_t dim = 0;
+  std::size_t classes = 0;
+  std::unique_ptr<hdtest::hdc::AssociativeMemory> am;
+  std::vector<hdtest::hdc::PackedHv> queries;
+  std::vector<std::size_t> pr1_labels;
+  double pr1_us = 0.0;
+};
+
+BlockBaseline make_block_baseline(std::size_t dim, std::size_t classes,
+                                  std::size_t num_queries, std::size_t reps) {
+  using namespace hdtest;
+  BlockBaseline base;
+  base.dim = dim;
+  base.classes = classes;
+  base.am = random_am(dim, /*seed=*/31, classes);
+  util::Rng rng(dim + 7);
+  base.queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    base.queries.push_back(hdc::PackedHv::random(dim, rng));
+  }
+  base.pr1_labels.resize(num_queries);
+  const auto& packed = base.am->packed();
+  const util::Stopwatch watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      base.pr1_labels[q] = packed.predict(base.queries[q]);
+    }
+  }
+  base.pr1_us =
+      watch.seconds() * 1e6 / static_cast<double>(num_queries * reps);
+  return base;
+}
+
+/// Per-backend side: the query-blocked sweep. Returns blocked us/query;
+/// clears *ok on any label disagreement with the per-query path.
+double bench_predict_block(const char* backend, const BlockBaseline& base,
+                           std::size_t reps, hdtest::util::CsvWriter& csv,
+                           std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
+  const auto& packed = base.am->packed();
+  std::vector<std::size_t> block_labels;
+  const util::Stopwatch watch;
+  for (std::size_t r = 0; r < reps; ++r) {
+    block_labels =
+        packed.predict_batch(std::span<const hdc::PackedHv>(base.queries));
+  }
+  const double block_us =
+      watch.seconds() * 1e6 /
+      static_cast<double>(base.queries.size() * reps);
+  if (block_labels != base.pr1_labels) {
+    std::printf("ERROR: predict_block/per-query disagreement at dim=%zu\n",
+                base.dim);
+    *ok = false;
+  }
+  const double speedup = block_us > 0.0 ? base.pr1_us / block_us : 0.0;
+  std::printf("  [%s] dim=%5zu classes=%3zu: PR 1 per-query %8.3f us, "
+              "blocked %8.3f us -> %.1fx\n",
+              backend, base.dim, base.classes, base.pr1_us, block_us, speedup);
+  csv.row(backend, base.dim, base.classes, base.pr1_us, block_us, speedup);
+  json_rows.push_back(JsonObject()
+                          .add("dim", static_cast<double>(base.dim))
+                          .add("classes", static_cast<double>(base.classes))
+                          .add("pr1_per_query_us", base.pr1_us)
+                          .add("blocked_us", block_us)
+                          .add("speedup_vs_pr1", speedup)
+                          .str());
+  return block_us;
 }
 
 }  // namespace
@@ -400,67 +541,171 @@ int main(int argc, char** argv) {
       benchutil::env_u64("HDTEST_PACKED_QUERIES", self_check_only ? 64 : 256);
   const auto reps =
       benchutil::env_u64("HDTEST_PACKED_REPS", self_check_only ? 1 : 40);
-
-  // --- Batched packed inference vs per-sample dense classification ---
-  std::printf("\n=== packed predict_batch vs dense per-sample predict ===\n");
-  std::printf("(10 classes, %zu queries x %zu reps per dim)\n", queries, reps);
-  util::CsvWriter packed_csv(benchutil::out_dir() + "/packed_inference.csv");
-  packed_csv.header({"dim", "dense_us_per_query", "packed_us_per_query",
-                     "speedup"});
-  std::vector<std::string> inference_rows;
-  double inference_speedup_8192 = 0.0;
-  for (const std::size_t dim : {1024u, 4096u, 8192u, 16384u}) {
-    const auto speedup = bench_packed_inference(dim, queries, reps, packed_csv,
-                                                inference_rows, &agreement);
-    if (dim == 8192) inference_speedup_8192 = speedup;
-  }
-  doc.add_raw("packed_inference", benchutil::json_array(inference_rows));
-
-  // --- Bit-sliced full-image encode vs dense per-pixel accumulation ---
   const auto encode_images =
       benchutil::env_u64("HDTEST_ENCODE_IMAGES", self_check_only ? 4 : 16);
   const auto encode_reps =
       benchutil::env_u64("HDTEST_ENCODE_REPS", self_check_only ? 1 : 4);
-  std::printf("\n=== bit-sliced full encode vs dense per-pixel encode ===\n");
-  std::printf("(28x28 images, %zu images x %zu reps per dim)\n", encode_images,
-              encode_reps);
-  util::CsvWriter encode_csv(benchutil::out_dir() + "/full_encode.csv");
-  encode_csv.header({"dim", "dense_us_per_image", "bitsliced_us_per_image",
-                     "speedup"});
-  std::vector<std::string> encode_rows;
-  double encode_speedup_8192 = 0.0;
-  for (const std::size_t dim : {1024u, 4096u, 8192u}) {
-    const auto speedup = bench_full_encode(dim, encode_images, encode_reps,
-                                           encode_csv, encode_rows, &agreement);
-    if (dim == 8192) encode_speedup_8192 = speedup;
-  }
-  doc.add_raw("full_encode", benchutil::json_array(encode_rows));
-
-  // --- End-to-end mutant loop: dense-free vs PR 1 pipeline ---
   const auto mutants =
       benchutil::env_u64("HDTEST_MUTANTS", self_check_only ? 32 : 256);
   const auto mutant_reps =
       benchutil::env_u64("HDTEST_MUTANT_REPS", self_check_only ? 1 : 8);
-  std::printf("\n=== mutant loop: dense-free packed vs PR 1 dense path ===\n");
-  std::printf("(encode+predict+fitness per mutant, 4 changed pixels, "
-              "%zu mutants x %zu reps per dim)\n",
-              mutants, mutant_reps);
-  util::CsvWriter mutant_csv(benchutil::out_dir() + "/mutant_loop.csv");
-  mutant_csv.header({"dim", "legacy_us_per_mutant", "dense_free_us_per_mutant",
-                     "speedup"});
-  std::vector<std::string> mutant_rows;
-  double mutant_speedup_8192 = 0.0;
-  for (const std::size_t dim : {1024u, 4096u, 8192u}) {
-    const auto speedup = bench_mutant_loop(dim, mutants, mutant_reps,
-                                           mutant_csv, mutant_rows, &agreement);
-    if (dim == 8192) mutant_speedup_8192 = speedup;
-  }
-  doc.add_raw("mutant_loop", benchutil::json_array(mutant_rows));
+  const auto block_queries =
+      benchutil::env_u64("HDTEST_BLOCK_QUERIES", self_check_only ? 96 : 512);
+  const auto block_reps =
+      benchutil::env_u64("HDTEST_BLOCK_REPS", self_check_only ? 1 : 20);
 
-  std::printf("\ndim=8192 speedups: inference %.1fx (floor 2x), "
+  // Provenance: every committed baseline names the commit, the CPU, and the
+  // backend the top-level sections ran under.
+  const std::string active_backend = util::simd::kernels().name;
+  doc.add("kernel_backend", active_backend);
+  doc.add("cpu_features", util::simd::cpu_features_string());
+  doc.add("git_sha", benchutil::git_sha());
+  std::printf("\ndetected kernel backend: %s (cpu: %s; available:",
+              active_backend.c_str(),
+              util::simd::cpu_features_string().c_str());
+  for (const auto* backend : util::simd::available_kernels()) {
+    std::printf(" %s", backend->name);
+  }
+  std::printf(")\n");
+
+  // Dense / PR 1 reference measurements, once, under forced SWAR (the PR 1
+  // pipeline was portable scalar code).
+  const std::size_t inference_dims[] = {1024, 4096, 8192, 16384};
+  const std::size_t encode_dims[] = {1024, 4096, 8192};
+  const std::size_t mutant_dims[] = {1024, 4096, 8192};
+  // {dim, classes}: the paper's 10-class shape plus a many-class case whose
+  // prototype matrix (128 x 1 KiB) overflows L1, where query blocking pays.
+  const std::size_t block_cases[][2] = {
+      {4096, 10}, {8192, 10}, {16384, 10}, {8192, 128}};
+  util::simd::set_kernels_for_testing("swar");
+  std::printf("\nmeasuring dense / PR 1 baselines (backend swar) ...\n");
+  std::vector<InferenceBaseline> inference_bases;
+  for (const auto dim : inference_dims) {
+    inference_bases.push_back(make_inference_baseline(dim, queries, reps));
+  }
+  std::vector<EncodeBaseline> encode_bases;
+  for (const auto dim : encode_dims) {
+    encode_bases.push_back(make_encode_baseline(dim, encode_images, encode_reps));
+  }
+  std::vector<MutantBaseline> mutant_bases;
+  for (const auto dim : mutant_dims) {
+    mutant_bases.push_back(make_mutant_baseline(dim, mutants, mutant_reps));
+  }
+  std::vector<BlockBaseline> block_bases;
+  for (const auto& [dim, classes] : block_cases) {
+    block_bases.push_back(
+        make_block_baseline(dim, classes, block_queries, block_reps));
+  }
+
+  // The four micro sections, once per available backend. The gates are the
+  // point in self-check mode; the timings feed the per-backend JSON
+  // sections, with the active (auto-selected) backend's numbers doubling as
+  // the top-level sections so the baseline stays comparable PR-over-PR.
+  util::CsvWriter packed_csv(benchutil::out_dir() + "/packed_inference.csv");
+  packed_csv.header({"backend", "dim", "dense_us_per_query",
+                     "packed_us_per_query", "speedup"});
+  util::CsvWriter encode_csv(benchutil::out_dir() + "/full_encode.csv");
+  encode_csv.header({"backend", "dim", "dense_us_per_image",
+                     "bitsliced_us_per_image", "speedup"});
+  util::CsvWriter mutant_csv(benchutil::out_dir() + "/mutant_loop.csv");
+  mutant_csv.header({"backend", "dim", "legacy_us_per_mutant",
+                     "dense_free_us_per_mutant", "speedup"});
+  util::CsvWriter block_csv(benchutil::out_dir() + "/predict_block.csv");
+  block_csv.header({"backend", "dim", "classes", "pr1_per_query_us",
+                    "blocked_us", "speedup_vs_pr1"});
+
+  double inference_speedup_8192 = 0.0;
+  double encode_speedup_8192 = 0.0;
+  double mutant_speedup_8192 = 0.0;
+  double active_block_us_8192 = 0.0;
+  double pr1_per_query_us_8192 = 0.0;
+  std::vector<std::string> backend_docs;
+  for (const auto* backend : util::simd::available_kernels()) {
+    util::simd::set_kernels_for_testing(backend->name);
+    const char* name = backend->name;
+    const bool is_active = active_backend == name;
+
+    std::printf("\n=== backend %s ===\n", name);
+    std::printf("packed predict_batch vs dense per-sample predict "
+                "(10 classes, %zu queries x %zu reps per dim)\n",
+                queries, reps);
+    std::vector<std::string> inference_rows;
+    for (const auto& base : inference_bases) {
+      const auto speedup = bench_packed_inference(
+          name, base, reps, packed_csv, inference_rows, &agreement);
+      if (is_active && base.dim == 8192) inference_speedup_8192 = speedup;
+    }
+
+    std::printf("bit-sliced full encode vs dense per-pixel encode "
+                "(28x28 images, %zu images x %zu reps per dim)\n",
+                encode_images, encode_reps);
+    std::vector<std::string> encode_rows;
+    for (const auto& base : encode_bases) {
+      const auto speedup = bench_full_encode(name, base, encode_reps,
+                                             encode_csv, encode_rows,
+                                             &agreement);
+      if (is_active && base.dim == 8192) encode_speedup_8192 = speedup;
+    }
+
+    std::printf("mutant loop: dense-free packed vs PR 1 dense path "
+                "(encode+predict+fitness, 4 changed pixels, %zu mutants x "
+                "%zu reps per dim)\n",
+                mutants, mutant_reps);
+    std::vector<std::string> mutant_rows;
+    for (const auto& base : mutant_bases) {
+      const auto speedup = bench_mutant_loop(name, base, mutant_reps,
+                                             mutant_csv, mutant_rows,
+                                             &agreement);
+      if (is_active && base.dim == 8192) mutant_speedup_8192 = speedup;
+    }
+
+    std::printf("query-blocked AM sweep vs PR 1 per-query packed predict "
+                "(10 classes, %zu queries x %zu reps per dim)\n",
+                block_queries, block_reps);
+    std::vector<std::string> block_rows;
+    for (const auto& base : block_bases) {
+      const auto block_us = bench_predict_block(name, base, block_reps,
+                                                block_csv, block_rows,
+                                                &agreement);
+      if (base.dim == 8192 && base.classes == 10) {
+        pr1_per_query_us_8192 = base.pr1_us;
+        if (is_active) active_block_us_8192 = block_us;
+      }
+    }
+
+    const auto backend_doc =
+        JsonObject()
+            .add("name", name)
+            .add_raw("packed_inference", benchutil::json_array(inference_rows))
+            .add_raw("full_encode", benchutil::json_array(encode_rows))
+            .add_raw("mutant_loop", benchutil::json_array(mutant_rows))
+            .add_raw("predict_block", benchutil::json_array(block_rows));
+    backend_docs.push_back(backend_doc.str());
+    if (is_active) {
+      doc.add_raw("packed_inference", benchutil::json_array(inference_rows));
+      doc.add_raw("full_encode", benchutil::json_array(encode_rows));
+      doc.add_raw("mutant_loop", benchutil::json_array(mutant_rows));
+      doc.add_raw("predict_block", benchutil::json_array(block_rows));
+    }
+  }
+  util::simd::set_kernels_for_testing(nullptr);
+  doc.add_raw("backends", benchutil::json_array(backend_docs));
+
+  // The tentpole acceptance gate: the blocked sweep on the best backend vs
+  // the PR 1 steady state (per-query packed predict on portable SWAR).
+  const double block_vs_pr1 = active_block_us_8192 > 0.0
+                                  ? pr1_per_query_us_8192 / active_block_us_8192
+                                  : 0.0;
+  doc.add("predict_block_vs_pr1_speedup_8192", block_vs_pr1);
+
+  std::printf("\ndim=8192 speedups (backend %s): inference %.1fx (floor 2x), "
               "full encode %.1fx (floor 3x), mutant loop %.1fx (floor 2x)\n",
-              inference_speedup_8192, encode_speedup_8192,
-              mutant_speedup_8192);
+              active_backend.c_str(), inference_speedup_8192,
+              encode_speedup_8192, mutant_speedup_8192);
+  std::printf("predict_block (%s) vs PR 1 per-query packed (swar): %.1fx at "
+              "D=8192%s\n",
+              active_backend.c_str(), block_vs_pr1,
+              active_backend == "swar" ? "" : " (floor 1.5x)");
   std::printf("CSVs written to %s/\n", benchutil::out_dir().c_str());
   doc.add("self_check_passed", agreement);
 

@@ -1,7 +1,9 @@
 #include "defense/retrain_defense.hpp"
 
 #include <stdexcept>
+#include <vector>
 
+#include "hdc/packed_hv.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -35,14 +37,16 @@ data::Dataset collect_adversarials(const fuzz::CampaignResult& campaign,
 namespace {
 
 /// Fraction of \p attack set that still fools \p model: an attack image
-/// "succeeds" when the model predicts anything other than its correct label.
+/// "succeeds" when the model predicts anything other than its correct
+/// label. One query-blocked packed batch (bit-exact with per-image
+/// predict()).
 double attack_success_rate(const hdc::HdcClassifier& model,
                            const data::Dataset& attack) {
   if (attack.empty()) return 0.0;
+  const auto predictions = model.predict_batch(attack.images);
   std::size_t fooled = 0;
   for (std::size_t i = 0; i < attack.size(); ++i) {
-    fooled += model.predict(attack.images[i]) !=
-              static_cast<std::size_t>(attack.labels[i]);
+    fooled += predictions[i] != static_cast<std::size_t>(attack.labels[i]);
   }
   return static_cast<double>(fooled) / static_cast<double>(attack.size());
 }
@@ -73,8 +77,14 @@ DefenseResult run_defense(hdc::HdcClassifier& model,
   result.clean_accuracy_before = model.evaluate(clean_test).accuracy();
   result.attack_rate_before = attack_success_rate(model, attack_set);
 
+  // Encoded-dataset cache: the retrain pool is encoded into packed queries
+  // once, and every epoch replays the cache (identical lane updates to
+  // re-encoding, see HdcClassifier::retrain_encoded).
+  const auto retrain_queries =
+      model.encoder().encode_batch_packed(retrain_set.images);
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto missed = model.retrain(retrain_set, config.retrain_mode);
+    const auto missed = model.retrain_encoded(
+        retrain_queries, retrain_set.labels, config.retrain_mode);
     util::log_info("defense: epoch ", epoch + 1, " corrected ", missed,
                    " mispredictions");
   }

@@ -114,37 +114,41 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng,
     }
 
     // Line 7: query the HDC model under test — the entire surviving
-    // generation in one batched packed pass. fuzz_one itself stays
-    // single-threaded (campaigns already parallelize across inputs).
+    // generation through one query-blocked sweep that returns the argmax
+    // label AND the reference-class similarity per mutant (the fitness
+    // ingredient), so no class row is ever re-walked for scoring. fuzz_one
+    // itself stays single-threaded (campaigns already parallelize across
+    // inputs).
     batch_queries.clear();
     batch_queries.reserve(batch.size());
     for (const auto& mutant : batch) {
       batch_queries.push_back(encode(mutant));
     }
-    const auto labels = packed_am.predict_batch(batch_queries);
+    const auto sweep =
+        packed_am.predict_block(batch_queries, outcome.reference_label);
 
     // Line 8: differential check against the reference label. Scanning in
     // generation order returns the same first-flipping mutant as the
     // original one-at-a-time loop.
     for (std::size_t b = 0; b < batch.size(); ++b) {
-      if (labels[b] != outcome.reference_label) {
+      if (sweep.labels[b] != outcome.reference_label) {
         outcome.success = true;
         outcome.adversarial = std::move(batch[b]);
-        outcome.adversarial_label = labels[b];
+        outcome.adversarial_label = sweep.labels[b];
         outcome.perturbation = batch_perturbations[b];
         outcome.seconds = watch.seconds();
         return outcome;
       }
     }
 
-    // No flip: score the whole generation against the reference class in
-    // one packed sweep (fitness = 1 - similarity; identical doubles to the
-    // dense cosine, so selection is bit-identical too).
-    const auto sims = packed_am.scores(batch_queries, outcome.reference_label);
+    // No flip: fitness = 1 - similarity straight from the sweep's
+    // reference-class scores (identical doubles to the dense cosine, so
+    // selection is bit-identical too).
     std::vector<ScoredSeed> candidates;
     candidates.reserve(batch.size());
     for (std::size_t b = 0; b < batch.size(); ++b) {
-      candidates.push_back(ScoredSeed{std::move(batch[b]), 1.0 - sims[b]});
+      candidates.push_back(
+          ScoredSeed{std::move(batch[b]), 1.0 - sweep.ref_scores[b]});
     }
 
     // Line 14: continue fuzzing using only the fittest seeds. Parents stay

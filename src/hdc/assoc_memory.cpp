@@ -31,6 +31,20 @@ void AssociativeMemory::add(std::size_t cls, const Hypervector& hv, int weight) 
   finalized_ = false;
 }
 
+void AssociativeMemory::add_packed(std::size_t cls, const PackedHv& hv,
+                                   int weight) {
+  if (cls >= accumulators_.size()) {
+    throw std::out_of_range(
+        "AssociativeMemory::add_packed: class index out of range");
+  }
+  if (hv.dim() != dim_) {
+    throw std::invalid_argument(
+        "AssociativeMemory::add_packed: dimension mismatch");
+  }
+  accumulators_[cls].add_packed(hv.words(), weight);
+  finalized_ = false;
+}
+
 void AssociativeMemory::load_accumulator(std::size_t cls,
                                          Accumulator accumulator) {
   if (cls >= accumulators_.size()) {

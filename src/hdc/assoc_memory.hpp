@@ -40,6 +40,12 @@ class AssociativeMemory {
   /// \throws std::out_of_range for a bad class index.
   void add(std::size_t cls, const Hypervector& hv, int weight = 1);
 
+  /// Packed counterpart of add(): identical integer lane updates from a
+  /// sign-bit-packed HV, so cached packed queries can train/retrain without
+  /// a dense unpack. Invalidates finalization.
+  /// \throws std::out_of_range / std::invalid_argument on bad class or dim.
+  void add_packed(std::size_t cls, const PackedHv& hv, int weight = 1);
+
   /// Replaces one class's accumulator wholesale (checkpoint loading).
   /// Invalidates finalization.
   /// \throws std::out_of_range / std::invalid_argument on bad class or dim.

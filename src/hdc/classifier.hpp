@@ -66,11 +66,19 @@ class HdcClassifier {
 
   /// One-epoch one-shot training (paper III-B). May be called once; use
   /// retrain() for subsequent updates. Encoding runs through the parallel
-  /// batch encoder over \p workers threads (chunked to bound memory); the
-  /// model is identical for any worker count.
+  /// packed batch encoder over \p workers threads (chunked to bound
+  /// memory); the model is identical for any worker count and bit-identical
+  /// to dense per-example accumulation.
   /// \throws std::invalid_argument on dataset/shape mismatch;
   ///         std::logic_error if already trained.
   void fit(const data::Dataset& train, std::size_t workers = 1);
+
+  /// fit() from already-encoded packed queries (e.g. the trainer's
+  /// encoded-dataset cache): identical accumulator updates, zero encodes.
+  /// \throws std::logic_error if already trained; std::invalid_argument on
+  /// size mismatch, empty input, or out-of-range labels.
+  void fit_encoded(std::span<const PackedHv> queries,
+                   std::span<const int> labels);
 
   /// Restores associative-memory state from checkpointed accumulators (one
   /// per class) and finalizes. Used by hdc::load_model.
@@ -122,6 +130,15 @@ class HdcClassifier {
   [[nodiscard]] EvalResult evaluate(const data::Dataset& test,
                                     std::size_t workers = 1) const;
 
+  /// evaluate() over already-encoded packed queries (the trainer's cache):
+  /// same predictions and census as evaluate() on the source images, with
+  /// zero encodes.
+  /// \throws std::logic_error if untrained; std::invalid_argument on
+  /// size mismatch or out-of-range labels.
+  [[nodiscard]] EvalResult evaluate_encoded(std::span<const PackedHv> queries,
+                                            std::span<const int> labels,
+                                            std::size_t workers = 1) const;
+
   /// Single retraining pass over labeled examples (see RetrainMode).
   /// Encoding and the epoch-start predictions run batched over \p workers
   /// threads; lane updates are applied in example order, so the updated
@@ -137,6 +154,18 @@ class HdcClassifier {
   std::size_t retrain(const data::Dataset& labeled,
                       RetrainMode mode = RetrainMode::kAddSubtract,
                       std::size_t workers = 1);
+
+  /// retrain() from already-encoded packed queries: epoch-start predictions
+  /// via the query-blocked packed sweep, lane updates applied in example
+  /// order from the packed words — the exact integer updates of the dense
+  /// path, so multi-epoch retraining can encode each image once and replay
+  /// the cache every epoch (~D/8 bytes per image).
+  /// \throws std::logic_error if untrained; std::invalid_argument on size
+  /// mismatch or out-of-range labels.
+  std::size_t retrain_encoded(std::span<const PackedHv> queries,
+                              std::span<const int> labels,
+                              RetrainMode mode = RetrainMode::kAddSubtract,
+                              std::size_t workers = 1);
 
  private:
   PixelEncoder encoder_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/bitops.hpp"
+#include "util/simd/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdtest::hdc {
@@ -96,6 +97,14 @@ std::vector<Hypervector> PixelEncoder::encode_batch(
   // function of the image, so results are worker-count independent.
   util::parallel_for(images.size(), workers,
                      [&](std::size_t i) { out[i] = encode(images[i]); });
+  return out;
+}
+
+std::vector<PackedHv> PixelEncoder::encode_batch_packed(
+    std::span<const data::Image> images, std::size_t workers) const {
+  std::vector<PackedHv> out(images.size());
+  util::parallel_for(images.size(), workers,
+                     [&](std::size_t i) { out[i] = encode_packed(images[i]); });
   return out;
 }
 
@@ -197,26 +206,6 @@ Hypervector IncrementalPixelEncoder::encode_mutant(
   return scratch_.bipolarize(encoder_->tie_break());
 }
 
-namespace {
-
-/// Ripple-carry adds \p mask (one bit per lane, weight 2^from_level) into a
-/// level-major slice bank at word column \p w. The caller's bias headroom
-/// guarantees the carry dies inside the bank.
-inline void slice_ripple_add(std::uint64_t* slices, std::size_t words,
-                             std::size_t levels, std::size_t w,
-                             std::uint64_t mask,
-                             std::size_t from_level) noexcept {
-  std::uint64_t carry = mask;
-  for (std::size_t j = from_level; j < levels && carry != 0; ++j) {
-    std::uint64_t& word = slices[j * words + w];
-    const std::uint64_t next = word & carry;
-    word ^= carry;
-    carry = next;
-  }
-}
-
-}  // namespace
-
 PackedHv IncrementalPixelEncoder::encode_mutant_packed(
     const data::Image& mutant) const {
   collect_patches(mutant);
@@ -242,11 +231,13 @@ PackedHv IncrementalPixelEncoder::encode_mutant_packed(
   // contributes 2*(old_bit - new_bit) per lane, rewritten bias-free as
   //   2*old_bit + 2*(~new_bit) - 2,
   // so patching is two word-level ripple-carry adds per patch into the
-  // biased slice bank, and the trailing constant folds into the sign
-  // threshold: lane < 0  <=>  stored < T,  lane == 0  <=>  stored == T,
-  // with T = bias + 2*pairs. Eq. 1 then falls out of one bit-parallel
-  // MSB-down comparison per word — never a dense intermediate, never an
-  // O(D) int32 pass. Bit-exact with from_dense(encode_mutant(mutant)).
+  // biased slice bank (the simd::Kernels::csa_patch kernel), and the
+  // trailing constant folds into the sign threshold: lane < 0 <=> stored <
+  // T, lane == 0 <=> stored == T, with T = bias + 2*pairs. Eq. 1 then falls
+  // out of one bit-parallel MSB-down comparison per word
+  // (simd::Kernels::slice_bipolarize) — never a dense intermediate, never
+  // an O(D) int32 pass. Bit-exact with from_dense(encode_mutant(mutant)).
+  const auto& kernels = util::simd::kernels();
   const std::size_t n = encoder_->dim();
   const std::size_t words = util::words_for_bits(n);
   const std::size_t levels = slice_count_;
@@ -257,38 +248,20 @@ PackedHv IncrementalPixelEncoder::encode_mutant_packed(
     const auto& positions = encoder_->packed_position_memory();
     const auto& values = encoder_->packed_value_memory();
     for (const auto& patch : patches_) {
-      const std::uint64_t* pos = positions[patch.position].data();
-      const std::uint64_t* old_val = values[patch.old_index].data();
-      const std::uint64_t* new_val = values[patch.new_index].data();
-      for (std::size_t w = 0; w < words; ++w) {
-        const std::uint64_t old_bound = pos[w] ^ old_val[w];
-        const std::uint64_t new_inv = ~(pos[w] ^ new_val[w]);
-        // Two weight-2 addends per lane; CSA-combine them first so the
-        // common case ripples once, not twice.
-        slice_ripple_add(slices, words, levels, w, old_bound ^ new_inv, 1);
-        slice_ripple_add(slices, words, levels, w, old_bound & new_inv, 2);
-      }
+      kernels.csa_patch(slices, words, levels,
+                        positions[patch.position].data(),
+                        values[patch.old_index].data(),
+                        values[patch.new_index].data());
     }
     src = slices;
   }
 
   const auto threshold = static_cast<std::uint32_t>(bias_) +
                          2 * static_cast<std::uint32_t>(patches_.size());
-  const auto tb = encoder_->tie_break_packed().words();
   std::vector<std::uint64_t> out(words, 0);
-  for (std::size_t w = 0; w < words; ++w) {
-    // Bit-parallel compare of 64 stored values against the threshold,
-    // MSB down: less-than decides sign, exact equality is the Eq. 1 tie.
-    std::uint64_t less = 0;
-    std::uint64_t equal = ~0ULL;
-    for (std::size_t j = levels; j-- > 0;) {
-      const std::uint64_t s = src[j * words + w];
-      const std::uint64_t t = ((threshold >> j) & 1u) ? ~0ULL : 0ULL;
-      less |= equal & ~s & t;
-      equal &= ~(s ^ t);
-    }
-    out[w] = less | (equal & tb[w]);
-  }
+  kernels.slice_bipolarize(src, words, levels, threshold,
+                           encoder_->tie_break_packed().words().data(),
+                           out.data());
   out.back() &= util::tail_mask(n);
   return PackedHv::from_words(n, std::move(out));
 }

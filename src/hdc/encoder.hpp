@@ -71,6 +71,12 @@ class PixelEncoder {
   [[nodiscard]] std::vector<Hypervector> encode_batch(
       std::span<const data::Image> images, std::size_t workers = 1) const;
 
+  /// Packed batch encode: encode_packed per image, parallelized like
+  /// encode_batch. Produces the training/retraining query cache (~D/8 bytes
+  /// per image) with no dense intermediates.
+  [[nodiscard]] std::vector<PackedHv> encode_batch_packed(
+      std::span<const data::Image> images, std::size_t workers = 1) const;
+
   /// The bound pixel HV for (flat position, value) — step 2 of the paper.
   [[nodiscard]] Hypervector pixel_hv(std::size_t position, std::uint8_t value) const;
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hdc/packed_hv.hpp"
+#include "util/simd/kernels.hpp"
 
 namespace hdtest::hdc {
 
@@ -187,6 +188,22 @@ void Accumulator::add_bound_packed(std::span<const std::uint64_t> pos,
   }
 }
 
+void Accumulator::add_packed(std::span<const std::uint64_t> v, int weight) {
+  const std::size_t n = lanes_.size();
+  if (v.size() != util::words_for_bits(n)) {
+    throw std::invalid_argument("Accumulator::add_packed: word count mismatch");
+  }
+  for (std::size_t w = 0, base = 0; base < n; ++w, base += 64) {
+    const std::uint64_t word = v[w];
+    const std::size_t chunk = std::min<std::size_t>(64, n - base);
+    for (std::size_t b = 0; b < chunk; ++b) {
+      // bit = 1 encodes element -1: lane += weight * (1 - 2*bit).
+      const auto bit = static_cast<std::int32_t>((word >> b) & 1ULL);
+      lanes_[base + b] += weight - 2 * weight * bit;
+    }
+  }
+}
+
 void Accumulator::add_bitsliced(const util::BitSliceAccumulator& bits) {
   check_same_dim(dim(), bits.bits(), "Accumulator::add_bitsliced");
   bits.drain_into(lanes_);
@@ -220,25 +237,15 @@ Hypervector Accumulator::bipolarize(const Hypervector& tie_break) const {
 
 PackedHv Accumulator::bipolarize_packed(const PackedHv& tie_break) const {
   check_same_dim(dim(), tie_break.dim(), "Accumulator::bipolarize_packed");
+  // Eq. 1 sign extraction straight into packed words — bit = 1 (element -1)
+  // when the lane is negative, or zero with a negative tie-break element —
+  // via the runtime-dispatched backend (branch-free SWAR, AVX2 movemask, or
+  // AVX-512 compare masks; all bit-identical).
   const std::size_t n = lanes_.size();
   std::vector<std::uint64_t> words(util::words_for_bits(n), 0);
-  const auto tb = tie_break.words();
-  for (std::size_t w = 0, base = 0; base < n; ++w, base += 64) {
-    const std::size_t chunk = std::min<std::size_t>(64, n - base);
-    const std::uint64_t tb_word = tb[w];
-    std::uint64_t bits = 0;
-    for (std::size_t b = 0; b < chunk; ++b) {
-      // Branch-free Eq. 1 sign extraction straight into the packed word:
-      // bit = 1 (element -1) when the lane is negative, or zero with a
-      // negative tie-break element.
-      const auto lane = static_cast<std::uint32_t>(lanes_[base + b]);
-      const std::uint64_t neg = lane >> 31;
-      const std::uint64_t nonzero = (lane | (0u - lane)) >> 31;
-      const std::uint64_t tb_bit = (tb_word >> b) & 1ULL;
-      bits |= (neg | ((nonzero ^ 1ULL) & tb_bit)) << b;
-    }
-    words[w] = bits;
-  }
+  util::simd::kernels().bipolarize_packed(lanes_.data(), n,
+                                          tie_break.words().data(),
+                                          words.data());
   return PackedHv::from_words(n, std::move(words));
 }
 

@@ -137,6 +137,13 @@ class Accumulator {
   void add_bound_packed(std::span<const std::uint64_t> pos,
                         std::span<const std::uint64_t> val, int weight = 1);
 
+  /// Packed counterpart of add(): accumulates a sign-bit-packed HV
+  /// (bit = 1 encodes -1) with the exact same lane updates as add() on its
+  /// dense form. Lets training/retraining consume cached packed queries
+  /// without a dense unpack.
+  /// \pre v holds util::words_for_bits(dim()) words.
+  void add_packed(std::span<const std::uint64_t> v, int weight = 1);
+
   /// Drains a bit-sliced pixel bundle into the lanes (exact integer sums;
   /// see util::BitSliceAccumulator). \pre bits.bits() == dim().
   void add_bitsliced(const util::BitSliceAccumulator& bits);

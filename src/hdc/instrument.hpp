@@ -22,6 +22,11 @@ struct EncodeCounters {
   std::atomic<std::uint64_t> dense_hv_materializations{0};
   /// PackedHv::from_dense conversions.
   std::atomic<std::uint64_t> packed_from_dense{0};
+  /// Standalone PackedAssocMemory::similarity_to row walks. The blocked AM
+  /// sweep returns the reference-class score together with the argmax, so
+  /// the fuzzer's steady state must not re-walk a class row per mutant
+  /// (one walk per fuzz_one — the parent seed's fitness — is expected).
+  std::atomic<std::uint64_t> am_row_walks{0};
 };
 
 [[nodiscard]] inline EncodeCounters& counters() noexcept {
@@ -37,6 +42,10 @@ inline void note_from_dense() noexcept {
   counters().packed_from_dense.fetch_add(1, std::memory_order_relaxed);
 }
 
+inline void note_am_row_walk() noexcept {
+  counters().am_row_walks.fetch_add(1, std::memory_order_relaxed);
+}
+
 [[nodiscard]] inline std::uint64_t dense_hv_materializations() noexcept {
   return counters().dense_hv_materializations.load(std::memory_order_relaxed);
 }
@@ -45,10 +54,15 @@ inline void note_from_dense() noexcept {
   return counters().packed_from_dense.load(std::memory_order_relaxed);
 }
 
-/// Zeroes both counters (tests snapshot around the region under scrutiny).
+[[nodiscard]] inline std::uint64_t am_row_walks() noexcept {
+  return counters().am_row_walks.load(std::memory_order_relaxed);
+}
+
+/// Zeroes all counters (tests snapshot around the region under scrutiny).
 inline void reset() noexcept {
   counters().dense_hv_materializations.store(0, std::memory_order_relaxed);
   counters().packed_from_dense.store(0, std::memory_order_relaxed);
+  counters().am_row_walks.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hdtest::hdc::instrument

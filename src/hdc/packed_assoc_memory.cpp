@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hdc/instrument.hpp"
 #include "util/bitops.hpp"
+#include "util/simd/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdtest::hdc {
@@ -51,19 +53,17 @@ std::span<const std::uint64_t> PackedAssocMemory::class_words(
 
 std::size_t PackedAssocMemory::predict(const PackedHv& query) const {
   check_query(query.dim());
-  const auto q = query.words();
-  std::size_t best = 0;
-  std::size_t best_ham = util::xor_popcount({words_.data(), stride_}, q);
-  for (std::size_t c = 1; c < num_classes_; ++c) {
-    const auto ham = util::xor_popcount({words_.data() + c * stride_, stride_}, q);
-    // Strict < keeps the lowest class index on ties, matching the dense
-    // argmax (sims[c] > sims[best]) exactly: dot = D - 2*ham is a strictly
-    // decreasing function of ham under both metrics.
-    if (ham < best_ham) {
-      best = c;
-      best_ham = ham;
-    }
-  }
+  // One count=1 sweep call: the class-row loop and the backend's popcount
+  // run fused inside a single dispatched kernel (one indirect call per
+  // query instead of one per class row). The sweep's strict < keeps the
+  // lowest class index on ties, matching the dense argmax
+  // (sims[c] > sims[best]) exactly: dot = D - 2*ham is a strictly
+  // decreasing function of ham under both metrics.
+  const std::uint64_t* q = query.words().data();
+  std::uint32_t best = 0;
+  std::uint64_t best_ham = 0;
+  util::simd::kernels().am_sweep(words_.data(), num_classes_, stride_, &q, 1,
+                                 &best, &best_ham, nullptr, 0);
   return best;
 }
 
@@ -98,6 +98,10 @@ double PackedAssocMemory::similarity_to(std::size_t cls,
   if (cls >= num_classes_) {
     throw std::out_of_range("PackedAssocMemory::similarity_to: class out of range");
   }
+  // Standalone row walk — the blocked sweep returns this score for free, so
+  // steady-state fuzzing should not come through here (counted, asserted by
+  // tests/fuzz/dense_free_test).
+  instrument::note_am_row_walk();
   const auto ham = util::xor_popcount({words_.data() + cls * stride_, stride_},
                                       query.words());
   const auto d = static_cast<double>(dim_);
@@ -129,6 +133,10 @@ std::vector<std::size_t> PackedAssocMemory::predict_batch(
   if (empty()) {
     throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
   }
+  // Fused pack + rank per query: the freshly packed query is ranked while
+  // still cache-hot (a pack-all-then-sweep split measurably loses the
+  // locality on the portable backend). Already-packed callers get the
+  // blocked sweep via the PackedHv overload.
   std::vector<std::size_t> out(queries.size());
   util::parallel_for(queries.size(), workers, [&](std::size_t i) {
     out[i] = predict(PackedHv::from_dense(queries[i]));
@@ -141,10 +149,84 @@ std::vector<std::size_t> PackedAssocMemory::predict_batch(
   if (empty()) {
     throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
   }
-  std::vector<std::size_t> out(queries.size());
-  util::parallel_for(queries.size(), workers,
-                     [&](std::size_t i) { out[i] = predict(queries[i]); });
-  return out;
+  std::vector<std::size_t> labels(queries.size());
+  sweep(queries, default_block(), workers, 0, labels.data(), nullptr, nullptr);
+  return labels;
+}
+
+void PackedAssocMemory::sweep(std::span<const PackedHv> queries,
+                              std::size_t block, std::size_t workers,
+                              std::size_t ref_class, std::size_t* out_labels,
+                              std::uint64_t* out_best_ham,
+                              std::uint64_t* out_ref_ham) const {
+  if (empty()) {
+    throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
+  }
+  if (block == 0) block = default_block();
+  for (const auto& query : queries) check_query(query.dim());
+  if (queries.empty()) return;
+
+  // One pointer per query up front; each block then hands the kernel a
+  // contiguous window of pointers plus per-block output slices, so blocks
+  // are independent and the parallel split cannot change any result.
+  std::vector<const std::uint64_t*> query_words(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    query_words[i] = queries[i].words().data();
+  }
+  std::vector<std::uint32_t> best_class(queries.size());
+  std::vector<std::uint64_t> best_ham_local;
+  if (out_best_ham == nullptr) {
+    best_ham_local.resize(queries.size());
+    out_best_ham = best_ham_local.data();
+  }
+  const auto& kernels = util::simd::kernels();
+  const std::size_t blocks = (queries.size() + block - 1) / block;
+  util::parallel_for(blocks, workers, [&](std::size_t bi) {
+    const std::size_t begin = bi * block;
+    const std::size_t count = std::min(block, queries.size() - begin);
+    kernels.am_sweep(words_.data(), num_classes_, stride_,
+                     query_words.data() + begin, count,
+                     best_class.data() + begin, out_best_ham + begin,
+                     out_ref_ham == nullptr ? nullptr : out_ref_ham + begin,
+                     static_cast<std::uint32_t>(ref_class));
+  });
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out_labels[i] = best_class[i];
+  }
+}
+
+BlockSweepResult PackedAssocMemory::predict_block(
+    std::span<const PackedHv> queries, std::size_t ref_class,
+    std::size_t block, std::size_t workers) const {
+  if (empty()) {
+    throw std::logic_error("PackedAssocMemory: no class prototypes loaded");
+  }
+  if (ref_class >= num_classes_) {
+    throw std::out_of_range(
+        "PackedAssocMemory::predict_block: reference class out of range");
+  }
+  BlockSweepResult result;
+  result.labels.resize(queries.size());
+  std::vector<std::uint64_t> best_ham(queries.size());
+  std::vector<std::uint64_t> ref_ham(queries.size());
+  sweep(queries, block, workers, ref_class, result.labels.data(),
+        best_ham.data(), ref_ham.data());
+  // Same ham -> similarity mapping as similarity_to/similarities, so the
+  // sweep's doubles are bit-identical to the standalone row walks.
+  result.best_scores.resize(queries.size());
+  result.ref_scores.resize(queries.size());
+  const auto d = static_cast<double>(dim_);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (similarity_ == Similarity::kCosine) {
+      result.best_scores[i] =
+          (d - 2.0 * static_cast<double>(best_ham[i])) / d;
+      result.ref_scores[i] = (d - 2.0 * static_cast<double>(ref_ham[i])) / d;
+    } else {
+      result.best_scores[i] = 1.0 - static_cast<double>(best_ham[i]) / d;
+      result.ref_scores[i] = 1.0 - static_cast<double>(ref_ham[i]) / d;
+    }
+  }
+  return result;
 }
 
 }  // namespace hdtest::hdc

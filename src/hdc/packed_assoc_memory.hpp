@@ -27,6 +27,15 @@
 
 namespace hdtest::hdc {
 
+/// Per-query results of one query-blocked sweep (PackedAssocMemory::
+/// predict_block): the argmax class, its similarity, and the similarity to
+/// the caller's reference class, all from a single pass over the class rows.
+struct BlockSweepResult {
+  std::vector<std::size_t> labels;      ///< argmax class per query
+  std::vector<double> best_scores;      ///< similarity of the argmax class
+  std::vector<double> ref_scores;       ///< similarity to the reference class
+};
+
 /// Immutable packed snapshot of a finalized associative memory.
 ///
 /// Thread-safety: all member functions are const and touch only immutable
@@ -84,18 +93,61 @@ class PackedAssocMemory {
                                            std::size_t cls,
                                            std::size_t workers = 1) const;
 
-  /// Batched argmax over many queries. Each index is handled independently
-  /// (pack + predict), parallelized over \p workers threads with
-  /// util::parallel_for; results are identical for any worker count.
+  /// Batched argmax over many dense queries: fused per-query pack + rank
+  /// (parallelized over \p workers threads with util::parallel_for), so the
+  /// freshly packed query is classified while cache-hot — measurably better
+  /// than pack-all-then-sweep on the portable backend. Results are
+  /// identical for any worker count and bit-exact with per-query predict().
+  /// Already-packed callers should use the PackedHv overload (query-blocked
+  /// sweep).
   [[nodiscard]] std::vector<std::size_t> predict_batch(
       std::span<const Hypervector> queries, std::size_t workers = 1) const;
 
-  /// Batched argmax over already-packed queries.
+  /// Batched argmax over already-packed queries (query-blocked sweep).
   [[nodiscard]] std::vector<std::size_t> predict_batch(
       std::span<const PackedHv> queries, std::size_t workers = 1) const;
 
+  /// Auto block-size sentinel for predict_block.
+  static constexpr std::size_t kAutoBlock = 0;
+
+  /// Query-blocked multi-query sweep (the fuzz loop's generation kernel):
+  /// tiles blocks of \p block packed queries against each class row so
+  /// every prototype row is read once per block, and returns per query the
+  /// argmax class, its similarity, and the similarity to \p ref_class — all
+  /// in one pass, so the fuzzer's fitness needs no second row walk.
+  /// \p block = kAutoBlock picks the cache-optimal size (see
+  /// default_block()). Everything is bit-exact with per-query
+  /// predict()/similarity_to() (identical popcounts, identical doubles) for
+  /// any block size or worker count.
+  /// \throws std::logic_error when empty; std::invalid_argument on dim
+  /// mismatch; std::out_of_range on a bad ref_class.
+  [[nodiscard]] BlockSweepResult predict_block(
+      std::span<const PackedHv> queries, std::size_t ref_class,
+      std::size_t block = kAutoBlock, std::size_t workers = 1) const;
+
  private:
   void check_query(std::size_t query_dim) const;
+
+  /// Cache-optimal query block size. When the whole prototype matrix is
+  /// L1-resident (the paper's 10-class models), per-query order is optimal
+  /// — the rows never leave L1, and a multi-query block would only evict
+  /// the query being ranked. Once the row set outgrows L1, tile queries so
+  /// a block stays in roughly half of L1 while each row is streamed once
+  /// per block instead of once per query.
+  [[nodiscard]] std::size_t default_block() const noexcept {
+    constexpr std::size_t kL1Bytes = 32 * 1024;
+    const std::size_t row_set = num_classes_ * stride_ * sizeof(std::uint64_t);
+    if (row_set <= kL1Bytes) return 1;
+    const std::size_t fit = (kL1Bytes / 2) / (stride_ * sizeof(std::uint64_t));
+    return fit < 1 ? 1 : (fit > 64 ? 64 : fit);
+  }
+
+  /// Shared sweep driver: labels always; hams/ref_hams filled when the
+  /// corresponding pointers are non-null (ref_class ignored otherwise).
+  void sweep(std::span<const PackedHv> queries, std::size_t block,
+             std::size_t workers, std::size_t ref_class,
+             std::size_t* out_labels, std::uint64_t* out_best_ham,
+             std::uint64_t* out_ref_ham) const;
 
   std::size_t dim_ = 0;
   std::size_t num_classes_ = 0;

@@ -16,6 +16,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/simd/kernels.hpp"
+
 namespace hdtest::util {
 
 /// Number of 64-bit words needed to hold \p bits bits.
@@ -40,14 +42,11 @@ namespace hdtest::util {
 }
 
 /// Popcount of the XOR of two equal-length spans (Hamming distance of the
-/// packed vectors). \pre a.size() == b.size().
+/// packed vectors), through the runtime-dispatched SIMD backend.
+/// \pre a.size() == b.size().
 [[nodiscard]] inline std::size_t xor_popcount(std::span<const std::uint64_t> a,
                                               std::span<const std::uint64_t> b) noexcept {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return total;
+  return simd::kernels().xor_popcount(a.data(), b.data(), a.size());
 }
 
 /// Reads bit \p index from a packed span.
@@ -81,17 +80,19 @@ inline void set_bit(std::span<std::uint64_t> words, std::size_t index,
 ///
 /// which terminates after ~2 word operations per word amortized (slice k is
 /// reached once every 2^k additions). Slices grow on demand, so any N fits.
-/// drain_into() converts back to int32 lanes once per bundle.
+/// drain_into() converts back to int32 lanes once per bundle. The ripple
+/// itself runs through the runtime-dispatched SIMD kernel
+/// (simd::Kernels::csa_add); this class keeps the ladder bookkeeping.
 class BitSliceAccumulator {
  public:
   /// Counter bank for vectors of \p bits lanes, all counts zero.
   /// \throws std::invalid_argument when bits is zero.
   explicit BitSliceAccumulator(std::size_t bits)
-      : bits_(bits), words_(words_for_bits(bits)) {
+      : bits_(bits), words_(words_for_bits(bits)), carry_(words_, 0) {
     if (bits == 0) {
       throw std::invalid_argument("BitSliceAccumulator: bits must be non-zero");
     }
-    // Pre-open the three slices the branch-free fast path writes through.
+    // Pre-open the three slices the backends' branch-free prefix targets.
     slices_.assign(kFastLevels * words_, 0);
     levels_ = kFastLevels;
   }
@@ -109,19 +110,15 @@ class BitSliceAccumulator {
   /// Accumulates one packed vector. May allocate when a lane count
   /// overflows the current ladder height (throws std::bad_alloc then).
   /// \pre v.size() == words_for_bits(bits()).
-  void add(std::span<const std::uint64_t> v) {
-    for (std::size_t w = 0; w < words_; ++w) accumulate_word(w, v[w]);
-    ++added_;
-  }
+  void add(std::span<const std::uint64_t> v) { ripple(v.data(), nullptr); }
 
   /// Accumulates the XOR of two packed vectors — the bound pixel HV
-  /// pos (*) val — without materializing it. The per-pixel hot path; same
-  /// allocation caveat as add().
+  /// pos (*) val — without materializing it (the backend XORs in-register).
+  /// The per-pixel hot path; same allocation caveat as add().
   /// \pre a.size() == b.size() == words_for_bits(bits()).
   void add_xor(std::span<const std::uint64_t> a,
                std::span<const std::uint64_t> b) {
-    for (std::size_t w = 0; w < words_; ++w) accumulate_word(w, a[w] ^ b[w]);
-    ++added_;
+    ripple(a.data(), b.data());
   }
 
   /// Adds the accumulated bipolar sum into integer lanes:
@@ -159,39 +156,31 @@ class BitSliceAccumulator {
   }
 
  private:
-  /// Slices written through the branch-free ripple prefix. A carry escapes
-  /// them only once per 2^kFastLevels additions per lane, so the branchy
-  /// tail is off the hot path (per-level early exits mispredict ~50% of the
-  /// time and dominate an all-branchy ladder).
+  /// Slices the backends write through a branch-free ripple prefix. A carry
+  /// escapes them only once per 2^kFastLevels additions per lane, so the
+  /// branchy tail is off the hot path (per-level early exits mispredict
+  /// ~50% of the time and dominate an all-branchy ladder).
   static constexpr std::size_t kFastLevels = 3;
 
-  /// Ripple-carries \p carry into the slice ladder at word \p w; grows the
-  /// ladder (allocating) when the carry escapes the top slice.
-  void accumulate_word(std::size_t w, std::uint64_t carry) {
-    std::uint64_t* s = slices_.data() + w;
-    std::uint64_t next;
-    next = s[0] & carry;
-    s[0] ^= carry;
-    carry = next;
-    next = s[words_] & carry;
-    s[words_] ^= carry;
-    carry = next;
-    next = s[2 * words_] & carry;
-    s[2 * words_] ^= carry;
-    carry = next;
-    if (carry == 0) return;
-    for (std::size_t k = kFastLevels; k < levels_; ++k) {
-      std::uint64_t& word = slices_[k * words_ + w];
-      next = word & carry;
-      word ^= carry;
-      carry = next;
-      if (carry == 0) return;
+  /// Runs the backend CSA ripple of \p a (or a ^ b when \p b is non-null)
+  /// through the ladder; grows the ladder by one level (allocating) when
+  /// any lane's count overflowed the current height. A single new level
+  /// always suffices: an escaped carry has weight 2^levels_ exactly, and
+  /// the freshly-opened slice is empty so it cannot re-carry.
+  void ripple(const std::uint64_t* a, const std::uint64_t* b) {
+    // carry_ is kept all-zero between calls (the kernel's precondition);
+    // kernels only write escaped carries, so the common no-escape add does
+    // no carry_out work at all.
+    if (simd::kernels().csa_add(slices_.data(), words_, levels_, a, b,
+                                carry_.data())) {
+      // Level-major layout keeps existing slices in place on growth.
+      slices_.resize((levels_ + 1) * words_, 0);
+      std::copy(carry_.begin(), carry_.end(),
+                slices_.begin() + static_cast<std::ptrdiff_t>(levels_ * words_));
+      std::fill(carry_.begin(), carry_.end(), 0);
+      ++levels_;
     }
-    // Count overflowed the current ladder height: open a new top slice.
-    // Level-major layout keeps existing slices in place on growth.
-    slices_.resize((levels_ + 1) * words_, 0);
-    slices_[levels_ * words_ + w] = carry;
-    ++levels_;
+    ++added_;
   }
 
   std::size_t bits_;
@@ -199,6 +188,7 @@ class BitSliceAccumulator {
   std::size_t levels_ = 0;
   std::size_t added_ = 0;
   std::vector<std::uint64_t> slices_;  ///< levels_ x words_, level-major
+  std::vector<std::uint64_t> carry_;   ///< escaped-carry scratch (words_)
 };
 
 }  // namespace hdtest::util

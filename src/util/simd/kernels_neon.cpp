@@ -1,0 +1,73 @@
+/// \file kernels_neon.cpp
+/// NEON backend (aarch64 only, where NEON is baseline — no extra compile
+/// flags). Vectorizes the popcount-bound kernels via vcnt; the slice-bank
+/// kernels reuse the SWAR implementations, which GCC/Clang already
+/// auto-vectorize well for plain AND/XOR ladders on aarch64. Compiles to a
+/// nullptr stub elsewhere.
+
+#include "util/simd/backends.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd/sweep_impl.hpp"
+
+namespace hdtest::util::simd {
+
+namespace {
+
+std::size_t xor_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t words) noexcept {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    const uint64x2_t v = veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w));
+    const uint8x16_t cnt = vcntq_u8(vreinterpretq_u8_u64(v));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+  }
+  std::size_t total = static_cast<std::size_t>(vgetq_lane_u64(acc, 0) +
+                                               vgetq_lane_u64(acc, 1));
+  for (; w < words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+void am_sweep_neon(const std::uint64_t* am, std::size_t classes,
+                   std::size_t stride, const std::uint64_t* const* queries,
+                   std::size_t count, std::uint32_t* best_class,
+                   std::uint64_t* best_ham, std::uint64_t* ref_ham,
+                   std::uint32_t ref_class) noexcept {
+  detail::am_sweep_generic(am, classes, stride, queries, count, best_class,
+                           best_ham, ref_ham, ref_class, xor_popcount_neon);
+}
+
+const Kernels* make_neon_kernels() noexcept {
+  static const Kernels kernels = [] {
+    Kernels k = *swar_kernels();
+    k.name = "neon";
+    k.xor_popcount = xor_popcount_neon;
+    k.am_sweep = am_sweep_neon;
+    return k;
+  }();
+  return &kernels;
+}
+
+}  // namespace
+
+const Kernels* neon_kernels() noexcept { return make_neon_kernels(); }
+
+}  // namespace hdtest::util::simd
+
+#else  // !defined(__aarch64__)
+
+namespace hdtest::util::simd {
+const Kernels* neon_kernels() noexcept { return nullptr; }
+}  // namespace hdtest::util::simd
+
+#endif

@@ -1,0 +1,66 @@
+#pragma once
+/// \file sweep_impl.hpp
+/// Inline helpers shared by the backend TUs: the query-blocked
+/// associative-memory sweep skeleton (parameterized on the backend's
+/// xor_popcount so the inner distance loop inlines with that backend's
+/// vector width) and the scalar ripple-carry tail. Included by the backend
+/// TUs only; everything stays internal to each TU (no cross-TU COMDAT
+/// sharing, which matters because the AVX TUs are compiled with ISA flags
+/// the portable code must not inherit).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdtest::util::simd::detail {
+
+/// Scalar ripple-carry of \p carry through slice levels [from, levels) at
+/// word column \p w of a level-major bank; returns the carry that escaped
+/// the top level (zero in the common case). The per-word tail every backend
+/// falls back to.
+inline std::uint64_t ripple_from(std::uint64_t* slices, std::size_t words,
+                                 std::size_t levels, std::size_t w,
+                                 std::uint64_t carry,
+                                 std::size_t from) noexcept {
+  for (std::size_t k = from; k < levels && carry != 0; ++k) {
+    std::uint64_t& word = slices[k * words + w];
+    const std::uint64_t next = word & carry;
+    word ^= carry;
+    carry = next;
+  }
+  return carry;
+}
+
+/// Classes-outer / queries-inner sweep: each class prototype row is read
+/// once per block while the B queries stay cache-resident. Ties keep the
+/// lowest class index (strict <), matching the scalar predict exactly.
+template <typename XorPop>
+inline void am_sweep_generic(const std::uint64_t* am, std::size_t classes,
+                             std::size_t stride,
+                             const std::uint64_t* const* queries,
+                             std::size_t count, std::uint32_t* best_class,
+                             std::uint64_t* best_ham, std::uint64_t* ref_ham,
+                             std::uint32_t ref_class,
+                             XorPop&& xor_pop) noexcept {
+  if (count == 0 || classes == 0) return;
+  for (std::size_t q = 0; q < count; ++q) {
+    best_ham[q] = xor_pop(am, queries[q], stride);
+    best_class[q] = 0;
+  }
+  if (ref_ham != nullptr && ref_class == 0) {
+    for (std::size_t q = 0; q < count; ++q) ref_ham[q] = best_ham[q];
+  }
+  for (std::size_t c = 1; c < classes; ++c) {
+    const std::uint64_t* row = am + c * stride;
+    const bool is_ref = ref_ham != nullptr && c == ref_class;
+    for (std::size_t q = 0; q < count; ++q) {
+      const std::uint64_t ham = xor_pop(row, queries[q], stride);
+      if (ham < best_ham[q]) {
+        best_ham[q] = ham;
+        best_class[q] = static_cast<std::uint32_t>(c);
+      }
+      if (is_ref) ref_ham[q] = ham;
+    }
+  }
+}
+
+}  // namespace hdtest::util::simd::detail

@@ -13,7 +13,12 @@ namespace {
 class IdxTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "hdtest_idx";
+    // Unique per test case: gtest_discover_tests runs cases as separate
+    // processes, so a shared directory races under `ctest -j` (one case's
+    // TearDown deletes another's files mid-test).
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("hdtest_idx_") + info->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -65,6 +65,12 @@ TEST_F(DenseFreeTest, SteadyStateLoopIsDenseFree) {
       << "fuzz_one materialized a dense Hypervector in its generation loop";
   EXPECT_EQ(hdc::instrument::packed_from_dense(), 0u)
       << "fuzz_one re-packed a dense query via PackedHv::from_dense";
+  // The blocked AM sweep returns the reference-class score with the argmax,
+  // so the only standalone row walk allowed is the parent seed's fitness —
+  // exactly one per fuzz_one, never one per mutant.
+  EXPECT_EQ(hdc::instrument::am_row_walks(), 1u)
+      << "fuzz_one re-walked a class row per mutant instead of consuming "
+         "the sweep's reference-class score";
 }
 
 TEST_F(DenseFreeTest, FullEncoderPathIsAlsoDenseFree) {

@@ -1,0 +1,20 @@
+#pragma once
+/// \file backend_guard.hpp
+/// Shared RAII helper for the backend-sweeping property tests.
+
+#include "util/simd/kernels.hpp"
+
+namespace hdtest::hdc {
+
+/// Forces one SIMD backend for the scope of a test, restoring the default
+/// selection (which honors HDTEST_KERNEL_BACKEND) on destruction.
+struct BackendGuard {
+  explicit BackendGuard(const char* name) {
+    util::simd::set_kernels_for_testing(name);
+  }
+  ~BackendGuard() { util::simd::set_kernels_for_testing(nullptr); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+};
+
+}  // namespace hdtest::hdc

@@ -1,12 +1,20 @@
 // Tests for the packed associative-memory fast path: predict_packed /
-// similarities_packed must rank identically to the dense reference path.
+// similarities_packed must rank identically to the dense reference path,
+// and the query-blocked sweep (predict_block) must agree bit-for-bit with
+// per-query predict()/similarity_to() on every compiled SIMD backend, every
+// block size, and every worker count.
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
+#include "backend_guard.hpp"
 #include "data/synthetic_digits.hpp"
 #include "hdc/classifier.hpp"
+#include "util/simd/kernels.hpp"
 
 namespace hdtest::hdc {
 namespace {
@@ -91,6 +99,109 @@ TEST(PackedAm, RefinalizeRefreshesPackedCache) {
   am.finalize();
   EXPECT_EQ(am.predict_packed(PackedHv::from_dense(a)),
             am.predict(a));
+}
+
+TEST(PackedAm, PredictBlockMatchesPerQueryOnEveryBackendBlockAndDim) {
+  // The acceptance gate of the query-blocked sweep: for every compiled
+  // backend, every block size, and dims straddling the word/vector
+  // boundaries, predict_block must return the same labels as per-query
+  // predict() and the same DOUBLES as similarity_to() for both the argmax
+  // and the reference class.
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    for (const std::size_t dim : {63u, 64u, 65u, 1000u, 8192u}) {
+      const auto am = small_am(5, dim);
+      const auto& packed = am.packed();
+      util::Rng rng(dim + 21);
+      std::vector<PackedHv> queries;
+      for (int q = 0; q < 13; ++q) queries.push_back(PackedHv::random(dim, rng));
+      for (const std::size_t block : {1u, 7u, 64u}) {
+        const auto sweep = packed.predict_block(queries, /*ref_class=*/2, block);
+        ASSERT_EQ(sweep.labels.size(), queries.size());
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          EXPECT_EQ(sweep.labels[q], packed.predict(queries[q]))
+              << backend->name << " dim=" << dim << " block=" << block;
+          EXPECT_EQ(sweep.ref_scores[q], packed.similarity_to(2, queries[q]))
+              << backend->name << " dim=" << dim << " block=" << block;
+          EXPECT_EQ(sweep.best_scores[q],
+                    packed.similarity_to(sweep.labels[q], queries[q]))
+              << backend->name << " dim=" << dim << " block=" << block;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedAm, PredictBlockAgreesAcrossBackendsAndWorkers) {
+  // Cross-backend agreement on one fixed workload, including the Hamming
+  // metric and multi-worker sweeps: every backend must produce the exact
+  // same result object.
+  const auto am = small_am(4, 4097, Similarity::kHamming);
+  util::Rng rng(33);
+  std::vector<PackedHv> queries;
+  for (int q = 0; q < 40; ++q) queries.push_back(PackedHv::random(4097, rng));
+
+  BlockSweepResult reference;
+  bool have_reference = false;
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    for (const std::size_t workers : {1u, 4u}) {
+      const auto sweep =
+          am.packed().predict_block(queries, /*ref_class=*/1, 16, workers);
+      if (!have_reference) {
+        reference = sweep;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_EQ(sweep.labels, reference.labels)
+          << backend->name << " workers=" << workers;
+      EXPECT_EQ(sweep.best_scores, reference.best_scores) << backend->name;
+      EXPECT_EQ(sweep.ref_scores, reference.ref_scores) << backend->name;
+    }
+  }
+}
+
+TEST(PackedAm, PredictBatchUsesBlockedSweepAndMatchesPredict) {
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    const auto am = small_am(6, 1000);
+    util::Rng rng(7);
+    std::vector<PackedHv> queries;
+    // More queries than one block, plus a ragged tail.
+    for (int q = 0; q < 71; ++q) queries.push_back(PackedHv::random(1000, rng));
+    for (const std::size_t workers : {1u, 3u}) {
+      const auto labels = am.packed().predict_batch(
+          std::span<const PackedHv>(queries), workers);
+      ASSERT_EQ(labels.size(), queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        EXPECT_EQ(labels[q], am.packed().predict(queries[q]))
+            << backend->name << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(PackedAm, PredictBlockValidates) {
+  const auto am = small_am(3, 256);
+  util::Rng rng(5);
+  std::vector<PackedHv> queries{PackedHv::random(256, rng)};
+  EXPECT_THROW((void)am.packed().predict_block(queries, /*ref_class=*/3),
+               std::out_of_range);
+  // block = kAutoBlock (0) selects the cache-optimal size.
+  EXPECT_EQ(am.packed()
+                .predict_block(queries, 0, PackedAssocMemory::kAutoBlock)
+                .labels[0],
+            am.packed().predict(queries[0]));
+  std::vector<PackedHv> bad{PackedHv::random(255, rng)};
+  EXPECT_THROW((void)am.packed().predict_block(bad, 0), std::invalid_argument);
+  PackedAssocMemory empty;
+  EXPECT_THROW((void)empty.predict_block(queries, 0), std::logic_error);
+  // Empty query span is fine: empty result vectors.
+  const auto sweep =
+      am.packed().predict_block(std::span<const PackedHv>{}, 0);
+  EXPECT_TRUE(sweep.labels.empty());
+  EXPECT_TRUE(sweep.best_scores.empty());
+  EXPECT_TRUE(sweep.ref_scores.empty());
 }
 
 TEST(PackedAm, EndToEndClassifierAgreement) {

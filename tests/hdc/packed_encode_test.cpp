@@ -14,11 +14,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "backend_guard.hpp"
 #include "data/synthetic_digits.hpp"
 #include "hdc/assoc_memory.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/packed_hv.hpp"
 #include "util/bitops.hpp"
+#include "util/simd/kernels.hpp"
 
 namespace hdtest::hdc {
 namespace {
@@ -55,16 +57,19 @@ Accumulator random_accumulator(std::size_t dim, std::uint64_t seed) {
   return Accumulator::from_lanes(std::move(lanes));
 }
 
-TEST(BipolarizePacked, MatchesDensePathAcrossDims) {
-  for (const auto dim : kDims) {
-    util::Rng rng(dim);
-    const auto tie_break = Hypervector::random(dim, rng);
-    const auto tie_break_packed = PackedHv::from_dense(tie_break);
-    for (std::uint64_t seed = 0; seed < 4; ++seed) {
-      const auto acc = random_accumulator(dim, seed * 31 + dim);
-      EXPECT_EQ(acc.bipolarize_packed(tie_break_packed),
-                PackedHv::from_dense(acc.bipolarize(tie_break)))
-          << "dim=" << dim << " seed=" << seed;
+TEST(BipolarizePacked, MatchesDensePathAcrossDimsOnEveryBackend) {
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    for (const auto dim : kDims) {
+      util::Rng rng(dim);
+      const auto tie_break = Hypervector::random(dim, rng);
+      const auto tie_break_packed = PackedHv::from_dense(tie_break);
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const auto acc = random_accumulator(dim, seed * 31 + dim);
+        EXPECT_EQ(acc.bipolarize_packed(tie_break_packed),
+                  PackedHv::from_dense(acc.bipolarize(tie_break)))
+            << backend->name << " dim=" << dim << " seed=" << seed;
+      }
     }
   }
 }
@@ -90,26 +95,30 @@ TEST(BipolarizePacked, RejectsDimensionMismatch) {
   EXPECT_THROW((void)acc.bipolarize_packed(tie_break), std::invalid_argument);
 }
 
-TEST(BitSliceAccumulator, MatchesNaivePerLaneCounts) {
-  for (const auto dim : kDims) {
-    util::Rng rng(dim * 3 + 1);
-    util::BitSliceAccumulator bits(dim);
-    Accumulator reference(dim);
-    Accumulator drained(dim);
-    // Enough vectors to force several carry levels (levels ~ log2(n)).
-    for (std::size_t n = 0; n < 37; ++n) {
-      const auto a = PackedHv::random(dim, rng);
-      const auto b = PackedHv::random(dim, rng);
-      bits.add_xor(a.words(), b.words());
-      reference.add_bound(a.to_dense(), b.to_dense());
-    }
-    EXPECT_EQ(bits.added(), 37u);
-    // Mean per-lane count is ~18.5, so the ladder must have opened at least
-    // the 5 slices that represent counts up to 31.
-    EXPECT_GE(bits.levels(), 5u);
-    drained.add_bitsliced(bits);
-    for (std::size_t i = 0; i < dim; ++i) {
-      ASSERT_EQ(drained.lane(i), reference.lane(i)) << "dim=" << dim << " lane=" << i;
+TEST(BitSliceAccumulator, MatchesNaivePerLaneCountsOnEveryBackend) {
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    for (const auto dim : kDims) {
+      util::Rng rng(dim * 3 + 1);
+      util::BitSliceAccumulator bits(dim);
+      Accumulator reference(dim);
+      Accumulator drained(dim);
+      // Enough vectors to force several carry levels (levels ~ log2(n)).
+      for (std::size_t n = 0; n < 37; ++n) {
+        const auto a = PackedHv::random(dim, rng);
+        const auto b = PackedHv::random(dim, rng);
+        bits.add_xor(a.words(), b.words());
+        reference.add_bound(a.to_dense(), b.to_dense());
+      }
+      EXPECT_EQ(bits.added(), 37u);
+      // Mean per-lane count is ~18.5, so the ladder must have opened at
+      // least the 5 slices that represent counts up to 31.
+      EXPECT_GE(bits.levels(), 5u) << backend->name;
+      drained.add_bitsliced(bits);
+      for (std::size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(drained.lane(i), reference.lane(i))
+            << backend->name << " dim=" << dim << " lane=" << i;
+      }
     }
   }
 }
@@ -154,15 +163,52 @@ TEST(PackedHv, FromWordsValidates) {
   EXPECT_EQ(v.get(64), -1);
 }
 
-TEST(PackedEncode, MatchesDenseEncodeAcrossDims) {
-  for (const auto dim : kDims) {
-    const PixelEncoder enc(config_for(dim), 9, 7);
-    for (std::uint64_t seed = 0; seed < 3; ++seed) {
-      const auto img = random_image(9, 7, seed + dim);
-      EXPECT_EQ(enc.encode_packed(img), PackedHv::from_dense(enc.encode(img)))
-          << "dim=" << dim << " seed=" << seed;
+TEST(PackedEncode, MatchesDenseEncodeAcrossDimsOnEveryBackend) {
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    for (const auto dim : kDims) {
+      const PixelEncoder enc(config_for(dim), 9, 7);
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const auto img = random_image(9, 7, seed + dim);
+        EXPECT_EQ(enc.encode_packed(img), PackedHv::from_dense(enc.encode(img)))
+            << backend->name << " dim=" << dim << " seed=" << seed;
+      }
     }
   }
+}
+
+TEST(PackedEncode, EncodeBatchPackedMatchesEncodePacked) {
+  const PixelEncoder enc(config_for(1000), 8, 8);
+  std::vector<data::Image> images;
+  for (std::uint64_t s = 0; s < 9; ++s) images.push_back(random_image(8, 8, s));
+  for (const std::size_t workers : {1u, 4u}) {
+    const auto batch = enc.encode_batch_packed(images, workers);
+    ASSERT_EQ(batch.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      ASSERT_EQ(batch[i], enc.encode_packed(images[i])) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(PackedTraining, AddPackedMatchesDenseAdd) {
+  // The encoded-dataset cache feeds training through Accumulator::add_packed;
+  // its lane updates must equal dense add() exactly, weights included.
+  for (const auto dim : kDims) {
+    util::Rng rng(dim + 5);
+    Accumulator dense_acc(dim);
+    Accumulator packed_acc(dim);
+    for (const int weight : {+1, -1, +3}) {
+      const auto hv = Hypervector::random(dim, rng);
+      dense_acc.add(hv, weight);
+      packed_acc.add_packed(PackedHv::from_dense(hv).words(), weight);
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(packed_acc.lane(i), dense_acc.lane(i)) << "dim=" << dim;
+    }
+  }
+  Accumulator acc(100);
+  EXPECT_THROW(acc.add_packed(std::vector<std::uint64_t>(3, 0), 1),
+               std::invalid_argument);
 }
 
 TEST(PackedEncode, MatchesDenseEncodeWithQuantizedValues) {
@@ -189,25 +235,28 @@ TEST(PackedEncode, PackedCodebooksMirrorDenseEntries) {
   EXPECT_THROW((void)enc.packed_position_memory().at(30), std::out_of_range);
 }
 
-TEST(PackedEncode, EncodeMutantPackedMatchesDense) {
-  for (const auto dim : kDims) {
-    const PixelEncoder enc(config_for(dim), 10, 10);
-    IncrementalPixelEncoder inc(enc);
-    util::Rng rng(dim);
-    const auto base = random_image(10, 10, dim);
-    inc.rebase(base);
-    auto mutant = base;
-    for (std::uint64_t f = 0; f < 12; ++f) {
-      mutant(static_cast<std::size_t>(rng.uniform_u64(10)),
-             static_cast<std::size_t>(rng.uniform_u64(10))) =
-          static_cast<std::uint8_t>(rng.uniform_u64(256));
+TEST(PackedEncode, EncodeMutantPackedMatchesDenseOnEveryBackend) {
+  for (const auto* backend : util::simd::available_kernels()) {
+    BackendGuard guard(backend->name);
+    for (const auto dim : kDims) {
+      const PixelEncoder enc(config_for(dim), 10, 10);
+      IncrementalPixelEncoder inc(enc);
+      util::Rng rng(dim);
+      const auto base = random_image(10, 10, dim);
+      inc.rebase(base);
+      auto mutant = base;
+      for (std::uint64_t f = 0; f < 12; ++f) {
+        mutant(static_cast<std::size_t>(rng.uniform_u64(10)),
+               static_cast<std::size_t>(rng.uniform_u64(10))) =
+            static_cast<std::uint8_t>(rng.uniform_u64(256));
+      }
+      EXPECT_EQ(inc.encode_mutant_packed(mutant),
+                PackedHv::from_dense(inc.encode_mutant(mutant)))
+          << backend->name << " dim=" << dim;
+      EXPECT_EQ(inc.encode_mutant_packed(mutant),
+                PackedHv::from_dense(enc.encode(mutant)))
+          << backend->name << " dim=" << dim;
     }
-    EXPECT_EQ(inc.encode_mutant_packed(mutant),
-              PackedHv::from_dense(inc.encode_mutant(mutant)))
-        << "dim=" << dim;
-    EXPECT_EQ(inc.encode_mutant_packed(mutant),
-              PackedHv::from_dense(enc.encode(mutant)))
-        << "dim=" << dim;
   }
 }
 
