@@ -9,12 +9,15 @@
 ///  - iteration count and distance are not obviously correlated.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/confusion.hpp"
 #include "fuzz/mutation.hpp"
 #include "fuzz/report.hpp"
+#include "fuzz/shard/runtime.hpp"
 #include "util/csv.hpp"
 
 int main() {
@@ -28,21 +31,21 @@ int main() {
 
   // The paper's per-class figure uses the standard HDTest configuration;
   // gauss gives the densest success coverage for stable per-class stats, and
-  // 'rand' exposes iteration differences better. We report both.
+  // 'rand' exposes iteration differences better. We report both — run as
+  // one grid through a single work-stealing pool (shard::CampaignRuntime),
+  // so gauss's early finishers feed their cores to rand's long tail.
+  fuzz::CampaignConfig cell;
+  cell.max_images = setup.params.fuzz_images;
+  cell.seed = setup.params.seed;
+  fuzz::shard::CampaignGrid grid(*setup.model);
   for (const char* name : {"gauss", "rand"}) {
-    const auto strategy = fuzz::make_strategy(name);
-    fuzz::FuzzConfig fuzz_config;
-    fuzz_config.budget = fuzz::default_budget_for_strategy(name);
-    const fuzz::Fuzzer fuzzer(*setup.model, *strategy, fuzz_config);
+    grid.add(name, setup.data.test, cell);
+  }
+  fuzz::shard::CampaignRuntime runtime(setup.params.workers);
+  const auto campaigns = runtime.run_grid(grid.jobs());
 
-    fuzz::CampaignConfig campaign_config;
-    campaign_config.fuzz = fuzz_config;
-    campaign_config.max_images = setup.params.fuzz_images;
-    campaign_config.workers = setup.params.workers;
-    campaign_config.seed = setup.params.seed;
-    const auto campaign =
-        fuzz::run_campaign(fuzzer, setup.data.test, campaign_config);
-
+  for (const auto& campaign : campaigns) {
+    const char* name = campaign.strategy_name.c_str();
     std::printf("strategy '%s' (%zu/%zu adversarial):\n", name,
                 campaign.successes(), campaign.images_fuzzed());
     std::printf("%s\n", fuzz::render_per_class_table(campaign, 10).c_str());

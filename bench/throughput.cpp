@@ -28,20 +28,32 @@
 /// section doubles as a bit-exactness gate; any packed/dense or
 /// cross-backend disagreement fails the binary.
 ///
+/// A fifth section, campaign_scaling, measures the sharded campaign
+/// runtime end to end: adversarials/minute of the target-count campaign at
+/// workers 1/2/4/hw for two strategies, with a bit-exactness gate asserting
+/// every worker count reproduces the workers=1 records (the shard
+/// determinism contract, re-checked in an optimized build). Wall-clock
+/// scaling tracks the physical core count of the box — the committed
+/// baseline names it.
+///
 /// Flags:
-///   --self-check   run only the agreement gates, on every backend (fast;
+///   --self-check   run only the agreement gates, on every backend, plus a
+///                  small multi-worker campaign determinism gate (fast;
 ///                  CI's bench smoke; prints the detected backend)
 ///   --json=PATH    additionally write machine-readable results (the
 ///                  committed BENCH_throughput.json baseline, stamped with
 ///                  git SHA, CPU feature flags, and the active backend)
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "data/synthetic_digits.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/mutation.hpp"
 #include "hdc/assoc_memory.hpp"
@@ -437,6 +449,120 @@ double bench_predict_block(const char* backend, const BlockBaseline& base,
   return block_us;
 }
 
+// ---------------------------------------------------------------------------
+// Campaign scaling: the sharded runtime end to end. The bit-exactness gates
+// use fuzz::identical_records — the SAME predicate the determinism test
+// suite asserts — so the optimized-build gate can never be weaker than the
+// contract.
+
+/// Worker counts to sweep: 1/2/4 plus the box's hardware concurrency.
+std::vector<std::size_t> scaling_worker_counts() {
+  std::vector<std::size_t> counts{1, 2, 4};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+/// Target-count campaigns at several worker counts; returns false on any
+/// determinism violation. Emits one row per (strategy, workers).
+bool bench_campaign_scaling(const hdtest::benchutil::Setup& setup,
+                            std::size_t target,
+                            std::vector<std::string>& json_rows) {
+  using namespace hdtest;
+  bool ok = true;
+  util::TextTable table;
+  table.set_header({"Strategy", "Workers", "Adversarials", "Time (s)",
+                    "Adv./minute", "Speedup vs 1w"});
+  table.set_alignments({util::Align::kLeft, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight});
+  util::CsvWriter csv(benchutil::out_dir() + "/campaign_scaling.csv");
+  csv.header({"strategy", "workers", "adversarials", "seconds",
+              "adv_per_minute", "speedup_vs_1w"});
+
+  for (const char* name : {"gauss", "rand"}) {
+    const auto strategy = fuzz::make_strategy(name);
+    fuzz::FuzzConfig fuzz_config;
+    fuzz_config.budget = fuzz::default_budget_for_strategy(name);
+    const fuzz::Fuzzer fuzzer(*setup.model, *strategy, fuzz_config);
+    fuzz::CampaignConfig config;
+    config.fuzz = fuzz_config;
+    config.target_adversarials = target;
+    config.seed = setup.params.seed;
+
+    fuzz::CampaignResult reference;
+    for (const auto workers : scaling_worker_counts()) {
+      config.workers = workers;
+      auto campaign = fuzz::run_campaign(fuzzer, setup.data.test, config);
+      if (workers == 1) {
+        reference = campaign;
+      } else if (!fuzz::identical_records(reference, campaign)) {
+        std::printf("ERROR: campaign records diverged at workers=%zu "
+                    "(strategy %s)\n",
+                    workers, name);
+        ok = false;
+      }
+      const double speedup =
+          campaign.total_seconds > 0.0
+              ? reference.total_seconds / campaign.total_seconds
+              : 0.0;
+      table.add_row({name, std::to_string(workers),
+                     std::to_string(campaign.successes()),
+                     util::TextTable::num(campaign.total_seconds, 2),
+                     util::TextTable::num(campaign.adversarials_per_minute(), 0),
+                     util::TextTable::num(speedup, 2)});
+      csv.row(name, workers, campaign.successes(), campaign.total_seconds,
+              campaign.adversarials_per_minute(), speedup);
+      json_rows.push_back(
+          JsonObject()
+              .add("strategy", name)
+              .add("workers", static_cast<double>(workers))
+              .add("adversarials", static_cast<double>(campaign.successes()))
+              .add("seconds", campaign.total_seconds)
+              .add("adv_per_minute", campaign.adversarials_per_minute())
+              .add("speedup_vs_1w", speedup)
+              .str());
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(records gated bit-identical across every worker count; "
+              "wall-clock scaling is bounded by the box's %u hardware "
+              "threads)\n",
+              std::thread::hardware_concurrency());
+  return ok;
+}
+
+/// Self-check gate: a small target-count campaign must be bit-identical at
+/// workers 1 and 4 (the shard determinism contract under -O2, every run).
+bool campaign_determinism_gate() {
+  using namespace hdtest;
+  const auto pair = data::make_digit_train_test(20, 4, 99);
+  hdc::ModelConfig config;
+  config.dim = 1024;
+  config.seed = 99;
+  hdc::HdcClassifier model(config, 28, 28, 10);
+  model.fit(pair.train);
+  const auto strategy = fuzz::make_strategy("gauss");
+  fuzz::FuzzConfig fuzz_config;
+  fuzz_config.budget = fuzz::default_budget_for_strategy("gauss");
+  const fuzz::Fuzzer fuzzer(model, *strategy, fuzz_config);
+  fuzz::CampaignConfig campaign_config;
+  campaign_config.fuzz = fuzz_config;
+  campaign_config.target_adversarials = 15;
+  campaign_config.seed = 5;
+  campaign_config.workers = 1;
+  const auto sequential = fuzz::run_campaign(fuzzer, pair.test, campaign_config);
+  campaign_config.workers = 4;
+  const auto sharded = fuzz::run_campaign(fuzzer, pair.test, campaign_config);
+  const bool ok = fuzz::identical_records(sequential, sharded);
+  std::printf("campaign determinism gate (target mode, workers 1 vs 4): %s\n",
+              ok ? "identical" : "DIVERGED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -466,6 +592,7 @@ int main(int argc, char** argv) {
   doc.add("mode", self_check_only ? "self-check" : "full");
 
   std::vector<std::string> campaign_rows;
+  std::vector<std::string> scaling_rows;
   if (!self_check_only) {
     const auto target = benchutil::env_u64("HDTEST_TARGET_ADV", 200);
     const auto setup = benchutil::make_standard_setup();
@@ -532,8 +659,21 @@ int main(int argc, char** argv) {
         "slowest. Expect at least the same order of magnitude and rand last.\n");
     std::printf("CSV written to %s/throughput.csv\n",
                 benchutil::out_dir().c_str());
+
+    std::printf("\ncampaign scaling: sharded runtime, target-count mode "
+                "(target %zu, D=%zu)\n",
+                static_cast<std::size_t>(target), setup.params.dim);
+    if (!bench_campaign_scaling(setup, target, scaling_rows)) {
+      agreement = false;
+    }
+  } else {
+    // The determinism contract is cheap enough to gate on every CI smoke.
+    if (!campaign_determinism_gate()) agreement = false;
   }
   doc.add_raw("campaigns", benchutil::json_array(campaign_rows));
+  doc.add_raw("campaign_scaling", benchutil::json_array(scaling_rows));
+  doc.add("hardware_threads",
+          static_cast<double>(std::thread::hardware_concurrency()));
 
   // Self-check mode shrinks the workloads: the gates are bit-exact equality
   // checks, so one rep over fewer queries proves as much as forty.

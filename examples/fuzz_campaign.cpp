@@ -7,6 +7,9 @@
 ///   ./fuzz_campaign --target=1000 --strategy=gauss        # paper-style run
 ///   ./fuzz_campaign --mnist-dir=/data/mnist --images=500  # real MNIST
 ///
+/// Both modes (sweep and --target) run on the sharded work-stealing runtime
+/// and scale with --workers; records are bit-identical for any worker count.
+///
 /// With --mnist-dir the campaign runs on real MNIST IDX files (the paper's
 /// dataset); otherwise the synthetic digit generator is used.
 
@@ -44,7 +47,12 @@ int main(int argc, char** argv) {
   args.add_flag("max-l2", "1.0",
                 "Perturbation budget (normalized L2; 0 disables; shift "
                 "defaults to disabled)");
-  args.add_flag("workers", "4", "Campaign worker threads");
+  args.add_flag("workers", "4",
+                "Campaign worker threads (sweep AND target mode; results "
+                "identical for any count)");
+  args.add_flag("max-streams", "0",
+                "Target mode give-up valve: stop after this many inputs "
+                "fuzzed (0 = legacy formula)");
   args.add_flag("seed", "42", "Experiment seed");
   args.add_flag("csv", "", "Write per-record CSV to this path");
   args.add_flag("dump-dir", "", "Dump sample PGM triples into this directory");
@@ -126,6 +134,7 @@ int main(int argc, char** argv) {
     campaign_config.max_images = args.get_u64("images");
     campaign_config.target_adversarials = args.get_u64("target");
     campaign_config.workers = args.get_u64("workers");
+    campaign_config.max_streams = args.get_u64("max-streams");
     campaign_config.seed = args.get_u64("seed");
 
     std::printf("fuzzing with '%s' (budget %s, %s)...\n",

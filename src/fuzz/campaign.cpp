@@ -1,14 +1,9 @@
 #include "fuzz/campaign.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <span>
 #include <stdexcept>
 
+#include "fuzz/shard/runtime.hpp"
 #include "util/log.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace hdtest::fuzz {
 
@@ -16,6 +11,12 @@ void CampaignConfig::validate() const {
   fuzz.validate();
   if (workers == 0) {
     throw std::invalid_argument("CampaignConfig: workers must be >= 1");
+  }
+  if (max_streams != 0 && max_streams < target_adversarials) {
+    // Each stream yields at most one adversarial, so such a campaign could
+    // only ever give up — reject the configuration outright.
+    throw std::invalid_argument(
+        "CampaignConfig: max_streams must be 0 or >= target_adversarials");
   }
 }
 
@@ -102,6 +103,34 @@ std::vector<CampaignResult::PerClass> CampaignResult::per_class(
   return out;
 }
 
+bool identical_records(const CampaignResult& a, const CampaignResult& b) {
+  if (a.gave_up != b.gave_up || a.records.size() != b.records.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    const auto& oa = ra.outcome;
+    const auto& ob = rb.outcome;
+    if (ra.image_index != rb.image_index || ra.true_label != rb.true_label ||
+        oa.success != ob.success || oa.reference_label != ob.reference_label ||
+        oa.iterations != ob.iterations || oa.encodes != ob.encodes ||
+        oa.discarded != ob.discarded) {
+      return false;
+    }
+    if (oa.success &&
+        (oa.adversarial != ob.adversarial ||
+         oa.adversarial_label != ob.adversarial_label ||
+         oa.perturbation.l1 != ob.perturbation.l1 ||
+         oa.perturbation.l2 != ob.perturbation.l2 ||
+         oa.perturbation.linf != ob.perturbation.linf ||
+         oa.perturbation.pixels_changed != ob.perturbation.pixels_changed)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 CampaignResult run_campaign(const Fuzzer& fuzzer, const data::Dataset& inputs,
                             const CampaignConfig& config) {
   config.validate();
@@ -109,77 +138,16 @@ CampaignResult run_campaign(const Fuzzer& fuzzer, const data::Dataset& inputs,
     throw std::invalid_argument("run_campaign: empty input set");
   }
 
-  CampaignResult result;
-  result.strategy_name = fuzzer.strategy().name();
-  const util::Stopwatch watch;
-  util::Rng master(config.seed);
-
-  if (config.target_adversarials == 0) {
-    // Fixed sweep: fuzz each input once (optionally capped), in parallel.
-    // Each worker prepares its input's seed context inline (the 1-arg
-    // fuzz_one): every input is visited exactly once, so a separate batch
-    // warm-up would do the same encodes with the same parallelism while
-    // holding O(count * D) contexts alive for the whole campaign.
-    std::size_t count = inputs.size();
-    if (config.max_images != 0) count = std::min(count, config.max_images);
-    // Records are pre-sized and each worker writes only its own slot, so no
-    // synchronization is needed.
-    result.records.resize(count);
-    util::parallel_for(count, config.workers, [&](std::size_t i) {
-      util::Rng rng = master.child(i);
-      CampaignRecord record;
-      record.image_index = i;
-      record.true_label = inputs.labels.empty() ? -1 : inputs.labels[i];
-      record.outcome = fuzzer.fuzz_one(inputs.images[i], rng);
-      result.records[i] = std::move(record);
-    });
-  } else {
-    // Target-count mode (the paper's "generate 1000 adversarial images"):
-    // wrap around the input set with fresh RNG streams until the target is
-    // reached. Sequential by design — the stopping condition is inherently
-    // ordered; use the fixed sweep for parallel throughput runs. Seeds are
-    // warmed up lazily in parallel chunks as the stream advances, and only
-    // up to a fixed retention cap: a campaign that stops early never
-    // encodes (or holds) the unvisited tail, wrap-arounds reuse every
-    // cached context for free, and a huge input set cannot pin O(N * D)
-    // seed memory — inputs past the cap are prepared per visit instead
-    // (each SeedContext holds ~4*D bytes; 1024 at D=8192 is ~34 MB).
-    constexpr std::size_t kWarmupChunk = 64;
-    constexpr std::size_t kMaxRetainedSeeds = 1024;
-    const std::size_t retained = std::min(inputs.size(), kMaxRetainedSeeds);
-    std::vector<SeedContext> seeds;
-    std::size_t stream = 0;
-    while (result.successes() < config.target_adversarials) {
-      const std::size_t i = stream % inputs.size();
-      if (i < retained && i >= seeds.size()) {
-        const std::size_t begin = seeds.size();
-        const std::size_t count = std::min(retained - begin, kWarmupChunk);
-        auto chunk = fuzzer.prepare_seeds(
-            std::span<const data::Image>(inputs.images).subspan(begin, count),
-            config.workers);
-        for (auto& seed : chunk) seeds.push_back(std::move(seed));
-      }
-      util::Rng rng = master.child(stream);
-      CampaignRecord record;
-      record.image_index = i;
-      record.true_label = inputs.labels.empty() ? -1 : inputs.labels[i];
-      record.outcome =
-          i < retained ? fuzzer.fuzz_one(inputs.images[i], rng, seeds[i])
-                       : fuzzer.fuzz_one(inputs.images[i], rng);
-      result.records.push_back(std::move(record));
-      ++stream;
-      // Safety valve: a model/strategy pair that never yields adversarials
-      // must not loop forever.
-      if (stream > config.target_adversarials * 1000 + inputs.size() * 100) {
-        result.gave_up = true;
-        util::log_warn("run_campaign: giving up before reaching target (",
-                       result.successes(), "/", config.target_adversarials, ")");
-        break;
-      }
-    }
+  // Both campaign modes run on the sharded work-stealing runtime: the
+  // planner fixes per-stream inputs/seeds up front and the ledger replays
+  // the sequential stopping rule over canonical stream order, so any worker
+  // count produces bit-identical records (src/fuzz/shard/).
+  shard::CampaignRuntime runtime(config.workers);
+  CampaignResult result = runtime.run(fuzzer, inputs, config);
+  if (result.gave_up) {
+    util::log_warn("run_campaign: gave up before reaching target (",
+                   result.successes(), "/", config.target_adversarials, ")");
   }
-
-  result.total_seconds = watch.seconds();
   util::log_info("campaign[", result.strategy_name, "]: ",
                  result.successes(), "/", result.images_fuzzed(),
                  " adversarial, avg_iter=", result.avg_iterations(),

@@ -8,8 +8,12 @@
 ///  - execution time to generate K adversarial images (reported per-1K);
 ///  - per-class breakdowns (Fig. 7).
 ///
-/// Campaigns parallelize across input images with deterministic per-image
-/// RNG streams: results are bit-identical for any worker count.
+/// Campaigns run on the sharded work-stealing runtime (src/fuzz/shard/):
+/// both modes — the fixed sweep AND the paper's "generate K adversarials"
+/// target-count mode — scale across workers with deterministic per-stream
+/// RNG seeds and a canonical-stream-order merge, so results are
+/// bit-identical for any worker count (see shard/runtime.hpp for the
+/// contract).
 
 #include <cstddef>
 #include <cstdint>
@@ -40,6 +44,18 @@ struct CampaignConfig {
 
   /// Master seed for all mutation randomness.
   std::uint64_t seed = 0x5eedULL;
+
+  /// Give-up valve for target-count mode: the campaign stops with
+  /// `gave_up = true` after exactly this many mutation streams (inputs
+  /// fuzzed, counting wrap-around revisits) without reaching the target.
+  /// 0 = the legacy formula `target*1000 + inputs*100` (+1 stream, matching
+  /// the historical off-by-one). Ignored when target_adversarials == 0.
+  std::size_t max_streams = 0;
+
+  /// Streams per shard slice — the work-stealing unit handed to one worker
+  /// at a time (0 = auto: 1 in sweep mode, 4 in target mode). Affects
+  /// scheduling granularity only, never results.
+  std::size_t shard_block = 0;
 
   void validate() const;
 };
@@ -104,9 +120,20 @@ struct CampaignResult {
 };
 
 /// Runs \p fuzzer over the images of \p inputs (labels, when present, are
-/// used only for reporting).
+/// used only for reporting) on a shard::CampaignRuntime with
+/// config.workers workers. Records (indices, outcomes, gave_up) are
+/// bit-identical for any worker count; only the wall-clock fields vary.
 [[nodiscard]] CampaignResult run_campaign(const Fuzzer& fuzzer,
                                           const data::Dataset& inputs,
                                           const CampaignConfig& config);
+
+/// The shard determinism contract, as a predicate: true iff the two results
+/// agree on EVERY non-wall-clock field — gave_up and, per record, the input
+/// index, true label, and the complete outcome (success, labels,
+/// iterations, encodes, discarded, the adversarial image bytes, and all
+/// perturbation components). The determinism test suite and the bench
+/// gates share this single definition.
+[[nodiscard]] bool identical_records(const CampaignResult& a,
+                                     const CampaignResult& b);
 
 }  // namespace hdtest::fuzz

@@ -83,9 +83,13 @@ struct FuzzOutcome {
 ///
 /// Holds everything fuzz_one needs that costs a full O(W*H*D) encode: the
 /// input's bundling accumulator (the delta re-encoder's base), its packed
-/// query HV, and the reference label. Campaigns warm these up for all
-/// inputs in one parallel batch and reuse them across wrap-arounds, so
-/// fuzz_one itself performs no full encode at all.
+/// query HV, and the reference label. The sharded campaign runtime caches
+/// one per input (shard::SeedBank) and shares it across workers and
+/// wrap-arounds, so steady-state fuzz_one performs no full encode at all.
+/// Contract: fuzz_one(input, rng) and fuzz_one(input, rng, seed) return
+/// bit-identical outcomes (modulo wall-clock) — the context is purely a
+/// cache, which is what lets shards fall back to inline encoding when a
+/// context is still being built elsewhere.
 struct SeedContext {
   hdc::Accumulator base_acc;        ///< encode_into(input) lanes
   hdc::PackedHv reference;          ///< packed query HV of the input

@@ -5,6 +5,7 @@
 
 #include "fuzz/fitness.hpp"
 #include "fuzz/vulnerability.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hdtest::fuzz {
 
@@ -19,6 +20,9 @@ void ScheduleConfig::validate() const {
   }
   if (explore < 0.0 || explore > 1.0) {
     throw std::invalid_argument("ScheduleConfig: explore must be in [0, 1]");
+  }
+  if (workers == 0) {
+    throw std::invalid_argument("ScheduleConfig: workers must be >= 1");
   }
 }
 
@@ -98,11 +102,13 @@ ScheduleResult run_scheduled_campaign(const hdc::HdcClassifier& model,
   }
 
   ScheduleResult result;
-  result.queue.reserve(inputs.size());
   util::Rng rng(config.seed);
 
-  // Initialize queue entries with clean margins and reference labels.
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
+  // Initialize queue entries with clean margins and reference labels. Each
+  // entry is a pure function of its input (one full encode), so the warm-up
+  // parallelizes with per-slot writes — order-exact for any worker count.
+  result.queue.resize(inputs.size());
+  util::parallel_for(inputs.size(), config.workers, [&](std::size_t i) {
     QueueEntry entry;
     entry.image_index = i;
     entry.margin = similarity_margin(model, inputs.images[i]);
@@ -110,9 +116,9 @@ ScheduleResult run_scheduled_campaign(const hdc::HdcClassifier& model,
     entry.reference_label = model.predict_encoded(query);
     entry.best_fitness = fitness_of(model, entry.reference_label, query);
     entry.best_seed = inputs.images[i];
-    ++result.total_encodes;
-    result.queue.push_back(std::move(entry));
-  }
+    result.queue[i] = std::move(entry);
+  });
+  result.total_encodes += inputs.size();
 
   while (result.total_encodes < config.total_encodes) {
     // Pick the pending entry with the highest priority (or explore).

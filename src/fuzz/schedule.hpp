@@ -44,6 +44,12 @@ struct ScheduleConfig {
   /// pending input instead of the highest-priority one (avoids starvation).
   double explore = 0.1;
 
+  /// Worker threads for the queue warm-up (per-input margins, reference
+  /// labels, and baseline fitness — one full encode each). The scheduling
+  /// loop itself stays sequential (it is adaptive by design); results are
+  /// identical for any worker count.
+  std::size_t workers = 1;
+
   std::uint64_t seed = 0x5c4edULL;
 
   void validate() const;

@@ -1,0 +1,64 @@
+#include "fuzz/shard/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdtest::fuzz::shard {
+
+ShardPlanner::ShardPlanner(Mode mode, std::size_t num_inputs,
+                           std::uint64_t master_seed, std::size_t stream_limit,
+                           std::size_t block_streams)
+    : mode_(mode),
+      num_inputs_(num_inputs),
+      seed_(master_seed),
+      limit_(stream_limit),
+      block_(block_streams) {
+  if (num_inputs == 0) {
+    throw std::invalid_argument("ShardPlanner: need at least one input");
+  }
+  if (stream_limit == 0) {
+    throw std::invalid_argument("ShardPlanner: stream_limit must be >= 1");
+  }
+  if (block_streams == 0) {
+    throw std::invalid_argument("ShardPlanner: block_streams must be >= 1");
+  }
+  if (mode == Mode::kSweep && stream_limit > num_inputs) {
+    throw std::invalid_argument(
+        "ShardPlanner: a sweep visits each input at most once");
+  }
+}
+
+StreamSlice ShardPlanner::slice(std::size_t block,
+                                std::size_t bound) const noexcept {
+  const std::size_t cap = std::min(limit_, bound);
+  const std::size_t first = block * block_;
+  if (first >= cap) return StreamSlice{first, 0};
+  return StreamSlice{first, std::min(block_, cap - first)};
+}
+
+ShardPlanner plan_campaign(const CampaignConfig& config,
+                           std::size_t num_inputs) {
+  if (config.target_adversarials == 0) {
+    std::size_t count = num_inputs;
+    if (config.max_images != 0) count = std::min(count, config.max_images);
+    return ShardPlanner(ShardPlanner::Mode::kSweep, num_inputs, config.seed,
+                        count, std::max<std::size_t>(1, config.shard_block));
+  }
+  // Give-up valve: the stream space is bounded so that a model/strategy
+  // pair that never yields adversarials cannot loop forever. max_streams
+  // caps the streams executed exactly; the legacy formula (pre-knob) ran
+  // one stream past `target*1000 + inputs*100`.
+  const std::size_t limit =
+      config.max_streams != 0
+          ? config.max_streams
+          : config.target_adversarials * 1000 + num_inputs * 100 + 1;
+  // Small slices bound speculative overshoot past the cut (a worker finishes
+  // at most one partial slice after the ledger decides) while still
+  // amortizing the scheduler handshake over several fuzz_one calls.
+  const std::size_t block =
+      config.shard_block != 0 ? config.shard_block : std::size_t{4};
+  return ShardPlanner(ShardPlanner::Mode::kTargetCount, num_inputs,
+                      config.seed, limit, block);
+}
+
+}  // namespace hdtest::fuzz::shard

@@ -1,0 +1,98 @@
+#pragma once
+/// \file plan.hpp
+/// Deterministic shard planning for fuzzing campaigns.
+///
+/// A campaign is a walk over an ordered *mutation-stream* space: stream s
+/// fuzzes input `s % num_inputs` with the RNG derived from the campaign
+/// master seed and s (util::Rng::stream_seed). The ShardPlanner fixes, up
+/// front and independent of the worker count:
+///
+///   - the stream -> (input, seed) mapping (identical to what the old
+///     sequential target-count loop drew from `master.child(stream)`);
+///   - the partition of the stream space into fixed-size slices — the units
+///     workers steal from the shared pool.
+///
+/// Because both are pure functions of (config, num_inputs), any interleaving
+/// of slice execution produces the same per-stream outcomes; ordering and
+/// the stopping rule are re-imposed by the ProgressLedger (ledger.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "fuzz/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::shard {
+
+/// A contiguous range of streams — the work-stealing unit.
+struct StreamSlice {
+  std::size_t first = 0;
+  std::size_t count = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] std::size_t end() const noexcept { return first + count; }
+};
+
+/// Fixed partition of a campaign's stream space (see file comment).
+class ShardPlanner {
+ public:
+  enum class Mode {
+    kSweep,        ///< fuzz each input once: stream == input index, no wrap
+    kTargetCount,  ///< wrap around the input set until the target is reached
+  };
+
+  /// \param stream_limit  exclusive upper bound of the stream space (the
+  ///        sweep size, or the target mode's give-up valve).
+  /// \param block_streams streams per slice (>= 1).
+  /// \throws std::invalid_argument on zero inputs/limit/block.
+  ShardPlanner(Mode mode, std::size_t num_inputs, std::uint64_t master_seed,
+               std::size_t stream_limit, std::size_t block_streams);
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return num_inputs_; }
+  [[nodiscard]] std::uint64_t master_seed() const noexcept { return seed_; }
+  [[nodiscard]] std::size_t stream_limit() const noexcept { return limit_; }
+  [[nodiscard]] std::size_t block_streams() const noexcept { return block_; }
+
+  /// Number of slices covering [0, stream_limit).
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return (limit_ + block_ - 1) / block_;
+  }
+
+  /// The input index stream \p s fuzzes.
+  [[nodiscard]] std::size_t input_of(std::size_t stream) const noexcept {
+    return stream % num_inputs_;
+  }
+
+  /// The RNG seed of stream \p s — bit-identical to what the sequential
+  /// driver drew via `util::Rng(master).child(s)`.
+  [[nodiscard]] std::uint64_t stream_seed(std::size_t stream) const noexcept {
+    return util::Rng::stream_seed(seed_, stream);
+  }
+
+  /// Slice of block \p b, clipped to [0, min(stream_limit, bound)) — pass
+  /// the StopToken's current bound so workers never start streams past a
+  /// decided cut. Clipping only ever trims the tail: slices are consumed in
+  /// stream order within a block, so every stream below the final cut is
+  /// still executed exactly once.
+  [[nodiscard]] StreamSlice slice(
+      std::size_t block,
+      std::size_t bound = std::numeric_limits<std::size_t>::max()) const noexcept;
+
+ private:
+  Mode mode_;
+  std::size_t num_inputs_;
+  std::uint64_t seed_;
+  std::size_t limit_;
+  std::size_t block_;
+};
+
+/// Builds the planner for a validated campaign config: sweep mode covers
+/// min(num_inputs, max_images) streams in slices of max(1, shard_block);
+/// target mode covers up to the give-up valve (CampaignConfig::max_streams,
+/// or the legacy formula when 0) in slices of shard_block (auto: 4).
+[[nodiscard]] ShardPlanner plan_campaign(const CampaignConfig& config,
+                                         std::size_t num_inputs);
+
+}  // namespace hdtest::fuzz::shard

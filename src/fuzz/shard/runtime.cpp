@@ -1,0 +1,224 @@
+#include "fuzz/shard/runtime.hpp"
+
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "fuzz/shard/ledger.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/seed_bank.hpp"
+#include "fuzz/shard/stop_token.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace hdtest::fuzz::shard {
+
+void CampaignGrid::add(const std::string& strategy_spec,
+                       const data::Dataset& inputs, CampaignConfig config) {
+  strategies_.push_back(make_strategy(strategy_spec));
+  config.fuzz.budget = default_budget_for_strategy(strategies_.back()->name());
+  fuzzers_.push_back(
+      std::make_unique<Fuzzer>(*model_, *strategies_.back(), config.fuzz));
+  CampaignJob job;
+  job.fuzzer = fuzzers_.back().get();
+  job.inputs = &inputs;
+  job.config = std::move(config);
+  jobs_.push_back(std::move(job));
+}
+
+/// Everything one job needs while in flight.
+struct CampaignRuntime::JobState {
+  JobState(const CampaignJob& job_in, std::size_t num_inputs)
+      : job(&job_in),
+        planner(plan_campaign(job_in.config, num_inputs)),
+        stop(planner.stream_limit()),
+        ledger(job_in.config.target_adversarials, planner.stream_limit(),
+               &stop),
+        bank(planner.mode() == ShardPlanner::Mode::kTargetCount
+                 ? std::make_unique<SeedBank>(*job_in.fuzzer, *job_in.inputs)
+                 : nullptr) {}
+
+  const CampaignJob* job;
+  ShardPlanner planner;
+  StopToken stop;
+  ProgressLedger ledger;
+  /// Sweeps visit each input exactly once, so caching contexts would only
+  /// pin memory; wrap-around mode shares one build per input across shards.
+  std::unique_ptr<SeedBank> bank;
+
+  util::Stopwatch watch;
+  double seconds = 0.0;  ///< set once at the finish transition
+
+  // Scheduler-owned (guarded by Scheduler::mutex).
+  std::size_t next_block = 0;
+  bool drained = false;   ///< no more slices to hand out
+  bool finished = false;  ///< ledger decided; seconds stamped
+};
+
+/// Hands out (job, block) units; sleeps workers when every remaining slice
+/// is already owned by someone.
+struct CampaignRuntime::Scheduler {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t cursor = 0;  ///< round-robin start for fairness across jobs
+  bool aborted = false;    ///< a worker threw; drain everyone promptly
+
+  struct Unit {
+    JobState* job;
+    std::size_t block;
+  };
+
+  std::optional<Unit> next(std::vector<std::unique_ptr<JobState>>& jobs) {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      if (aborted) return std::nullopt;
+      bool all_finished = true;
+      for (std::size_t k = 0; k < jobs.size(); ++k) {
+        auto& st = *jobs[(cursor + k) % jobs.size()];
+        if (st.finished) continue;
+        all_finished = false;
+        if (st.drained) continue;
+        // The stop bound only ever shrinks, so once the next slice is empty
+        // every later one is too.
+        if (st.planner.slice(st.next_block, st.stop.bound()).empty()) {
+          st.drained = true;
+          continue;
+        }
+        const std::size_t block = st.next_block++;
+        cursor = (cursor + k + 1) % jobs.size();
+        return Unit{&st, block};
+      }
+      if (all_finished) return std::nullopt;
+      // Unfinished jobs exist but all their slices are handed out: wait for
+      // a commit to finish a job (slices never re-appear, so finish
+      // transitions are the only wake-relevant events).
+      cv.wait(lock);
+    }
+  }
+
+  /// Called after each commit; stamps the job's wall time exactly once.
+  void note_commit(JobState& job) {
+    bool finish_transition = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!job.finished && job.ledger.finished()) {
+        job.finished = true;
+        job.seconds = job.watch.seconds();
+        finish_transition = true;
+      }
+    }
+    if (finish_transition) cv.notify_all();
+  }
+};
+
+CampaignRuntime::CampaignRuntime(std::size_t workers)
+    : workers_(workers == 0
+                   ? std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency())
+                   : workers) {
+  if (workers_ > 1) pool_ = std::make_unique<util::ThreadPool>(workers_);
+}
+
+CampaignRuntime::~CampaignRuntime() = default;
+
+CampaignResult CampaignRuntime::run(const Fuzzer& fuzzer,
+                                    const data::Dataset& inputs,
+                                    const CampaignConfig& config) {
+  CampaignJob job;
+  job.fuzzer = &fuzzer;
+  job.inputs = &inputs;
+  job.config = config;
+  auto results = run_grid({&job, 1});
+  return std::move(results.front());
+}
+
+void CampaignRuntime::execute_slice(JobState& job, std::size_t block) {
+  const auto slice = job.planner.slice(block, job.stop.bound());
+  const Fuzzer& fuzzer = *job.job->fuzzer;
+  const data::Dataset& inputs = *job.job->inputs;
+
+  std::vector<CampaignRecord> records;
+  records.reserve(slice.count);
+  for (std::size_t s = slice.first; s < slice.end(); ++s) {
+    // A rejected stream is at or past the decided cut; everything after it
+    // in this slice is too (the bound is monotone), so stop committing.
+    if (!job.stop.admits(s)) break;
+    const std::size_t i = job.planner.input_of(s);
+    util::Rng rng(job.planner.stream_seed(s));
+    CampaignRecord record;
+    record.image_index = i;
+    record.true_label = inputs.labels.empty() ? -1 : inputs.labels[i];
+    const SeedContext* seed =
+        job.bank != nullptr ? job.bank->acquire(i) : nullptr;
+    record.outcome = seed != nullptr
+                         ? fuzzer.fuzz_one(inputs.images[i], rng, *seed)
+                         : fuzzer.fuzz_one(inputs.images[i], rng);
+    records.push_back(std::move(record));
+  }
+  job.ledger.commit(slice.first, std::move(records));
+  scheduler_->note_commit(job);
+}
+
+void CampaignRuntime::worker_loop(
+    std::vector<std::unique_ptr<JobState>>& jobs) {
+  for (;;) {
+    const auto unit = scheduler_->next(jobs);
+    if (!unit.has_value()) return;
+    try {
+      execute_slice(*unit->job, unit->block);
+    } catch (...) {
+      // Wake sleeping workers so the pool drains; run_workers rethrows.
+      {
+        const std::lock_guard<std::mutex> lock(scheduler_->mutex);
+        scheduler_->aborted = true;
+      }
+      scheduler_->cv.notify_all();
+      throw;
+    }
+  }
+}
+
+std::vector<CampaignResult> CampaignRuntime::run_grid(
+    std::span<const CampaignJob> jobs) {
+  for (const auto& job : jobs) {
+    if (job.fuzzer == nullptr || job.inputs == nullptr) {
+      throw std::invalid_argument(
+          "CampaignRuntime: job needs a fuzzer and inputs");
+    }
+    if (job.inputs->empty()) {
+      throw std::invalid_argument("CampaignRuntime: empty input set");
+    }
+    job.config.validate();
+  }
+
+  std::vector<std::unique_ptr<JobState>> states;
+  states.reserve(jobs.size());
+  scheduler_ = std::make_unique<Scheduler>();
+  for (const auto& job : jobs) {
+    states.push_back(std::make_unique<JobState>(job, job.inputs->size()));
+  }
+
+  if (pool_ == nullptr) {
+    worker_loop(states);
+  } else {
+    pool_->run_workers(workers_, [&](std::size_t) { worker_loop(states); });
+  }
+
+  std::vector<CampaignResult> results;
+  results.reserve(states.size());
+  for (auto& st : states) {
+    CampaignResult result;
+    result.strategy_name = st->job->fuzzer->strategy().name();
+    result.records = st->ledger.take_records();
+    result.gave_up = st->ledger.gave_up();
+    result.total_seconds = st->seconds;
+    results.push_back(std::move(result));
+  }
+  scheduler_.reset();
+  return results;
+}
+
+}  // namespace hdtest::fuzz::shard

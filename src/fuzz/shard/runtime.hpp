@@ -1,0 +1,121 @@
+#pragma once
+/// \file runtime.hpp
+/// CampaignRuntime: deterministic work-stealing execution of fuzzing
+/// campaigns at core count.
+///
+/// One runtime owns one worker pool and drives any number of campaign jobs
+/// (strategy x dataset grid cells) through it. Per job it instantiates the
+/// shard machinery — ShardPlanner (fixed stream slices + per-stream seeds),
+/// StopToken (early-stop bound), ProgressLedger (canonical-order merge +
+/// stopping-rule replay), SeedBank (shared seed-context cache) — and lets
+/// every worker steal the next pending slice from whichever job has one.
+///
+/// Determinism contract: `run` returns records bit-identical (everything
+/// except wall-clock fields) to a workers=1 execution, for both campaign
+/// modes. The proof obligation is split: the planner makes each stream's
+/// outcome a pure function of (config, inputs, stream index); the ledger
+/// re-imposes stream order and replays the sequential stopping rule, so the
+/// cut — and therefore the record vector — cannot depend on execution
+/// interleaving. Workers only race on who computes a stream, never on what
+/// it computes.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hdtest::fuzz::shard {
+
+/// One grid cell: a fuzzer (model + strategy) over a dataset.
+/// The pointed-to fuzzer and dataset must outlive the runtime call.
+struct CampaignJob {
+  const Fuzzer* fuzzer = nullptr;
+  const data::Dataset* inputs = nullptr;
+  /// Per-job campaign knobs. `workers` is ignored — the runtime's pool is
+  /// shared across all jobs of a grid.
+  CampaignConfig config;
+};
+
+/// Owning builder for strategy grids: constructs each cell's mutation
+/// strategy (fuzz::make_strategy spec) and fuzzer, keeps both alive for the
+/// run, and hands the job list to CampaignRuntime::run_grid — so drivers
+/// never juggle three index-aligned vectors of raw pointers themselves.
+class CampaignGrid {
+ public:
+  /// \param model trained classifier shared by every cell (must outlive
+  ///        the grid and any run over it).
+  explicit CampaignGrid(const hdc::HdcClassifier& model) : model_(&model) {}
+
+  CampaignGrid(const CampaignGrid&) = delete;
+  CampaignGrid& operator=(const CampaignGrid&) = delete;
+
+  /// Adds one cell fuzzing \p inputs with \p strategy_spec (any
+  /// fuzz::make_strategy spec, composites included). The strategy's default
+  /// perturbation budget is applied to config.fuzz — the convention every
+  /// grid driver uses; build CampaignJobs directly for a custom budget.
+  /// \throws std::invalid_argument on an unknown strategy spec.
+  void add(const std::string& strategy_spec, const data::Dataset& inputs,
+           CampaignConfig config);
+
+  [[nodiscard]] std::span<const CampaignJob> jobs() const noexcept {
+    return jobs_;
+  }
+
+ private:
+  const hdc::HdcClassifier* model_;
+  std::vector<std::unique_ptr<MutationStrategy>> strategies_;
+  std::vector<std::unique_ptr<Fuzzer>> fuzzers_;
+  std::vector<CampaignJob> jobs_;
+};
+
+/// Work-stealing campaign executor (see file comment).
+class CampaignRuntime {
+ public:
+  /// \param workers pool size; 0 = std::thread::hardware_concurrency().
+  ///        With workers == 1 everything runs inline on the calling thread.
+  explicit CampaignRuntime(std::size_t workers = 0);
+  ~CampaignRuntime();
+
+  CampaignRuntime(const CampaignRuntime&) = delete;
+  CampaignRuntime& operator=(const CampaignRuntime&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Runs one campaign through the pool. Identical to
+  /// run_campaign(fuzzer, inputs, config) with config.workers = workers().
+  [[nodiscard]] CampaignResult run(const Fuzzer& fuzzer,
+                                   const data::Dataset& inputs,
+                                   const CampaignConfig& config);
+
+  /// Runs a whole grid through one pool: all jobs' slices feed the same
+  /// workers, so a job that stops early (target reached) hands its cores to
+  /// the jobs still running instead of idling — the nested sequential
+  /// strategy/dataset loops of the bench drivers collapse into one call.
+  /// Results are returned in job order, each bit-identical to running that
+  /// job alone (jobs share nothing but the pool). Note: per-job
+  /// total_seconds overlap when jobs run concurrently.
+  /// \throws std::invalid_argument on a null fuzzer/inputs or empty dataset.
+  [[nodiscard]] std::vector<CampaignResult> run_grid(
+      std::span<const CampaignJob> jobs);
+
+ private:
+  struct JobState;
+
+  void worker_loop(std::vector<std::unique_ptr<JobState>>& jobs);
+  void execute_slice(JobState& job, std::size_t block);
+
+  std::size_t workers_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when workers_ == 1
+
+  // Grid scheduler state (valid during run_grid).
+  struct Scheduler;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace hdtest::fuzz::shard

@@ -1,0 +1,23 @@
+#include "fuzz/shard/seed_bank.hpp"
+
+namespace hdtest::fuzz::shard {
+
+const SeedContext* SeedBank::acquire(std::size_t input_index) {
+  if (input_index >= slots_.size()) return nullptr;
+  auto& slot = slots_[input_index];
+  int state = slot.state.load(std::memory_order_acquire);
+  if (state == kReady) return &slot.context;
+  if (state == kEmpty &&
+      slot.state.compare_exchange_strong(state, kBuilding,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    slot.context = fuzzer_->prepare_seed(inputs_->images[input_index]);
+    slot.state.store(kReady, std::memory_order_release);
+    return &slot.context;
+  }
+  // Lost the claim (or saw kBuilding): the winner is still encoding. Don't
+  // wait — the caller encodes inline with identical results.
+  return state == kReady ? &slot.context : nullptr;
+}
+
+}  // namespace hdtest::fuzz::shard

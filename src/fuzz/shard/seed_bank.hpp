@@ -1,0 +1,65 @@
+#pragma once
+/// \file seed_bank.hpp
+/// Shared, lock-free-ish cache of prepared seed contexts for wrap-around
+/// (target-count) campaigns.
+///
+/// Target-count campaigns revisit inputs across wrap-arounds, and each visit
+/// needs the input's SeedContext (one full O(W*H*D) encode). The bank builds
+/// each context at most once, on first demand, and shares it across shards:
+/// a slot is claimed with a compare-exchange, built outside any lock, and
+/// published with a release store. A shard that finds a slot mid-build does
+/// NOT wait — it falls back to the inline full encode (`fuzz_one` without a
+/// context), which produces bit-identical outcomes by contract, so the race
+/// costs one redundant encode and never a lock or a divergent record.
+///
+/// Retention is capped (kDefaultRetention contexts, ~4*D bytes each) so a
+/// huge input set cannot pin O(N * D) memory; inputs past the cap always
+/// encode inline, exactly like the old sequential driver's retention cap.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace hdtest::fuzz::shard {
+
+/// Build-once / read-many SeedContext cache (see file comment).
+class SeedBank {
+ public:
+  /// Default retention cap: 1024 contexts at D=8192 is ~34 MB.
+  static constexpr std::size_t kDefaultRetention = 1024;
+
+  SeedBank(const Fuzzer& fuzzer, const data::Dataset& inputs,
+           std::size_t max_retained = kDefaultRetention)
+      : fuzzer_(&fuzzer),
+        inputs_(&inputs),
+        slots_(std::min(inputs.size(), max_retained)) {}
+
+  SeedBank(const SeedBank&) = delete;
+  SeedBank& operator=(const SeedBank&) = delete;
+
+  /// Number of retained slots.
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Returns the ready context for input \p input_index, building it first
+  /// when this caller wins the claim. Returns nullptr when the input is past
+  /// the retention cap or another shard is still building the slot — the
+  /// caller must then encode inline (identical results either way).
+  [[nodiscard]] const SeedContext* acquire(std::size_t input_index);
+
+ private:
+  enum State : int { kEmpty = 0, kBuilding = 1, kReady = 2 };
+
+  struct Slot {
+    std::atomic<int> state{kEmpty};
+    SeedContext context;
+  };
+
+  const Fuzzer* fuzzer_;
+  const data::Dataset* inputs_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace hdtest::fuzz::shard

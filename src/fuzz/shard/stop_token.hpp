@@ -1,0 +1,51 @@
+#pragma once
+/// \file stop_token.hpp
+/// Cross-shard early-stop signal for target-count campaigns.
+///
+/// The token holds the exclusive upper bound of the streams still worth
+/// executing. It starts at the planner's stream limit (the give-up valve)
+/// and is lowered exactly once — by the ProgressLedger, when the canonical
+/// replay of the stopping rule decides the cut. Workers poll it between
+/// streams; a stream the token rejects is provably at or past the final cut
+/// (the bound only ever shrinks, and it never shrinks below the cut), so
+/// skipping it can never starve the merge. Determinism is unaffected either
+/// way: executing a stream past the cut merely wastes work, because the
+/// ledger discards everything at or beyond the cut.
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+
+namespace hdtest::fuzz::shard {
+
+/// Monotonically shrinking stream bound (see file comment).
+class StopToken {
+ public:
+  explicit StopToken(
+      std::size_t bound = std::numeric_limits<std::size_t>::max()) noexcept
+      : bound_(bound) {}
+
+  /// True while stream \p s is still (possibly) needed.
+  [[nodiscard]] bool admits(std::size_t stream) const noexcept {
+    return stream < bound_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t bound() const noexcept {
+    return bound_.load(std::memory_order_acquire);
+  }
+
+  /// Lowers the bound to \p new_bound (no-op when already lower).
+  void cut_to(std::size_t new_bound) noexcept {
+    std::size_t current = bound_.load(std::memory_order_relaxed);
+    while (new_bound < current &&
+           !bound_.compare_exchange_weak(current, new_bound,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::size_t> bound_;
+};
+
+}  // namespace hdtest::fuzz::shard

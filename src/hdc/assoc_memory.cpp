@@ -59,6 +59,35 @@ void AssociativeMemory::load_accumulator(std::size_t cls,
   finalized_ = false;
 }
 
+void AssociativeMemory::restore_finalized(std::vector<Accumulator> accumulators,
+                                          PackedAssocMemory packed) {
+  if (accumulators.size() != accumulators_.size()) {
+    throw std::invalid_argument(
+        "AssociativeMemory::restore_finalized: class count mismatch");
+  }
+  for (const auto& acc : accumulators) {
+    if (acc.dim() != dim_) {
+      throw std::invalid_argument(
+          "AssociativeMemory::restore_finalized: accumulator dim mismatch");
+    }
+  }
+  if (packed.num_classes() != accumulators_.size() || packed.dim() != dim_ ||
+      packed.similarity_metric() != similarity_) {
+    throw std::invalid_argument(
+        "AssociativeMemory::restore_finalized: packed snapshot mismatch");
+  }
+  accumulators_ = std::move(accumulators);
+  packed_ = std::move(packed);
+  class_hvs_.clear();
+  class_hvs_.reserve(accumulators_.size());
+  for (std::size_t c = 0; c < accumulators_.size(); ++c) {
+    const auto words = packed_.class_words(c);
+    class_hvs_.push_back(
+        PackedHv::from_words(dim_, {words.begin(), words.end()}).to_dense());
+  }
+  finalized_ = true;
+}
+
 void AssociativeMemory::finalize() {
   class_hvs_.clear();
   class_hvs_.reserve(accumulators_.size());

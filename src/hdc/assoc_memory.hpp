@@ -51,6 +51,17 @@ class AssociativeMemory {
   /// \throws std::out_of_range / std::invalid_argument on bad class or dim.
   void load_accumulator(std::size_t cls, Accumulator accumulator);
 
+  /// Restores the complete finalized state from a checkpoint: accumulators
+  /// plus the packed prototype snapshot, skipping the bipolarize + dense->
+  /// packed rebuild that finalize() performs (serialize format v2). The
+  /// dense class HVs are unpacked from the snapshot — exact, because packed
+  /// rows are lossless images of the bipolar prototypes. \pre \p packed was
+  /// built from the accumulators' own bipolarization (the saver guarantees
+  /// this; a mismatch would desync the dense and packed prediction paths).
+  /// \throws std::invalid_argument on class/dim/similarity mismatch.
+  void restore_finalized(std::vector<Accumulator> accumulators,
+                         PackedAssocMemory packed);
+
   /// Bipolarizes all class accumulators into reference HVs (Eq. 1).
   /// Idempotent; callable again after further add() calls.
   void finalize();

@@ -87,6 +87,15 @@ void HdcClassifier::restore_accumulators(std::vector<Accumulator> accumulators) 
   am_.finalize();
 }
 
+void HdcClassifier::restore_trained(std::vector<Accumulator> accumulators,
+                                    PackedAssocMemory packed) {
+  if (trained()) {
+    throw std::logic_error(
+        "HdcClassifier::restore_trained: model already trained");
+  }
+  am_.restore_finalized(std::move(accumulators), std::move(packed));
+}
+
 std::size_t HdcClassifier::predict(const data::Image& image) const {
   if (!trained()) {
     throw std::logic_error("HdcClassifier::predict: model not trained");

@@ -27,6 +27,11 @@ struct EncodeCounters {
   /// the fuzzer's steady state must not re-walk a class row per mutant
   /// (one walk per fuzz_one — the parent seed's fitness — is expected).
   std::atomic<std::uint64_t> am_row_walks{0};
+  /// Dense-prototype -> packed PackedAssocMemory rebuilds (the from_dense
+  /// packing constructor). Serialize format v2 stores the packed words, so
+  /// loading a v2 model must perform zero rebuilds (asserted by the
+  /// serialize tests); finalize() after training/retraining still rebuilds.
+  std::atomic<std::uint64_t> packed_am_rebuilds{0};
 };
 
 [[nodiscard]] inline EncodeCounters& counters() noexcept {
@@ -46,6 +51,10 @@ inline void note_am_row_walk() noexcept {
   counters().am_row_walks.fetch_add(1, std::memory_order_relaxed);
 }
 
+inline void note_packed_am_rebuild() noexcept {
+  counters().packed_am_rebuilds.fetch_add(1, std::memory_order_relaxed);
+}
+
 [[nodiscard]] inline std::uint64_t dense_hv_materializations() noexcept {
   return counters().dense_hv_materializations.load(std::memory_order_relaxed);
 }
@@ -58,11 +67,16 @@ inline void note_am_row_walk() noexcept {
   return counters().am_row_walks.load(std::memory_order_relaxed);
 }
 
+[[nodiscard]] inline std::uint64_t packed_am_rebuilds() noexcept {
+  return counters().packed_am_rebuilds.load(std::memory_order_relaxed);
+}
+
 /// Zeroes all counters (tests snapshot around the region under scrutiny).
 inline void reset() noexcept {
   counters().dense_hv_materializations.store(0, std::memory_order_relaxed);
   counters().packed_from_dense.store(0, std::memory_order_relaxed);
   counters().am_row_walks.store(0, std::memory_order_relaxed);
+  counters().packed_am_rebuilds.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hdtest::hdc::instrument

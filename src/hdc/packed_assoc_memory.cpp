@@ -32,6 +32,36 @@ PackedAssocMemory::PackedAssocMemory(std::span<const Hypervector> class_hvs,
     const auto src = packed.words();
     std::copy(src.begin(), src.end(), words_.begin() + c * stride_);
   }
+  instrument::note_packed_am_rebuild();
+}
+
+PackedAssocMemory::PackedAssocMemory(std::size_t dim, std::size_t num_classes,
+                                     Similarity similarity,
+                                     std::vector<std::uint64_t> words)
+    : dim_(dim),
+      num_classes_(num_classes),
+      stride_(util::words_for_bits(dim)),
+      similarity_(similarity),
+      words_(std::move(words)) {
+  if (dim == 0) {
+    throw std::invalid_argument("PackedAssocMemory: dim must be non-zero");
+  }
+  if (num_classes == 0) {
+    throw std::invalid_argument("PackedAssocMemory: need at least one class");
+  }
+  if (words_.size() != num_classes_ * stride_) {
+    throw std::invalid_argument(
+        "PackedAssocMemory: word count does not match dim * classes");
+  }
+  // The sweep kernels rely on padding bits being zero (they popcount whole
+  // words), so reject rows whose tail carries stray bits.
+  const std::uint64_t tail = util::tail_mask(dim_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    if ((words_[c * stride_ + stride_ - 1] & ~tail) != 0) {
+      throw std::invalid_argument(
+          "PackedAssocMemory: non-zero padding bits past dim");
+    }
+  }
 }
 
 void PackedAssocMemory::check_query(std::size_t query_dim) const {

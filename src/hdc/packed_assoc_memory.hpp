@@ -50,6 +50,17 @@ class PackedAssocMemory {
   PackedAssocMemory(std::span<const Hypervector> class_hvs,
                     Similarity similarity);
 
+  /// Rehydrates from already-packed prototype words (serialize.cpp's v2
+  /// fast path: a stored model restores its packed snapshot verbatim, no
+  /// dense bipolarize/re-pack). \p words holds num_classes rows of
+  /// words_for_bits(dim) words each, row-major — exactly what a loop over
+  /// class_words() of the saved instance concatenates.
+  /// \throws std::invalid_argument on zero dim/classes, a word count other
+  /// than num_classes * words_for_bits(dim), or non-zero padding bits past
+  /// dim in any row's last word.
+  PackedAssocMemory(std::size_t dim, std::size_t num_classes,
+                    Similarity similarity, std::vector<std::uint64_t> words);
+
   [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] bool empty() const noexcept { return num_classes_ == 0; }

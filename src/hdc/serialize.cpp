@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/bitops.hpp"
+
 namespace hdtest::hdc {
 
 namespace {
@@ -41,9 +43,14 @@ T get(std::istream& in, const char* what) {
 
 }  // namespace
 
-void save_model(const HdcClassifier& model, std::ostream& out) {
+void save_model(const HdcClassifier& model, std::ostream& out,
+                std::uint32_t version) {
   if (!model.trained()) {
     throw std::logic_error("save_model: model is not trained");
+  }
+  if (version < kOldestReadableModelVersion || version > kModelFormatVersion) {
+    throw std::invalid_argument("save_model: cannot write format version " +
+                                std::to_string(version));
   }
   // Serialize the payload into a buffer first so the checksum can follow it.
   std::ostringstream payload;
@@ -61,19 +68,34 @@ void save_model(const HdcClassifier& model, std::ostream& out) {
     payload.write(reinterpret_cast<const char*>(lanes.data()),
                   static_cast<std::streamsize>(lanes.size() * sizeof(std::int32_t)));
   }
+  if (version >= 2) {
+    // v2 packed artifact section: slice parameters + the finalized packed
+    // prototype rows, verbatim, so loading restores the packed snapshot
+    // without a dense->packed rebuild.
+    const auto& packed = model.am().packed();
+    const std::size_t stride = util::words_for_bits(packed.dim());
+    put(payload, static_cast<std::uint64_t>(stride));
+    for (std::size_t c = 0; c < packed.num_classes(); ++c) {
+      const auto words = packed.class_words(c);
+      payload.write(reinterpret_cast<const char*>(words.data()),
+                    static_cast<std::streamsize>(words.size() *
+                                                 sizeof(std::uint64_t)));
+    }
+  }
   const std::string bytes = payload.str();
 
   out.write(kMagic, sizeof kMagic);
-  put(out, kModelFormatVersion);
+  put(out, version);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   put(out, fnv1a(bytes));
   if (!out) throw std::runtime_error("save_model: write failed");
 }
 
-void save_model(const HdcClassifier& model, const std::string& path) {
+void save_model(const HdcClassifier& model, const std::string& path,
+                std::uint32_t version) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_model: cannot open " + path);
-  save_model(model, out);
+  save_model(model, out, version);
 }
 
 HdcClassifier load_model(std::istream& in) {
@@ -83,7 +105,8 @@ HdcClassifier load_model(std::istream& in) {
     throw std::runtime_error("load_model: bad magic (not an HDTest model)");
   }
   const auto version = get<std::uint32_t>(in, "version");
-  if (version != kModelFormatVersion) {
+  if (version < kOldestReadableModelVersion ||
+      version > kModelFormatVersion) {
     throw std::runtime_error("load_model: unsupported format version " +
                              std::to_string(version));
   }
@@ -139,7 +162,36 @@ HdcClassifier load_model(std::istream& in) {
     }
     accumulators.push_back(Accumulator::from_lanes(std::move(lanes)));
   }
-  model.restore_accumulators(std::move(accumulators));
+  if (version == 1) {
+    // Legacy file: only the accumulators were stored — rebuild the class
+    // HVs and the packed snapshot via finalize().
+    model.restore_accumulators(std::move(accumulators));
+    return model;
+  }
+
+  // v2: restore the finalized packed snapshot verbatim (no rebuild).
+  const auto stride =
+      static_cast<std::size_t>(get<std::uint64_t>(payload, "packed stride"));
+  if (stride != util::words_for_bits(config.dim)) {
+    throw std::runtime_error("load_model: packed stride does not match dim");
+  }
+  std::vector<std::uint64_t> words(classes * stride);
+  payload.read(reinterpret_cast<char*>(words.data()),
+               static_cast<std::streamsize>(words.size() *
+                                            sizeof(std::uint64_t)));
+  if (!payload) {
+    throw std::runtime_error("load_model: truncated packed prototypes");
+  }
+  try {
+    model.restore_trained(
+        std::move(accumulators),
+        PackedAssocMemory(config.dim, classes, config.similarity,
+                          std::move(words)));
+  } catch (const std::invalid_argument& error) {
+    // Shape/padding problems in a checksum-valid file are malformed input,
+    // not programmer error — surface them as such.
+    throw std::runtime_error(std::string("load_model: ") + error.what());
+  }
   return model;
 }
 

@@ -10,10 +10,19 @@
 ///
 /// Format (little-endian, versioned):
 ///   magic "HDTM" | u32 version | ModelConfig fields | shape | num_classes |
-///   per-class accumulator lanes (i32) | u64 FNV-1a checksum of the payload.
+///   per-class accumulator lanes (i32) | [v2: packed artifact section] |
+///   u64 FNV-1a checksum of the payload.
 ///
-/// Loading validates magic, version, config, and checksum; any mismatch
-/// throws std::runtime_error with a precise reason.
+/// Version 2 appends the packed associative-memory artifacts — the slice
+/// parameters (words-per-row stride) and every class prototype's sign-bit
+/// words — so load_model can restore the finalized packed snapshot verbatim
+/// instead of re-running the dense bipolarize + dense->packed rebuild at
+/// startup (a serving process pays zero finalize work after load). Version 1
+/// files remain readable; they take the rebuild path.
+///
+/// Loading validates magic, version, config, checksum, and (v2) the packed
+/// section's shape; any mismatch throws std::runtime_error with a precise
+/// reason.
 
 #include <cstdint>
 #include <iosfwd>
@@ -24,15 +33,24 @@
 namespace hdtest::hdc {
 
 /// Current serialization format version.
-inline constexpr std::uint32_t kModelFormatVersion = 1;
+inline constexpr std::uint32_t kModelFormatVersion = 2;
 
-/// Writes a trained model to a stream.
+/// Oldest version load_model still reads.
+inline constexpr std::uint32_t kOldestReadableModelVersion = 1;
+
+/// Writes a trained model to a stream. \p version selects the format
+/// (default: current; 1 writes a legacy accumulator-only file — kept so
+/// fleets mid-upgrade can still exchange models, and so tests can cover the
+/// compatibility path).
 /// \throws std::logic_error if the model is untrained;
+///         std::invalid_argument for an unwritable version;
 ///         std::runtime_error on I/O failure.
-void save_model(const HdcClassifier& model, std::ostream& out);
+void save_model(const HdcClassifier& model, std::ostream& out,
+                std::uint32_t version = kModelFormatVersion);
 
 /// Writes a trained model to a file.
-void save_model(const HdcClassifier& model, const std::string& path);
+void save_model(const HdcClassifier& model, const std::string& path,
+                std::uint32_t version = kModelFormatVersion);
 
 /// Reads a model from a stream. The returned model is finalized and ready
 /// for prediction and further retraining.

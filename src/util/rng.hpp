@@ -112,6 +112,16 @@ class Rng {
     return Rng(derive_seed(seed_, index));
   }
 
+  /// Seed of the \p index-th child of \p master, without holding a
+  /// generator: `Rng(Rng::stream_seed(m, i))` is bit-identical to
+  /// `Rng(m).child(i)`. Shard planners fix whole campaigns' per-stream
+  /// seeds up front through this, so the streams a worker draws can never
+  /// depend on which worker draws them.
+  [[nodiscard]] static constexpr std::uint64_t stream_seed(
+      std::uint64_t master, std::uint64_t index) noexcept {
+    return derive_seed(master, index);
+  }
+
   /// Raw 64 random bits.
   std::uint64_t next_u64() noexcept { return engine_(); }
 

@@ -85,6 +85,22 @@ void ThreadPool::parallel_for(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::run_workers(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  const std::size_t slots = std::min(count, size());
+  if (slots == 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    futures.push_back(submit([&body, s] { body(s); }));
+  }
+  // Wait for everyone first so a throwing body never leaves peers running
+  // against state the caller is about to unwind; then surface the first
+  // exception (futures rethrow from get()).
+  for (auto& future : futures) future.wait();
+  for (auto& future : futures) future.get();
+}
+
 void parallel_for(std::size_t count, std::size_t workers,
                   const std::function<void(std::size_t)>& body) {
   if (workers <= 1) {

@@ -41,6 +41,14 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
+  /// Runs body(slot) concurrently on min(count, size()) pool threads and
+  /// blocks until every invocation returns. Unlike parallel_for this hands
+  /// each thread ONE long-lived call — the shape a work-stealing scheduler
+  /// needs (each body is itself a steal loop). The first exception thrown
+  /// by any body is rethrown after all complete.
+  void run_workers(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
  private:
   void worker_loop();
 

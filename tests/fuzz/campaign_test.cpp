@@ -87,6 +87,21 @@ TEST(CampaignConfig, Validation) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
+TEST(CampaignConfig, MaxStreamsValidation) {
+  CampaignConfig config;
+  config.target_adversarials = 10;
+  config.max_streams = 10;  // exactly the target is the legal minimum
+  EXPECT_NO_THROW(config.validate());
+  config.max_streams = 9;  // can only ever give up
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.max_streams = 0;  // legacy formula
+  EXPECT_NO_THROW(config.validate());
+  // The knob is target-mode only; sweep mode ignores it.
+  config = CampaignConfig{};
+  config.max_streams = 3;
+  EXPECT_NO_THROW(config.validate());
+}
+
 /// Integration fixture with a small trained model.
 class CampaignRunTest : public ::testing::Test {
  protected:
@@ -184,6 +199,45 @@ TEST_F(CampaignRunTest, TargetModeGivesUpOnImpossibleTarget) {
   // The give-up is recorded on the result, not just log_warn'ed, so callers
   // can detect a short/empty pool instead of silently consuming it.
   EXPECT_TRUE(result.gave_up);
+}
+
+TEST_F(CampaignRunTest, MaxStreamsKnobForcesGaveUpAtExactBudget) {
+  const GaussNoiseMutation strategy;
+  FuzzConfig fuzz;
+  fuzz.iter_times = 1;
+  fuzz.budget.max_l2 = 1e-12;  // nothing can succeed
+  const Fuzzer fuzzer(model(), strategy, fuzz);
+  CampaignConfig config;
+  config.fuzz = fuzz;
+  config.target_adversarials = 3;
+  config.max_streams = 7;  // far below the legacy formula's 3*1000 + ...
+  const auto result = run_campaign(fuzzer, inputs().take(3), config);
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_EQ(result.successes(), 0u);
+  // The knob is exact: precisely max_streams inputs were fuzzed (wrapping
+  // the 3-image set), not the legacy formula's thousands.
+  EXPECT_EQ(result.images_fuzzed(), 7u);
+  for (std::size_t s = 0; s < result.records.size(); ++s) {
+    EXPECT_EQ(result.records[s].image_index, s % 3);
+  }
+}
+
+TEST_F(CampaignRunTest, MaxStreamsLeavesSuccessfulCampaignsUntouched) {
+  const GaussNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  CampaignConfig config;
+  config.target_adversarials = 5;
+  const auto unlimited = run_campaign(fuzzer, inputs(), config);
+  ASSERT_FALSE(unlimited.gave_up);
+  // A cap above the natural stopping point changes nothing.
+  config.max_streams = unlimited.images_fuzzed() + 50;
+  const auto capped = run_campaign(fuzzer, inputs(), config);
+  EXPECT_FALSE(capped.gave_up);
+  ASSERT_EQ(capped.records.size(), unlimited.records.size());
+  for (std::size_t i = 0; i < capped.records.size(); ++i) {
+    EXPECT_EQ(capped.records[i].outcome.success,
+              unlimited.records[i].outcome.success);
+  }
 }
 
 TEST_F(CampaignRunTest, SweepModeNeverGivesUp) {

@@ -122,6 +122,27 @@ TEST_F(ScheduleTest, DeterministicInSeed) {
   }
 }
 
+TEST_F(ScheduleTest, ParallelWarmupIsBitIdenticalToSequential) {
+  const RandNoiseMutation strategy;
+  ScheduleConfig config;
+  config.total_encodes = 1500;
+  config.workers = 1;
+  const auto a = run_scheduled_campaign(model(), strategy, inputs().take(8), config);
+  config.workers = 4;
+  const auto b = run_scheduled_campaign(model(), strategy, inputs().take(8), config);
+  EXPECT_EQ(a.solved(), b.solved());
+  EXPECT_EQ(a.total_encodes, b.total_encodes);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(a.queue.size(), b.queue.size());
+  for (std::size_t i = 0; i < a.queue.size(); ++i) {
+    EXPECT_EQ(a.queue[i].margin, b.queue[i].margin);
+    EXPECT_EQ(a.queue[i].reference_label, b.queue[i].reference_label);
+    EXPECT_EQ(a.queue[i].best_fitness, b.queue[i].best_fitness);
+    EXPECT_EQ(a.queue[i].solved, b.queue[i].solved);
+    EXPECT_EQ(a.queue[i].encodes_spent, b.queue[i].encodes_spent);
+  }
+}
+
 TEST_F(ScheduleTest, PriorityFavorsThinMarginsAndDecaysWithRounds) {
   QueueEntry thin;
   thin.margin = 0.001;

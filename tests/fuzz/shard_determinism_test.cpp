@@ -1,0 +1,238 @@
+// The sharded campaign runtime's headline contract: run_campaign records
+// (indices, outcomes, gave_up) are bit-identical for ANY worker count, in
+// both campaign modes, including wrap-around and give-up paths — and a
+// run_grid over many jobs reproduces each job's solo records exactly.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/shard/runtime.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdtest::fuzz {
+namespace {
+
+/// Everything except the wall-clock fields must match bit-for-bit. The
+/// field-by-field EXPECTs give readable diagnostics; the final catch-all is
+/// the library's own predicate (shared with the bench gates).
+void expect_identical_records(const CampaignResult& a,
+                              const CampaignResult& b) {
+  EXPECT_TRUE(identical_records(a, b));
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    EXPECT_EQ(ra.image_index, rb.image_index) << "record " << i;
+    EXPECT_EQ(ra.true_label, rb.true_label) << "record " << i;
+    EXPECT_EQ(ra.outcome.success, rb.outcome.success) << "record " << i;
+    EXPECT_EQ(ra.outcome.reference_label, rb.outcome.reference_label);
+    EXPECT_EQ(ra.outcome.iterations, rb.outcome.iterations) << "record " << i;
+    EXPECT_EQ(ra.outcome.encodes, rb.outcome.encodes) << "record " << i;
+    EXPECT_EQ(ra.outcome.discarded, rb.outcome.discarded) << "record " << i;
+    if (ra.outcome.success) {
+      EXPECT_EQ(ra.outcome.adversarial, rb.outcome.adversarial)
+          << "record " << i;
+      EXPECT_EQ(ra.outcome.adversarial_label, rb.outcome.adversarial_label);
+      EXPECT_EQ(ra.outcome.perturbation.l1, rb.outcome.perturbation.l1);
+      EXPECT_EQ(ra.outcome.perturbation.l2, rb.outcome.perturbation.l2);
+      EXPECT_EQ(ra.outcome.perturbation.linf, rb.outcome.perturbation.linf);
+      EXPECT_EQ(ra.outcome.perturbation.pixels_changed,
+                rb.outcome.perturbation.pixels_changed);
+    }
+  }
+}
+
+std::vector<std::size_t> worker_counts() {
+  return {1, 2, 5,
+          std::max<std::size_t>(1, std::thread::hardware_concurrency())};
+}
+
+/// Shared small trained model (one fit for the whole suite).
+class ShardDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hdc::ModelConfig config;
+    config.dim = 1024;
+    config.seed = 9;
+    pair_ = new data::TrainTestPair(data::make_digit_train_test(20, 4, 123));
+    model_ = new hdc::HdcClassifier(config, 28, 28, 10);
+    model_->fit(pair_->train);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete pair_;
+    model_ = nullptr;
+    pair_ = nullptr;
+  }
+  static const hdc::HdcClassifier& model() { return *model_; }
+  static const data::Dataset& inputs() { return pair_->test; }
+
+ private:
+  static hdc::HdcClassifier* model_;
+  static data::TrainTestPair* pair_;
+};
+
+hdc::HdcClassifier* ShardDeterminismTest::model_ = nullptr;
+data::TrainTestPair* ShardDeterminismTest::pair_ = nullptr;
+
+TEST_F(ShardDeterminismTest, TargetModeIsBitIdenticalAcrossWorkerCounts) {
+  const GaussNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  CampaignConfig config;
+  config.target_adversarials = 20;
+  config.seed = 777;
+  config.workers = 1;
+  const auto reference = run_campaign(fuzzer, inputs(), config);
+  ASSERT_GE(reference.successes(), 20u);
+  ASSERT_FALSE(reference.gave_up);
+  for (const auto workers : worker_counts()) {
+    config.workers = workers;
+    expect_identical_records(reference, run_campaign(fuzzer, inputs(), config));
+  }
+}
+
+TEST_F(ShardDeterminismTest, WrapAroundPathIsBitIdentical) {
+  const GaussNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  // 5 inputs, target 12: gauss flips nearly everything, so the campaign
+  // must wrap the input set at least twice with fresh mutation streams.
+  const auto small = inputs().take(5);
+  CampaignConfig config;
+  config.target_adversarials = 12;
+  config.seed = 31;
+  config.workers = 1;
+  const auto reference = run_campaign(fuzzer, small, config);
+  ASSERT_FALSE(reference.gave_up);
+  ASSERT_GT(reference.records.size(), 10u);  // wrapped at least twice
+  // Wrap-around revisits reuse input indices with distinct streams.
+  EXPECT_EQ(reference.records[5].image_index, reference.records[0].image_index);
+  for (const auto workers : worker_counts()) {
+    config.workers = workers;
+    expect_identical_records(reference, run_campaign(fuzzer, small, config));
+  }
+}
+
+TEST_F(ShardDeterminismTest, SweepModeIsBitIdenticalAcrossWorkerCounts) {
+  const RandNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  CampaignConfig config;
+  config.max_images = 14;
+  config.seed = 55;
+  config.workers = 1;
+  const auto reference = run_campaign(fuzzer, inputs(), config);
+  ASSERT_EQ(reference.records.size(), 14u);
+  for (const auto workers : worker_counts()) {
+    config.workers = workers;
+    expect_identical_records(reference, run_campaign(fuzzer, inputs(), config));
+  }
+}
+
+TEST_F(ShardDeterminismTest, GiveUpPathIsBitIdentical) {
+  const GaussNoiseMutation strategy;
+  FuzzConfig fuzz;
+  fuzz.iter_times = 1;
+  fuzz.budget.max_l2 = 1e-12;  // nothing can succeed
+  const Fuzzer fuzzer(model(), strategy, fuzz);
+  CampaignConfig config;
+  config.fuzz = fuzz;
+  config.target_adversarials = 4;
+  config.max_streams = 11;
+  config.workers = 1;
+  const auto reference = run_campaign(fuzzer, inputs().take(3), config);
+  ASSERT_TRUE(reference.gave_up);
+  ASSERT_EQ(reference.records.size(), 11u);
+  for (const auto workers : worker_counts()) {
+    config.workers = workers;
+    expect_identical_records(reference,
+                             run_campaign(fuzzer, inputs().take(3), config));
+  }
+}
+
+TEST_F(ShardDeterminismTest, ShardBlockSizeNeverChangesResults) {
+  const GaussNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  CampaignConfig config;
+  config.target_adversarials = 10;
+  config.seed = 99;
+  config.workers = 1;
+  const auto reference = run_campaign(fuzzer, inputs(), config);
+  for (const std::size_t block : {1, 3, 16, 64}) {
+    config.shard_block = block;
+    config.workers = 3;
+    expect_identical_records(reference, run_campaign(fuzzer, inputs(), config));
+  }
+}
+
+TEST_F(ShardDeterminismTest, GridReproducesSoloRunsExactly) {
+  const GaussNoiseMutation gauss;
+  const RandNoiseMutation rand;
+  const Fuzzer gauss_fuzzer(model(), gauss, FuzzConfig{});
+  const Fuzzer rand_fuzzer(model(), rand, FuzzConfig{});
+
+  shard::CampaignJob target_job;
+  target_job.fuzzer = &gauss_fuzzer;
+  target_job.inputs = &inputs();
+  target_job.config.target_adversarials = 8;
+  target_job.config.seed = 7;
+
+  shard::CampaignJob sweep_job;
+  sweep_job.fuzzer = &rand_fuzzer;
+  sweep_job.inputs = &inputs();
+  sweep_job.config.max_images = 10;
+  sweep_job.config.seed = 7;
+
+  const shard::CampaignJob jobs[] = {target_job, sweep_job};
+  shard::CampaignRuntime runtime(/*workers=*/3);
+  const auto grid = runtime.run_grid(jobs);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].strategy_name, "gauss");
+  EXPECT_EQ(grid[1].strategy_name, "rand");
+
+  expect_identical_records(
+      grid[0], run_campaign(gauss_fuzzer, inputs(), target_job.config));
+  expect_identical_records(
+      grid[1], run_campaign(rand_fuzzer, inputs(), sweep_job.config));
+}
+
+TEST_F(ShardDeterminismTest, CampaignGridMatchesSoloRuns) {
+  CampaignConfig cell;
+  cell.max_images = 8;
+  cell.seed = 3;
+  shard::CampaignGrid grid(model());
+  grid.add("gauss", inputs(), cell);
+  grid.add("shift", inputs(), cell);  // unlimited default budget
+  shard::CampaignRuntime runtime(2);
+  const auto results = runtime.run_grid(grid.jobs());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].strategy_name, "gauss");
+  EXPECT_EQ(results[1].strategy_name, "shift");
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& job = grid.jobs()[k];
+    expect_identical_records(run_campaign(*job.fuzzer, inputs(), job.config),
+                             results[k]);
+  }
+}
+
+TEST_F(ShardDeterminismTest, RuntimeRejectsMalformedJobs) {
+  const GaussNoiseMutation strategy;
+  const Fuzzer fuzzer(model(), strategy, FuzzConfig{});
+  shard::CampaignRuntime runtime(2);
+  shard::CampaignJob job;  // null fuzzer/inputs
+  EXPECT_THROW((void)runtime.run_grid({&job, 1}), std::invalid_argument);
+  shard::CampaignGrid grid(model());
+  EXPECT_THROW(grid.add("no_such_strategy", inputs(), CampaignConfig{}),
+               std::invalid_argument);
+  job.fuzzer = &fuzzer;
+  data::Dataset empty;
+  job.inputs = &empty;
+  EXPECT_THROW((void)runtime.run_grid({&job, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz

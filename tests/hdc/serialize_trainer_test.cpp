@@ -3,12 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "data/synthetic_digits.hpp"
+#include "hdc/instrument.hpp"
 #include "hdc/serialize.hpp"
 #include "hdc/trainer.hpp"
 
@@ -132,6 +134,106 @@ TEST(Serialize, RejectsBadMagicVersionAndCorruption) {
     std::istringstream empty("");
     EXPECT_THROW((void)load_model(empty), std::runtime_error);
   }
+}
+
+TEST(Serialize, V2StoresPackedArtifactsAndSkipsRebuild) {
+  const auto model = trained_model();
+  std::stringstream buffer;
+  save_model(model, buffer);  // current version = 2
+
+  instrument::reset();
+  const auto loaded = load_model(buffer);
+  // The v2 path restores the packed snapshot verbatim: zero dense->packed
+  // PackedAssocMemory rebuilds during load (the encoder's packed codebook
+  // mirrors still regenerate from the seed; only the AM rebuild is on trial).
+  EXPECT_EQ(instrument::packed_am_rebuilds(), 0u);
+
+  // The snapshot is bit-identical to the saved model's.
+  ASSERT_EQ(loaded.num_classes(), model.num_classes());
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    const auto original = model.am().packed().class_words(c);
+    const auto restored = loaded.am().packed().class_words(c);
+    ASSERT_EQ(std::vector<std::uint64_t>(original.begin(), original.end()),
+              std::vector<std::uint64_t>(restored.begin(), restored.end()));
+    // Dense class HVs are unpacked from it exactly.
+    EXPECT_EQ(loaded.am().class_hv(c), model.am().class_hv(c));
+  }
+  for (const auto& image : digits().test.images) {
+    EXPECT_EQ(loaded.predict(image), model.predict(image));
+  }
+}
+
+TEST(Serialize, V1FilesStayReadable) {
+  const auto model = trained_model();
+  std::stringstream v1;
+  save_model(model, v1, /*version=*/1);
+
+  instrument::reset();
+  auto loaded = load_model(v1);
+  // Legacy path rebuilds the packed snapshot from the accumulators ...
+  EXPECT_GT(instrument::packed_am_rebuilds(), 0u);
+  // ... and still reproduces the model exactly, retraining included.
+  for (const auto& image : digits().test.images) {
+    EXPECT_EQ(loaded.predict(image), model.predict(image));
+  }
+  auto fresh = trained_model();
+  const auto extra = data::make_digit_dataset(3, 717);
+  EXPECT_EQ(loaded.retrain(extra), fresh.retrain(extra));
+}
+
+TEST(Serialize, V1AndV2LoadsAgreeExactly) {
+  const auto model = trained_model(21, Similarity::kHamming);
+  std::stringstream v1;
+  std::stringstream v2;
+  save_model(model, v1, /*version=*/1);
+  save_model(model, v2, /*version=*/2);
+  const auto from_v1 = load_model(v1);
+  const auto from_v2 = load_model(v2);
+  const auto& probe = digits().test.images[2];
+  EXPECT_EQ(from_v1.similarities(probe), from_v2.similarities(probe));
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    EXPECT_EQ(from_v1.am().class_hv(c), from_v2.am().class_hv(c));
+  }
+}
+
+TEST(Serialize, RejectsUnwritableAndUnreadableVersions) {
+  const auto model = trained_model();
+  std::ostringstream out;
+  EXPECT_THROW(save_model(model, out, /*version=*/0), std::invalid_argument);
+  EXPECT_THROW(save_model(model, out, kModelFormatVersion + 1),
+               std::invalid_argument);
+
+  // A future version must be refused on load even if the payload happens to
+  // parse — the version gate fires before any payload interpretation.
+  std::stringstream buffer;
+  save_model(model, buffer);
+  std::string bytes = buffer.str();
+  const std::uint32_t future = kModelFormatVersion + 1;
+  std::memcpy(bytes.data() + 4, &future, sizeof future);
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)load_model(in), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedPackedSection) {
+  const auto model = trained_model();
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const std::string bytes = buffer.str();
+  // Drop the checksum and part of the packed words, then re-checksum so
+  // only the structural truncation (not corruption) is on trial.
+  // Layout: magic(4) | version(4) | payload | checksum(8).
+  const std::string payload = bytes.substr(8, bytes.size() - 16);
+  const std::string cut_payload =
+      payload.substr(0, payload.size() - 3 * sizeof(std::uint64_t));
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const char byte : cut_payload) {
+    checksum ^= static_cast<std::uint8_t>(byte);
+    checksum *= 0x100000001b3ULL;
+  }
+  std::string doctored = bytes.substr(0, 8) + cut_payload;
+  doctored.append(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  std::istringstream in(doctored);
+  EXPECT_THROW((void)load_model(in), std::runtime_error);
 }
 
 TEST(Serialize, MissingFileThrows) {

@@ -56,6 +56,35 @@ TEST(ThreadPool, ParallelForRethrowsBodyException) {
                std::logic_error);
 }
 
+TEST(ThreadPool, RunWorkersRunsEachSlotOnceConcurrently) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> calls(4);
+  pool.run_workers(4, [&](std::size_t slot) {
+    ASSERT_LT(slot, calls.size());
+    calls[slot].fetch_add(1);
+  });
+  for (const auto& count : calls) EXPECT_EQ(count.load(), 1);
+  // More slots requested than threads: clamped to pool size.
+  std::atomic<int> total{0};
+  pool.run_workers(64, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, RunWorkersRethrowsFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.run_workers(3,
+                                [&](std::size_t slot) {
+                                  if (slot == 1) {
+                                    throw std::runtime_error("worker boom");
+                                  }
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // The non-throwing workers ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 2);
+}
+
 TEST(ParallelForHelper, SingleWorkerRunsInline) {
   std::vector<int> order;
   parallel_for(5, 1, [&](std::size_t i) {
