@@ -28,6 +28,14 @@
 /// section doubles as a bit-exactness gate; any packed/dense or
 /// cross-backend disagreement fails the binary.
 ///
+/// A model_load section measures serving cold-start: v2 stream load vs v3
+/// stream load vs v3 mmap (hdc::MappedModel, with and without the full
+/// checksum sweep). It doubles as the save -> map -> predict_batch
+/// round-trip gate: mapped predictions must be bit-exact with the in-memory
+/// model, and the instrument counters must show zero dense->packed rebuilds
+/// and zero codebook regenerations on the mapped path. Runs in --self-check
+/// too (CI's Release bench smoke).
+///
 /// A fifth section, campaign_scaling, measures the sharded campaign
 /// runtime end to end: adversarials/minute of the target-count campaign at
 /// workers 1/2/4/hw for two strategies, with a bit-exactness gate asserting
@@ -58,8 +66,10 @@
 #include "fuzz/mutation.hpp"
 #include "hdc/assoc_memory.hpp"
 #include "hdc/encoder.hpp"
+#include "hdc/instrument.hpp"
 #include "hdc/packed_assoc_memory.hpp"
 #include "hdc/packed_hv.hpp"
+#include "hdc/serialize.hpp"
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/simd/kernels.hpp"
@@ -535,6 +545,87 @@ bool bench_campaign_scaling(const hdtest::benchutil::Setup& setup,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Model cold-start: stream loads vs the mmap'd serving path, plus the
+// save -> map -> predict_batch round-trip gate.
+
+/// Measures one loader variant: \p reps timed calls of \p load.
+template <typename Load>
+double time_load_ms(std::size_t reps, Load&& load) {
+  const hdtest::util::Stopwatch watch;
+  for (std::size_t r = 0; r < reps; ++r) load();
+  return watch.seconds() * 1e3 / static_cast<double>(reps);
+}
+
+/// Benches model loading at the given dimension and gates the mapped path's
+/// bit-exactness + zero-rebuild contract. Clears *ok on any violation.
+void bench_model_load(std::size_t dim, std::size_t reps,
+                      std::vector<std::string>& json_rows, bool* ok) {
+  using namespace hdtest;
+  const auto pair = data::make_digit_train_test(50, 10, 42);
+  hdc::ModelConfig config;
+  config.dim = dim;
+  config.seed = 42;
+  hdc::HdcClassifier model(config, 28, 28, 10);
+  model.fit(pair.train);
+
+  const auto v2_path = benchutil::out_dir() + "/model_load_v2.hdtm";
+  const auto v3_path = benchutil::out_dir() + "/model_load_v3.hdtm";
+  hdc::save_model(model, v2_path, /*version=*/2);
+  hdc::save_model(model, v3_path);
+  const auto v3_bytes = std::filesystem::file_size(v3_path);
+
+  const double v2_stream_ms = time_load_ms(
+      reps, [&] { (void)hdc::load_model(v2_path); });
+  const double v3_stream_ms = time_load_ms(
+      reps, [&] { (void)hdc::load_model(v3_path); });
+  const double v3_mmap_verified_ms = time_load_ms(reps, [&] {
+    (void)hdc::MappedModel(v3_path);
+  });
+  hdc::MapOptions no_verify;
+  no_verify.verify_checksum = false;
+  const double v3_mmap_ms = time_load_ms(reps, [&] {
+    (void)hdc::MappedModel(v3_path, no_verify);
+  });
+
+  // Round-trip gate: map once more with counters armed; construction and
+  // serving must stay free of rebuilds/regenerations and agree bit-exactly.
+  hdc::instrument::reset();
+  const hdc::MappedModel mapped(v3_path);
+  const auto mapped_labels = mapped.predict_batch(pair.test.images);
+  const bool counters_clean = hdc::instrument::packed_am_rebuilds() == 0 &&
+                              hdc::instrument::packed_codebook_builds() == 0 &&
+                              hdc::instrument::item_memory_generations() == 0 &&
+                              hdc::instrument::packed_from_dense() == 0;
+  if (!counters_clean) {
+    std::printf("ERROR: mapped load performed rebuild/regeneration work\n");
+    *ok = false;
+  }
+  if (mapped_labels != model.predict_batch(pair.test.images)) {
+    std::printf("ERROR: mapped predictions diverged from the trained model\n");
+    *ok = false;
+  }
+
+  const double speedup =
+      v3_mmap_ms > 0.0 ? v2_stream_ms / v3_mmap_ms : 0.0;
+  std::printf("  dim=%5zu: v2 stream %8.2f ms, v3 stream %8.2f ms, v3 mmap "
+              "%8.3f ms verified / %8.3f ms unverified -> %.0fx vs v2 "
+              "(file %zu KiB; round-trip gate %s)\n",
+              dim, v2_stream_ms, v3_stream_ms, v3_mmap_verified_ms, v3_mmap_ms,
+              speedup, static_cast<std::size_t>(v3_bytes) / 1024,
+              counters_clean ? "clean" : "DIRTY");
+  json_rows.push_back(
+      JsonObject()
+          .add("dim", static_cast<double>(dim))
+          .add("v2_stream_ms", v2_stream_ms)
+          .add("v3_stream_ms", v3_stream_ms)
+          .add("v3_mmap_verified_ms", v3_mmap_verified_ms)
+          .add("v3_mmap_ms", v3_mmap_ms)
+          .add("mmap_speedup_vs_v2_stream", speedup)
+          .add("v3_file_bytes", static_cast<double>(v3_bytes))
+          .str());
+}
+
 /// Self-check gate: a small target-count campaign must be bit-identical at
 /// workers 1 and 4 (the shard determinism contract under -O2, every run).
 bool campaign_determinism_gate() {
@@ -830,6 +921,23 @@ int main(int argc, char** argv) {
   }
   util::simd::set_kernels_for_testing(nullptr);
   doc.add_raw("backends", benchutil::json_array(backend_docs));
+
+  // Serving cold-start + the save -> map -> predict_batch round-trip gate.
+  const auto load_reps =
+      benchutil::env_u64("HDTEST_LOAD_REPS", self_check_only ? 1 : 10);
+  std::printf("\nmodel cold-start: v2/v3 stream load vs v3 mmap "
+              "(%zu reps; gate: mapped predictions bit-exact, zero "
+              "rebuilds/regenerations)\n",
+              load_reps);
+  std::vector<std::string> model_load_rows;
+  if (self_check_only) {
+    bench_model_load(1024, load_reps, model_load_rows, &agreement);
+  } else {
+    for (const std::size_t dim : {1024, 4096, 8192}) {
+      bench_model_load(dim, load_reps, model_load_rows, &agreement);
+    }
+  }
+  doc.add_raw("model_load", benchutil::json_array(model_load_rows));
 
   // The tentpole acceptance gate: the blocked sweep on the best backend vs
   // the PR 1 steady state (per-query packed predict on portable SWAR).

@@ -3,14 +3,19 @@
 ///   1. generate a synthetic handwritten-digit dataset (MNIST stand-in);
 ///   2. train the HDC classifier the paper describes (encode -> bundle ->
 ///      bipolarize) and report its accuracy;
-///   3. fuzz a handful of test images with the "gauss" strategy;
-///   4. print the first adversarial finding as ASCII art.
+///   3. serve the model the way a deployment would: save the v3 artifact,
+///      mmap it back (hdc::MappedModel — zero-copy, no codebook rebuild),
+///      and verify the mapped predictions are bit-identical;
+///   4. fuzz a handful of test images with the "gauss" strategy;
+///   5. print the first adversarial finding as ASCII art.
 ///
 /// Run: ./quickstart [--dim=4096] [--train=100] [--test=50] [--images=20]
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <random>
 
 #include "data/synthetic_digits.hpp"
 #include "fuzz/campaign.hpp"
@@ -18,6 +23,7 @@
 #include "fuzz/mutation.hpp"
 #include "fuzz/report.hpp"
 #include "hdc/classifier.hpp"
+#include "hdc/serialize.hpp"
 #include "util/argparse.hpp"
 #include "util/timer.hpp"
 
@@ -82,7 +88,40 @@ int main(int argc, char** argv) {
               batch_labels.size(),
               util::format_duration(batch_seconds).c_str(), checked);
 
-  // 3. Fuzz: HDTest with the chosen strategy over a few test images.
+  // 3. Serve: save the v3 artifact, map it read-only, predict through the
+  //    mapping. The mapped path re-uses the file's packed codebooks and AM
+  //    rows in place — no dense rebuild, no regeneration from the seed —
+  //    and must agree bit-exactly with the in-memory model.
+  // Unique per run so concurrent quickstarts on one host don't race on the
+  // artifact (portable — no POSIX getpid dependency).
+  const auto model_path =
+      (std::filesystem::temp_directory_path() /
+       ("quickstart_model_" + std::to_string(std::random_device{}()) +
+        ".hdtm"))
+          .string();
+  util::Stopwatch save_watch;
+  hdc::save_model(model, model_path);
+  const double save_seconds = save_watch.seconds();
+  double map_seconds = 0.0;
+  std::vector<std::size_t> mapped_labels;
+  {
+    const util::Stopwatch map_watch;
+    const hdc::MappedModel mapped(model_path);
+    map_seconds = map_watch.seconds();
+    mapped_labels = mapped.predict_batch(pair.test.images);
+  }
+  std::filesystem::remove(model_path);
+  if (mapped_labels != batch_labels) {
+    std::fprintf(stderr, "mapped/in-memory disagreement after round-trip\n");
+    return 1;
+  }
+  std::printf("saved v3 model in %s, mapped it in %s; mmap-served "
+              "predictions bit-exact over %zu images\n",
+              util::format_duration(save_seconds).c_str(),
+              util::format_duration(map_seconds).c_str(),
+              mapped_labels.size());
+
+  // 4. Fuzz: HDTest with the chosen strategy over a few test images.
   const auto strategy = fuzz::make_strategy(args.get("strategy"));
   fuzz::FuzzConfig fuzz_config;  // paper defaults: guided, top-3
   // L2 <= 1 for pixel strategies; unlimited for shift (paper section V-B).
@@ -103,7 +142,7 @@ int main(int argc, char** argv) {
       campaign.successes(), 100.0 * campaign.success_rate(),
       campaign.avg_iterations(), campaign.avg_l1(), campaign.avg_l2());
 
-  // 4. Show the first finding.
+  // 5. Show the first finding.
   for (const auto& record : campaign.records) {
     if (!record.outcome.success) continue;
     std::printf(

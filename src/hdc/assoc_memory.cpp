@@ -81,9 +81,8 @@ void AssociativeMemory::restore_finalized(std::vector<Accumulator> accumulators,
   class_hvs_.clear();
   class_hvs_.reserve(accumulators_.size());
   for (std::size_t c = 0; c < accumulators_.size(); ++c) {
-    const auto words = packed_.class_words(c);
     class_hvs_.push_back(
-        PackedHv::from_words(dim_, {words.begin(), words.end()}).to_dense());
+        PackedHv::from_words(dim_, packed_.class_words(c)).to_dense());
   }
   finalized_ = true;
 }

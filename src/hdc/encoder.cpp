@@ -50,9 +50,35 @@ void PixelEncoder::check_shape(const data::Image& image) const {
 }
 
 std::size_t PixelEncoder::value_index(std::uint8_t value) const noexcept {
-  if (config_.value_levels >= 256) return value;
-  // Uniform quantization of [0, 255] onto [0, value_levels).
-  return static_cast<std::size_t>(value) * config_.value_levels / 256;
+  return value_level_index(config_.value_levels, value);
+}
+
+PackedHv encode_pixels_packed(const PackedItemMemory& positions,
+                              const PackedItemMemory& values,
+                              std::size_t value_levels,
+                              const PackedHv& tie_break,
+                              const data::Image& image) {
+  const std::size_t dim = positions.dim();
+  if (values.dim() != dim || tie_break.dim() != dim) {
+    throw std::invalid_argument(
+        "encode_pixels_packed: codebook/tie-break dimension mismatch");
+  }
+  if (values.count() != value_levels) {
+    throw std::invalid_argument(
+        "encode_pixels_packed: value codebook count does not match levels");
+  }
+  const auto pixels = image.pixels();
+  if (pixels.size() != positions.count()) {
+    throw std::invalid_argument(
+        "encode_pixels_packed: pixel count does not match position codebook");
+  }
+  util::BitSliceAccumulator bits(dim);
+  for (std::size_t p = 0; p < pixels.size(); ++p) {
+    bits.add_xor(positions[p], values[value_level_index(value_levels, pixels[p])]);
+  }
+  Accumulator acc(dim);
+  acc.add_bitsliced(bits);
+  return acc.bipolarize_packed(tie_break);
 }
 
 Hypervector PixelEncoder::pixel_hv(std::size_t position,
@@ -85,9 +111,9 @@ Hypervector PixelEncoder::encode(const data::Image& image) const {
 }
 
 PackedHv PixelEncoder::encode_packed(const data::Image& image) const {
-  Accumulator acc(config_.dim);
-  encode_into(image, acc);
-  return acc.bipolarize_packed(tie_break_packed_);
+  check_shape(image);
+  return encode_pixels_packed(packed_positions_, packed_values_,
+                              config_.value_levels, tie_break_packed_, image);
 }
 
 std::vector<Hypervector> PixelEncoder::encode_batch(

@@ -37,6 +37,30 @@
 
 namespace hdtest::hdc {
 
+/// Maps an 8-bit gray level onto a value-memory index: identity with 256
+/// levels, uniform quantization of [0, 255] onto [0, value_levels) below.
+/// Shared by PixelEncoder and the mmap-served MappedModel so both paths
+/// agree bit-exactly on the codebook row each pixel selects.
+[[nodiscard]] constexpr std::size_t value_level_index(
+    std::size_t value_levels, std::uint8_t value) noexcept {
+  if (value_levels >= 256) return value;
+  return static_cast<std::size_t>(value) * value_levels / 256;
+}
+
+/// The full bit-sliced image encode over explicit packed codebooks: bundle
+/// position^value for every pixel (carry-save counting) and apply the fused
+/// Eq. 1 + pack. This is the kernel behind PixelEncoder::encode_packed, and
+/// hdc::MappedModel calls it directly with codebook *views* over a mapped
+/// model file — the whole encode touches no dense Hypervector and no
+/// PackedHv::from_dense.
+/// \throws std::invalid_argument when the image's pixel count mismatches
+/// \p positions or the codebook shapes disagree.
+[[nodiscard]] PackedHv encode_pixels_packed(const PackedItemMemory& positions,
+                                            const PackedItemMemory& values,
+                                            std::size_t value_levels,
+                                            const PackedHv& tie_break,
+                                            const data::Image& image);
+
 /// Encodes fixed-size grayscale images into hypervectors.
 ///
 /// Thread-safety: encode() is const and touches only immutable state, so a

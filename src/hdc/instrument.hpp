@@ -32,6 +32,16 @@ struct EncodeCounters {
   /// loading a v2 model must perform zero rebuilds (asserted by the
   /// serialize tests); finalize() after training/retraining still rebuilds.
   std::atomic<std::uint64_t> packed_am_rebuilds{0};
+  /// ItemMemory codebook generations (the seeded random construction: one
+  /// per position/value/symbol memory built). A serving process on the
+  /// mmap'd v3 path must never regenerate a codebook from the seed —
+  /// MappedModel construction performs zero of these (asserted by
+  /// tests/hdc/mapped_model_test); the stream loaders still regenerate.
+  std::atomic<std::uint64_t> item_memory_generations{0};
+  /// PackedItemMemory dense->packed codebook mirror builds. The v3 file
+  /// stores the packed mirrors verbatim, so the mapped path performs zero
+  /// of these too (same test); PixelEncoder construction performs two.
+  std::atomic<std::uint64_t> packed_codebook_builds{0};
 };
 
 [[nodiscard]] inline EncodeCounters& counters() noexcept {
@@ -55,6 +65,14 @@ inline void note_packed_am_rebuild() noexcept {
   counters().packed_am_rebuilds.fetch_add(1, std::memory_order_relaxed);
 }
 
+inline void note_item_memory_generation() noexcept {
+  counters().item_memory_generations.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void note_packed_codebook_build() noexcept {
+  counters().packed_codebook_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
 [[nodiscard]] inline std::uint64_t dense_hv_materializations() noexcept {
   return counters().dense_hv_materializations.load(std::memory_order_relaxed);
 }
@@ -71,12 +89,22 @@ inline void note_packed_am_rebuild() noexcept {
   return counters().packed_am_rebuilds.load(std::memory_order_relaxed);
 }
 
+[[nodiscard]] inline std::uint64_t item_memory_generations() noexcept {
+  return counters().item_memory_generations.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t packed_codebook_builds() noexcept {
+  return counters().packed_codebook_builds.load(std::memory_order_relaxed);
+}
+
 /// Zeroes all counters (tests snapshot around the region under scrutiny).
 inline void reset() noexcept {
   counters().dense_hv_materializations.store(0, std::memory_order_relaxed);
   counters().packed_from_dense.store(0, std::memory_order_relaxed);
   counters().am_row_walks.store(0, std::memory_order_relaxed);
   counters().packed_am_rebuilds.store(0, std::memory_order_relaxed);
+  counters().item_memory_generations.store(0, std::memory_order_relaxed);
+  counters().packed_codebook_builds.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hdtest::hdc::instrument

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "hdc/instrument.hpp"
 #include "hdc/packed_hv.hpp"
 #include "util/bitops.hpp"
 
@@ -17,6 +19,7 @@ ItemMemory::ItemMemory(std::size_t count, std::size_t dim, std::uint64_t seed,
   if (dim == 0) {
     throw std::invalid_argument("ItemMemory: dim must be non-zero");
   }
+  instrument::note_item_memory_generation();
   entries_.reserve(count);
   switch (strategy) {
     case ValueStrategy::kRandom:
@@ -78,12 +81,80 @@ PackedItemMemory::PackedItemMemory(const ItemMemory& source)
     : dim_(source.dim()),
       count_(source.count()),
       stride_(util::words_for_bits(source.dim())) {
-  words_.assign(count_ * stride_, 0);
+  storage_.assign(count_ * stride_, 0);
   for (std::size_t i = 0; i < count_; ++i) {
     const auto packed = PackedHv::from_dense(source[i]);
     const auto src = packed.words();
-    std::copy(src.begin(), src.end(), words_.begin() + i * stride_);
+    std::copy(src.begin(), src.end(), storage_.begin() + i * stride_);
   }
+  data_ = storage_.data();
+  instrument::note_packed_codebook_build();
+}
+
+PackedItemMemory::PackedItemMemory(const PackedItemMemory& other)
+    : dim_(other.dim_),
+      count_(other.count_),
+      stride_(other.stride_),
+      storage_(other.storage_) {
+  // An owning copy re-points into its own storage; a view copy keeps
+  // borrowing the external words.
+  data_ = other.owning() ? storage_.data() : other.data_;
+}
+
+PackedItemMemory& PackedItemMemory::operator=(const PackedItemMemory& other) {
+  if (this != &other) *this = PackedItemMemory(other);
+  return *this;
+}
+
+PackedItemMemory::PackedItemMemory(PackedItemMemory&& other) noexcept
+    : dim_(std::exchange(other.dim_, 0)),
+      count_(std::exchange(other.count_, 0)),
+      stride_(std::exchange(other.stride_, 0)),
+      data_(std::exchange(other.data_, nullptr)),
+      storage_(std::move(other.storage_)) {
+  other.storage_.clear();
+}
+
+PackedItemMemory& PackedItemMemory::operator=(
+    PackedItemMemory&& other) noexcept {
+  if (this != &other) {
+    dim_ = std::exchange(other.dim_, 0);
+    count_ = std::exchange(other.count_, 0);
+    stride_ = std::exchange(other.stride_, 0);
+    data_ = std::exchange(other.data_, nullptr);
+    storage_ = std::move(other.storage_);
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+PackedItemMemory PackedItemMemory::view(std::size_t dim, std::size_t count,
+                                        std::span<const std::uint64_t> words) {
+  if (dim == 0) {
+    throw std::invalid_argument("PackedItemMemory::view: dim must be non-zero");
+  }
+  if (count == 0) {
+    throw std::invalid_argument(
+        "PackedItemMemory::view: count must be non-zero");
+  }
+  const std::size_t stride = util::words_for_bits(dim);
+  if (count > words.size() / stride || words.size() != count * stride) {
+    throw std::invalid_argument(
+        "PackedItemMemory::view: word count does not match dim * count");
+  }
+  const std::uint64_t tail = util::tail_mask(dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    if ((words[i * stride + stride - 1] & ~tail) != 0) {
+      throw std::invalid_argument(
+          "PackedItemMemory::view: non-zero padding bits past dim");
+    }
+  }
+  PackedItemMemory memory;
+  memory.dim_ = dim;
+  memory.count_ = count;
+  memory.stride_ = stride;
+  memory.data_ = words.data();
+  return memory;
 }
 
 std::span<const std::uint64_t> PackedItemMemory::at(std::size_t index) const {

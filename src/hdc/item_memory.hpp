@@ -58,24 +58,55 @@ class ItemMemory {
 /// bit-sliced encode kernel streams cache-friendly XOR words instead of
 /// dense int8 reads. Entry i here packs exactly entry i of the source
 /// memory; built once per PixelEncoder and immutable afterwards.
+///
+/// Storage is either *owning* (the packing constructor) or a *view* over
+/// externally owned words (view(): serialize format v3 maps a model file
+/// read-only and serves the stored codebook mirrors in place — zero copies,
+/// zero regeneration from the seed). A view, and every copy of it, borrows
+/// the external words: it must not outlive them (for v3 that means the
+/// hdc::MappedModel's mapping). Copying an owning memory deep-copies.
 class PackedItemMemory {
  public:
   /// Empty memory (count() == 0).
   PackedItemMemory() = default;
 
-  /// Packs every entry of \p source.
+  /// Packs every entry of \p source (owning storage).
   explicit PackedItemMemory(const ItemMemory& source);
+
+  PackedItemMemory(const PackedItemMemory& other);
+  PackedItemMemory& operator=(const PackedItemMemory& other);
+  PackedItemMemory(PackedItemMemory&& other) noexcept;
+  PackedItemMemory& operator=(PackedItemMemory&& other) noexcept;
+  ~PackedItemMemory() = default;
+
+  /// Non-owning view over an already-packed codebook (count rows of
+  /// words_for_bits(dim) words each, row-major — the v3 file layout).
+  /// \throws std::invalid_argument on zero dim/count, a word count other
+  /// than count * words_for_bits(dim), or non-zero padding bits past dim in
+  /// any row's last word (the encode kernels rely on clean padding).
+  [[nodiscard]] static PackedItemMemory view(
+      std::size_t dim, std::size_t count, std::span<const std::uint64_t> words);
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
+  /// True when this instance owns its words (false for view() results and
+  /// their copies).
+  [[nodiscard]] bool owning() const noexcept { return !storage_.empty(); }
+
   /// Packed words per entry (= util::words_for_bits(dim())).
   [[nodiscard]] std::size_t words_per_entry() const noexcept { return stride_; }
+
+  /// All packed words (count x words_per_entry, row-major) — the exact byte
+  /// image the v3 codebook sections store.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return {data_, count_ * stride_};
+  }
 
   /// Packed words of entry \p index (unchecked hot path).
   [[nodiscard]] std::span<const std::uint64_t> operator[](
       std::size_t index) const noexcept {
-    return {words_.data() + index * stride_, stride_};
+    return {data_ + index * stride_, stride_};
   }
 
   /// Checked entry accessor. \throws std::out_of_range.
@@ -85,7 +116,8 @@ class PackedItemMemory {
   std::size_t dim_ = 0;
   std::size_t count_ = 0;
   std::size_t stride_ = 0;
-  std::vector<std::uint64_t> words_;  ///< count_ x stride_, row-major
+  const std::uint64_t* data_ = nullptr;  ///< storage_ or an external view
+  std::vector<std::uint64_t> storage_;   ///< count_ x stride_ when owning
 };
 
 }  // namespace hdtest::hdc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "hdc/instrument.hpp"
 #include "util/bitops.hpp"
@@ -22,7 +23,7 @@ PackedAssocMemory::PackedAssocMemory(std::span<const Hypervector> class_hvs,
   }
   num_classes_ = class_hvs.size();
   stride_ = util::words_for_bits(dim_);
-  words_.assign(num_classes_ * stride_, 0);
+  storage_.assign(num_classes_ * stride_, 0);
   for (std::size_t c = 0; c < num_classes_; ++c) {
     if (class_hvs[c].dim() != dim_) {
       throw std::invalid_argument(
@@ -30,9 +31,35 @@ PackedAssocMemory::PackedAssocMemory(std::span<const Hypervector> class_hvs,
     }
     const auto packed = PackedHv::from_dense(class_hvs[c]);
     const auto src = packed.words();
-    std::copy(src.begin(), src.end(), words_.begin() + c * stride_);
+    std::copy(src.begin(), src.end(), storage_.begin() + c * stride_);
   }
+  data_ = storage_.data();
   instrument::note_packed_am_rebuild();
+}
+
+void PackedAssocMemory::check_words(std::size_t dim, std::size_t num_classes,
+                                    std::span<const std::uint64_t> words) {
+  if (dim == 0) {
+    throw std::invalid_argument("PackedAssocMemory: dim must be non-zero");
+  }
+  if (num_classes == 0) {
+    throw std::invalid_argument("PackedAssocMemory: need at least one class");
+  }
+  const std::size_t stride = util::words_for_bits(dim);
+  if (num_classes > words.size() / stride ||
+      words.size() != num_classes * stride) {
+    throw std::invalid_argument(
+        "PackedAssocMemory: word count does not match dim * classes");
+  }
+  // The sweep kernels rely on padding bits being zero (they popcount whole
+  // words), so reject rows whose tail carries stray bits.
+  const std::uint64_t tail = util::tail_mask(dim);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if ((words[c * stride + stride - 1] & ~tail) != 0) {
+      throw std::invalid_argument(
+          "PackedAssocMemory: non-zero padding bits past dim");
+    }
+  }
 }
 
 PackedAssocMemory::PackedAssocMemory(std::size_t dim, std::size_t num_classes,
@@ -42,26 +69,64 @@ PackedAssocMemory::PackedAssocMemory(std::size_t dim, std::size_t num_classes,
       num_classes_(num_classes),
       stride_(util::words_for_bits(dim)),
       similarity_(similarity),
-      words_(std::move(words)) {
-  if (dim == 0) {
-    throw std::invalid_argument("PackedAssocMemory: dim must be non-zero");
+      storage_(std::move(words)) {
+  check_words(dim, num_classes, storage_);
+  data_ = storage_.data();
+}
+
+PackedAssocMemory PackedAssocMemory::view(std::size_t dim,
+                                          std::size_t num_classes,
+                                          Similarity similarity,
+                                          std::span<const std::uint64_t> words) {
+  check_words(dim, num_classes, words);
+  PackedAssocMemory memory;
+  memory.dim_ = dim;
+  memory.num_classes_ = num_classes;
+  memory.stride_ = util::words_for_bits(dim);
+  memory.similarity_ = similarity;
+  memory.data_ = words.data();
+  return memory;
+}
+
+PackedAssocMemory::PackedAssocMemory(const PackedAssocMemory& other)
+    : dim_(other.dim_),
+      num_classes_(other.num_classes_),
+      stride_(other.stride_),
+      similarity_(other.similarity_),
+      storage_(other.storage_) {
+  // An owning copy re-points into its own storage; a view copy keeps
+  // borrowing the external words.
+  data_ = other.owning() ? storage_.data() : other.data_;
+}
+
+PackedAssocMemory& PackedAssocMemory::operator=(
+    const PackedAssocMemory& other) {
+  if (this != &other) *this = PackedAssocMemory(other);
+  return *this;
+}
+
+PackedAssocMemory::PackedAssocMemory(PackedAssocMemory&& other) noexcept
+    : dim_(std::exchange(other.dim_, 0)),
+      num_classes_(std::exchange(other.num_classes_, 0)),
+      stride_(std::exchange(other.stride_, 0)),
+      similarity_(other.similarity_),
+      data_(std::exchange(other.data_, nullptr)),
+      storage_(std::move(other.storage_)) {
+  other.storage_.clear();
+}
+
+PackedAssocMemory& PackedAssocMemory::operator=(
+    PackedAssocMemory&& other) noexcept {
+  if (this != &other) {
+    dim_ = std::exchange(other.dim_, 0);
+    num_classes_ = std::exchange(other.num_classes_, 0);
+    stride_ = std::exchange(other.stride_, 0);
+    similarity_ = other.similarity_;
+    data_ = std::exchange(other.data_, nullptr);
+    storage_ = std::move(other.storage_);
+    other.storage_.clear();
   }
-  if (num_classes == 0) {
-    throw std::invalid_argument("PackedAssocMemory: need at least one class");
-  }
-  if (words_.size() != num_classes_ * stride_) {
-    throw std::invalid_argument(
-        "PackedAssocMemory: word count does not match dim * classes");
-  }
-  // The sweep kernels rely on padding bits being zero (they popcount whole
-  // words), so reject rows whose tail carries stray bits.
-  const std::uint64_t tail = util::tail_mask(dim_);
-  for (std::size_t c = 0; c < num_classes_; ++c) {
-    if ((words_[c * stride_ + stride_ - 1] & ~tail) != 0) {
-      throw std::invalid_argument(
-          "PackedAssocMemory: non-zero padding bits past dim");
-    }
-  }
+  return *this;
 }
 
 void PackedAssocMemory::check_query(std::size_t query_dim) const {
@@ -78,7 +143,7 @@ std::span<const std::uint64_t> PackedAssocMemory::class_words(
   if (cls >= num_classes_) {
     throw std::out_of_range("PackedAssocMemory::class_words: class out of range");
   }
-  return {words_.data() + cls * stride_, stride_};
+  return {data_ + cls * stride_, stride_};
 }
 
 std::size_t PackedAssocMemory::predict(const PackedHv& query) const {
@@ -92,7 +157,7 @@ std::size_t PackedAssocMemory::predict(const PackedHv& query) const {
   const std::uint64_t* q = query.words().data();
   std::uint32_t best = 0;
   std::uint64_t best_ham = 0;
-  util::simd::kernels().am_sweep(words_.data(), num_classes_, stride_, &q, 1,
+  util::simd::kernels().am_sweep(data_, num_classes_, stride_, &q, 1,
                                  &best, &best_ham, nullptr, 0);
   return best;
 }
@@ -102,7 +167,7 @@ std::vector<std::size_t> PackedAssocMemory::hammings(const PackedHv& query) cons
   const auto q = query.words();
   std::vector<std::size_t> out(num_classes_);
   for (std::size_t c = 0; c < num_classes_; ++c) {
-    out[c] = util::xor_popcount({words_.data() + c * stride_, stride_}, q);
+    out[c] = util::xor_popcount({data_ + c * stride_, stride_}, q);
   }
   return out;
 }
@@ -132,7 +197,7 @@ double PackedAssocMemory::similarity_to(std::size_t cls,
   // steady-state fuzzing should not come through here (counted, asserted by
   // tests/fuzz/dense_free_test).
   instrument::note_am_row_walk();
-  const auto ham = util::xor_popcount({words_.data() + cls * stride_, stride_},
+  const auto ham = util::xor_popcount({data_ + cls * stride_, stride_},
                                       query.words());
   const auto d = static_cast<double>(dim_);
   if (similarity_ == Similarity::kCosine) {
@@ -214,7 +279,7 @@ void PackedAssocMemory::sweep(std::span<const PackedHv> queries,
   util::parallel_for(blocks, workers, [&](std::size_t bi) {
     const std::size_t begin = bi * block;
     const std::size_t count = std::min(block, queries.size() - begin);
-    kernels.am_sweep(words_.data(), num_classes_, stride_,
+    kernels.am_sweep(data_, num_classes_, stride_,
                      query_words.data() + begin, count,
                      best_class.data() + begin, out_best_ham + begin,
                      out_ref_ham == nullptr ? nullptr : out_ref_ham + begin,

@@ -40,6 +40,14 @@ struct BlockSweepResult {
 ///
 /// Thread-safety: all member functions are const and touch only immutable
 /// state, so one instance may serve queries from many threads.
+///
+/// Storage is either *owning* (the packing and rehydrating constructors) or
+/// a non-owning *view* over externally stored rows (view(): serialize
+/// format v3 maps a model file read-only and sweeps the stored rows in
+/// place — zero copies, zero dense->packed rebuilds). A view, and every
+/// copy of it, borrows the external words: it must not outlive them (for v3
+/// that means the hdc::MappedModel's mapping). Copying an owning memory
+/// deep-copies.
 class PackedAssocMemory {
  public:
   /// Empty memory (num_classes() == 0); predict() throws until rebuilt.
@@ -50,9 +58,9 @@ class PackedAssocMemory {
   PackedAssocMemory(std::span<const Hypervector> class_hvs,
                     Similarity similarity);
 
-  /// Rehydrates from already-packed prototype words (serialize.cpp's v2
-  /// fast path: a stored model restores its packed snapshot verbatim, no
-  /// dense bipolarize/re-pack). \p words holds num_classes rows of
+  /// Rehydrates from already-packed prototype words (serialize.cpp's v2/v3
+  /// stream fast path: a stored model restores its packed snapshot verbatim,
+  /// no dense bipolarize/re-pack). \p words holds num_classes rows of
   /// words_for_bits(dim) words each, row-major — exactly what a loop over
   /// class_words() of the saved instance concatenates.
   /// \throws std::invalid_argument on zero dim/classes, a word count other
@@ -61,7 +69,30 @@ class PackedAssocMemory {
   PackedAssocMemory(std::size_t dim, std::size_t num_classes,
                     Similarity similarity, std::vector<std::uint64_t> words);
 
+  PackedAssocMemory(const PackedAssocMemory& other);
+  PackedAssocMemory& operator=(const PackedAssocMemory& other);
+  PackedAssocMemory(PackedAssocMemory&& other) noexcept;
+  PackedAssocMemory& operator=(PackedAssocMemory&& other) noexcept;
+  ~PackedAssocMemory() = default;
+
+  /// Non-owning view over already-packed prototype rows (the v3 mmap path).
+  /// Same shape/padding validation as the rehydrating constructor, but the
+  /// words are served in place rather than copied.
+  [[nodiscard]] static PackedAssocMemory view(
+      std::size_t dim, std::size_t num_classes, Similarity similarity,
+      std::span<const std::uint64_t> words);
+
   [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// True when this instance owns its words (false for view() results and
+  /// their copies).
+  [[nodiscard]] bool owning() const noexcept { return !storage_.empty(); }
+
+  /// All packed rows (num_classes x words-per-row, row-major) — the exact
+  /// byte image the v3 AM section stores.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return {data_, num_classes_ * stride_};
+  }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] bool empty() const noexcept { return num_classes_ == 0; }
   [[nodiscard]] Similarity similarity_metric() const noexcept {
@@ -160,11 +191,17 @@ class PackedAssocMemory {
              std::size_t* out_labels, std::uint64_t* out_best_ham,
              std::uint64_t* out_ref_ham) const;
 
+  /// Shared validation for the rehydrating constructor and view() (shape +
+  /// clean padding); \p words is the candidate row block.
+  static void check_words(std::size_t dim, std::size_t num_classes,
+                          std::span<const std::uint64_t> words);
+
   std::size_t dim_ = 0;
   std::size_t num_classes_ = 0;
   std::size_t stride_ = 0;  ///< words per class prototype
   Similarity similarity_ = Similarity::kCosine;
-  std::vector<std::uint64_t> words_;  ///< num_classes_ x stride_, row-major
+  const std::uint64_t* data_ = nullptr;  ///< storage_ or an external view
+  std::vector<std::uint64_t> storage_;   ///< num_classes_ x stride_ when owning
 };
 
 }  // namespace hdtest::hdc

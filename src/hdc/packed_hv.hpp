@@ -48,6 +48,13 @@ class PackedHv {
   [[nodiscard]] static PackedHv from_words(std::size_t dim,
                                            std::vector<std::uint64_t> words);
 
+  /// Copying span overload of from_words (e.g. rehydrating the stored
+  /// tie-break words from a mapped v3 model file). Same validation.
+  [[nodiscard]] static PackedHv from_words(std::size_t dim,
+                                           std::span<const std::uint64_t> words) {
+    return from_words(dim, std::vector<std::uint64_t>(words.begin(), words.end()));
+  }
+
   /// Unpacks into a dense bipolar HV.
   [[nodiscard]] Hypervector to_dense() const;
 

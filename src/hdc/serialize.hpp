@@ -1,50 +1,70 @@
 #pragma once
 /// \file serialize.hpp
-/// Binary model persistence.
+/// Binary model persistence and zero-copy model serving.
 ///
-/// A trained HDC model is tiny — item memories regenerate from the seed, so
-/// only the configuration and the associative-memory accumulators need to be
-/// stored (the accumulators, not the bipolarized class HVs, so that a loaded
-/// model can continue retraining exactly where it left off — the defense
-/// workflow of section V-D across process restarts).
+/// A trained HDC model stores its configuration, the associative-memory
+/// accumulators (so a loaded model can continue retraining exactly where it
+/// left off — the defense workflow of section V-D across process restarts),
+/// and — from format v2 on — the packed inference artifacts.
 ///
-/// Format (little-endian, versioned):
-///   magic "HDTM" | u32 version | ModelConfig fields | shape | num_classes |
-///   per-class accumulator lanes (i32) | [v2: packed artifact section] |
-///   u64 FNV-1a checksum of the payload.
+/// Three formats are readable; v3 is written by default:
 ///
-/// Version 2 appends the packed associative-memory artifacts — the slice
-/// parameters (words-per-row stride) and every class prototype's sign-bit
-/// words — so load_model can restore the finalized packed snapshot verbatim
-/// instead of re-running the dense bipolarize + dense->packed rebuild at
-/// startup (a serving process pays zero finalize work after load). Version 1
-/// files remain readable; they take the rebuild path.
+///  v1  magic "HDTM" | u32 version | config fields | shape | num_classes |
+///      per-class accumulator lanes (i32) | u64 FNV-1a payload checksum.
+///      Loading rebuilds the class HVs and the packed snapshot.
+///  v2  v1 plus a packed artifact section (words-per-row stride + every
+///      class prototype's sign-bit words): loading restores the finalized
+///      packed snapshot verbatim, zero dense->packed rebuilds.
+///  v3  a chunked, 64-byte-aligned, explicitly little-endian layout built
+///      for mmap: a fixed 64-byte header (magic, version, endianness
+///      marker, file size, whole-file checksum) followed by a section table
+///      and self-describing sections — config, accumulator lanes, the
+///      packed AM rows, both packed item-memory codebook mirrors, and the
+///      packed tie-break words. Every section payload is 64-byte aligned,
+///      so a read-only mapping can serve the AM rows and codebooks in place.
 ///
-/// Loading validates magic, version, config, checksum, and (v2) the packed
-/// section's shape; any mismatch throws std::runtime_error with a precise
-/// reason.
+/// Byte order: all three formats are little-endian on disk (v1/v2 de facto,
+/// v3 by contract with a header marker). Big-endian hosts are cleanly
+/// rejected by both save and load rather than silently corrupting.
+///
+/// Loading validates magic, version, endianness, checksums, and every
+/// section's declared size against the actual payload *before* allocating
+/// (overflow-checked products), so corrupted or hostile files throw
+/// std::runtime_error with a precise reason instead of OOMing or crashing.
+///
+/// Zero-copy serving: MappedModel mmaps a v3 file read-only and hands
+/// PackedAssocMemory / PackedItemMemory non-owning views over the mapping.
+/// Construction performs zero dense->packed rebuilds, zero codebook
+/// regenerations from the seed, and zero dense-HV materializations
+/// (instrument counters prove it; asserted by tests/hdc/mapped_model_test),
+/// and N processes mapping one model file share its pages through the
+/// kernel page cache.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "hdc/classifier.hpp"
+#include "util/mmap_file.hpp"
 
 namespace hdtest::hdc {
 
 /// Current serialization format version.
-inline constexpr std::uint32_t kModelFormatVersion = 2;
+inline constexpr std::uint32_t kModelFormatVersion = 3;
 
 /// Oldest version load_model still reads.
 inline constexpr std::uint32_t kOldestReadableModelVersion = 1;
 
 /// Writes a trained model to a stream. \p version selects the format
-/// (default: current; 1 writes a legacy accumulator-only file — kept so
-/// fleets mid-upgrade can still exchange models, and so tests can cover the
-/// compatibility path).
+/// (default: current; 1/2 write the legacy stream layouts — kept so fleets
+/// mid-upgrade can still exchange models, and so tests can cover the
+/// compatibility paths).
 /// \throws std::logic_error if the model is untrained;
 ///         std::invalid_argument for an unwritable version;
-///         std::runtime_error on I/O failure.
+///         std::runtime_error on I/O failure or a big-endian host.
 void save_model(const HdcClassifier& model, std::ostream& out,
                 std::uint32_t version = kModelFormatVersion);
 
@@ -52,12 +72,89 @@ void save_model(const HdcClassifier& model, std::ostream& out,
 void save_model(const HdcClassifier& model, const std::string& path,
                 std::uint32_t version = kModelFormatVersion);
 
-/// Reads a model from a stream. The returned model is finalized and ready
-/// for prediction and further retraining.
+/// Reads a model from a stream (any readable version). The returned model
+/// is finalized and ready for prediction and further retraining; v2/v3
+/// restore the packed snapshot verbatim (zero rebuilds), while the
+/// encoder's codebooks regenerate from the stored seed (use MappedModel to
+/// avoid that too).
 /// \throws std::runtime_error on malformed input.
 [[nodiscard]] HdcClassifier load_model(std::istream& in);
 
 /// Reads a model from a file.
 [[nodiscard]] HdcClassifier load_model(const std::string& path);
+
+/// Options for MappedModel.
+struct MapOptions {
+  /// Verify the header's whole-file checksum at map time. Catches any
+  /// corruption but touches every page once; serving stacks that trust
+  /// their artifact store can turn it off for a pure O(1) cold start
+  /// (structural validation — header, section table, config, shapes,
+  /// padding bits — always runs either way).
+  bool verify_checksum = true;
+};
+
+/// A v3 model file served directly from a read-only memory mapping.
+///
+/// The packed associative memory, both packed codebook mirrors, and the
+/// packed tie-break are non-owning views over the mapping: no copies, no
+/// dense->packed rebuilds, no codebook regeneration from the seed. All
+/// views (and anything copied from them) must not outlive this object.
+///
+/// Thread-safety: all member functions are const over immutable state, so
+/// one MappedModel may serve queries from many threads.
+class MappedModel {
+ public:
+  /// Maps \p path and validates the layout.
+  /// \throws std::runtime_error on I/O failure, a non-v3 file, a byte-order
+  /// mismatch, or any structural/checksum validation failure.
+  explicit MappedModel(const std::string& path, MapOptions options = {});
+
+  MappedModel(MappedModel&&) noexcept = default;
+  MappedModel& operator=(MappedModel&&) noexcept = default;
+  MappedModel(const MappedModel&) = delete;
+  MappedModel& operator=(const MappedModel&) = delete;
+
+  [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return am_.num_classes();
+  }
+
+  /// The packed associative memory, serving the mapped rows in place.
+  [[nodiscard]] const PackedAssocMemory& am() const noexcept { return am_; }
+
+  /// The packed codebook mirrors, serving the mapped rows in place.
+  [[nodiscard]] const PackedItemMemory& position_codebook() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] const PackedItemMemory& value_codebook() const noexcept {
+    return values_;
+  }
+
+  /// Encodes an image through the mapped codebooks (bit-sliced, dense-free).
+  /// Bit-exact with PixelEncoder::encode_packed of the saved model.
+  /// \throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] PackedHv encode_packed(const data::Image& image) const;
+
+  /// Predicted class of an image — bit-identical to the stream-loaded
+  /// model's predict() on the same input.
+  [[nodiscard]] std::size_t predict(const data::Image& image) const;
+
+  /// Batched inference over \p workers threads; bit-identical to
+  /// HdcClassifier::predict_batch of the saved model for any worker count.
+  [[nodiscard]] std::vector<std::size_t> predict_batch(
+      std::span<const data::Image> images, std::size_t workers = 1) const;
+
+ private:
+  util::MappedFile file_;
+  ModelConfig config_;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  PackedItemMemory positions_;  ///< view into file_
+  PackedItemMemory values_;     ///< view into file_
+  PackedHv tie_break_;          ///< tiny owned copy of the stored words
+  PackedAssocMemory am_;        ///< view into file_
+};
 
 }  // namespace hdtest::hdc

@@ -1,0 +1,91 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace hdtest::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("MappedFile: " + std::string(what) + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+MappedFile MappedFile::open(const std::string& path) {
+  throw std::runtime_error(
+      "MappedFile: memory-mapped model loading is not supported on this "
+      "platform (use the stream loader): " + path);
+}
+
+#else
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "cannot stat");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedFile: empty file '" + path + "'");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  // MAP_SHARED + PROT_READ: all mappings of the file alias the same page
+  // cache pages; the file stays immutable from our side.
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  const int saved = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    errno = saved;
+    fail(path, "cannot mmap");
+  }
+  MappedFile file;
+  file.addr_ = addr;
+  file.size_ = size;
+  return file;
+}
+
+#endif
+
+void MappedFile::reset() noexcept {
+#if !defined(_WIN32)
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace hdtest::util

@@ -1,0 +1,54 @@
+#pragma once
+/// \file mmap_file.hpp
+/// Read-only memory-mapped files (the substrate of serialize format v3's
+/// zero-copy model loading).
+///
+/// MappedFile wraps a POSIX mmap of a whole file: PROT_READ + MAP_SHARED, so
+/// every process that maps the same model file shares one set of physical
+/// pages through the kernel page cache — N serving processes pay for the
+/// packed codebooks and AM rows once, not N times. The mapping is immutable
+/// for the object's lifetime and the address is stable across moves, so
+/// non-owning spans handed out over it (PackedAssocMemory / PackedItemMemory
+/// views) stay valid until the MappedFile is destroyed.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace hdtest::util {
+
+/// Move-only RAII read-only file mapping.
+class MappedFile {
+ public:
+  /// Empty (unmapped) handle; bytes() is an empty span.
+  MappedFile() = default;
+
+  /// Maps the whole file read-only.
+  /// \throws std::runtime_error when the file cannot be opened, is empty,
+  ///         or the mapping fails (message carries errno text).
+  [[nodiscard]] static MappedFile open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] bool mapped() const noexcept { return addr_ != nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// The mapped bytes. Page-aligned base address, stable for the object's
+  /// lifetime (including across moves).
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {static_cast<const std::byte*>(addr_), size_};
+  }
+
+ private:
+  void reset() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hdtest::util

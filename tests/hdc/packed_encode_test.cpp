@@ -153,7 +153,7 @@ TEST(AddBoundPacked, MatchesDenseAddBound) {
 }
 
 TEST(PackedHv, FromWordsValidates) {
-  EXPECT_THROW((void)PackedHv::from_words(0, {}), std::invalid_argument);
+  EXPECT_THROW((void)PackedHv::from_words(0, std::vector<std::uint64_t>{}), std::invalid_argument);
   EXPECT_THROW((void)PackedHv::from_words(64, {1, 2}), std::invalid_argument);
   // Bit 63 set for a 63-bit vector: tail bits must be zero.
   EXPECT_THROW((void)PackedHv::from_words(63, {1ULL << 63}),
