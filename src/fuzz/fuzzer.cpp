@@ -50,8 +50,9 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng) const {
   return fuzz_one(input, rng, prepare_seed(input));
 }
 
-FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng,
-                             const SeedContext& seed) const {
+HDTEST_HOT_PATH FuzzOutcome Fuzzer::fuzz_one(const data::Image& input,
+                                             util::Rng& rng,
+                                             const SeedContext& seed) const {
   const util::Stopwatch watch;
   FuzzOutcome outcome;
 
@@ -71,7 +72,7 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng,
   // Steady-state query path: packed end to end. No dense Hypervector is
   // materialized and nothing is re-packed via from_dense per mutant
   // (asserted by tests/fuzz/dense_free_test).
-  const auto encode = [&](const data::Image& image) {
+  const auto encode_query = [&](const data::Image& image) {
     ++outcome.encodes;
     return config_.use_incremental_encoder
                ? delta_encoder.encode_mutant_packed(image)
@@ -122,7 +123,7 @@ FuzzOutcome Fuzzer::fuzz_one(const data::Image& input, util::Rng& rng,
     batch_queries.clear();
     batch_queries.reserve(batch.size());
     for (const auto& mutant : batch) {
-      batch_queries.push_back(encode(mutant));
+      batch_queries.push_back(encode_query(mutant));
     }
     const auto sweep =
         packed_am.predict_block(batch_queries, outcome.reference_label);

@@ -28,6 +28,7 @@
 #include "fuzz/mutation.hpp"
 #include "hdc/classifier.hpp"
 #include "hdc/packed_hv.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace hdtest::fuzz {
@@ -129,9 +130,12 @@ class Fuzzer {
                                      util::Rng& rng) const;
 
   /// Same, reusing a prepared seed context (campaigns warm one per input).
+  /// This overload is the campaign steady state, so it carries the
+  /// hdtest-dense-free hot-path contract: no dense Hypervector, no
+  /// from_dense, no explicit allocation anywhere in its static call tree.
   /// \pre seed was produced by prepare_seed(input) on this fuzzer's model.
-  [[nodiscard]] FuzzOutcome fuzz_one(const data::Image& input, util::Rng& rng,
-                                     const SeedContext& seed) const;
+  HDTEST_HOT_PATH [[nodiscard]] FuzzOutcome fuzz_one(
+      const data::Image& input, util::Rng& rng, const SeedContext& seed) const;
 
  private:
   const hdc::HdcClassifier* model_;

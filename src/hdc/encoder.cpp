@@ -53,11 +53,11 @@ std::size_t PixelEncoder::value_index(std::uint8_t value) const noexcept {
   return value_level_index(config_.value_levels, value);
 }
 
-PackedHv encode_pixels_packed(const PackedItemMemory& positions,
-                              const PackedItemMemory& values,
-                              std::size_t value_levels,
-                              const PackedHv& tie_break,
-                              const data::Image& image) {
+HDTEST_HOT_PATH PackedHv encode_pixels_packed(const PackedItemMemory& positions,
+                                              const PackedItemMemory& values,
+                                              std::size_t value_levels,
+                                              const PackedHv& tie_break,
+                                              const data::Image& image) {
   const std::size_t dim = positions.dim();
   if (values.dim() != dim || tie_break.dim() != dim) {
     throw std::invalid_argument(
@@ -110,7 +110,8 @@ Hypervector PixelEncoder::encode(const data::Image& image) const {
   return acc.bipolarize(tie_break_);
 }
 
-PackedHv PixelEncoder::encode_packed(const data::Image& image) const {
+HDTEST_HOT_PATH PackedHv PixelEncoder::encode_packed(
+    const data::Image& image) const {
   check_shape(image);
   return encode_pixels_packed(packed_positions_, packed_values_,
                               config_.value_levels, tie_break_packed_, image);
@@ -232,7 +233,7 @@ Hypervector IncrementalPixelEncoder::encode_mutant(
   return scratch_.bipolarize(encoder_->tie_break());
 }
 
-PackedHv IncrementalPixelEncoder::encode_mutant_packed(
+HDTEST_HOT_PATH PackedHv IncrementalPixelEncoder::encode_mutant_packed(
     const data::Image& mutant) const {
   collect_patches(mutant);
 

@@ -34,6 +34,7 @@
 #include "hdc/hypervector.hpp"
 #include "hdc/item_memory.hpp"
 #include "hdc/packed_hv.hpp"
+#include "util/contracts.hpp"
 
 namespace hdtest::hdc {
 
@@ -55,7 +56,8 @@ namespace hdtest::hdc {
 /// PackedHv::from_dense.
 /// \throws std::invalid_argument when the image's pixel count mismatches
 /// \p positions or the codebook shapes disagree.
-[[nodiscard]] PackedHv encode_pixels_packed(const PackedItemMemory& positions,
+HDTEST_HOT_PATH [[nodiscard]] PackedHv encode_pixels_packed(
+    const PackedItemMemory& positions,
                                             const PackedItemMemory& values,
                                             std::size_t value_levels,
                                             const PackedHv& tie_break,
@@ -83,7 +85,8 @@ class PixelEncoder {
   /// Full encode returning a packed query HV directly — the bit-sliced
   /// accumulation plus the fused Eq. 1 packing, no dense intermediate.
   /// Bit-exact: encode_packed(img) == PackedHv::from_dense(encode(img)).
-  [[nodiscard]] PackedHv encode_packed(const data::Image& image) const;
+  HDTEST_HOT_PATH [[nodiscard]] PackedHv encode_packed(
+      const data::Image& image) const;
 
   /// Encodes into a caller-provided accumulator (no bipolarization); used by
   /// training, which bundles many images before a single bipolarize.
@@ -179,7 +182,8 @@ class IncrementalPixelEncoder {
   /// packed codebooks) followed by the fused Eq. 1 + pack. Never touches a
   /// dense Hypervector — the fuzzer's steady-state query path.
   /// Bit-exact: == PackedHv::from_dense(encode_mutant(mutant)).
-  [[nodiscard]] PackedHv encode_mutant_packed(const data::Image& mutant) const;
+  HDTEST_HOT_PATH [[nodiscard]] PackedHv encode_mutant_packed(
+      const data::Image& mutant) const;
 
   /// Number of pixel-HV updates performed by the last encode_mutant() /
   /// encode_mutant_packed() call (for the ablation bench).

@@ -249,7 +249,7 @@ std::vector<std::size_t> PackedAssocMemory::predict_batch(
   return labels;
 }
 
-void PackedAssocMemory::sweep(std::span<const PackedHv> queries,
+HDTEST_HOT_PATH void PackedAssocMemory::sweep(std::span<const PackedHv> queries,
                               std::size_t block, std::size_t workers,
                               std::size_t ref_class, std::size_t* out_labels,
                               std::uint64_t* out_best_ham,
@@ -290,7 +290,7 @@ void PackedAssocMemory::sweep(std::span<const PackedHv> queries,
   }
 }
 
-BlockSweepResult PackedAssocMemory::predict_block(
+HDTEST_HOT_PATH BlockSweepResult PackedAssocMemory::predict_block(
     std::span<const PackedHv> queries, std::size_t ref_class,
     std::size_t block, std::size_t workers) const {
   if (empty()) {

@@ -24,6 +24,7 @@
 #include "hdc/config.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/packed_hv.hpp"
+#include "util/contracts.hpp"
 
 namespace hdtest::hdc {
 
@@ -163,7 +164,7 @@ class PackedAssocMemory {
   /// any block size or worker count.
   /// \throws std::logic_error when empty; std::invalid_argument on dim
   /// mismatch; std::out_of_range on a bad ref_class.
-  [[nodiscard]] BlockSweepResult predict_block(
+  HDTEST_HOT_PATH [[nodiscard]] BlockSweepResult predict_block(
       std::span<const PackedHv> queries, std::size_t ref_class,
       std::size_t block = kAutoBlock, std::size_t workers = 1) const;
 
@@ -186,7 +187,7 @@ class PackedAssocMemory {
 
   /// Shared sweep driver: labels always; hams/ref_hams filled when the
   /// corresponding pointers are non-null (ref_class ignored otherwise).
-  void sweep(std::span<const PackedHv> queries, std::size_t block,
+  HDTEST_HOT_PATH void sweep(std::span<const PackedHv> queries, std::size_t block,
              std::size_t workers, std::size_t ref_class,
              std::size_t* out_labels, std::uint64_t* out_best_ham,
              std::uint64_t* out_ref_ham) const;

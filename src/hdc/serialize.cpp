@@ -125,6 +125,9 @@ void append_pod(std::string& out, T value) {
 /// Bounds-checked cursor over an in-memory payload: every read names what
 /// it was after, so truncation errors are precise, and remaining() lets the
 /// parser validate section sizes *before* allocating.
+// NOLINTBEGIN(hdtest-checked-arith): BufReader IS the sanctioned primitive —
+// its cursor arithmetic is guarded by the remaining() check on every read,
+// so offset_ + size never exceeds bytes_.size().
 class BufReader {
  public:
   explicit BufReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
@@ -153,6 +156,7 @@ class BufReader {
   std::span<const std::byte> bytes_;
   std::size_t offset_ = 0;
 };
+// NOLINTEND(hdtest-checked-arith)
 
 /// Plausibility caps shared by every reader: a corrupt or hostile file must
 /// throw before any size it declares turns into an allocation.
@@ -163,7 +167,7 @@ void check_shape_fields(std::size_t classes, std::size_t width,
     throw std::runtime_error("load_model: implausible class count");
   }
   if (width == 0 || height == 0 || width > 65535 || height > 65535 ||
-      width * height > (std::size_t{1} << 26)) {
+      checked_mul(width, height, "image shape") > (std::size_t{1} << 26)) {
     throw std::runtime_error("load_model: implausible image shape");
   }
   // Constructing the model regenerates the dense codebooks — width*height
@@ -173,7 +177,8 @@ void check_shape_fields(std::size_t classes, std::size_t width,
   // cannot demand a multi-hundred-GiB allocation (2^30 elements = a 1 GiB
   // dense codebook, far beyond any model this codebase trains, e.g.
   // 28*28*10000 ~= 2^23).
-  if (checked_mul(width * height, dim, "codebook") > (std::size_t{1} << 30) ||
+  if (checked_mul(checked_mul(width, height, "image shape"), dim,
+                  "codebook") > (std::size_t{1} << 30) ||
       checked_mul(value_levels, dim, "value codebook") >
           (std::size_t{1} << 30)) {
     throw std::runtime_error("load_model: implausible codebook size");
@@ -224,7 +229,7 @@ void save_legacy(const HdcClassifier& model, std::ostream& out,
   for (std::size_t c = 0; c < model.num_classes(); ++c) {
     const auto lanes = model.am().accumulator(c).lanes();
     payload.write(reinterpret_cast<const char*>(lanes.data()),
-                  static_cast<std::streamsize>(lanes.size() * sizeof(std::int32_t)));
+                  static_cast<std::streamsize>(lanes.size_bytes()));
   }
   if (version >= 2) {
     // v2 packed artifact section: slice parameters + the finalized packed
@@ -235,8 +240,7 @@ void save_legacy(const HdcClassifier& model, std::ostream& out,
     put(payload, static_cast<std::uint64_t>(stride));
     const auto words = packed.words();
     payload.write(reinterpret_cast<const char*>(words.data()),
-                  static_cast<std::streamsize>(words.size() *
-                                               sizeof(std::uint64_t)));
+                  static_cast<std::streamsize>(words.size_bytes()));
   }
   const std::string bytes = payload.str();
 
@@ -283,7 +287,7 @@ HdcClassifier load_legacy(std::uint32_t version, const std::string& tail) {
   accumulators.reserve(classes);
   for (std::size_t c = 0; c < classes; ++c) {
     std::vector<std::int32_t> lanes(config.dim);
-    reader.read_into(lanes.data(), lanes.size() * sizeof(std::int32_t),
+    reader.read_into(lanes.data(), std::span(lanes).size_bytes(),
                      "accumulator lanes");
     accumulators.push_back(Accumulator::from_lanes(std::move(lanes)));
   }
@@ -361,7 +365,7 @@ std::string build_v3_file(const HdcClassifier& model) {
   for (std::size_t c = 0; c < model.num_classes(); ++c) {
     const auto lanes = model.am().accumulator(c).lanes();
     append_bytes(lanes_blob.bytes, lanes.data(),
-                 lanes.size() * sizeof(std::int32_t));
+                 lanes.size_bytes());
   }
   sections.push_back(std::move(lanes_blob));
 
@@ -369,28 +373,28 @@ std::string build_v3_file(const HdcClassifier& model) {
   am_blob.kind = kAmWordsSection;
   const auto am_words = packed.words();
   append_bytes(am_blob.bytes, am_words.data(),
-               am_words.size() * sizeof(std::uint64_t));
+               am_words.size_bytes());
   sections.push_back(std::move(am_blob));
 
   SectionBlob pos_blob;
   pos_blob.kind = kPositionCodebookSection;
   const auto pos_words = model.encoder().packed_position_memory().words();
   append_bytes(pos_blob.bytes, pos_words.data(),
-               pos_words.size() * sizeof(std::uint64_t));
+               pos_words.size_bytes());
   sections.push_back(std::move(pos_blob));
 
   SectionBlob val_blob;
   val_blob.kind = kValueCodebookSection;
   const auto val_words = model.encoder().packed_value_memory().words();
   append_bytes(val_blob.bytes, val_words.data(),
-               val_words.size() * sizeof(std::uint64_t));
+               val_words.size_bytes());
   sections.push_back(std::move(val_blob));
 
   SectionBlob tb_blob;
   tb_blob.kind = kTieBreakSection;
   const auto tb_words = model.encoder().tie_break_packed().words();
   append_bytes(tb_blob.bytes, tb_words.data(),
-               tb_words.size() * sizeof(std::uint64_t));
+               tb_words.size_bytes());
   sections.push_back(std::move(tb_blob));
 
   // Lay the sections out 64-byte aligned after the header + table.
@@ -604,8 +608,9 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
       "AM words");
   parsed.positions = expect(
       entries[kPositionCodebookSection].bytes,
-      checked_mul(checked_mul(parsed.width * parsed.height, parsed.stride,
-                              "position codebook"),
+      checked_mul(checked_mul(checked_mul(parsed.width, parsed.height,
+                                          "position codebook"),
+                              parsed.stride, "position codebook"),
                   sizeof(std::uint64_t), "position codebook"),
       "position codebook");
   parsed.values = expect(
@@ -631,6 +636,9 @@ std::vector<std::uint64_t> copy_words(std::span<const std::byte> bytes) {
 /// Words served in place (the mmap path; section offsets are 64-byte
 /// aligned within a page-aligned mapping, so the cast is safe).
 std::span<const std::uint64_t> view_words(std::span<const std::byte> bytes) {
+  // parse_v3 has already validated the section's exact byte size and 64-byte
+  // alignment before this view is cut.
+  // NOLINTNEXTLINE(hdtest-checked-arith)
   return {reinterpret_cast<const std::uint64_t*>(bytes.data()),
           bytes.size() / sizeof(std::uint64_t)};
 }
@@ -641,11 +649,12 @@ HdcClassifier load_v3_buffer(std::span<const std::byte> file) {
                       parsed.classes);
   std::vector<Accumulator> accumulators;
   accumulators.reserve(parsed.classes);
-  const std::size_t lane_row = parsed.config.dim * sizeof(std::int32_t);
-  for (std::size_t c = 0; c < parsed.classes; ++c) {
+  const std::size_t lane_row =
+      checked_mul(parsed.config.dim, sizeof(std::int32_t), "lane row");
+  const std::byte* src = parsed.accumulators.data();
+  for (std::size_t c = 0; c < parsed.classes; ++c, src += lane_row) {
     std::vector<std::int32_t> lanes(parsed.config.dim);
-    std::memcpy(lanes.data(), parsed.accumulators.data() + c * lane_row,
-                lane_row);
+    std::memcpy(lanes.data(), src, lane_row);
     accumulators.push_back(Accumulator::from_lanes(std::move(lanes)));
   }
   try {
@@ -742,8 +751,9 @@ MappedModel::MappedModel(const std::string& path, MapOptions options)
     // Everything below is a non-owning view into the mapping (validated
     // shapes + clean padding) except the tie-break, whose stride words are
     // copied once so the encode kernel can take a PackedHv.
-    positions_ = PackedItemMemory::view(config_.dim, width_ * height_,
-                                        view_words(parsed.positions));
+    positions_ = PackedItemMemory::view(
+        config_.dim, checked_mul(width_, height_, "position codebook"),
+        view_words(parsed.positions));
     values_ = PackedItemMemory::view(config_.dim, config_.value_levels,
                                      view_words(parsed.values));
     tie_break_ =

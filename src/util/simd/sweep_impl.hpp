@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/contracts.hpp"
+
 namespace hdtest::util::simd::detail {
 
 /// Scalar ripple-carry of \p carry through slice levels [from, levels) at
@@ -34,13 +36,11 @@ inline std::uint64_t ripple_from(std::uint64_t* slices, std::size_t words,
 /// once per block while the B queries stay cache-resident. Ties keep the
 /// lowest class index (strict <), matching the scalar predict exactly.
 template <typename XorPop>
-inline void am_sweep_generic(const std::uint64_t* am, std::size_t classes,
-                             std::size_t stride,
-                             const std::uint64_t* const* queries,
-                             std::size_t count, std::uint32_t* best_class,
-                             std::uint64_t* best_ham, std::uint64_t* ref_ham,
-                             std::uint32_t ref_class,
-                             XorPop&& xor_pop) noexcept {
+HDTEST_HOT_PATH inline void am_sweep_generic(
+    const std::uint64_t* am, std::size_t classes, std::size_t stride,
+    const std::uint64_t* const* queries, std::size_t count,
+    std::uint32_t* best_class, std::uint64_t* best_ham, std::uint64_t* ref_ham,
+    std::uint32_t ref_class, XorPop&& xor_pop) noexcept {
   if (count == 0 || classes == 0) return;
   for (std::size_t q = 0; q < count; ++q) {
     best_ham[q] = xor_pop(am, queries[q], stride);

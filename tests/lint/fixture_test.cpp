@@ -1,0 +1,134 @@
+// Fixture tests for the hdtest-tidy fallback engine: for each of the four
+// checks, a violations fixture whose "// WARN"-tagged lines must ALL fire,
+// and a clean fixture that must produce zero diagnostics (the clean files
+// also exercise the NOLINT suppression machinery).
+//
+// The tool binary and fixture directory come in via compile definitions
+// (HDTEST_TIDY_BIN / HDTEST_TIDY_FIXTURES) so the test works from any build
+// directory.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct LintResult {
+  std::string stdout_text;
+  int exit_code = -1;
+};
+
+LintResult run_lint(const std::string& check, const std::string& fixture) {
+  const std::string cmd = std::string(HDTEST_TIDY_BIN) + " --no-scope --check=" +
+                          check + " " + std::string(HDTEST_TIDY_FIXTURES) +
+                          "/" + fixture + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to spawn: " << cmd;
+  LintResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  std::size_t got = 0;
+  while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Line numbers tagged "// WARN" in a fixture source file.
+std::set<int> expected_lines(const std::string& fixture) {
+  std::ifstream in(std::string(HDTEST_TIDY_FIXTURES) + "/" + fixture);
+  EXPECT_TRUE(in.is_open()) << fixture;
+  std::set<int> lines;
+  std::string line;
+  for (int n = 1; std::getline(in, line); ++n) {
+    if (line.find("// WARN") != std::string::npos) lines.insert(n);
+  }
+  return lines;
+}
+
+/// Line numbers of emitted diagnostics ("path:LINE:col: warning: ...").
+std::set<int> reported_lines(const std::string& output) {
+  std::set<int> lines;
+  std::istringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find(':');
+    if (first == std::string::npos) continue;
+    const std::size_t second = line.find(':', first + 1);
+    if (second == std::string::npos) continue;
+    lines.insert(std::stoi(line.substr(first + 1, second - first - 1)));
+  }
+  return lines;
+}
+
+class FixtureTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureTest, EverySeededViolationIsReported) {
+  const std::string check = std::string("hdtest-") + GetParam();
+  const std::string fixture = std::string(GetParam()) + "/violations.cpp";
+  const auto expected = expected_lines(fixture);
+  ASSERT_FALSE(expected.empty()) << "fixture has no // WARN tags: " << fixture;
+
+  const LintResult result = run_lint(check, fixture);
+  EXPECT_EQ(result.exit_code, 1) << result.stdout_text;
+  const auto reported = reported_lines(result.stdout_text);
+  EXPECT_EQ(reported, expected) << result.stdout_text;
+
+  // Every diagnostic names its check, clang-tidy style.
+  std::istringstream in(result.stdout_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("[" + check + "]"), std::string::npos) << line;
+    EXPECT_NE(line.find(": warning: "), std::string::npos) << line;
+  }
+}
+
+TEST_P(FixtureTest, CleanFixturePasses) {
+  const std::string check = std::string("hdtest-") + GetParam();
+  const std::string fixture = std::string(GetParam()) + "/clean.cpp";
+  const LintResult result = run_lint(check, fixture);
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChecks, FixtureTest,
+                         ::testing::Values("determinism", "dense-free",
+                                           "checked-arith",
+                                           "intrinsics-confined"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// The production tree itself must stay lint-clean: this is the same gate as
+// `cmake --build build --target lint`, wired into ctest so the tier-1 run
+// catches regressions without a separate CI step.
+TEST(LintTree, ProductionTreeIsClean) {
+  const std::string cmd = std::string(HDTEST_TIDY_BIN) + " " +
+                          std::string(HDTEST_TIDY_SOURCE_DIR) + "/src " +
+                          std::string(HDTEST_TIDY_SOURCE_DIR) + "/bench " +
+                          std::string(HDTEST_TIDY_SOURCE_DIR) +
+                          "/examples 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer{};
+  std::size_t got = 0;
+  while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    output.append(buffer.data(), got);
+  }
+  const int status = pclose(pipe);
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 0) << output;
+}
+
+}  // namespace

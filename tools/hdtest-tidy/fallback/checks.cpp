@@ -1,0 +1,391 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace hdtest::tidy {
+
+namespace {
+
+constexpr std::string_view kDeterminism = "hdtest-determinism";
+constexpr std::string_view kDenseFree = "hdtest-dense-free";
+constexpr std::string_view kCheckedArith = "hdtest-checked-arith";
+constexpr std::string_view kIntrinsics = "hdtest-intrinsics-confined";
+
+bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+void emit(const LexedFile& file, const Token& tok, std::string message,
+          std::string_view check, std::vector<Diagnostic>& out) {
+  if (file.suppressed(check, tok.line)) return;
+  out.push_back({file.path, tok.line, tok.col, std::move(message),
+                 std::string(check)});
+}
+
+// --------------------------------------------------------------------------
+// hdtest-determinism
+// --------------------------------------------------------------------------
+
+void check_determinism_impl(const LexedFile& file,
+                            std::vector<Diagnostic>& out) {
+  const auto& toks = file.tokens;
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    const bool called = t + 1 < toks.size() && is_punct(toks[t + 1], "(");
+    const bool member =
+        t > 0 && (is_punct(toks[t - 1], ".") || is_punct(toks[t - 1], "->"));
+    const bool qualified = t > 0 && is_punct(toks[t - 1], "::");
+
+    if (tok.text == "unordered_map" || tok.text == "unordered_set" ||
+        tok.text == "unordered_multimap" ||
+        tok.text == "unordered_multiset") {
+      emit(file, tok,
+           "iteration order of std::" + tok.text +
+               " is nondeterministic across runs; use an ordered container "
+               "in campaign/ledger/report code",
+           kDeterminism, out);
+      continue;
+    }
+    if (tok.text == "random_device") {
+      emit(file, tok,
+           "std::random_device draws entropy from the environment; derive "
+           "all randomness from the campaign seed via util::Rng",
+           kDeterminism, out);
+      continue;
+    }
+    // For names that commonly double as member/method names (time, rand):
+    // a *call* has punctuation, a "::" qualifier, or "return" before the
+    // name; a declaration/definition has a type identifier there instead.
+    const bool call_position =
+        t == 0 || qualified || toks[t - 1].kind == TokKind::kPunct ||
+        toks[t - 1].text == "return";
+    if ((tok.text == "rand" || tok.text == "srand") && called && !member &&
+        call_position) {
+      emit(file, tok,
+           "std::" + tok.text +
+               "() uses hidden global state; derive randomness from the "
+               "campaign seed via util::Rng",
+           kDeterminism, out);
+      continue;
+    }
+    if ((tok.text == "time" || tok.text == "clock") && called && !member &&
+        call_position) {
+      emit(file, tok,
+           tok.text +
+               "() reads the ambient clock; use util::Stopwatch for "
+               "wall-time reporting (its output is excluded from record "
+               "identity) or inject the timestamp",
+           kDeterminism, out);
+      continue;
+    }
+    if (tok.text == "now" && called && qualified) {
+      emit(file, tok,
+           "argless std::chrono::*::now() reads the ambient clock; use "
+           "util::Stopwatch for wall-time reporting (its output is excluded "
+           "from record identity) or inject the timestamp",
+           kDeterminism, out);
+      continue;
+    }
+    if (tok.text == "get_id" && called && qualified) {
+      emit(file, tok,
+           "std::this_thread::get_id() varies across runs; identify workers "
+           "by their deterministic shard index",
+           kDeterminism, out);
+      continue;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// hdtest-dense-free
+// --------------------------------------------------------------------------
+
+bool is_alloc_name(std::string_view name) {
+  static const std::array<std::string_view, 6> kAlloc = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "make_unique",
+      "make_shared"};
+  return std::find(kAlloc.begin(), kAlloc.end(), name) != kAlloc.end();
+}
+
+void check_dense_free_impl(const SourceModel& model,
+                           std::vector<Diagnostic>& out) {
+  for (const auto& [def, via] : model.hot_closure()) {
+    const LexedFile& file = *def->file;
+    const auto& toks = file.tokens;
+    const std::string where =
+        "'" + def->qualifier + def->name + "' is on the hot path" +
+        (via.empty() ? std::string(" (annotated HDTEST_HOT_PATH)")
+                     : " (reached via '" + via + "')");
+    for (std::size_t t = def->body_begin; t + 1 < def->body_end; ++t) {
+      const Token& tok = toks[t];
+      if (tok.kind != TokKind::kIdentifier) continue;
+      const Token& next = toks[t + 1];
+
+      if (tok.text == "Hypervector") {
+        // Skip reference/pointer/template/qualifier positions: only value
+        // declarations and constructions materialize.
+        if (next.kind == TokKind::kPunct &&
+            (next.text == "&" || next.text == "*" || next.text == ">" ||
+             next.text == "::" || next.text == ")" || next.text == "," ||
+             next.text == ";")) {
+          continue;
+        }
+        emit(file, tok,
+             where + "; materializing a dense Hypervector here defeats the "
+                     "packed-domain contract — stay in PackedHv form",
+             kDenseFree, out);
+        continue;
+      }
+      if (tok.text == "from_dense" && is_punct(next, "(")) {
+        emit(file, tok,
+             where + "; PackedHv::from_dense is a dense materialization — "
+                     "hot-path code must stay in packed form",
+             kDenseFree, out);
+        continue;
+      }
+      if (tok.text == "new" && next.kind != TokKind::kPunct) {
+        emit(file, tok,
+             where + "; hot-path code must not heap-allocate — use "
+                     "caller-provided scratch buffers",
+             kDenseFree, out);
+        continue;
+      }
+      if (is_alloc_name(tok.text) &&
+          (is_punct(next, "(") || is_punct(next, "<"))) {
+        emit(file, tok,
+             where + "; hot-path code must not heap-allocate — use "
+                     "caller-provided scratch buffers",
+             kDenseFree, out);
+        continue;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// hdtest-checked-arith
+// --------------------------------------------------------------------------
+
+bool size_ish(std::string_view name) {
+  static const std::array<std::string_view, 18> kWords = {
+      "size",  "bytes",  "count", "len",    "stride", "dim",
+      "width", "height", "class", "level",  "word",   "row",
+      "offset", "num",   "cursor", "capacity", "total", "extent"};
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const auto word : kWords) {
+    if (lower.find(word) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Compile-time constants (kCamelCase or ALL_CAPS) cannot overflow at
+/// runtime-dependent magnitudes, so arithmetic on them is exempt.
+bool is_constant_name(std::string_view name) {
+  if (name.size() >= 2 && name[0] == 'k' &&
+      std::isupper(static_cast<unsigned char>(name[1]))) {
+    return true;
+  }
+  return !name.empty() &&
+         std::all_of(name.begin(), name.end(), [](char c) {
+           return std::isupper(static_cast<unsigned char>(c)) || c == '_' ||
+                  std::isdigit(static_cast<unsigned char>(c));
+         });
+}
+
+bool is_builtin_type_name(std::string_view name) {
+  static const std::array<std::string_view, 25> kTypes = {
+      "size_t",   "ptrdiff_t", "uintptr_t", "intptr_t",  "uint8_t",
+      "uint16_t", "uint32_t",  "uint64_t",  "int8_t",    "int16_t",
+      "int32_t",  "int64_t",   "char",      "int",       "unsigned",
+      "long",     "short",     "float",     "double",    "void",
+      "bool",     "auto",      "streamsize", "streamoff", "byte"};
+  return std::find(kTypes.begin(), kTypes.end(), name) != kTypes.end();
+}
+
+/// Resolves the name of the expression ending at token \p t (exclusive of
+/// operators): an identifier gives its own text; a call/index close like
+/// "x.size()" resolves to the callee name ("size"). Returns "" when the
+/// shape is anything else.
+std::string left_operand_name(const std::vector<Token>& toks, std::size_t t) {
+  if (toks[t].kind == TokKind::kIdentifier) return toks[t].text;
+  if (is_punct(toks[t], ")")) {
+    int depth = 0;
+    for (std::size_t j = t;; --j) {
+      if (is_punct(toks[j], ")")) ++depth;
+      if (is_punct(toks[j], "(") && --depth == 0) {
+        if (j > 0 && toks[j - 1].kind == TokKind::kIdentifier) {
+          return toks[j - 1].text;
+        }
+        return "";
+      }
+      if (j == 0) break;
+    }
+  }
+  return "";
+}
+
+void check_checked_arith_impl(const LexedFile& file,
+                              std::vector<Diagnostic>& out) {
+  const auto& toks = file.tokens;
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+
+    if (tok.kind == TokKind::kIdentifier && tok.text == "reinterpret_cast") {
+      // Exempt casts whose target type mentions char: the
+      // stream.read(reinterpret_cast<char*>(...), n) idiom is the sanctioned
+      // way to hand a buffer to iostreams.
+      bool char_target = false;
+      if (t + 1 < toks.size() && is_punct(toks[t + 1], "<")) {
+        for (std::size_t j = t + 2;
+             j < toks.size() && !is_punct(toks[j], ">"); ++j) {
+          if (toks[j].kind == TokKind::kIdentifier && toks[j].text == "char") {
+            char_target = true;
+          }
+        }
+      }
+      if (!char_target) {
+        emit(file, tok,
+             "unchecked reinterpret_cast over wire bytes; read through "
+             "BufReader (bounds-checked) or cast to char* for stream I/O",
+             kCheckedArith, out);
+      }
+      continue;
+    }
+
+    if (tok.kind != TokKind::kPunct || t == 0 || t + 1 >= toks.size()) {
+      continue;
+    }
+    const bool mul = tok.text == "*";
+    const bool mul_assign = tok.text == "*=";
+    const bool add = tok.text == "+";
+    const bool add_assign = tok.text == "+=";
+    if (!mul && !mul_assign && !add && !add_assign) continue;
+
+    const Token& prev = toks[t - 1];
+    const Token& next = toks[t + 1];
+    // A literal operand cannot scale an attacker-controlled size past the
+    // checked_mul guard any further than the type already allows.
+    if (prev.kind == TokKind::kNumber || next.kind == TokKind::kNumber) {
+      continue;
+    }
+    const std::string lhs = left_operand_name(toks, t - 1);
+    std::string rhs;
+    if (next.kind == TokKind::kIdentifier) rhs = next.text;
+    if (lhs.empty() && rhs.empty()) continue;
+    if (is_constant_name(lhs) || is_constant_name(rhs)) continue;
+    // "type * name" is a pointer declaration, not arithmetic.
+    if (mul && is_builtin_type_name(lhs)) continue;
+    // Unary plus / dereference: no left operand shape.
+    if ((mul || add) && prev.kind == TokKind::kPunct &&
+        !is_punct(prev, ")")) {
+      continue;
+    }
+
+    if (mul || mul_assign) {
+      if (size_ish(lhs) || size_ish(rhs)) {
+        emit(file, tok,
+             "raw multiplication on size-typed operands ('" +
+                 (lhs.empty() ? "?" : lhs) + "' " + tok.text + " '" +
+                 (rhs.empty() ? "?" : rhs) +
+                 "') can overflow before any bounds check; route through "
+                 "hdc::checked_mul",
+             kCheckedArith, out);
+      }
+    } else {
+      if (!lhs.empty() && !rhs.empty() && size_ish(lhs) && size_ish(rhs)) {
+        emit(file, tok,
+             "unchecked addition of sizes ('" + lhs + "' " + tok.text +
+                 " '" + rhs +
+                 "') can wrap before any bounds check; route through "
+                 "hdc::checked_add",
+             kCheckedArith, out);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// hdtest-intrinsics-confined
+// --------------------------------------------------------------------------
+
+bool is_vendor_intrinsic(std::string_view name) {
+  if (name.rfind("_mm", 0) == 0) return true;   // _mm_*, _mm256_*, _mm512_*
+  if (name.rfind("__m", 0) == 0 && name.size() > 3 &&
+      std::isdigit(static_cast<unsigned char>(name[3]))) {
+    return true;  // __m128i, __m256i, __m512i, ...
+  }
+  static const std::array<std::string_view, 18> kNeonPrefixes = {
+      "vld1", "vst1", "vcnt", "vpadd", "vaddv", "vadd", "veor", "vand",
+      "vorr", "vdup", "vget", "vshr",  "vshl",  "vsub", "vmov",
+      "vreinterpret", "vcombine", "vceq"};
+  for (const auto prefix : kNeonPrefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  // NEON vector types: uint8x16_t, uint64x2_t, ...
+  for (const auto lanes : {"x16_t", "x8_t", "x4_t", "x2_t"}) {
+    if (name.size() > 6 && name.find(lanes) != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_intrinsics_confined_impl(const LexedFile& file,
+                                    std::vector<Diagnostic>& out) {
+  for (const auto& pp : file.pp_lines) {
+    for (const auto header :
+         {"immintrin.h", "emmintrin.h", "tmmintrin.h", "smmintrin.h",
+          "nmmintrin.h", "x86intrin.h", "arm_neon.h"}) {
+      if (pp.text.find(header) != std::string::npos) {
+        if (!file.suppressed(kIntrinsics, pp.line)) {
+          out.push_back({file.path, pp.line, 1,
+                         "vendor SIMD header <" + std::string(header) +
+                             "> outside src/util/simd/; go through the "
+                             "runtime-dispatched util::simd::Kernels table",
+                         std::string(kIntrinsics)});
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& tok : file.tokens) {
+    if (tok.kind != TokKind::kIdentifier) continue;
+    if (!is_vendor_intrinsic(tok.text)) continue;
+    emit(file, tok,
+         "vendor SIMD intrinsic '" + tok.text +
+             "' outside src/util/simd/; add a kernel to the "
+             "runtime-dispatched util::simd::Kernels table instead",
+         kIntrinsics, out);
+  }
+}
+
+}  // namespace
+
+void check_determinism(const LexedFile& file, std::vector<Diagnostic>& out) {
+  check_determinism_impl(file, out);
+}
+
+void check_dense_free(const SourceModel& model, std::vector<Diagnostic>& out) {
+  check_dense_free_impl(model, out);
+}
+
+void check_checked_arith(const LexedFile& file,
+                         std::vector<Diagnostic>& out) {
+  check_checked_arith_impl(file, out);
+}
+
+void check_intrinsics_confined(const LexedFile& file,
+                               std::vector<Diagnostic>& out) {
+  check_intrinsics_confined_impl(file, out);
+}
+
+}  // namespace hdtest::tidy

@@ -1,0 +1,292 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdtest::tidy {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Two-character operators kept as one token (the checks care about ::, ->,
+/// compound assignment, increment/decrement, and shifts; anything longer,
+/// like <<= or <=>, still lexes as two tokens, which no check minds).
+bool is_two_char_op(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '-' || b == '=';
+    case '+': return b == '+' || b == '=';
+    case '*': return b == '=';
+    case '/': return b == '=';
+    case '<': return b == '<' || b == '=';
+    case '>': return b == '>' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '&': return b == '&' || b == '=';
+    case '|': return b == '|' || b == '=';
+    case '^': return b == '=';
+    case '%': return b == '=';
+    default: return false;
+  }
+}
+
+/// Parses NOLINT / NOLINTNEXTLINE / NOLINTBEGIN / NOLINTEND out of one
+/// comment's text.
+void parse_suppressions(std::string_view comment, int line,
+                        std::vector<Suppression>& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string_view::npos) {
+    std::size_t after = pos + 6;
+    Suppression sup;
+    sup.line = line;
+    if (comment.substr(after, 8) == "NEXTLINE") {
+      sup.kind = Suppression::Kind::kNextLine;
+      after += 8;
+    } else if (comment.substr(after, 5) == "BEGIN") {
+      sup.kind = Suppression::Kind::kBegin;
+      after += 5;
+    } else if (comment.substr(after, 3) == "END") {
+      sup.kind = Suppression::Kind::kEnd;
+      after += 3;
+    } else {
+      sup.kind = Suppression::Kind::kLine;
+    }
+    if (after < comment.size() && comment[after] == '(') {
+      const std::size_t close = comment.find(')', after);
+      if (close != std::string_view::npos) {
+        std::string name;
+        for (std::size_t i = after + 1; i <= close; ++i) {
+          const char c = comment[i];
+          if (c == ',' || c == ')') {
+            while (!name.empty() && name.back() == ' ') name.pop_back();
+            std::size_t lead = 0;
+            while (lead < name.size() && name[lead] == ' ') ++lead;
+            if (lead < name.size()) sup.checks.push_back(name.substr(lead));
+            name.clear();
+          } else {
+            name.push_back(c);
+          }
+        }
+      }
+    }
+    out.push_back(std::move(sup));
+    pos = after;
+  }
+}
+
+}  // namespace
+
+bool LexedFile::suppressed(std::string_view check, int line) const {
+  int begin_depth = 0;
+  // Suppressions are ordered by line (single forward lex pass).
+  for (const auto& sup : suppressions) {
+    const bool names_check =
+        sup.checks.empty() ||
+        std::find(sup.checks.begin(), sup.checks.end(), check) !=
+            sup.checks.end();
+    if (!names_check) continue;
+    switch (sup.kind) {
+      case Suppression::Kind::kLine:
+        if (sup.line == line) return true;
+        break;
+      case Suppression::Kind::kNextLine:
+        if (sup.line + 1 == line) return true;
+        break;
+      case Suppression::Kind::kBegin:
+        if (sup.line <= line) ++begin_depth;
+        break;
+      case Suppression::Kind::kEnd:
+        if (sup.line < line) begin_depth = begin_depth > 0 ? begin_depth - 1 : 0;
+        break;
+    }
+  }
+  return begin_depth > 0;
+}
+
+LexedFile lex(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t start = i;
+      const int at_line = line;
+      while (i < src.size() && src[i] != '\n') advance(1);
+      parse_suppressions(src.substr(start, i - start), at_line,
+                         out.suppressions);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int at_line = line;
+      advance(2);
+      while (i < src.size() &&
+             !(src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/')) {
+        advance(1);
+      }
+      advance(2);
+      parse_suppressions(src.substr(start, i - start), at_line,
+                         out.suppressions);
+      continue;
+    }
+    // Preprocessor logical line (only when # is the first non-space char).
+    if (c == '#' && [&] {
+          std::size_t j = i;
+          while (j > 0 && (src[j - 1] == ' ' || src[j - 1] == '\t')) --j;
+          return j == 0 || src[j - 1] == '\n';
+        }()) {
+      PpLine pp;
+      pp.line = line;
+      while (i < src.size()) {
+        if (src[i] == '\n') {
+          if (!pp.text.empty() && pp.text.back() == '\\') {
+            pp.text.pop_back();
+            advance(1);
+            continue;
+          }
+          break;
+        }
+        // Comments inside directives end or interrupt them rarely; keep the
+        // raw text — the intrinsics check only substring-matches headers.
+        pp.text.push_back(src[i]);
+        advance(1);
+      }
+      out.pp_lines.push_back(std::move(pp));
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      const int at_line = line;
+      const int at_col = col;
+      advance(2);
+      std::string delim;
+      while (i < src.size() && src[i] != '(') {
+        delim.push_back(src[i]);
+        advance(1);
+      }
+      advance(1);  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (i < src.size() && src.substr(i, closer.size()) != closer) {
+        advance(1);
+      }
+      advance(closer.size());
+      out.tokens.push_back({TokKind::kString, "R\"...\"", at_line, at_col});
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      const int at_line = line;
+      const int at_col = col;
+      advance(1);
+      while (i < src.size() && src[i] != '"') {
+        advance(src[i] == '\\' ? 2 : 1);
+      }
+      advance(1);
+      out.tokens.push_back({TokKind::kString, "\"...\"", at_line, at_col});
+      continue;
+    }
+    // Char literal (identifier' is a digit separator context we never hit:
+    // the lexer consumes numbers including ' separators below first).
+    if (c == '\'') {
+      const int at_line = line;
+      const int at_col = col;
+      advance(1);
+      while (i < src.size() && src[i] != '\'') {
+        advance(src[i] == '\\' ? 2 : 1);
+      }
+      advance(1);
+      out.tokens.push_back({TokKind::kCharLit, "'...'", at_line, at_col});
+      continue;
+    }
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      const int at_line = line;
+      const int at_col = col;
+      std::string text;
+      while (i < src.size() && is_ident_char(src[i])) {
+        text.push_back(src[i]);
+        advance(1);
+      }
+      out.tokens.push_back(
+          {TokKind::kIdentifier, std::move(text), at_line, at_col});
+      continue;
+    }
+    // Number (including hex, digit separators, suffixes, and simple
+    // floats; exponent signs are absorbed so "1e-5" is one token).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const int at_line = line;
+      const int at_col = col;
+      std::string text;
+      while (i < src.size() &&
+             (is_ident_char(src[i]) || src[i] == '\'' || src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P')))) {
+        text.push_back(src[i]);
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kNumber, std::move(text), at_line, at_col});
+      continue;
+    }
+    // Punctuation.
+    {
+      const int at_line = line;
+      const int at_col = col;
+      std::string text(1, c);
+      if (i + 1 < src.size() && is_two_char_op(c, src[i + 1])) {
+        text.push_back(src[i + 1]);
+        advance(2);
+      } else {
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kPunct, std::move(text), at_line, at_col});
+    }
+  }
+  return out;
+}
+
+LexedFile lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("hdtest-tidy: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lex(path, buffer.str());
+}
+
+}  // namespace hdtest::tidy

@@ -1,0 +1,230 @@
+#include "model.hpp"
+
+#include <deque>
+
+namespace hdtest::tidy {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",      "for",     "while",    "switch",        "catch",
+      "return",  "sizeof",  "alignof",  "static_assert", "decltype",
+      "new",     "delete",  "throw",    "assert",        "defined",
+      "else",    "do",      "case",     "goto",          "using",
+      "typedef", "requires", "noexcept", "alignas",      "co_await",
+      "co_return", "co_yield"};
+  return kw;
+}
+
+bool is_punct(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+/// Index one past the matching close for the open bracket at \p open
+/// (tokens[open] must be "(" or "{"); tokens.size() if unbalanced.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
+                          const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t t = open; t < tokens.size(); ++t) {
+    if (is_punct(tokens[t], open_text)) ++depth;
+    if (is_punct(tokens[t], close_text) && --depth == 0) return t + 1;
+  }
+  return tokens.size();
+}
+
+/// Skips a constructor member-initializer list starting at the ":" token;
+/// returns the index of the body "{" or tokens.size() when the shape does
+/// not parse as an initializer list.
+std::size_t skip_init_list(const std::vector<Token>& tokens, std::size_t t) {
+  ++t;  // past ':'
+  while (t < tokens.size()) {
+    // Initializer: identifier chain, then (...) or {...}.
+    while (t < tokens.size() && (tokens[t].kind == TokKind::kIdentifier ||
+                                 is_punct(tokens[t], "::") ||
+                                 is_punct(tokens[t], "<") ||
+                                 is_punct(tokens[t], ">") ||
+                                 tokens[t].kind == TokKind::kNumber ||
+                                 is_punct(tokens[t], ","))) {
+      ++t;
+    }
+    if (t >= tokens.size()) return tokens.size();
+    if (is_punct(tokens[t], "(")) {
+      t = match_forward(tokens, t, "(", ")");
+    } else if (is_punct(tokens[t], "{")) {
+      // Brace either starts the body (directly after an initializer's
+      // closing bracket a "," would have looped) or is an init-brace; an
+      // init-brace is always followed by "," or the body "{" after its
+      // close — resolve by peeking what follows the match.
+      const std::size_t after = match_forward(tokens, t, "{", "}");
+      if (after < tokens.size() && (is_punct(tokens[after], ",") ||
+                                    is_punct(tokens[after], "{"))) {
+        t = after;
+        continue;
+      }
+      return t;  // the body brace
+    } else {
+      return tokens.size();
+    }
+    if (t < tokens.size() && is_punct(tokens[t], ",")) {
+      ++t;
+      continue;
+    }
+    break;
+  }
+  return (t < tokens.size() && is_punct(tokens[t], "{")) ? t
+                                                         : tokens.size();
+}
+
+}  // namespace
+
+void SourceModel::add_file(const LexedFile& file) {
+  const auto& tokens = file.tokens;
+
+  // Pass 1: names annotated HDTEST_HOT_PATH anywhere (declaration or
+  // definition): the name is the last identifier before the next "(".
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    if (!is_ident(tokens[t], "HDTEST_HOT_PATH")) continue;
+    std::string name;
+    for (std::size_t j = t + 1; j < tokens.size(); ++j) {
+      if (is_punct(tokens[j], "(")) break;
+      if (is_punct(tokens[j], ";") || is_punct(tokens[j], "}")) break;
+      if (tokens[j].kind == TokKind::kIdentifier) name = tokens[j].text;
+    }
+    if (!name.empty()) hot_names_.insert(name);
+  }
+
+  // Pass 2: function definitions. Candidate: identifier followed by "(",
+  // whose parameter list is followed (possibly via const/noexcept/trailing
+  // return/initializer list) by a "{".
+  std::size_t statement_start = 0;
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    if (is_punct(tokens[t], ";") || is_punct(tokens[t], "{") ||
+        is_punct(tokens[t], "}")) {
+      statement_start = t + 1;
+      continue;
+    }
+    if (tokens[t].kind != TokKind::kIdentifier ||
+        control_keywords().count(tokens[t].text) != 0) {
+      continue;
+    }
+    if (t + 1 >= tokens.size() || !is_punct(tokens[t + 1], "(")) continue;
+    // Member access before the name means a call, not a definition.
+    if (t > 0 && (is_punct(tokens[t - 1], ".") ||
+                  is_punct(tokens[t - 1], "->"))) {
+      continue;
+    }
+
+    std::size_t after = match_forward(tokens, t + 1, "(", ")");
+    if (after >= tokens.size()) continue;
+
+    // Swallow trailing specifiers up to "{" / initializer list.
+    bool is_def = false;
+    std::size_t body_open = tokens.size();
+    std::size_t j = after;
+    while (j < tokens.size()) {
+      const Token& tok = tokens[j];
+      if (is_punct(tok, "{")) {
+        is_def = true;
+        body_open = j;
+        break;
+      }
+      if (is_punct(tok, ":")) {  // constructor initializer list
+        body_open = skip_init_list(tokens, j);
+        is_def = body_open < tokens.size();
+        break;
+      }
+      if (is_ident(tok, "const") || is_ident(tok, "noexcept") ||
+          is_ident(tok, "override") || is_ident(tok, "final") ||
+          is_ident(tok, "mutable") || is_ident(tok, "try")) {
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "->")) {  // trailing return type: idents/:: /<>/&/*
+        ++j;
+        while (j < tokens.size() &&
+               (tokens[j].kind == TokKind::kIdentifier ||
+                is_punct(tokens[j], "::") || is_punct(tokens[j], "<") ||
+                is_punct(tokens[j], ">") || is_punct(tokens[j], "&") ||
+                is_punct(tokens[j], "*"))) {
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(tok, "(")) {  // noexcept(...) operand
+        j = match_forward(tokens, j, "(", ")");
+        continue;
+      }
+      break;  // ';', ',', '=', ... — a declaration or expression, not a def
+    }
+    if (!is_def || body_open >= tokens.size()) continue;
+
+    FunctionDef def;
+    def.name = tokens[t].text;
+    def.file = &file;
+    def.line = tokens[t].line;
+    for (std::size_t q = t; q >= 2 && is_punct(tokens[q - 1], "::") &&
+                            tokens[q - 2].kind == TokKind::kIdentifier;
+         q -= 2) {
+      def.qualifier = tokens[q - 2].text + "::" + def.qualifier;
+    }
+    def.body_begin = body_open;
+    def.body_end = match_forward(tokens, body_open, "{", "}");
+    for (std::size_t a = statement_start; a < t; ++a) {
+      if (is_ident(tokens[a], "HDTEST_HOT_PATH")) def.annotated_hot = true;
+    }
+    for (std::size_t b = def.body_begin; b + 1 < def.body_end; ++b) {
+      if (tokens[b].kind == TokKind::kIdentifier &&
+          is_punct(tokens[b + 1], "(") &&
+          control_keywords().count(tokens[b].text) == 0) {
+        def.callees.push_back(tokens[b].text);
+      }
+    }
+    defs_.push_back(std::move(def));
+
+    // Continue scanning *inside* the body too (nested lambdas/classes can
+    // define more functions), so do not skip past body_end here.
+  }
+}
+
+std::map<const FunctionDef*, std::string> SourceModel::hot_closure() const {
+  std::map<std::string, std::vector<const FunctionDef*>> by_name;
+  for (const auto& def : defs_) by_name[def.name].push_back(&def);
+
+  std::map<const FunctionDef*, std::string> reached;
+  std::deque<const FunctionDef*> queue;
+  for (const auto& name : hot_names_) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) continue;
+    // Prefer the explicitly annotated definitions; if the annotation only
+    // exists on a declaration, fall back to every same-named definition so
+    // a decl-only annotation still covers the out-of-line body.
+    bool any_annotated = false;
+    for (const auto* def : it->second) any_annotated |= def->annotated_hot;
+    for (const auto* def : it->second) {
+      if (any_annotated && !def->annotated_hot) continue;
+      if (reached.emplace(def, std::string()).second) queue.push_back(def);
+    }
+  }
+  while (!queue.empty()) {
+    const FunctionDef* def = queue.front();
+    queue.pop_front();
+    for (const auto& callee : def->callees) {
+      const auto it = by_name.find(callee);
+      if (it == by_name.end()) continue;
+      for (const auto* target : it->second) {
+        if (target == def) continue;
+        if (reached.emplace(target, def->qualifier + def->name).second) {
+          queue.push_back(target);
+        }
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace hdtest::tidy

@@ -1,0 +1,34 @@
+// hdtest-checked-arith fixture: must produce ZERO diagnostics. Shows the
+// sanctioned forms: nested checked_mul, char* casts for stream I/O,
+// literal/constant factors, and loop-index arithmetic on non-size names.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fixture {
+
+constexpr std::size_t kHeaderBytes = 64;
+
+std::size_t checked_mul(std::size_t a, std::size_t b, const char* what);
+std::size_t checked_add(std::size_t a, std::size_t b, const char* what);
+
+std::size_t header_math(std::size_t classes, std::size_t stride,
+                        std::size_t width, std::size_t height) {
+  const std::size_t row_bytes = checked_mul(classes, stride, "rows");
+  const std::size_t pixels = checked_mul(width, height, "pixels");
+  // Constant and literal factors cannot scale a hostile size any further
+  // than the type already allows.
+  const std::size_t padded = kHeaderBytes * classes;
+  const std::size_t doubled = stride * 2;
+  return checked_add(checked_add(row_bytes, pixels, "total"),
+                     padded + doubled, "total");
+}
+
+const char* stream_view(std::span<const std::byte> bytes) {
+  // char* casts are the sanctioned iostream handoff.
+  return reinterpret_cast<const char*>(bytes.data());
+}
+
+int loop_math(int i, int j) { return i * j + i; }
+
+}  // namespace fixture

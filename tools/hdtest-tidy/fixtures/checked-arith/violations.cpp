@@ -1,0 +1,27 @@
+// hdtest-checked-arith fixture: every line tagged WARN must produce a
+// diagnostic when linted with --no-scope. Linted, never compiled into any
+// target.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fixture {
+
+std::size_t checked_mul(std::size_t a, std::size_t b, const char* what);
+
+std::size_t header_math(std::size_t classes, std::size_t stride,
+                        std::size_t width, std::size_t height) {
+  const std::size_t row_bytes = classes * stride;       // WARN
+  const std::size_t pixels = width * height;            // WARN
+  std::size_t offset = pixels;
+  offset += row_bytes;                                  // WARN
+  // Nesting a raw product inside the guard defeats it: the multiply
+  // overflows before checked_mul ever sees the operands.
+  return checked_mul(width * height, stride, "rows");   // WARN
+}
+
+const std::uint64_t* raw_view(std::span<const std::byte> bytes) {
+  return reinterpret_cast<const std::uint64_t*>(bytes.data());  // WARN
+}
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// hdtest-dense-free fixture: must produce ZERO diagnostics. Cold code may
+// allocate and materialize dense vectors freely; hot code that only touches
+// packed form and caller-provided scratch passes; a justified NOLINT
+// silences a deliberate hot-path allocation.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#define HDTEST_HOT_PATH
+
+namespace fixture {
+
+struct Hypervector {
+  std::vector<int> lanes;
+};
+
+struct PackedHv {
+  std::vector<std::uint64_t> words;
+  static PackedHv from_dense(const Hypervector& dense);
+};
+
+// Cold path: dense materialization and allocation are fine here, and this
+// function is never called from a hot root.
+PackedHv cold_build() {
+  Hypervector dense;
+  dense.lanes.resize(64);
+  auto scratch = std::make_unique<int[]>(64);
+  (void)scratch;
+  return PackedHv::from_dense(dense);
+}
+
+// Hot path: reads packed words, writes into caller-provided scratch. Taking
+// a Hypervector by reference is not a materialization.
+HDTEST_HOT_PATH std::uint64_t hot_query(const PackedHv& query,
+                                        const Hypervector& reference,
+                                        std::vector<std::uint64_t>& scratch) {
+  std::uint64_t acc = 0;
+  for (const auto word : query.words) acc ^= word;
+  scratch.clear();
+  scratch.push_back(acc);
+  return acc + static_cast<std::uint64_t>(reference.lanes.size());
+}
+
+// One-time setup inside a hot function, explicitly justified.
+HDTEST_HOT_PATH std::uint64_t hot_with_justified_alloc(const PackedHv& query) {
+  // NOLINTNEXTLINE(hdtest-dense-free): one-shot warm-up, not steady state
+  auto warmup = std::make_unique<std::uint64_t>(0);
+  for (const auto word : query.words) *warmup ^= word;
+  return *warmup;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// hdtest-dense-free fixture: every line tagged WARN must produce a
+// diagnostic. Exercises direct violations in an annotated root AND
+// violations in a callee reached through the name-resolved call graph.
+// Linted, never compiled into any target.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#define HDTEST_HOT_PATH
+
+namespace fixture {
+
+struct Hypervector {
+  std::vector<int> lanes;
+};
+
+struct PackedHv {
+  static PackedHv from_dense(const Hypervector& dense);
+};
+
+// A cold helper pulled onto the hot path by the call in hot_root below.
+int transitive_callee() {
+  auto owned = std::make_unique<int>(7);  // WARN
+  return *owned;
+}
+
+HDTEST_HOT_PATH int hot_root(const Hypervector& input) {
+  Hypervector scratch;                      // WARN
+  auto packed = PackedHv::from_dense(scratch);  // WARN
+  (void)packed;
+  int* raw = new int(3);                    // WARN
+  void* block = std::malloc(64);            // WARN
+  auto shared = std::make_shared<int>(9);   // WARN
+  std::free(block);
+  delete raw;
+  return transitive_callee() + static_cast<int>(input.lanes.size()) + *shared;
+}
+
+}  // namespace fixture

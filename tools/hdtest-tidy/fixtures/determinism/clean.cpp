@@ -1,0 +1,56 @@
+// hdtest-determinism fixture: must produce ZERO diagnostics, including the
+// deliberately-violating lines at the bottom, which are silenced with the
+// same NOLINT spellings clang-tidy honors — this fixture doubles as the
+// suppression-machinery test.
+#include <cstdint>
+#include <ctime>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// Ordered containers iterate deterministically.
+std::size_t ordered_iteration(const std::map<std::string, int>& scores,
+                              const std::set<int>& seen) {
+  std::size_t total = 0;
+  for (const auto& [key, value] : scores) total += key.size() + value;
+  for (const int v : seen) total += static_cast<std::size_t>(v);
+  return total;
+}
+
+// Seed-derived randomness: state is explicit, no ambient draw.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+std::uint64_t seeded(Rng& rng) { return rng.next(); }
+
+// Member functions *named* like the banned globals are fine: the check only
+// fires on free/qualified calls.
+struct Clock {
+  long time() const { return 42; }
+  long rand() const { return 7; }
+};
+
+long member_shadows(const Clock& clock) { return clock.time() + clock.rand(); }
+
+long nolint_spellings() {
+  long total = std::time(nullptr);  // NOLINT(hdtest-determinism): fixture
+  // NOLINTNEXTLINE(hdtest-determinism)
+  total += std::time(nullptr);
+  // NOLINTBEGIN(hdtest-determinism)
+  total += std::time(nullptr);
+  total += std::time(nullptr);
+  // NOLINTEND(hdtest-determinism)
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// hdtest-determinism fixture: every line tagged WARN must produce
+// exactly one diagnostic when linted with --no-scope. Linted, never compiled
+// into any target (the includes keep it compilable for humans).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int ambient_randomness() {
+  std::random_device entropy;  // WARN
+  std::srand(entropy());       // WARN
+  return std::rand();          // WARN
+}
+
+long ambient_clock() {
+  const auto wall = std::time(nullptr);                    // WARN
+  const auto tick = std::chrono::steady_clock::now();      // WARN
+  const auto hires = std::chrono::system_clock::now();     // WARN
+  (void)tick;
+  (void)hires;
+  return static_cast<long>(wall);
+}
+
+std::size_t unordered_iteration(
+    const std::unordered_map<std::string, int>& scores,  // WARN
+    const std::unordered_set<int>& seen) {               // WARN
+  std::size_t total = 0;
+  for (const auto& [key, value] : scores) total += key.size() + value;
+  for (const int v : seen) total += static_cast<std::size_t>(v);
+  return total;
+}
+
+std::size_t worker_identity() {
+  const auto id = std::this_thread::get_id();  // WARN
+  return std::hash<std::thread::id>{}(id);
+}
+
+}  // namespace fixture

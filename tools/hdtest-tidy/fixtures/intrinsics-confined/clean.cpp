@@ -1,0 +1,36 @@
+// hdtest-intrinsics-confined fixture: must produce ZERO diagnostics.
+// Portable code dispatching through a kernel table — the pattern the check
+// pushes everything toward — plus identifiers that merely resemble
+// intrinsic names without being ones.
+#include <bit>
+#include <cstdint>
+
+namespace fixture {
+
+// The sanctioned shape: call through a runtime-dispatched function pointer
+// table; the vendor intrinsics live behind it in src/util/simd/.
+struct Kernels {
+  std::uint64_t (*xor_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words);
+};
+
+std::uint64_t portable_xor_popcount(const std::uint64_t* a,
+                                    const std::uint64_t* b,
+                                    std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+std::uint64_t distance(const Kernels& kernels, const std::uint64_t* a,
+                       const std::uint64_t* b, std::size_t words) {
+  return kernels.xor_popcount(a, b, words);
+}
+
+// Near-miss identifiers: none of these are vendor intrinsics.
+int vectorize(int value) { return value * 2; }
+int mmap_like_name(int fd) { return fd; }
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// hdtest-intrinsics-confined fixture: every line tagged WARN must
+// produce a diagnostic (this file stands in for code OUTSIDE src/util/simd/).
+// Linted, never compiled into any target — the intrinsics are only tokens.
+#include <cstdint>
+#include <immintrin.h>  // WARN
+
+namespace fixture {
+
+std::uint64_t avx2_popcount(const std::uint64_t* a, const std::uint64_t* b) {
+  __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));  // WARN
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));  // WARN
+  __m256i x = _mm256_xor_si256(va, vb);                                  // WARN
+  return static_cast<std::uint64_t>(_mm256_extract_epi64(x, 0));         // WARN
+}
+
+std::uint64_t sse_xor(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(_mm_popcnt_u64(a ^ b));  // WARN
+}
+
+std::uint64_t neon_xor(const std::uint8_t* a, const std::uint8_t* b) {
+  uint8x16_t va = vld1q_u8(a);                    // WARN
+  uint8x16_t vb = vld1q_u8(b);                    // WARN
+  uint8x16_t x = veorq_u8(va, vb);                // WARN
+  return vaddvq_u8(vcntq_u8(x));                  // WARN
+}
+
+}  // namespace fixture

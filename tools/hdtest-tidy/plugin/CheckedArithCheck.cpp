@@ -1,0 +1,109 @@
+//===--- CheckedArithCheck.cpp - hdtest-tidy -----------------------------===//
+
+#include "CheckedArithCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::hdtest {
+
+namespace {
+
+bool inWireScope(const SourceManager &SM, SourceLocation Loc) {
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  const StringRef Name = llvm::sys::path::filename(File);
+  if (Name.starts_with("serialize.") || Name.starts_with("mmap_file."))
+    return true;
+  return File.contains("src/fuzz/shard/") &&
+         (Name.starts_with("ledger.") || Name.starts_with("seed_bank."));
+}
+
+} // namespace
+
+void CheckedArithCheck::registerMatchers(MatchFinder *Finder) {
+  // Wide unsigned operand that is not a constant expression: the shape of a
+  // runtime size. uint32_t counts are included — 32-bit products overflow
+  // size_t math on 32-bit targets and checked_mul documents the intent.
+  const auto RuntimeSize =
+      expr(hasType(hasCanonicalType(isUnsignedInteger())),
+           unless(isIntegerConstantExpr()),
+           unless(hasType(hasCanonicalType(booleanType()))));
+
+  const auto InsideCheckedHelper = hasAncestor(callExpr(callee(functionDecl(
+      hasAnyName("::hdtest::hdc::checked_mul", "::hdtest::hdc::checked_add")))));
+  // A raw product nested *directly inside* a checked_mul argument list still
+  // overflows before the helper sees it, so InsideCheckedHelper must only
+  // exempt the helper's own expansion — immediate argument position is NOT
+  // exempt. That is expressed by matching the argument expressions
+  // explicitly below and not applying the ancestor exemption to them.
+
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("*", "+"),
+                     hasLHS(ignoringParenImpCasts(RuntimeSize)),
+                     hasRHS(ignoringParenImpCasts(RuntimeSize)),
+                     unless(InsideCheckedHelper))
+          .bind("raw-arith"),
+      this);
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("*", "+"),
+                     hasLHS(ignoringParenImpCasts(RuntimeSize)),
+                     hasRHS(ignoringParenImpCasts(RuntimeSize)),
+                     hasAncestor(callExpr(
+                         callee(functionDecl(hasAnyName(
+                             "::hdtest::hdc::checked_mul",
+                             "::hdtest::hdc::checked_add"))))))
+          .bind("raw-arith-in-arg"),
+      this);
+  Finder->addMatcher(
+      cxxOperatorCallExpr(hasAnyOverloadedOperatorName("*=", "+="))
+          .bind("raw-compound"),
+      this);
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("*=", "+="),
+                     hasLHS(ignoringParenImpCasts(RuntimeSize)),
+                     hasRHS(ignoringParenImpCasts(RuntimeSize)))
+          .bind("raw-arith"),
+      this);
+
+  Finder->addMatcher(
+      cxxReinterpretCastExpr(
+          unless(hasDestinationType(pointsTo(isAnyCharacter()))),
+          unless(hasAncestor(cxxRecordDecl(hasName("BufReader")))))
+          .bind("raw-cast"),
+      this);
+}
+
+void CheckedArithCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("raw-arith")) {
+    if (inWireScope(SM, E->getBeginLoc()))
+      diag(E->getExprLoc(),
+           "raw arithmetic on size-typed operands can overflow before any "
+           "bounds check; route through hdc::checked_mul / hdc::checked_add");
+  }
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("raw-arith-in-arg")) {
+    if (inWireScope(SM, E->getBeginLoc()))
+      diag(E->getExprLoc(),
+           "raw product inside a checked_mul argument overflows before the "
+           "guard runs; nest the checked_mul calls instead");
+  }
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("raw-compound")) {
+    if (inWireScope(SM, E->getBeginLoc()))
+      diag(E->getExprLoc(),
+           "raw compound size arithmetic can overflow; route through "
+           "hdc::checked_mul / hdc::checked_add");
+  }
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("raw-cast")) {
+    if (inWireScope(SM, E->getBeginLoc()))
+      diag(E->getBeginLoc(),
+           "unchecked reinterpret_cast over wire bytes; read through "
+           "BufReader (bounds-checked) or cast to char* for stream I/O");
+  }
+}
+
+} // namespace clang::tidy::hdtest

@@ -1,0 +1,36 @@
+//===--- CheckedArithCheck.h - hdtest-tidy -------------------*- C++ -*-===//
+//
+// hdtest-checked-arith: serializer / mmap / shard wire-format code must not
+// do raw arithmetic on size-typed operands. Flags:
+//   * binary * and + (and *=, +=) where both operands are of unsigned
+//     integral type at least 32 bits wide and neither is a compile-time
+//     constant, outside a call to hdc::checked_mul / hdc::checked_add
+//   * reinterpret_cast whose destination is not a character pointer and
+//     which is not inside BufReader (the sanctioned bounds-checked reader)
+//
+// Scope: serialize.*, mmap_file.*, shard ledger/seed_bank (path-filtered in
+// the check so the plugin can be enabled tree-wide).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HDTEST_TIDY_CHECKED_ARITH_CHECK_H
+#define HDTEST_TIDY_CHECKED_ARITH_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::hdtest {
+
+class CheckedArithCheck : public ClangTidyCheck {
+public:
+  CheckedArithCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::hdtest
+
+#endif // HDTEST_TIDY_CHECKED_ARITH_CHECK_H

@@ -1,0 +1,113 @@
+//===--- DenseFreeCheck.cpp - hdtest-tidy --------------------------------===//
+
+#include "DenseFreeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Analysis/CallGraph.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::hdtest {
+
+namespace {
+
+constexpr llvm::StringLiteral kHotAnnotation = "hdtest::hot_path";
+
+bool isAnnotatedHot(const FunctionDecl *FD) {
+  for (const FunctionDecl *Redecl : FD->redecls()) {
+    for (const auto *A : Redecl->specific_attrs<AnnotateAttr>()) {
+      if (A->getAnnotation() == kHotAnnotation)
+        return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool DenseFreeCheck::isHot(const FunctionDecl *FD) {
+  FD = FD->getCanonicalDecl();
+  if (HotCache.contains(FD))
+    return true;
+  if (ColdCache.contains(FD))
+    return false;
+
+  // Seed-and-propagate: the hot set is the forward closure of the annotated
+  // roots over the TU call graph. Build it on demand the first time any
+  // candidate function is queried in this TU.
+  if (HotCache.empty() && ColdCache.empty()) {
+    CallGraph CG;
+    CG.addToCallGraph(FD->getASTContext().getTranslationUnitDecl());
+    llvm::SmallVector<const CallGraphNode *, 16> Worklist;
+    for (const auto &Entry : CG) {
+      const auto *Fn =
+          llvm::dyn_cast_or_null<FunctionDecl>(Entry.second->getDecl());
+      if (Fn && isAnnotatedHot(Fn)) {
+        if (HotCache.insert(Fn->getCanonicalDecl()).second)
+          Worklist.push_back(Entry.second.get());
+      }
+    }
+    while (!Worklist.empty()) {
+      const CallGraphNode *Node = Worklist.pop_back_val();
+      for (const CallGraphNode::CallRecord &Callee : *Node) {
+        const auto *Fn =
+            llvm::dyn_cast_or_null<FunctionDecl>(Callee.Callee->getDecl());
+        if (Fn && HotCache.insert(Fn->getCanonicalDecl()).second)
+          Worklist.push_back(Callee.Callee);
+      }
+    }
+  }
+  if (HotCache.contains(FD))
+    return true;
+  ColdCache.insert(FD);
+  return false;
+}
+
+void DenseFreeCheck::registerMatchers(MatchFinder *Finder) {
+  const auto InFunction = hasAncestor(functionDecl().bind("func"));
+
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(cxxRecordDecl(hasName("::hdtest::hdc::Hypervector"))),
+                       InFunction)
+          .bind("dense-ctor"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("from_dense"))), InFunction)
+          .bind("from-dense"),
+      this);
+  Finder->addMatcher(cxxNewExpr(InFunction).bind("alloc"), this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::malloc", "::calloc", "::realloc", "::aligned_alloc",
+                   "::std::make_unique", "::std::make_shared"))),
+               InFunction)
+          .bind("alloc"),
+      this);
+}
+
+void DenseFreeCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (!Func || !isHot(Func))
+    return;
+  const std::string Name = Func->getQualifiedNameAsString();
+
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("dense-ctor"))
+    diag(E->getBeginLoc(),
+         "'%0' is on the hot path; materializing a dense Hypervector here "
+         "defeats the packed-domain contract — stay in PackedHv form")
+        << Name;
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("from-dense"))
+    diag(E->getBeginLoc(),
+         "'%0' is on the hot path; PackedHv::from_dense is a dense "
+         "materialization — hot-path code must stay in packed form")
+        << Name;
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("alloc"))
+    diag(E->getBeginLoc(),
+         "'%0' is on the hot path and must not heap-allocate; use "
+         "caller-provided scratch buffers")
+        << Name;
+}
+
+} // namespace clang::tidy::hdtest

@@ -1,0 +1,45 @@
+//===--- DenseFreeCheck.h - hdtest-tidy ----------------------*- C++ -*-===//
+//
+// hdtest-dense-free: functions annotated [[clang::annotate("hdtest::hot_path")]]
+// (spelled HDTEST_HOT_PATH in the tree) and their statically-resolved callees
+// must not construct a dense hdc::Hypervector, call PackedHv::from_dense, or
+// heap-allocate (operator new, malloc family, make_unique/make_shared).
+//
+// The closure walk is per-TU: direct calls are resolved through their
+// canonical declarations, so an annotation on either the declaration or the
+// definition marks the root. Indirect calls (function pointers, virtual
+// dispatch) are outside the closure; annotate concrete implementations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HDTEST_TIDY_DENSE_FREE_CHECK_H
+#define HDTEST_TIDY_DENSE_FREE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang::tidy::hdtest {
+
+class DenseFreeCheck : public ClangTidyCheck {
+public:
+  DenseFreeCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  /// True when \p FD carries the hot-path annotation or is (transitively)
+  /// called from a function that does. Memoized per canonical decl.
+  bool isHot(const FunctionDecl *FD);
+
+  llvm::DenseSet<const FunctionDecl *> HotCache;
+  llvm::DenseSet<const FunctionDecl *> ColdCache;
+  llvm::DenseSet<const FunctionDecl *> InProgress;
+};
+
+} // namespace clang::tidy::hdtest
+
+#endif // HDTEST_TIDY_DENSE_FREE_CHECK_H

@@ -1,0 +1,96 @@
+//===--- DeterminismCheck.cpp - hdtest-tidy ------------------------------===//
+
+#include "DeterminismCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::hdtest {
+
+namespace {
+
+bool inDeterministicScope(const SourceManager &SM, SourceLocation Loc) {
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  return File.contains("src/fuzz/") || File.contains("src/defense/");
+}
+
+} // namespace
+
+void DeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedContainer = classTemplateSpecializationDecl(hasAnyName(
+      "::std::unordered_map", "::std::unordered_set",
+      "::std::unordered_multimap", "::std::unordered_multiset"));
+
+  // Range-for whose range is an unordered container (directly or via
+  // reference); explicit begin()/end() iterator loops reduce to the same
+  // member calls and are caught by the memberExpr matcher below.
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(hasUnqualifiedDesugaredType(recordType(
+              hasDeclaration(UnorderedContainer)))))))
+          .bind("unordered-iter"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("begin", "end", "cbegin", "cend"))),
+          on(expr(hasType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(UnorderedContainer)))))))
+          .bind("unordered-iter"),
+      this);
+
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::std::rand",
+                                              "::srand", "::std::srand",
+                                              "::time", "::clock"))))
+          .bind("ambient-call"),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(cxxRecordDecl(hasName("::std::random_device"))))
+          .bind("random-device"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasName("now"),
+                   hasAncestor(cxxRecordDecl(hasAnyName(
+                       "::std::chrono::system_clock",
+                       "::std::chrono::steady_clock",
+                       "::std::chrono::high_resolution_clock"))))),
+               argumentCountIs(0))
+          .bind("clock-now"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("::std::this_thread::get_id"))))
+          .bind("thread-id"),
+      this);
+}
+
+void DeterminismCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  const auto EmitAt = [&](const Expr *E, StringRef Message) {
+    if (!E || !inDeterministicScope(SM, E->getBeginLoc()))
+      return;
+    diag(E->getBeginLoc(), Message);
+  };
+
+  EmitAt(Result.Nodes.getNodeAs<Expr>("unordered-iter"),
+         "iteration order of unordered containers is nondeterministic across "
+         "runs; use an ordered container in campaign/ledger/report code");
+  EmitAt(Result.Nodes.getNodeAs<Expr>("ambient-call"),
+         "ambient randomness/clock call; derive randomness from the campaign "
+         "seed via util::Rng and wall time via util::Stopwatch");
+  EmitAt(Result.Nodes.getNodeAs<Expr>("random-device"),
+         "std::random_device draws entropy from the environment; derive all "
+         "randomness from the campaign seed via util::Rng");
+  EmitAt(Result.Nodes.getNodeAs<Expr>("clock-now"),
+         "argless std::chrono::*::now() reads the ambient clock; use "
+         "util::Stopwatch (excluded from record identity) or inject the "
+         "timestamp");
+  EmitAt(Result.Nodes.getNodeAs<Expr>("thread-id"),
+         "std::this_thread::get_id() varies across runs; identify workers by "
+         "their deterministic shard index");
+}
+
+} // namespace clang::tidy::hdtest

@@ -1,0 +1,36 @@
+//===--- DeterminismCheck.h - hdtest-tidy --------------------*- C++ -*-===//
+//
+// hdtest-determinism: campaign/ledger/record/report code paths must not
+// consult ambient nondeterminism. Flags:
+//   * range-for / iterator loops over std::unordered_map / unordered_set
+//     (iteration order varies across hash seeds and library versions)
+//   * std::rand, std::srand, ::time, ::clock, std::random_device
+//   * argless std::chrono::{system,steady,high_resolution}_clock::now()
+//   * std::this_thread::get_id()
+//
+// Scope is applied by the check itself (file paths under src/fuzz/ and
+// src/defense/), so the plugin can be enabled tree-wide.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HDTEST_TIDY_DETERMINISM_CHECK_H
+#define HDTEST_TIDY_DETERMINISM_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::hdtest {
+
+class DeterminismCheck : public ClangTidyCheck {
+public:
+  DeterminismCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::hdtest
+
+#endif // HDTEST_TIDY_DETERMINISM_CHECK_H

@@ -1,0 +1,46 @@
+//===--- HdtestTidyModule.cpp - hdtest-tidy plugin entry point -----------===//
+//
+// Registers the four hdtest contract checks as a clang-tidy module. Load
+// with:
+//
+//   clang-tidy -load=libhdtest-tidy-plugin.so \
+//              -checks='-*,hdtest-*' -p build src/**/*.cpp
+//
+// The same check names, messages, and NOLINT spellings are produced by the
+// fallback engine (tools/hdtest-tidy/fallback/), which is what CI runs on
+// toolchains without clang-tidy development headers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "CheckedArithCheck.h"
+#include "DenseFreeCheck.h"
+#include "DeterminismCheck.h"
+#include "IntrinsicsConfinedCheck.h"
+
+namespace clang::tidy {
+namespace hdtest {
+
+class HdtestTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<DeterminismCheck>("hdtest-determinism");
+    Factories.registerCheck<DenseFreeCheck>("hdtest-dense-free");
+    Factories.registerCheck<CheckedArithCheck>("hdtest-checked-arith");
+    Factories.registerCheck<IntrinsicsConfinedCheck>(
+        "hdtest-intrinsics-confined");
+  }
+};
+
+} // namespace hdtest
+
+static ClangTidyModuleRegistry::Add<hdtest::HdtestTidyModule>
+    X("hdtest-module", "hdtest contract checks (determinism, dense-free, "
+                       "checked-arith, intrinsics-confined)");
+
+// Anchor so -load keeps the module object in the plugin image.
+volatile int HdtestTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy

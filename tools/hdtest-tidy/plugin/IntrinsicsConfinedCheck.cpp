@@ -1,0 +1,102 @@
+//===--- IntrinsicsConfinedCheck.cpp - hdtest-tidy -----------------------===//
+
+#include "IntrinsicsConfinedCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::hdtest {
+
+namespace {
+
+bool inSimdHome(StringRef File) { return File.contains("src/util/simd/"); }
+
+bool isVendorIntrinsicName(StringRef Name) {
+  if (Name.starts_with("_mm") || Name.starts_with("__m"))
+    return true;
+  // NEON intrinsics and vector types.
+  static constexpr StringRef NeonPrefixes[] = {
+      "vld1", "vst1",  "vcnt", "vpadd", "vaddv",       "vadd",     "veor",
+      "vand", "vorr",  "vdup", "vget",  "vshr",        "vshl",     "vsub",
+      "vmov", "vceq",  "vext", "vbsl",  "vreinterpret", "vcombine"};
+  for (const StringRef Prefix : NeonPrefixes)
+    if (Name.starts_with(Prefix))
+      return true;
+  return Name.contains("x16_t") || Name.contains("x8_t") ||
+         Name.contains("x4_t") || Name.contains("x2_t");
+}
+
+class IncludeWatcher : public PPCallbacks {
+public:
+  IncludeWatcher(IntrinsicsConfinedCheck &Check, const SourceManager &SM)
+      : Check(Check), SM(SM) {}
+
+  void InclusionDirective(SourceLocation HashLoc, const Token &,
+                          StringRef FileName, bool, CharSourceRange,
+                          OptionalFileEntryRef, StringRef, StringRef,
+                          const Module *, SrcMgr::CharacteristicKind) override {
+    static constexpr StringRef VendorHeaders[] = {
+        "immintrin.h", "emmintrin.h", "tmmintrin.h", "smmintrin.h",
+        "nmmintrin.h", "x86intrin.h", "arm_neon.h"};
+    for (const StringRef Header : VendorHeaders) {
+      if (FileName == Header && !inSimdHome(SM.getFilename(HashLoc))) {
+        Check.diag(HashLoc,
+                   "vendor SIMD header outside src/util/simd/; go through the "
+                   "runtime-dispatched util::simd::Kernels table");
+        return;
+      }
+    }
+  }
+
+private:
+  IntrinsicsConfinedCheck &Check;
+  const SourceManager &SM;
+};
+
+} // namespace
+
+void IntrinsicsConfinedCheck::registerPPCallbacks(const SourceManager &SM,
+                                                  Preprocessor *PP,
+                                                  Preprocessor *) {
+  PP->addPPCallbacks(std::make_unique<IncludeWatcher>(*this, SM));
+}
+
+void IntrinsicsConfinedCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      declRefExpr(to(functionDecl(matchesName("^::(_mm|__m|v[a-z]+)"))))
+          .bind("intrinsic-ref"),
+      this);
+  Finder->addMatcher(
+      valueDecl(hasType(typedefNameDecl(matchesName("x(16|8|4|2)_t$"))))
+          .bind("vector-type"),
+      this);
+}
+
+void IntrinsicsConfinedCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("intrinsic-ref")) {
+    const StringRef Name = Ref->getDecl()->getName();
+    const StringRef File = SM.getFilename(SM.getExpansionLoc(Ref->getLocation()));
+    if (isVendorIntrinsicName(Name) && !inSimdHome(File))
+      diag(Ref->getLocation(),
+           "vendor SIMD intrinsic '%0' outside src/util/simd/; add a kernel "
+           "to the runtime-dispatched util::simd::Kernels table instead")
+          << Name;
+  }
+  if (const auto *VD = Result.Nodes.getNodeAs<ValueDecl>("vector-type")) {
+    const StringRef File =
+        SM.getFilename(SM.getExpansionLoc(VD->getLocation()));
+    if (!inSimdHome(File))
+      diag(VD->getLocation(),
+           "vendor SIMD vector type outside src/util/simd/; add a kernel to "
+           "the runtime-dispatched util::simd::Kernels table instead");
+  }
+}
+
+} // namespace clang::tidy::hdtest

@@ -1,0 +1,29 @@
+//===--- IntrinsicsConfinedCheck.h - hdtest-tidy -------------*- C++ -*-===//
+//
+// hdtest-intrinsics-confined: vendor SIMD intrinsics (_mm_*, _mm256_*,
+// _mm512_*, NEON v*q_* and vector types) and their headers (<immintrin.h>,
+// <arm_neon.h>, ...) may appear only under src/util/simd/. Everything else
+// goes through the runtime-dispatched util::simd::Kernels table.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HDTEST_TIDY_INTRINSICS_CONFINED_CHECK_H
+#define HDTEST_TIDY_INTRINSICS_CONFINED_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::hdtest {
+
+class IntrinsicsConfinedCheck : public ClangTidyCheck {
+public:
+  IntrinsicsConfinedCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void registerPPCallbacks(const SourceManager &SM, Preprocessor *PP,
+                           Preprocessor *ModuleExpanderPP) override;
+};
+
+} // namespace clang::tidy::hdtest
+
+#endif // HDTEST_TIDY_INTRINSICS_CONFINED_CHECK_H
