@@ -63,7 +63,11 @@
 #include "bench_common.hpp"
 #include "data/synthetic_digits.hpp"
 #include "fuzz/campaign.hpp"
+#include "fuzz/fleet/sim.hpp"
+#include "fuzz/fleet/worker.hpp"
 #include "fuzz/mutation.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/seed_bank.hpp"
 #include "hdc/assoc_memory.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/instrument.hpp"
@@ -546,6 +550,147 @@ bool bench_campaign_scaling(const hdtest::benchutil::Setup& setup,
 }
 
 // ---------------------------------------------------------------------------
+// Campaign federation: the coordinator/worker protocol on the deterministic
+// SimFleet (virtual network, virtual clock) vs solo run_campaign(workers=1).
+// SimFleet is single-threaded, so the fleet rows serialize every leased
+// slice onto one thread — the records/sec ratio measures protocol cost plus
+// the fleet's speculative overshoot, NOT parallel speedup (the loopback
+// TcpCoordinator provides real concurrency; tier-1 tests cover it). The gate
+// is the tentpole contract itself: fuzz::identical_records against the solo
+// records, re-proven in the optimized build both on a clean network and
+// under 5% frame corruption.
+
+/// Returns false on any determinism violation. Emits one row per variant.
+bool bench_campaign_federation(bool self_check_only,
+                               std::vector<std::string>& json_rows) {
+  using namespace hdtest;
+  bool ok = true;
+  const auto pair = data::make_digit_train_test(20, 4, 99);
+  hdc::ModelConfig model_config;
+  model_config.dim = 1024;
+  model_config.seed = 99;
+  hdc::HdcClassifier model(model_config, 28, 28, 10);
+  model.fit(pair.train);
+  const auto strategy = fuzz::make_strategy("gauss");
+  fuzz::FuzzConfig fuzz_config;
+  fuzz_config.budget = fuzz::default_budget_for_strategy("gauss");
+  const fuzz::Fuzzer fuzzer(model, *strategy, fuzz_config);
+
+  fuzz::CampaignConfig config;
+  config.fuzz = fuzz_config;
+  config.target_adversarials = benchutil::env_u64(
+      "HDTEST_FLEET_TARGET", self_check_only ? 6 : 25);
+  config.seed = 5;
+  fuzz::CampaignConfig solo = config;
+  solo.workers = 1;
+  const util::Stopwatch solo_watch;
+  const auto reference = fuzz::run_campaign(fuzzer, pair.test, solo);
+  const double solo_seconds = solo_watch.seconds();
+  const double solo_rps =
+      solo_seconds > 0.0
+          ? static_cast<double>(reference.records.size()) / solo_seconds
+          : 0.0;
+
+  const auto planner = fuzz::shard::plan_campaign(config, pair.test.size());
+  fuzz::shard::SeedBank bank(fuzzer, pair.test);
+  fuzz::fleet::FuzzSliceExecutor executor(planner, fuzzer, pair.test, &bank);
+
+  util::TextTable table;
+  table.set_header({"Variant", "Workers", "Records", "Time (s)",
+                    "Records/s", "Overhead vs solo", "Faults"});
+  table.set_alignments({util::Align::kLeft, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight});
+  util::CsvWriter csv(benchutil::out_dir() + "/campaign_federation.csv");
+  csv.header({"variant", "workers", "corrupt_pct", "records", "seconds",
+              "records_per_sec", "overhead_vs_solo", "faults_injected",
+              "identical"});
+
+  table.add_row({"solo", "1", std::to_string(reference.records.size()),
+                 util::TextTable::num(solo_seconds, 2),
+                 util::TextTable::num(solo_rps, 0), "1.00", "0"});
+  csv.row("solo", 1, 0, reference.records.size(), solo_seconds, solo_rps,
+          1.0, 0, 1);
+  json_rows.push_back(
+      JsonObject()
+          .add("variant", "solo")
+          .add("workers", 1.0)
+          .add("corrupt_pct", 0.0)
+          .add("records", static_cast<double>(reference.records.size()))
+          .add("seconds", solo_seconds)
+          .add("records_per_sec", solo_rps)
+          .add("overhead_vs_solo", 1.0)
+          .add("faults_injected", 0.0)
+          .str());
+
+  struct Variant {
+    const char* name;
+    unsigned corrupt_pct;
+  };
+  std::size_t last_commits = 0;
+  for (const Variant variant : {Variant{"fleet_clean", 0},
+                                Variant{"fleet_corrupt5", 5}}) {
+    fuzz::fleet::FaultPlan plan;
+    plan.seed = 0xf1ee7 + variant.corrupt_pct;
+    plan.corrupt_pct = variant.corrupt_pct;
+    plan.delay_pct = 20;
+    plan.max_faults = 48;
+    fuzz::fleet::SimFleet fleet(planner, config.target_adversarials,
+                                /*workers=*/4, executor, plan);
+    const util::Stopwatch watch;
+    const auto merged = fleet.run();
+    const double seconds = watch.seconds();
+    const bool identical = fuzz::identical_records(merged, reference);
+    if (!identical) {
+      std::printf("ERROR: federated records diverged from solo (%s)\n",
+                  variant.name);
+      ok = false;
+    }
+    const double rps =
+        seconds > 0.0 ? static_cast<double>(merged.records.size()) / seconds
+                      : 0.0;
+    const double overhead = solo_seconds > 0.0 ? seconds / solo_seconds : 0.0;
+    last_commits = fleet.stats().commits_accepted;
+    table.add_row({variant.name, "4", std::to_string(merged.records.size()),
+                   util::TextTable::num(seconds, 2),
+                   util::TextTable::num(rps, 0),
+                   util::TextTable::num(overhead, 2),
+                   std::to_string(fleet.faults_injected())});
+    csv.row(variant.name, 4, variant.corrupt_pct, merged.records.size(),
+            seconds, rps, overhead, fleet.faults_injected(),
+            identical ? 1 : 0);
+    json_rows.push_back(
+        JsonObject()
+            .add("variant", variant.name)
+            .add("workers", 4.0)
+            .add("corrupt_pct", static_cast<double>(variant.corrupt_pct))
+            .add("records", static_cast<double>(merged.records.size()))
+            .add("seconds", seconds)
+            .add("records_per_sec", rps)
+            .add("overhead_vs_solo", overhead)
+            .add("faults_injected", static_cast<double>(fleet.faults_injected()))
+            .add("commits_accepted",
+                 static_cast<double>(fleet.stats().commits_accepted))
+            .add("corrupt_frames",
+                 static_cast<double>(fleet.stats().corrupt_frames))
+            .add("leases_reissued",
+                 static_cast<double>(fleet.stats().leases_reissued))
+            .str());
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(fleet rows run every leased slice on one thread, so "
+              "'overhead vs solo' bundles wire/lease/merge cost with the "
+              "fleet's speculative overshoot past the stopping point — "
+              "%zu accepted commits fed the last row's %zu kept records; "
+              "the records gate re-proves the federation determinism "
+              "contract under -O2%s)\n",
+              last_commits, reference.records.size(),
+              ok ? "" : " — VIOLATED");
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Model cold-start: stream loads vs the mmap'd serving path, plus the
 // save -> map -> predict_batch round-trip gate.
 
@@ -761,8 +906,16 @@ int main(int argc, char** argv) {
     // The determinism contract is cheap enough to gate on every CI smoke.
     if (!campaign_determinism_gate()) agreement = false;
   }
+
+  std::vector<std::string> federation_rows;
+  std::printf("\ncampaign federation: SimFleet coordinator/worker protocol "
+              "vs solo (4 workers, deterministic virtual network)\n");
+  if (!bench_campaign_federation(self_check_only, federation_rows)) {
+    agreement = false;
+  }
   doc.add_raw("campaigns", benchutil::json_array(campaign_rows));
   doc.add_raw("campaign_scaling", benchutil::json_array(scaling_rows));
+  doc.add_raw("campaign_federation", benchutil::json_array(federation_rows));
   doc.add("hardware_threads",
           static_cast<double>(std::thread::hardware_concurrency()));
 

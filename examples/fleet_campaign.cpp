@@ -1,0 +1,186 @@
+/// \file fleet_campaign.cpp
+/// Federated HDTest campaign over TCP: one coordinator, N workers.
+///
+/// Both roles rebuild the identical model/dataset/fuzzer from the shared
+/// flags (everything derives from --seed), so the only thing on the wire
+/// is the lease/commit protocol. The coordinator verifies compatibility
+/// via the campaign fingerprint in the Hello handshake.
+///
+///   # terminal 1: coordinator on an ephemeral port, solo cross-check on
+///   ./fleet_campaign --role=coordinator --target=20 --verify-solo
+///   # terminals 2..N: workers (use the port printed by the coordinator)
+///   ./fleet_campaign --role=worker --port=12345 --target=20
+///
+/// Exit codes: 0 success; 1 usage/runtime error; 2 campaign gave up;
+/// 3 --verify-solo mismatch (federated records != workers=1 records).
+///
+/// SIGINT/SIGTERM drain gracefully: the coordinator stops issuing leases,
+/// tells workers to shut down, and reports the partial result as gave_up.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+
+#include "data/synthetic_digits.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/tcp.hpp"
+#include "fuzz/fleet/worker.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/report.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/seed_bank.hpp"
+#include "hdc/classifier.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdtest;
+  util::ArgParser args("fleet_campaign",
+                       "Run a federated HDTest campaign over TCP");
+  args.add_flag("role", "coordinator", "coordinator|worker");
+  args.add_flag("host", "127.0.0.1", "Coordinator address (worker role)");
+  args.add_flag("port", "0",
+                "TCP port (coordinator: 0 = ephemeral; worker: required)");
+  args.add_flag("strategy", "gauss", "Mutation strategy");
+  args.add_flag("dim", "2048", "Hypervector dimensionality");
+  args.add_flag("train", "40", "Training images per class (synthetic)");
+  args.add_flag("test", "20", "Test images per class (synthetic)");
+  args.add_flag("images", "60", "Images to fuzz (sweep mode)");
+  args.add_flag("target", "0",
+                "Stop after this many adversarials (0 = sweep mode)");
+  args.add_flag("max-streams", "0",
+                "Target mode give-up valve (0 = legacy formula)");
+  args.add_flag("iter-times", "30", "Max fuzzing iterations per input");
+  args.add_flag("seed", "42", "Experiment seed (must match across roles)");
+  args.add_flag("lease-timeout-ms", "10000",
+                "Coordinator: lease lifetime before re-issue");
+  args.add_bool("verify-solo",
+                "Coordinator: after the fleet finishes, run the same "
+                "campaign with workers=1 in-process and fail unless the "
+                "records are bit-identical");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  try {
+    // Shared, seed-derived campaign state (identical across roles).
+    const auto pair = data::make_digit_train_test(
+        args.get_u64("train"), args.get_u64("test"), args.get_u64("seed"));
+
+    hdc::ModelConfig model_config;
+    model_config.dim = args.get_u64("dim");
+    model_config.seed = args.get_u64("seed");
+    hdc::HdcClassifier model(model_config, pair.train.images.front().width(),
+                             pair.train.images.front().height(),
+                             static_cast<std::size_t>(pair.train.num_classes));
+    model.fit(pair.train);
+
+    const auto strategy = fuzz::make_strategy(args.get("strategy"));
+    fuzz::FuzzConfig fuzz_config;
+    fuzz_config.iter_times = args.get_u64("iter-times");
+    fuzz_config.budget = fuzz::default_budget_for_strategy(strategy->name());
+    const fuzz::Fuzzer fuzzer(model, *strategy, fuzz_config);
+
+    fuzz::CampaignConfig config;
+    config.fuzz = fuzz_config;
+    config.max_images = args.get_u64("images");
+    config.target_adversarials = args.get_u64("target");
+    config.max_streams = args.get_u64("max-streams");
+    config.seed = args.get_u64("seed");
+    config.validate();
+
+    const auto planner = fuzz::shard::plan_campaign(config, pair.test.size());
+    const std::size_t target = config.target_adversarials;
+
+    if (args.get("role") == "worker") {
+      fuzz::shard::SeedBank bank(fuzzer, pair.test);
+      fuzz::fleet::FuzzSliceExecutor executor(planner, fuzzer, pair.test,
+                                              &bank);
+      fuzz::fleet::TcpWorker::Options options;
+      options.host = args.get("host");
+      options.port = static_cast<std::uint16_t>(args.get_u64("port"));
+      options.backoff_seed = args.get_u64("seed");
+      if (options.port == 0) {
+        std::cerr << "error: worker role requires --port\n";
+        return 1;
+      }
+      fuzz::fleet::TcpWorker worker(
+          fuzz::fleet::campaign_fingerprint(planner, target), executor,
+          options);
+      const bool clean = worker.run(&g_stop);
+      std::printf("worker: %zu slices executed, %s\n",
+                  worker.slices_executed(),
+                  clean ? "clean shutdown" : "stopped without shutdown");
+      return clean ? 0 : 1;
+    }
+
+    if (args.get("role") != "coordinator") {
+      std::cerr << "error: --role must be coordinator or worker\n";
+      return 1;
+    }
+
+    fuzz::fleet::TcpCoordinator::Options options;
+    options.port = static_cast<std::uint16_t>(args.get_u64("port"));
+    options.lease_timeout_ms = args.get_u64("lease-timeout-ms");
+    options.strategy_name = strategy->name();
+    fuzz::fleet::TcpCoordinator coordinator(planner, target, options);
+    std::printf("coordinator: listening on 127.0.0.1:%u (fingerprint %016llx)\n",
+                coordinator.port(),
+                static_cast<unsigned long long>(
+                    fuzz::fleet::campaign_fingerprint(planner, target)));
+    std::fflush(stdout);
+
+    auto fleet = coordinator.run(&g_stop);
+    const auto& stats = coordinator.stats();
+    std::printf(
+        "fleet: %zu records, %zu commits (%zu duplicate, %zu rejected), "
+        "%zu corrupt frames, %zu leases re-issued\n",
+        fleet.records.size(), stats.commits_accepted,
+        stats.duplicate_commits, stats.commits_rejected,
+        stats.corrupt_frames, stats.leases_reissued);
+    std::printf("\n%s\n", fuzz::render_strategy_table({fleet}).c_str());
+
+    if (fleet.gave_up) {
+      std::cerr << "error: campaign gave up (" << fleet.successes() << "/"
+                << target << " adversarials)\n";
+      return 2;
+    }
+
+    if (args.get_bool("verify-solo")) {
+      fuzz::CampaignConfig solo = config;
+      solo.workers = 1;
+      const auto reference = fuzz::run_campaign(fuzzer, pair.test, solo);
+      if (!fuzz::identical_records(fleet, reference)) {
+        std::cerr << "error: federated records differ from workers=1 run\n";
+        return 3;
+      }
+      std::printf("verify-solo: %zu records bit-identical to workers=1\n",
+                  reference.records.size());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

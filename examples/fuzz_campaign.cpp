@@ -157,6 +157,14 @@ int main(int argc, char** argv) {
                                            strategy->name(), 8)
                             .c_str());
     }
+
+    if (campaign.gave_up) {
+      std::cerr << "error: campaign gave up before reaching the target ("
+                << campaign.successes() << "/" << args.get_u64("target")
+                << " adversarials after fuzzing " << campaign.images_fuzzed()
+                << " inputs); raise --max-streams or loosen the budget\n";
+      return 2;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

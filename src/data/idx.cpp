@@ -93,6 +93,9 @@ void write_idx_images(const std::vector<Image>& images,
               static_cast<std::streamsize>(image.size()));
   }
   if (!out) throw std::runtime_error("idx: write failed for " + path);
+  // The destructor would swallow a close-time flush failure (ENOSPC/EIO).
+  out.close();
+  if (out.fail()) throw std::runtime_error("idx: close failed for " + path);
 }
 
 void write_idx_labels(const std::vector<std::uint8_t>& labels,
@@ -104,6 +107,8 @@ void write_idx_labels(const std::vector<std::uint8_t>& labels,
   out.write(reinterpret_cast<const char*>(labels.data()),
             static_cast<std::streamsize>(labels.size()));
   if (!out) throw std::runtime_error("idx: write failed for " + path);
+  out.close();
+  if (out.fail()) throw std::runtime_error("idx: close failed for " + path);
 }
 
 Dataset load_idx_dataset(const std::string& images_path,

@@ -129,6 +129,12 @@ void write_pgm(const Image& image, const std::string& path) {
   out.write(reinterpret_cast<const char*>(image.pixels().data()),
             static_cast<std::streamsize>(image.size()));
   if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+  // Close explicitly so a deferred-write failure surfaces as an exception
+  // instead of being swallowed by the destructor.
+  out.close();
+  if (out.fail()) {
+    throw std::runtime_error("write_pgm: close failed for " + path);
+  }
 }
 
 Image read_pgm(const std::string& path) {

@@ -1,0 +1,189 @@
+#include "fuzz/fleet/coordinator.hpp"
+
+#include <utility>
+
+namespace hdtest::fuzz::fleet {
+
+CoordinatorCore::CoordinatorCore(const shard::ShardPlanner& planner,
+                                 std::size_t target, Options options)
+    : planner_(&planner),
+      options_(std::move(options)),
+      fingerprint_(campaign_fingerprint(planner, target)),
+      stop_(planner.stream_limit()),
+      ledger_(target, planner.stream_limit(), &stop_),
+      leases_(planner, options_.lease_timeout) {}
+
+void CoordinatorCore::on_connect(ConnId conn) {
+  conns_[conn] = ConnState::kAwaitHello;
+}
+
+void CoordinatorCore::on_disconnect(ConnId conn) {
+  conns_.erase(conn);
+  stats_.leases_reissued += leases_.revoke(conn);
+}
+
+void CoordinatorCore::on_corrupt_frame(ConnId conn) {
+  ++stats_.corrupt_frames;
+  // The sender's stream can no longer be trusted (and over TCP the framing
+  // is lost); whatever it was working on goes back in the pool.
+  stats_.leases_reissued += leases_.revoke(conn);
+}
+
+void CoordinatorCore::on_frame(ConnId conn, const Frame& frame,
+                               std::uint64_t now) {
+  const auto state_it = conns_.find(conn);
+  if (state_it == conns_.end()) return;  // raced a disconnect
+
+  if (!known_kind(frame.kind)) {
+    reject(conn, RejectReason::kBadState);
+    return;
+  }
+
+  try {
+    const auto kind = static_cast<MessageKind>(frame.kind);
+    if (state_it->second == ConnState::kAwaitHello) {
+      if (kind != MessageKind::kHello) {
+        reject(conn, RejectReason::kBadState);
+        return;
+      }
+      const Hello hello = decode_hello(frame.body);
+      if (hello.fingerprint != fingerprint_) {
+        ++stats_.workers_rejected;
+        send(conn, make_reject(Reject{RejectReason::kBadFingerprint}),
+             /*close_after=*/true);
+        conns_.erase(conn);
+        return;
+      }
+      state_it->second = ConnState::kActive;
+      send(conn, make_hello_ack(HelloAck{next_worker_id_++}));
+      return;
+    }
+
+    switch (kind) {
+      case MessageKind::kHello: {
+        // A duplicated Hello frame (fault injection); answer idempotently
+        // so a worker whose first ack was dropped can make progress.
+        const Hello hello = decode_hello(frame.body);
+        if (hello.fingerprint != fingerprint_) {
+          reject(conn, RejectReason::kBadFingerprint);
+          return;
+        }
+        send(conn, make_hello_ack(HelloAck{next_worker_id_++}));
+        return;
+      }
+      case MessageKind::kLeaseRequest:
+        decode_empty(frame.body, "LeaseRequest");
+        handle_lease_request(conn, now);
+        return;
+      case MessageKind::kCommit:
+        handle_commit(conn, frame, now);
+        return;
+      default:
+        // Workers never send HelloAck/LeaseGrant/Idle/CommitAck/Shutdown/
+        // Reject; anything else here is a protocol-order violation.
+        reject(conn, RejectReason::kBadState);
+        return;
+    }
+  } catch (const WireFormatError&) {
+    // The frame's checksums were fine but the body is malformed: either a
+    // protocol bug or a hostile peer. Drop the connection; its leases are
+    // re-issued via the disconnect path the driver will report.
+    reject(conn, RejectReason::kBadState);
+  }
+}
+
+void CoordinatorCore::on_tick(std::uint64_t now) {
+  stats_.leases_reissued += leases_.expire(now);
+}
+
+void CoordinatorCore::drain() {
+  if (drained_) return;
+  drained_ = true;
+  ledger_.abandon();
+  for (const auto& [conn, state] : conns_) {
+    if (state == ConnState::kActive) {
+      send(conn, make_shutdown(), /*close_after=*/true);
+    }
+  }
+}
+
+std::vector<CoordinatorCore::Outgoing> CoordinatorCore::take_outbox() {
+  return std::exchange(outbox_, {});
+}
+
+CampaignResult CoordinatorCore::take_result() {
+  CampaignResult result;
+  result.records = ledger_.take_records();
+  result.gave_up = ledger_.gave_up();
+  result.strategy_name = options_.strategy_name;
+  return result;
+}
+
+void CoordinatorCore::send(ConnId conn, Frame frame, bool close_after) {
+  Outgoing out;
+  out.conn = conn;
+  out.frame = std::move(frame);
+  out.close_after = close_after;
+  outbox_.push_back(std::move(out));
+}
+
+void CoordinatorCore::reject(ConnId conn, RejectReason reason) {
+  ++stats_.workers_rejected;
+  send(conn, make_reject(Reject{reason}), /*close_after=*/true);
+  conns_.erase(conn);
+  stats_.leases_reissued += leases_.revoke(conn);
+}
+
+void CoordinatorCore::handle_lease_request(ConnId conn, std::uint64_t now) {
+  if (ledger_.finished()) {
+    // Keep the connection: if this Shutdown is lost, the worker's retried
+    // request must still find someone to answer it.
+    send(conn, make_shutdown());
+    return;
+  }
+  stats_.leases_reissued += leases_.expire(now);
+  const auto granted = leases_.grant(conn, now);
+  if (!granted.has_value()) {
+    // Everything is leased or committed but the ledger hasn't decided yet
+    // (a gap is still executing elsewhere). The worker backs off and asks
+    // again; if the holder died, expiry will free the block by then.
+    send(conn, make_idle());
+    return;
+  }
+  LeaseGrant grant;
+  grant.lease_id = granted->lease_id;
+  grant.first_stream = granted->slice.first;
+  grant.stream_count = granted->slice.count;
+  send(conn, make_lease_grant(grant));
+}
+
+void CoordinatorCore::handle_commit(ConnId conn, const Frame& frame,
+                                    std::uint64_t now) {
+  Commit commit = decode_commit(frame.body);
+  stats_.leases_reissued += leases_.expire(now);
+  const CommitDisposition disposition = leases_.check_commit(
+      commit.lease_id, commit.first_stream, commit.records.size());
+  switch (disposition) {
+    case CommitDisposition::kAccept:
+      ledger_.commit(static_cast<std::size_t>(commit.first_stream),
+                     std::move(commit.records));
+      ++stats_.commits_accepted;
+      send(conn, make_commit_ack(CommitAck{commit.lease_id}));
+      break;
+    case CommitDisposition::kDuplicate:
+      ++stats_.duplicate_commits;
+      send(conn, make_commit_ack(CommitAck{commit.lease_id}));
+      break;
+    case CommitDisposition::kMismatch:
+      // The records do not match any planned block: rejected, never
+      // merged. The lease (if any) was revoked, so the slice re-issues.
+      ++stats_.commits_rejected;
+      send(conn, make_reject(Reject{RejectReason::kBadCommit}));
+      break;
+  }
+  if (ledger_.finished()) {
+    send(conn, make_shutdown());
+  }
+}
+
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,137 @@
+#pragma once
+/// \file coordinator.hpp
+/// Deterministic, transport-agnostic campaign coordinator (sans-io core).
+///
+/// The core is a pure state machine: drivers feed it connection lifecycle
+/// events, decoded frames, and tick timestamps; it replies by queuing
+/// outgoing frames in an outbox the driver drains. It never reads a clock,
+/// spawns a thread, or touches a socket — which is why the same core runs
+/// under the in-process fault-injecting simulator (sim.hpp) and the real
+/// TCP driver (tcp.hpp), and why a fault schedule that reordered, dropped,
+/// duplicated, and corrupted every message still merges the exact record
+/// vector of `run_campaign(workers=1)`.
+///
+/// Determinism argument, in one paragraph: stream outcomes are pure
+/// functions of (campaign config, stream index) — the ShardPlanner fixes
+/// the mapping, workers just evaluate it. The LeaseTable only ever admits
+/// commits whose (first, count) shape exactly matches a planned block, at
+/// most once per block; the ProgressLedger then re-imposes stream order
+/// and replays the sequential stopping rule. So the merged result depends
+/// only on the plan — never on which worker ran a slice, how often a slice
+/// was re-issued, or the order commits arrived.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/lease.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "fuzz/shard/ledger.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/stop_token.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+/// Fault-handling counters, exposed for tests and the bench harness.
+struct CoordinatorStats {
+  std::size_t commits_accepted = 0;
+  std::size_t duplicate_commits = 0;  ///< acked without merging
+  std::size_t commits_rejected = 0;   ///< shape mismatch (kBadCommit)
+  std::size_t corrupt_frames = 0;     ///< wire-level rejects from transport
+  std::size_t leases_reissued = 0;    ///< expiry + revocation re-queues
+  std::size_t workers_rejected = 0;   ///< fingerprint/state rejects
+};
+
+/// See the file comment. Single-threaded: drivers serialize all calls.
+class CoordinatorCore {
+ public:
+  struct Options {
+    /// Lease lifetime in the driver's tick unit (ms for TCP).
+    std::uint64_t lease_timeout = 2000;
+    /// Stamped into the CampaignResult.
+    std::string strategy_name;
+  };
+
+  /// \param planner borrowed; must outlive the core.
+  /// \param target  successes to stop at (0 = sweep mode).
+  CoordinatorCore(const shard::ShardPlanner& planner, std::size_t target,
+                  Options options);
+
+  // ---- driver events -----------------------------------------------------
+
+  void on_connect(ConnId conn);
+
+  /// Connection went away; its leases return to pending.
+  void on_disconnect(ConnId conn);
+
+  /// The transport rejected a frame on \p conn (checksum, framing,
+  /// truncation, hostile length). The bytes never reach the core; leases
+  /// held by the sender are re-issued so the slice is retried elsewhere.
+  void on_corrupt_frame(ConnId conn);
+
+  /// A wire-valid frame arrived. Malformed bodies and protocol-order
+  /// violations are answered with kReject and the connection is dropped.
+  void on_frame(ConnId conn, const Frame& frame, std::uint64_t now);
+
+  /// Periodic housekeeping: expires overdue leases.
+  void on_tick(std::uint64_t now);
+
+  /// Force-stop (SIGTERM drain): abandons the ledger at its replay
+  /// frontier and queues Shutdown to every active connection. The partial
+  /// result reports gave_up.
+  void drain();
+
+  // ---- driver outputs ----------------------------------------------------
+
+  struct Outgoing {
+    ConnId conn = 0;
+    Frame frame;
+    /// Driver should close the connection after transmitting.
+    bool close_after = false;
+  };
+
+  /// Moves out frames queued since the last call.
+  [[nodiscard]] std::vector<Outgoing> take_outbox();
+
+  /// True once the stopping rule (or drain) decided the cut.
+  [[nodiscard]] bool finished() const { return ledger_.finished(); }
+
+  /// Assembles the merged result. \pre finished(). total_seconds is left 0
+  /// for the driver to stamp (wall time is outside the determinism
+  /// contract).
+  [[nodiscard]] CampaignResult take_result();
+
+  [[nodiscard]] const CoordinatorStats& stats() const noexcept {
+    return stats_;
+  }
+
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+ private:
+  enum class ConnState : std::uint8_t { kAwaitHello, kActive };
+
+  void send(ConnId conn, Frame frame, bool close_after = false);
+  void reject(ConnId conn, RejectReason reason);
+  void handle_lease_request(ConnId conn, std::uint64_t now);
+  void handle_commit(ConnId conn, const Frame& frame, std::uint64_t now);
+
+  const shard::ShardPlanner* planner_;
+  Options options_;
+  std::uint64_t fingerprint_;
+  shard::StopToken stop_;
+  shard::ProgressLedger ledger_;
+  LeaseTable leases_;
+  std::map<ConnId, ConnState> conns_;
+  std::vector<Outgoing> outbox_;
+  CoordinatorStats stats_;
+  std::uint64_t next_worker_id_ = 1;
+  bool drained_ = false;
+};
+
+}  // namespace hdtest::fuzz::fleet

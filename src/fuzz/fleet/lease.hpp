@@ -1,0 +1,109 @@
+#pragma once
+/// \file lease.hpp
+/// Slice lease bookkeeping for the fleet coordinator.
+///
+/// Every ShardPlanner block moves through pending -> leased -> done. A
+/// lease carries a deadline (in the coordinator's injected tick domain —
+/// never an ambient clock): when it passes, or when the owning connection
+/// drops, the block returns to pending and is re-issued to the next worker
+/// that asks. Because stream outcomes are pure functions of (config,
+/// stream index), a block executed twice by different workers produces
+/// byte-identical records, which is what makes the commit dispositions
+/// below safe:
+///
+///   - a commit under a live lease with the exact planned (first, count)
+///     shape is accepted;
+///   - a commit whose lease is unknown (expired, or a prior incarnation of
+///     a restarted coordinator) but whose shape exactly matches a block is
+///     *stale-but-valid*: accepted if the block is still outstanding,
+///     acknowledged-without-merge if it already completed (the duplicate
+///     case — the ack is what lets a worker whose CommitAck was lost make
+///     progress);
+///   - anything whose shape does not match the plan is a mismatch: the
+///     coordinator rejects it and the block is re-leased. Corruption is
+///     retried, never merged.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "fuzz/shard/plan.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+/// Identifies one transport connection (assigned by the driver).
+using ConnId = std::uint64_t;
+
+/// How a commit relates to the plan (see file comment).
+enum class CommitDisposition : std::uint8_t {
+  kAccept,     ///< merge into the ledger, acknowledge
+  kDuplicate,  ///< already merged: acknowledge, do not merge again
+  kMismatch,   ///< shape violates the plan: reject, re-lease
+};
+
+/// Lease lifecycle bookkeeping (not thread-safe; the coordinator core is
+/// single-threaded by construction).
+class LeaseTable {
+ public:
+  /// \param planner       the campaign's slice geometry (borrowed).
+  /// \param timeout_ticks lease lifetime in the injected tick unit.
+  LeaseTable(const shard::ShardPlanner& planner, std::uint64_t timeout_ticks);
+
+  /// Leases the lowest outstanding block to \p conn. Returns the lease id
+  /// plus the block's slice, or nullopt when every block is leased or done.
+  struct Grant {
+    std::uint64_t lease_id = 0;
+    shard::StreamSlice slice;
+  };
+  [[nodiscard]] std::optional<Grant> grant(ConnId conn, std::uint64_t now);
+
+  /// Returns expired leases' blocks to pending. Result: re-issued count.
+  std::size_t expire(std::uint64_t now);
+
+  /// Returns \p conn's leased blocks to pending (disconnect/corruption).
+  /// Result: re-issued count.
+  std::size_t revoke(ConnId conn);
+
+  /// Classifies a commit claiming lease \p lease_id over streams
+  /// [\p first_stream, \p first_stream + \p record_count). On kAccept the
+  /// block is marked done and its lease (live or superseding) retired.
+  [[nodiscard]] CommitDisposition check_commit(std::uint64_t lease_id,
+                                               std::uint64_t first_stream,
+                                               std::size_t record_count);
+
+  /// Blocks not yet done (leased or pending).
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return planner_->num_blocks() - done_count_;
+  }
+
+ private:
+  enum class BlockState : std::uint8_t { kPending, kLeased, kDone };
+
+  struct Lease {
+    std::size_t block = 0;
+    ConnId conn = 0;
+    std::uint64_t deadline = 0;
+  };
+
+  /// The block whose slice starts at \p first_stream with exactly
+  /// \p record_count streams, or nullopt when no such block is planned.
+  [[nodiscard]] std::optional<std::size_t> block_of(
+      std::uint64_t first_stream, std::size_t record_count) const;
+
+  void release_block(std::size_t block);
+  void complete_block(std::size_t block);
+
+  const shard::ShardPlanner* planner_;
+  std::uint64_t timeout_;
+  std::vector<BlockState> states_;
+  std::set<std::size_t> pending_;          ///< blocks in kPending
+  std::map<std::uint64_t, Lease> leases_;  ///< live leases by id
+  std::map<std::size_t, std::uint64_t> lease_of_block_;
+  std::uint64_t next_lease_id_ = 1;
+  std::size_t done_count_ = 0;
+};
+
+}  // namespace hdtest::fuzz::fleet

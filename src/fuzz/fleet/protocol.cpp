@@ -1,0 +1,241 @@
+#include "fuzz/fleet/protocol.hpp"
+
+#include <bit>
+#include <string>
+
+#include "util/checked.hpp"
+#include "util/checksum.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+namespace {
+
+/// Fixed wire footprint of one record before its (possibly empty) pixel
+/// payload: index + label + success flag + five u64 counters + three
+/// double bit-patterns + pixels_changed + width + height.
+constexpr std::size_t kRecordFixedBytes = 8 + 8 + 1 + 8 * 5 + 8 * 3 + 8 + 4 + 4;
+
+Frame frame_of(MessageKind kind, std::vector<std::uint8_t> body) {
+  Frame frame;
+  frame.kind = static_cast<std::uint16_t>(kind);
+  frame.body = std::move(body);
+  return frame;
+}
+
+void finish(WireReader& reader, const char* kind_name) {
+  if (!reader.done()) {
+    throw WireFormatError(std::string(kind_name) + ": trailing bytes in body");
+  }
+}
+
+}  // namespace
+
+bool known_kind(std::uint16_t kind) noexcept {
+  return kind >= static_cast<std::uint16_t>(MessageKind::kHello) &&
+         kind <= static_cast<std::uint16_t>(MessageKind::kReject);
+}
+
+Frame make_hello(const Hello& msg) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, msg.fingerprint);
+  return frame_of(MessageKind::kHello, std::move(body));
+}
+
+Frame make_hello_ack(const HelloAck& msg) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, msg.worker_id);
+  return frame_of(MessageKind::kHelloAck, std::move(body));
+}
+
+Frame make_lease_request() { return frame_of(MessageKind::kLeaseRequest, {}); }
+
+Frame make_lease_grant(const LeaseGrant& msg) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, msg.lease_id);
+  put_u64(body, msg.first_stream);
+  put_u64(body, msg.stream_count);
+  return frame_of(MessageKind::kLeaseGrant, std::move(body));
+}
+
+Frame make_idle() { return frame_of(MessageKind::kIdle, {}); }
+
+Frame make_commit(const Commit& msg) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, msg.lease_id);
+  put_u64(body, msg.first_stream);
+  encode_records(msg.records, body);
+  return frame_of(MessageKind::kCommit, std::move(body));
+}
+
+Frame make_commit_ack(const CommitAck& msg) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, msg.lease_id);
+  return frame_of(MessageKind::kCommitAck, std::move(body));
+}
+
+Frame make_shutdown() { return frame_of(MessageKind::kShutdown, {}); }
+
+Frame make_reject(const Reject& msg) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, static_cast<std::uint32_t>(msg.reason));
+  return frame_of(MessageKind::kReject, std::move(body));
+}
+
+Hello decode_hello(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  Hello msg;
+  msg.fingerprint = reader.u64();
+  finish(reader, "Hello");
+  return msg;
+}
+
+HelloAck decode_hello_ack(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  HelloAck msg;
+  msg.worker_id = reader.u64();
+  finish(reader, "HelloAck");
+  return msg;
+}
+
+LeaseGrant decode_lease_grant(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  LeaseGrant msg;
+  msg.lease_id = reader.u64();
+  msg.first_stream = reader.u64();
+  msg.stream_count = reader.u64();
+  finish(reader, "LeaseGrant");
+  return msg;
+}
+
+Commit decode_commit(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  Commit msg;
+  msg.lease_id = reader.u64();
+  msg.first_stream = reader.u64();
+  msg.records = decode_records(reader);
+  finish(reader, "Commit");
+  return msg;
+}
+
+CommitAck decode_commit_ack(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  CommitAck msg;
+  msg.lease_id = reader.u64();
+  finish(reader, "CommitAck");
+  return msg;
+}
+
+Reject decode_reject(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  Reject msg;
+  const std::uint32_t reason = reader.u32();
+  if (reason < static_cast<std::uint32_t>(RejectReason::kBadFingerprint) ||
+      reason > static_cast<std::uint32_t>(RejectReason::kBadCommit)) {
+    throw WireFormatError("Reject: unknown reason code");
+  }
+  msg.reason = static_cast<RejectReason>(reason);
+  finish(reader, "Reject");
+  return msg;
+}
+
+void decode_empty(std::span<const std::uint8_t> body, const char* kind_name) {
+  WireReader reader(body);
+  finish(reader, kind_name);
+}
+
+void encode_records(std::span<const CampaignRecord> records,
+                    std::vector<std::uint8_t>& out) {
+  put_u64(out, records.size());
+  for (const CampaignRecord& record : records) {
+    const FuzzOutcome& o = record.outcome;
+    put_u64(out, record.image_index);
+    put_u64(out, static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(record.true_label)));
+    put_u8(out, o.success ? 1 : 0);
+    put_u64(out, o.reference_label);
+    put_u64(out, o.adversarial_label);
+    put_u64(out, o.iterations);
+    put_u64(out, o.encodes);
+    put_u64(out, o.discarded);
+    put_u64(out, std::bit_cast<std::uint64_t>(o.perturbation.l1));
+    put_u64(out, std::bit_cast<std::uint64_t>(o.perturbation.l2));
+    put_u64(out, std::bit_cast<std::uint64_t>(o.perturbation.linf));
+    put_u64(out, o.perturbation.pixels_changed);
+    if (o.success) {
+      put_u32(out, static_cast<std::uint32_t>(o.adversarial.width()));
+      put_u32(out, static_cast<std::uint32_t>(o.adversarial.height()));
+      const auto pixels = o.adversarial.pixels();
+      out.insert(out.end(), pixels.begin(), pixels.end());
+    } else {
+      // No adversarial image exists for a failed stream; 0x0 on the wire.
+      put_u32(out, 0);
+      put_u32(out, 0);
+    }
+  }
+}
+
+std::vector<CampaignRecord> decode_records(WireReader& reader) {
+  const std::uint64_t claimed = reader.u64();
+  // A record consumes at least kRecordFixedBytes, so a count the remaining
+  // body cannot possibly hold is hostile — reject before reserving.
+  if (claimed > reader.remaining() / kRecordFixedBytes) {
+    throw WireFormatError("records: count exceeds body capacity");
+  }
+  std::vector<CampaignRecord> records;
+  records.reserve(static_cast<std::size_t>(claimed));
+  for (std::uint64_t i = 0; i < claimed; ++i) {
+    CampaignRecord record;
+    FuzzOutcome& o = record.outcome;
+    record.image_index = static_cast<std::size_t>(reader.u64());
+    record.true_label = static_cast<int>(static_cast<std::int64_t>(reader.u64()));
+    const std::uint8_t success = reader.u8();
+    if (success > 1) {
+      throw WireFormatError("records: success flag must be 0 or 1");
+    }
+    o.success = success == 1;
+    o.reference_label = static_cast<std::size_t>(reader.u64());
+    o.adversarial_label = static_cast<std::size_t>(reader.u64());
+    o.iterations = static_cast<std::size_t>(reader.u64());
+    o.encodes = static_cast<std::size_t>(reader.u64());
+    o.discarded = static_cast<std::size_t>(reader.u64());
+    o.perturbation.l1 = std::bit_cast<double>(reader.u64());
+    o.perturbation.l2 = std::bit_cast<double>(reader.u64());
+    o.perturbation.linf = std::bit_cast<double>(reader.u64());
+    o.perturbation.pixels_changed = static_cast<std::size_t>(reader.u64());
+    const std::size_t image_width = reader.u32();
+    const std::size_t image_height = reader.u32();
+    if (o.success) {
+      if (image_width == 0 || image_height == 0) {
+        throw WireFormatError("records: successful record lacks an image");
+      }
+      const std::size_t pixel_count =
+          util::checked_mul(image_width, image_height, "fleet record image");
+      // reader.bytes() bounds-checks against the body, so pixel_count can
+      // never size an allocation past what the frame actually carries.
+      const auto pixels = reader.bytes(pixel_count);
+      o.adversarial = data::Image(
+          image_width, image_height,
+          std::vector<std::uint8_t>(pixels.begin(), pixels.end()));
+    } else if (image_width != 0 || image_height != 0) {
+      throw WireFormatError("records: failed record carries an image");
+    }
+    // seconds is wall-clock and excluded from the wire (stays 0.0).
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::uint64_t campaign_fingerprint(const shard::ShardPlanner& planner,
+                                   std::size_t target_successes) {
+  std::vector<std::uint8_t> canonical;
+  put_u16(canonical, kWireVersion);
+  put_u8(canonical, planner.mode() == shard::ShardPlanner::Mode::kSweep ? 0 : 1);
+  put_u64(canonical, planner.num_inputs());
+  put_u64(canonical, planner.master_seed());
+  put_u64(canonical, planner.stream_limit());
+  put_u64(canonical, planner.block_streams());
+  put_u64(canonical, target_successes);
+  return util::fnv1a(canonical.data(), canonical.size());
+}
+
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,141 @@
+#pragma once
+/// \file protocol.hpp
+/// Fleet federation messages: what travels inside wire.hpp frames.
+///
+/// The protocol is a strict request/response lease loop:
+///
+///   worker                          coordinator
+///   ------                          -----------
+///   Hello{fingerprint}        ->
+///                             <-    HelloAck{worker_id}   (or Reject)
+///   LeaseRequest              ->
+///                             <-    LeaseGrant{lease, first, count}
+///                                   | Idle (nothing leasable right now)
+///                                   | Shutdown (campaign decided)
+///   ... executes the slice ...
+///   Commit{lease, records}    ->
+///                             <-    CommitAck{lease}      (or Reject)
+///
+/// The Hello fingerprint hashes every input that determines stream
+/// outcomes (planner geometry, master seed, stopping target), so a worker
+/// built against a different campaign is turned away before it can commit
+/// a block that would silently diverge from the solo run.
+///
+/// Record payloads exclude wall-clock seconds deliberately: the
+/// determinism contract (identical_records in campaign.hpp) defines record
+/// identity without them, and shipping them would make merged results
+/// depend on which worker happened to execute a slice.
+///
+/// Every decode_* bounds-checks through WireReader and size-guards through
+/// util::checked_* before allocating, and rejects trailing bytes — a body
+/// is either exactly one well-formed message or a WireFormatError.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "fuzz/shard/plan.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+/// Message kinds carried in the frame header. Values are wire-stable.
+enum class MessageKind : std::uint16_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kLeaseRequest = 3,
+  kLeaseGrant = 4,
+  kIdle = 5,
+  kCommit = 6,
+  kCommitAck = 7,
+  kShutdown = 8,
+  kReject = 9,
+};
+
+/// True when \p kind is a value this protocol version understands.
+[[nodiscard]] bool known_kind(std::uint16_t kind) noexcept;
+
+/// Why a coordinator turned a message away.
+enum class RejectReason : std::uint32_t {
+  kBadFingerprint = 1,  ///< worker built for a different campaign — fatal
+  kBadState = 2,        ///< message out of protocol order — fatal
+  kBadCommit = 3,       ///< commit shape mismatch — slice re-leased
+};
+
+struct Hello {
+  std::uint64_t fingerprint = 0;
+};
+
+struct HelloAck {
+  std::uint64_t worker_id = 0;
+};
+
+struct LeaseGrant {
+  std::uint64_t lease_id = 0;
+  std::uint64_t first_stream = 0;
+  std::uint64_t stream_count = 0;
+};
+
+struct Commit {
+  std::uint64_t lease_id = 0;
+  std::uint64_t first_stream = 0;
+  std::vector<CampaignRecord> records;
+};
+
+struct CommitAck {
+  std::uint64_t lease_id = 0;
+};
+
+struct Reject {
+  RejectReason reason = RejectReason::kBadState;
+};
+
+// ---- encoders (message -> Frame) -----------------------------------------
+
+[[nodiscard]] Frame make_hello(const Hello& msg);
+[[nodiscard]] Frame make_hello_ack(const HelloAck& msg);
+[[nodiscard]] Frame make_lease_request();
+[[nodiscard]] Frame make_lease_grant(const LeaseGrant& msg);
+[[nodiscard]] Frame make_idle();
+[[nodiscard]] Frame make_commit(const Commit& msg);
+[[nodiscard]] Frame make_commit_ack(const CommitAck& msg);
+[[nodiscard]] Frame make_shutdown();
+[[nodiscard]] Frame make_reject(const Reject& msg);
+
+// ---- decoders (frame body -> message) ------------------------------------
+// All throw WireFormatError on truncation, trailing bytes, hostile counts,
+// or malformed record payloads.
+
+[[nodiscard]] Hello decode_hello(std::span<const std::uint8_t> body);
+[[nodiscard]] HelloAck decode_hello_ack(std::span<const std::uint8_t> body);
+[[nodiscard]] LeaseGrant decode_lease_grant(std::span<const std::uint8_t> body);
+[[nodiscard]] Commit decode_commit(std::span<const std::uint8_t> body);
+[[nodiscard]] CommitAck decode_commit_ack(std::span<const std::uint8_t> body);
+[[nodiscard]] Reject decode_reject(std::span<const std::uint8_t> body);
+
+/// Asserts an empty-body message (LeaseRequest/Idle/Shutdown) really has
+/// no body. \throws WireFormatError otherwise.
+void decode_empty(std::span<const std::uint8_t> body, const char* kind_name);
+
+// ---- record codec --------------------------------------------------------
+
+/// Serializes campaign records (the Commit payload). Wall-clock seconds
+/// are NOT encoded; see the file comment.
+void encode_records(std::span<const CampaignRecord> records,
+                    std::vector<std::uint8_t>& out);
+
+/// Inverse of encode_records. Decoded records have outcome.seconds == 0.
+[[nodiscard]] std::vector<CampaignRecord> decode_records(WireReader& reader);
+
+// ---- campaign identity ---------------------------------------------------
+
+/// Hash of everything that determines stream outcomes and the stopping
+/// rule: planner mode/inputs/seed/limit/block plus the success target and
+/// the wire protocol version. Coordinator and workers must agree on all of
+/// it for a merged result to be bit-identical to the solo run.
+[[nodiscard]] std::uint64_t campaign_fingerprint(
+    const shard::ShardPlanner& planner, std::size_t target_successes);
+
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,255 @@
+#include "fuzz/fleet/sim.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+namespace {
+
+/// Any schedule that needs more events than this is livelocked — fail
+/// loudly instead of spinning. Generous: real schedules finish in a few
+/// thousand events.
+constexpr std::size_t kStepCap = 10'000'000;
+
+/// Extra pacing before re-asking after an Idle reply, so a starved worker
+/// polls instead of ping-ponging every simulated tick.
+constexpr std::uint64_t kIdlePacing = 25;
+
+}  // namespace
+
+SimFleet::SimFleet(const shard::ShardPlanner& planner, std::size_t target,
+                   std::size_t workers, SliceExecutor& executor,
+                   FaultPlan plan, CoordinatorCore::Options options)
+    : planner_(&planner),
+      executor_(&executor),
+      plan_(std::move(plan)),
+      coordinator_(planner, target, std::move(options)),
+      workers_(workers == 0 ? 1 : workers),
+      rng_(util::Rng::stream_seed(plan_.seed, 0xf1ee7)) {}
+
+void SimFleet::schedule(std::uint64_t at, Event event) {
+  queue_.emplace(std::make_pair(at, seq_++), std::move(event));
+}
+
+bool SimFleet::fault_roll(unsigned pct) {
+  if (pct == 0 || faults_injected_ >= plan_.max_faults) return false;
+  if (rng_.uniform_u64(100) >= pct) return false;
+  ++faults_injected_;
+  return true;
+}
+
+void SimFleet::start_worker(std::size_t index) {
+  SimWorker& w = workers_[index];
+  ++w.generation;
+  w.alive = true;
+  w.retry_attempt = 0;
+  w.core = std::make_unique<WorkerCore>(coordinator_.fingerprint(),
+                                        *executor_);
+  w.conn = next_conn_++;
+  worker_of_conn_[w.conn] = index;
+  coordinator_.on_connect(w.conn);
+  ++w.request_seq;
+  transmit_to_coordinator(index, w.core->hello());
+  arm_retry(index);
+}
+
+void SimFleet::deliver_copies(std::uint64_t base_delay, Event event) {
+  const std::size_t copies = fault_roll(plan_.duplicate_pct) ? 2 : 1;
+  for (std::size_t c = 0; c < copies; ++c) {
+    Event copy = event;
+    if (fault_roll(plan_.drop_pct)) continue;
+    if (!copy.bytes.empty() && fault_roll(plan_.corrupt_pct)) {
+      const std::size_t at = rng_.uniform_u64(copy.bytes.size());
+      copy.bytes[at] ^= static_cast<std::uint8_t>(
+          1u << rng_.uniform_u64(8));
+    }
+    if (!copy.bytes.empty() && fault_roll(plan_.truncate_pct)) {
+      copy.bytes.resize(rng_.uniform_u64(copy.bytes.size()));
+    }
+    std::uint64_t extra = fault_roll(plan_.delay_pct)
+                              ? 1 + rng_.uniform_u64(400)
+                              : 0;
+    // Give the duplicate its own (later) arrival so it reorders.
+    extra += c * (1 + rng_.uniform_u64(30));
+    schedule(now_ + base_delay + extra, std::move(copy));
+  }
+}
+
+void SimFleet::transmit_to_coordinator(std::size_t worker,
+                                       const Frame& frame) {
+  const SimWorker& w = workers_[worker];
+  Event event;
+  event.kind = Event::Kind::kToCoordinator;
+  event.worker = worker;
+  event.generation = w.generation;
+  event.bytes = encode_frame(frame.kind, frame.body);
+  deliver_copies(1 + rng_.uniform_u64(8), std::move(event));
+}
+
+void SimFleet::transmit_to_worker(std::size_t worker, const Frame& frame) {
+  const SimWorker& w = workers_[worker];
+  Event event;
+  event.kind = Event::Kind::kToWorker;
+  event.worker = worker;
+  event.generation = w.generation;
+  event.bytes = encode_frame(frame.kind, frame.body);
+  deliver_copies(1 + rng_.uniform_u64(8), std::move(event));
+}
+
+void SimFleet::arm_retry(std::size_t worker) {
+  SimWorker& w = workers_[worker];
+  const std::uint64_t jitter_seed = util::Rng::stream_seed(
+      plan_.seed, (static_cast<std::uint64_t>(worker) << 8) ^ w.generation);
+  const std::uint64_t wait =
+      retry_policy_.delay_ms(w.retry_attempt, jitter_seed);
+  Event event;
+  event.kind = Event::Kind::kRetry;
+  event.worker = worker;
+  event.generation = w.generation;
+  event.request_seq = w.request_seq;
+  schedule(now_ + wait, std::move(event));
+}
+
+void SimFleet::handle_worker_frames(std::size_t worker,
+                                    std::vector<Frame> frames) {
+  SimWorker& w = workers_[worker];
+  for (Frame& frame : frames) {
+    ++w.request_seq;
+    w.retry_attempt = 0;
+    const bool idle_poll =
+        frame.kind == static_cast<std::uint16_t>(MessageKind::kLeaseRequest) &&
+        w.core->state() == WorkerCore::State::kAwaitGrant;
+    if (idle_poll) {
+      // Pace repeat lease polls a little; the retry timer still covers
+      // loss of this request.
+      Event event;
+      event.kind = Event::Kind::kToCoordinator;
+      event.worker = worker;
+      event.generation = w.generation;
+      event.bytes = encode_frame(frame.kind, frame.body);
+      deliver_copies(kIdlePacing + rng_.uniform_u64(8), std::move(event));
+    } else {
+      transmit_to_coordinator(worker, frame);
+    }
+    arm_retry(worker);
+  }
+}
+
+void SimFleet::drain_coordinator() {
+  for (CoordinatorCore::Outgoing& out : coordinator_.take_outbox()) {
+    const auto it = worker_of_conn_.find(out.conn);
+    if (it == worker_of_conn_.end()) continue;  // connection already gone
+    const std::size_t worker = it->second;
+    transmit_to_worker(worker, out.frame);
+    if (out.close_after) {
+      // The coordinator hung up (fatal reject or drain). Deliver the
+      // pending frame above, then model the teardown: the worker's next
+      // frames would go nowhere.
+      worker_of_conn_.erase(it);
+    }
+  }
+}
+
+CampaignResult SimFleet::run() {
+  for (const FaultPlan::Kill& kill : plan_.kills) {
+    if (kill.worker >= workers_.size()) {
+      throw std::invalid_argument("SimFleet: kill targets unknown worker");
+    }
+    Event event;
+    event.kind = Event::Kind::kKill;
+    event.worker = kill.worker;
+    schedule(kill.at, std::move(event));
+    if (kill.restart) {
+      Event restart;
+      restart.kind = Event::Kind::kRestart;
+      restart.worker = kill.worker;
+      schedule(kill.at + kill.restart_after, std::move(restart));
+    }
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) start_worker(i);
+  drain_coordinator();
+
+  std::size_t steps = 0;
+  while (!queue_.empty()) {
+    if (++steps > kStepCap) {
+      throw std::runtime_error("SimFleet: step cap exceeded (livelock?)");
+    }
+    const auto it = queue_.begin();
+    now_ = it->first.first;
+    Event event = std::move(it->second);
+    queue_.erase(it);
+
+    coordinator_.on_tick(now_);
+    SimWorker& w = workers_[event.worker];
+    switch (event.kind) {
+      case Event::Kind::kToCoordinator: {
+        if (!w.alive || event.generation != w.generation) break;
+        const FrameDecode decode = decode_datagram(event.bytes);
+        if (decode.status == FrameStatus::kOk) {
+          coordinator_.on_frame(w.conn, decode.frame, now_);
+        } else {
+          coordinator_.on_corrupt_frame(w.conn);
+        }
+        break;
+      }
+      case Event::Kind::kToWorker: {
+        if (!w.alive || event.generation != w.generation) break;
+        const FrameDecode decode = decode_datagram(event.bytes);
+        if (decode.status != FrameStatus::kOk) {
+          // Workers simply wait out corrupted replies; the retry timer
+          // resends the request.
+          break;
+        }
+        handle_worker_frames(event.worker, w.core->on_frame(decode.frame));
+        break;
+      }
+      case Event::Kind::kRetry: {
+        if (!w.alive || event.generation != w.generation ||
+            event.request_seq != w.request_seq || w.core->done()) {
+          break;
+        }
+        const auto resend = w.core->on_retry_tick();
+        if (!resend.has_value()) break;
+        ++w.retry_attempt;
+        transmit_to_coordinator(event.worker, *resend);
+        // Same request: keep request_seq, chain the next (longer) retry.
+        Event next;
+        next.kind = Event::Kind::kRetry;
+        next.worker = event.worker;
+        next.generation = w.generation;
+        next.request_seq = w.request_seq;
+        const std::uint64_t jitter_seed = util::Rng::stream_seed(
+            plan_.seed,
+            (static_cast<std::uint64_t>(event.worker) << 8) ^ w.generation);
+        schedule(now_ + retry_policy_.delay_ms(w.retry_attempt, jitter_seed),
+                 std::move(next));
+        break;
+      }
+      case Event::Kind::kKill: {
+        if (!w.alive) break;
+        w.alive = false;
+        worker_of_conn_.erase(w.conn);
+        coordinator_.on_disconnect(w.conn);
+        break;
+      }
+      case Event::Kind::kRestart: {
+        if (w.alive) break;
+        start_worker(event.worker);
+        break;
+      }
+    }
+    drain_coordinator();
+  }
+
+  if (!coordinator_.finished()) {
+    throw std::runtime_error(
+        "SimFleet: event queue drained before the campaign finished "
+        "(all workers dead with work outstanding?)");
+  }
+  return coordinator_.take_result();
+}
+
+}  // namespace hdtest::fuzz::fleet

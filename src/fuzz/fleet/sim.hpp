@@ -1,0 +1,144 @@
+#pragma once
+/// \file sim.hpp
+/// Deterministic in-process fleet simulator with seeded fault injection.
+///
+/// SimFleet runs one CoordinatorCore and N WorkerCores over a virtual
+/// message bus on a virtual clock — no sockets, no threads, no ambient
+/// time. Every nondeterministic thing a real network does is drawn instead
+/// from a util::Rng seeded by the FaultPlan: message latency (hence
+/// reordering), drops, duplication, single-byte corruption, truncation,
+/// extra delay, and worker kill/restart. Two runs with the same plan are
+/// bit-identical; more importantly, ANY plan that lets the campaign finish
+/// must merge exactly the records of `run_campaign(workers=1)` — that is
+/// the tentpole property tier-1 tests sweep across hundreds of seeds.
+///
+/// Faults are drawn per transmitted copy, debited from a finite budget
+/// (FaultPlan::max_faults); once the budget is spent the network is
+/// faithful, so every retry loop terminates and liveness is a theorem, not
+/// a hope. A step cap turns any residual livelock into a loud failure.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/worker.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "util/backoff.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+/// Seeded fault schedule. All probabilities are percent in [0, 100],
+/// evaluated per transmitted message copy while budget remains.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  unsigned drop_pct = 0;       ///< message vanishes
+  unsigned duplicate_pct = 0;  ///< message delivered twice
+  unsigned corrupt_pct = 0;    ///< one random byte flipped
+  unsigned truncate_pct = 0;   ///< random proper prefix delivered
+  unsigned delay_pct = 0;      ///< extra [1, 400]-tick delay
+
+  /// Total faults injected before the network turns faithful (liveness).
+  std::size_t max_faults = 64;
+
+  /// Kill worker `index` at virtual time `at`; when `restart` is set a
+  /// fresh incarnation (new connection, clean handshake) comes back after
+  /// `restart_after` ticks. In-flight messages of the dead incarnation are
+  /// discarded, and the coordinator sees a disconnect.
+  struct Kill {
+    std::size_t worker = 0;
+    std::uint64_t at = 0;
+    bool restart = true;
+    std::uint64_t restart_after = 100;
+  };
+  std::vector<Kill> kills;
+};
+
+/// Wall-clock-free federation harness (see file comment).
+class SimFleet {
+ public:
+  /// \param planner  campaign geometry (borrowed, outlives the sim).
+  /// \param target   successes to stop at (0 = sweep).
+  /// \param workers  worker count (>= 1).
+  /// \param executor shared slice executor (borrowed; the sim is
+  ///        single-threaded so sharing is safe).
+  SimFleet(const shard::ShardPlanner& planner, std::size_t target,
+           std::size_t workers, SliceExecutor& executor, FaultPlan plan,
+           CoordinatorCore::Options options = {});
+
+  /// Runs to completion and returns the merged result.
+  /// \throws std::runtime_error if the campaign cannot complete (all
+  ///         workers dead with work outstanding) or the step cap trips.
+  [[nodiscard]] CampaignResult run();
+
+  [[nodiscard]] const CoordinatorStats& stats() const noexcept {
+    return coordinator_.stats();
+  }
+
+  /// Faults actually injected (<= plan.max_faults).
+  [[nodiscard]] std::size_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
+
+ private:
+  struct SimWorker {
+    std::unique_ptr<WorkerCore> core;
+    ConnId conn = 0;
+    std::uint64_t generation = 0;
+    std::size_t retry_attempt = 0;
+    std::uint64_t request_seq = 0;
+    bool alive = false;
+  };
+
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kToCoordinator,  ///< worker bytes arriving at the coordinator
+      kToWorker,       ///< coordinator bytes arriving at a worker
+      kRetry,          ///< a worker's resend timer fired
+      kKill,
+      kRestart,
+    };
+    Kind kind = Kind::kToCoordinator;
+    std::size_t worker = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t request_seq = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void schedule(std::uint64_t at, Event event);
+  void start_worker(std::size_t index);
+  void transmit_to_coordinator(std::size_t worker, const Frame& frame);
+  void transmit_to_worker(std::size_t worker, const Frame& frame);
+  /// Applies the fault schedule to one copy; returns delivery delays
+  /// (empty = dropped, two entries = duplicated) and mutates bytes.
+  void deliver_copies(std::uint64_t base_delay, Event event);
+  [[nodiscard]] bool fault_roll(unsigned pct);
+  void arm_retry(std::size_t worker);
+  void drain_coordinator();
+  void handle_worker_frames(std::size_t worker, std::vector<Frame> frames);
+
+  const shard::ShardPlanner* planner_;
+  SliceExecutor* executor_;
+  FaultPlan plan_;
+  CoordinatorCore coordinator_;
+  std::vector<SimWorker> workers_;
+  std::map<ConnId, std::size_t> worker_of_conn_;
+
+  /// Virtual-time event queue; the (time, seq) key makes ties, and thus
+  /// the whole simulation, deterministic.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Event> queue_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  ConnId next_conn_ = 1;
+  util::Rng rng_;
+  util::BackoffPolicy retry_policy_{/*initial_ms=*/40, /*max_ms=*/1600,
+                                    /*jitter=*/true};
+  std::size_t faults_injected_ = 0;
+};
+
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,203 @@
+#include "fuzz/fleet/tcp.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace hdtest::fuzz::fleet {
+
+namespace net = util::net;
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 4096;
+
+/// Pause between lease polls when the coordinator answered Idle, so a
+/// starved worker doesn't hammer the socket.
+constexpr std::uint64_t kIdlePollMs = 100;
+
+bool send_frame(const net::Socket& socket, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame.kind, frame.body);
+  return net::send_all(socket, bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+// ---- TcpCoordinator ------------------------------------------------------
+
+TcpCoordinator::TcpCoordinator(const shard::ShardPlanner& planner,
+                               std::size_t target, Options options)
+    : core_(planner, target,
+            CoordinatorCore::Options{options.lease_timeout_ms,
+                                     options.strategy_name}),
+      options_(std::move(options)),
+      listener_(net::listen_tcp(options_.port)),
+      port_(net::local_port(listener_)) {}
+
+void TcpCoordinator::close_conn(ConnId id) { conns_.erase(id); }
+
+void TcpCoordinator::pump_connection(ConnId id, Conn& conn) {
+  std::uint8_t buf[kRecvChunk];
+  const long got = net::recv_some(conn.socket, buf, sizeof buf,
+                                  /*timeout_ms=*/10);
+  if (got == -1) return;  // nothing this round
+  if (got <= 0) {
+    // Peer closed (0) or hard error (-2): its leases go back in the pool.
+    core_.on_disconnect(id);
+    close_conn(id);
+    return;
+  }
+  conn.reader.feed(std::span<const std::uint8_t>(
+      buf, static_cast<std::size_t>(got)));
+  Frame frame;
+  while (conn.reader.next(frame) == FrameStatus::kOk) {
+    core_.on_frame(id, frame, net::now_ms());
+  }
+  if (conn.reader.poisoned()) {
+    // Corrupted stream: framing is unrecoverable. Count it, re-lease the
+    // sender's work, drop the connection; the worker reconnects clean.
+    core_.on_corrupt_frame(id);
+    core_.on_disconnect(id);
+    close_conn(id);
+  }
+}
+
+void TcpCoordinator::flush_outbox() {
+  for (CoordinatorCore::Outgoing& out : core_.take_outbox()) {
+    const auto it = conns_.find(out.conn);
+    if (it == conns_.end()) continue;
+    if (!send_frame(it->second.socket, out.frame)) {
+      core_.on_disconnect(out.conn);
+      close_conn(out.conn);
+      continue;
+    }
+    if (out.close_after) close_conn(out.conn);
+  }
+}
+
+CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
+  const std::uint64_t started = net::now_ms();
+  std::uint64_t finished_at = 0;
+  bool drained = false;
+  for (;;) {
+    const std::uint64_t now = net::now_ms();
+    if (stop != nullptr && stop->load(std::memory_order_relaxed) &&
+        !drained) {
+      core_.drain();  // abandon at the replay frontier, notify workers
+      flush_outbox();
+      drained = true;
+      break;
+    }
+    core_.on_tick(now);
+
+    if (auto accepted = net::accept_tcp(listener_, /*timeout_ms=*/10);
+        accepted.valid()) {
+      const ConnId id = next_conn_++;
+      Conn conn;
+      conn.socket = std::move(accepted);
+      conns_.emplace(id, std::move(conn));
+      core_.on_connect(id);
+    }
+
+    std::vector<ConnId> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (const ConnId id : ids) {
+      const auto it = conns_.find(id);
+      if (it != conns_.end()) pump_connection(id, it->second);
+    }
+    flush_outbox();
+
+    if (core_.finished()) {
+      if (finished_at == 0) finished_at = now;
+      // Linger so workers still mid-request can pick up their Shutdown.
+      if (conns_.empty() || now - finished_at >= options_.linger_ms) break;
+    }
+  }
+  if (!core_.finished()) core_.drain();
+  CampaignResult result = core_.take_result();
+  result.total_seconds =
+      static_cast<double>(net::now_ms() - started) / 1000.0;
+  return result;
+}
+
+// ---- TcpWorker -----------------------------------------------------------
+
+bool TcpWorker::run(const std::atomic<bool>* stop) {
+  const util::BackoffPolicy backoff;
+  std::size_t failures = 0;
+  const auto stopped = [stop] {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  };
+
+  while (failures < options_.max_reconnects) {
+    if (stopped()) return false;
+    if (failures > 0) {
+      net::sleep_ms(backoff.delay_ms(failures, options_.backoff_seed));
+    }
+    net::Socket socket = net::connect_tcp(options_.host, options_.port);
+    if (!socket.valid()) {
+      ++failures;
+      continue;
+    }
+    if (!send_frame(socket, core_.on_reconnect())) {
+      ++failures;
+      continue;
+    }
+
+    FrameReader reader;
+    std::size_t resends = 0;
+    bool conn_ok = true;
+    while (conn_ok) {
+      if (core_.done()) return !core_.failed();
+      if (stopped()) return false;
+      std::uint8_t buf[kRecvChunk];
+      const long got =
+          net::recv_some(socket, buf, sizeof buf,
+                         static_cast<int>(options_.response_timeout_ms));
+      if (got > 0) {
+        failures = 0;  // the link works; reset the reconnect budget
+        reader.feed(std::span<const std::uint8_t>(
+            buf, static_cast<std::size_t>(got)));
+        Frame frame;
+        while (conn_ok && reader.next(frame) == FrameStatus::kOk) {
+          resends = 0;
+          const bool was_idle =
+              frame.kind == static_cast<std::uint16_t>(MessageKind::kIdle);
+          std::vector<Frame> replies;
+          try {
+            replies = core_.on_frame(frame);
+          } catch (const WireFormatError&) {
+            conn_ok = false;  // coordinator sent us garbage; reconnect
+            break;
+          }
+          if (was_idle && !replies.empty()) net::sleep_ms(kIdlePollMs);
+          for (const Frame& reply : replies) {
+            if (!send_frame(socket, reply)) {
+              conn_ok = false;
+              break;
+            }
+          }
+          if (core_.done()) return !core_.failed();
+        }
+        if (reader.poisoned()) conn_ok = false;
+      } else if (got == -1) {
+        // Reply overdue: resend the pending request, reconnect when the
+        // connection looks dead.
+        if (++resends > options_.max_resends) {
+          conn_ok = false;
+          continue;
+        }
+        const auto again = core_.on_retry_tick();
+        if (again.has_value() && !send_frame(socket, *again)) {
+          conn_ok = false;
+        }
+      } else {
+        conn_ok = false;  // closed (0) or error (-2)
+      }
+    }
+    ++failures;
+  }
+  return core_.done() && !core_.failed();
+}
+
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,184 @@
+#include "fuzz/fleet/wire.hpp"
+
+#include <algorithm>
+
+#include "util/checksum.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+namespace {
+
+/// Little-endian reads at fixed header offsets. The caller has already
+/// bounds-checked that `bytes` covers the header.
+std::uint16_t header_u16(std::span<const std::uint8_t> bytes,
+                         std::size_t at) noexcept {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(bytes[at]) |
+      static_cast<std::uint16_t>(bytes[at + 1]) << 8);
+}
+
+std::uint32_t header_u32(std::span<const std::uint8_t> bytes,
+                         std::size_t at) noexcept {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t header_u64(std::span<const std::uint8_t> bytes,
+                         std::size_t at) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* frame_status_name(FrameStatus status) noexcept {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kNeedMore:
+      return "need-more";
+    case FrameStatus::kBadMagic:
+      return "bad-magic";
+    case FrameStatus::kBadVersion:
+      return "bad-version";
+    case FrameStatus::kHeaderChecksum:
+      return "header-checksum";
+    case FrameStatus::kOversized:
+      return "oversized";
+    case FrameStatus::kBodyChecksum:
+      return "body-checksum";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint16_t kind,
+                                       std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxBodyBytes) {
+    throw std::length_error("fleet wire: frame body exceeds kMaxBodyBytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body.size() + kFrameTrailerBytes);
+  out.insert(out.end(), std::begin(kWireMagic), std::end(kWireMagic));
+  put_u16(out, kWireVersion);
+  put_u16(out, kind);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  put_u32(out, util::fnv1a_fold32(util::fnv1a(out.data(), out.size())));
+  out.insert(out.end(), body.begin(), body.end());
+  put_u64(out, util::fnv1a(body));
+  return out;
+}
+
+FrameDecode decode_frame(std::span<const std::uint8_t> bytes) noexcept {
+  FrameDecode result;
+  if (bytes.size() < kFrameHeaderBytes) {
+    result.status = FrameStatus::kNeedMore;
+    result.need = kFrameHeaderBytes;
+    return result;
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (bytes[i] != kWireMagic[i]) {
+      result.status = FrameStatus::kBadMagic;
+      return result;
+    }
+  }
+  if (header_u16(bytes, 4) != kWireVersion) {
+    result.status = FrameStatus::kBadVersion;
+    return result;
+  }
+  // Validate the header checksum BEFORE trusting the length field: a
+  // corrupted length must never control how many bytes we wait for or
+  // allocate.
+  const std::uint32_t stored_header = header_u32(bytes, 12);
+  const std::uint32_t computed_header =
+      util::fnv1a_fold32(util::fnv1a(bytes.data(), 12));
+  if (stored_header != computed_header) {
+    result.status = FrameStatus::kHeaderChecksum;
+    return result;
+  }
+  const std::size_t body_len = header_u32(bytes, 8);
+  // Defense in depth: even a correctly-checksummed frame from a hostile
+  // peer cannot demand an unbounded allocation.
+  if (body_len > kMaxBodyBytes) {
+    result.status = FrameStatus::kOversized;
+    return result;
+  }
+  // body_len <= 2^26, so this sum cannot overflow size_t.
+  const std::size_t frame_total =
+      kFrameHeaderBytes + body_len + kFrameTrailerBytes;
+  if (bytes.size() < frame_total) {
+    result.status = FrameStatus::kNeedMore;
+    result.need = frame_total;
+    return result;
+  }
+  const std::uint64_t stored_body =
+      header_u64(bytes, kFrameHeaderBytes + body_len);
+  const std::uint64_t computed_body =
+      util::fnv1a(bytes.subspan(kFrameHeaderBytes, body_len));
+  if (stored_body != computed_body) {
+    result.status = FrameStatus::kBodyChecksum;
+    return result;
+  }
+  result.status = FrameStatus::kOk;
+  result.consumed = frame_total;
+  result.frame.kind = header_u16(bytes, 6);
+  const auto body = bytes.subspan(kFrameHeaderBytes, body_len);
+  result.frame.body.assign(body.begin(), body.end());
+  return result;
+}
+
+FrameDecode decode_datagram(std::span<const std::uint8_t> bytes) noexcept {
+  FrameDecode result = decode_frame(bytes);
+  if (result.status == FrameStatus::kNeedMore) {
+    // A truncated datagram will never grow: surface it as a checksum-class
+    // rejection. Truncation inside the header reads as a short/garbled
+    // header (kHeaderChecksum); truncation of the body means the trailing
+    // body checksum is missing or partial (kBodyChecksum).
+    result.status = bytes.size() < kFrameHeaderBytes
+                        ? FrameStatus::kHeaderChecksum
+                        : FrameStatus::kBodyChecksum;
+    result.consumed = 0;
+    return result;
+  }
+  if (result.status == FrameStatus::kOk && result.consumed != bytes.size()) {
+    // Trailing garbage after a valid frame: hostile-length territory.
+    result.status = FrameStatus::kOversized;
+    result.consumed = 0;
+    result.frame = Frame{};
+  }
+  return result;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned()) return;  // no point buffering after framing is lost
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (cursor_ > 4096 && cursor_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    cursor_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameStatus FrameReader::next(Frame& out) {
+  if (poisoned()) return error_;
+  const std::span<const std::uint8_t> view(buffer_.data() + cursor_,
+                                           buffer_.size() - cursor_);
+  FrameDecode decode = decode_frame(view);
+  if (decode.status == FrameStatus::kOk) {
+    cursor_ += decode.consumed;
+    out = std::move(decode.frame);
+    return FrameStatus::kOk;
+  }
+  if (decode.status != FrameStatus::kNeedMore) {
+    error_ = decode.status;
+  }
+  return decode.status;
+}
+
+}  // namespace hdtest::fuzz::fleet

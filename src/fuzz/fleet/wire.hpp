@@ -1,0 +1,240 @@
+#pragma once
+/// \file wire.hpp
+/// Length-prefixed, checksummed frame format for fleet federation.
+///
+/// Every coordinator/worker message travels inside one frame:
+///
+///   offset  size  field
+///        0     4  magic "HDFW"
+///        4     2  version (little-endian, currently 1)
+///        6     2  message kind (protocol.hpp enumerates them)
+///        8     4  body length in bytes
+///       12     4  header checksum: fnv1a_fold32 over bytes [0, 12)
+///       16     N  body (message-specific payload)
+///     16+N     8  body checksum: 64-bit FNV-1a over the body bytes
+///
+/// All integers are little-endian and encoded with shift arithmetic — no
+/// reinterpret_cast, no struct overlays — so the format is identical on
+/// every host and the decoder never reads through a type pun.
+///
+/// The header checksum is verified BEFORE the length field is trusted, so
+/// a bit-flipped length can never make the decoder wait for (or allocate)
+/// an attacker-chosen number of bytes. A hard cap (kMaxBodyBytes) bounds
+/// allocation even for frames whose checksum validates. Any single-byte
+/// flip anywhere in a frame is detected: header bytes by the header
+/// checksum, body bytes by the body checksum, checksum bytes by failing
+/// their own comparison.
+///
+/// Decoding is non-throwing and returns a typed status so transports can
+/// distinguish "wait for more bytes" (kNeedMore) from "this peer is
+/// feeding us garbage" (everything else). Malformed frames are rejected,
+/// the carrying lease expires, and the slice is re-issued — corruption is
+/// retried, never merged (docs/wire_format.md spells out the contract).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hdtest::fuzz::fleet {
+
+/// Frame magic: "HDFW" (HDTest Fleet Wire).
+inline constexpr std::uint8_t kWireMagic[4] = {'H', 'D', 'F', 'W'};
+
+/// Wire protocol version. Bump on any incompatible frame/body change.
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Fixed prefix: magic + version + kind + body length + header checksum.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Trailing 64-bit FNV-1a over the body.
+inline constexpr std::size_t kFrameTrailerBytes = 8;
+
+/// Allocation bound for a frame body. A Commit carrying a full slice of
+/// records with adversarial images is well under 1 MiB; 64 MiB leaves
+/// generous headroom while keeping hostile length fields harmless.
+inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 26;
+
+/// One decoded (or to-be-encoded) message envelope.
+struct Frame {
+  std::uint16_t kind = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Outcome of attempting to decode the frame at the front of a buffer.
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,          ///< Frame decoded; `consumed` bytes were used.
+  kNeedMore,        ///< Prefix of a valid frame; feed more bytes.
+  kBadMagic,        ///< First four bytes are not "HDFW".
+  kBadVersion,      ///< Version field != kWireVersion.
+  kHeaderChecksum,  ///< Header bytes fail their checksum.
+  kOversized,       ///< Body length exceeds kMaxBodyBytes.
+  kBodyChecksum,    ///< Body bytes fail the trailing checksum.
+};
+
+/// Human-readable name for logging and test diagnostics.
+[[nodiscard]] const char* frame_status_name(FrameStatus status) noexcept;
+
+/// Result of decode_frame. On kOk, `frame` holds the message and
+/// `consumed` the total encoded size. On kNeedMore, `consumed` is 0 and
+/// `need` is a lower bound on the total bytes required (grows as the
+/// header becomes readable). On any error, `consumed` is 0 and the
+/// transport must drop the connection (stream framing is lost).
+struct FrameDecode {
+  FrameStatus status = FrameStatus::kNeedMore;
+  std::size_t consumed = 0;
+  std::size_t need = kFrameHeaderBytes;
+  Frame frame;
+};
+
+/// Encodes one frame (header + body + trailer). Throws std::length_error
+/// if body.size() exceeds kMaxBodyBytes — callers build bodies, so an
+/// oversized one is a programming error, not a peer fault.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::uint16_t kind, std::span<const std::uint8_t> body);
+
+/// Attempts to decode the frame at the front of `bytes`. Never throws;
+/// see FrameDecode for the contract.
+[[nodiscard]] FrameDecode decode_frame(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+/// Datagram-style decode for the in-process simulator: the buffer must
+/// contain exactly one whole frame. kNeedMore (a truncated message) and
+/// trailing bytes both degrade to an error status, because in a datagram
+/// there is no "more" coming.
+[[nodiscard]] FrameDecode decode_datagram(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+/// Incremental frame extractor for byte-stream transports (TCP). Append
+/// whatever recv produced; poll next() until it stops yielding frames.
+/// The first malformed frame poisons the reader permanently — stream
+/// framing cannot be re-synchronized after corruption.
+class FrameReader {
+ public:
+  /// Appends raw received bytes to the internal buffer.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Decodes the next complete frame into `out`. Returns kOk and advances
+  /// past the frame, kNeedMore when the buffer holds only a partial
+  /// frame, or the poisoning error status.
+  [[nodiscard]] FrameStatus next(Frame& out);
+
+  /// True once a malformed frame was seen; next() repeats the error.
+  [[nodiscard]] bool poisoned() const noexcept {
+    return error_ != FrameStatus::kOk && error_ != FrameStatus::kNeedMore;
+  }
+
+  /// Bytes currently buffered (tests / diagnostics).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - cursor_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t cursor_ = 0;
+  FrameStatus error_ = FrameStatus::kOk;
+};
+
+// ---- little-endian primitive codec ---------------------------------------
+// Shared by the frame layer and the message bodies (protocol.cpp). Append
+// primitives with put_*; read them back through WireReader, which
+// bounds-checks every access and throws WireFormatError instead of reading
+// out of range.
+
+/// Typed error for malformed message bodies (framing itself is
+/// status-coded; bodies throw because they decode after checksum
+/// validation, where malformation means a protocol bug or hostile peer).
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : std::runtime_error("fleet wire: " + what) {}
+};
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian reader over a message body.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - cursor_;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    require(1, "u8");
+    return bytes_[cursor_++];
+  }
+
+  std::uint16_t u16() {
+    require(2, "u16");
+    std::uint16_t v = 0;
+    for (int shift = 0; shift < 16; shift += 8) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(bytes_[cursor_++]) << shift);
+    }
+    return v;
+  }
+
+  std::uint32_t u32() {
+    require(4, "u32");
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(bytes_[cursor_++]) << shift;
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    require(8, "u64");
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(bytes_[cursor_++]) << shift;
+    }
+    return v;
+  }
+
+  /// A view of the next `n` raw bytes (valid while the body buffer lives).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    require(n, "bytes");
+    const auto view = bytes_.subspan(cursor_, n);
+    cursor_ += n;
+    return view;
+  }
+
+ private:
+  void require(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw WireFormatError(std::string("body truncated reading ") + what);
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace hdtest::fuzz::fleet

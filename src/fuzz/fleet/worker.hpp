@@ -1,0 +1,122 @@
+#pragma once
+/// \file worker.hpp
+/// Deterministic, transport-agnostic fleet worker (sans-io core).
+///
+/// Mirror image of CoordinatorCore: the driver feeds it validated frames
+/// and it answers with frames to send. The worker is a strict
+/// request/response loop — Hello, then LeaseRequest, then Commit per
+/// granted slice — so its only liveness obligation is "resend the last
+/// request when the reply is overdue" (on_retry_tick, paced by the
+/// driver's BackoffPolicy). Every message can be lost, duplicated, or
+/// reordered without corrupting state: duplicates of a reply it already
+/// consumed are ignored, and a resent request is idempotent on the
+/// coordinator side (duplicate commits are acked without merging).
+///
+/// Slice execution is injected (SliceExecutor) so protocol tests run with
+/// a synthetic executor while production uses FuzzSliceExecutor, which
+/// reproduces the sharded runtime's per-stream recipe exactly: input
+/// `s % num_inputs`, RNG from `stream_seed(master, s)`, outcome from
+/// Fuzzer::fuzz_one. Workers always execute their full leased slice —
+/// they hold no StopToken; the coordinator's ledger discards overshoot,
+/// which is exactly what the solo runtime does with speculative work.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/seed_bank.hpp"
+
+namespace hdtest::fuzz::fleet {
+
+/// Executes one leased slice and returns its records in stream order.
+class SliceExecutor {
+ public:
+  virtual ~SliceExecutor() = default;
+  [[nodiscard]] virtual std::vector<CampaignRecord> execute(
+      const shard::StreamSlice& slice) = 0;
+};
+
+/// Production executor: the sharded runtime's per-stream recipe.
+class FuzzSliceExecutor final : public SliceExecutor {
+ public:
+  /// All borrowed; must outlive the executor. \p bank may be null (inline
+  /// encoding — identical results either way, see SeedBank::acquire).
+  FuzzSliceExecutor(const shard::ShardPlanner& planner, const Fuzzer& fuzzer,
+                    const data::Dataset& inputs,
+                    shard::SeedBank* bank = nullptr) noexcept
+      : planner_(&planner), fuzzer_(&fuzzer), inputs_(&inputs), bank_(bank) {}
+
+  [[nodiscard]] std::vector<CampaignRecord> execute(
+      const shard::StreamSlice& slice) override;
+
+ private:
+  const shard::ShardPlanner* planner_;
+  const Fuzzer* fuzzer_;
+  const data::Dataset* inputs_;
+  shard::SeedBank* bank_;
+};
+
+/// See the file comment. Single-threaded; drivers serialize all calls.
+class WorkerCore {
+ public:
+  enum class State : std::uint8_t {
+    kAwaitHelloAck,
+    kAwaitGrant,
+    kAwaitCommitAck,
+    kDone,    ///< coordinator sent Shutdown — clean exit
+    kFailed,  ///< coordinator rejected us — fatal
+  };
+
+  /// \param fingerprint this worker's campaign_fingerprint (must match the
+  ///        coordinator's or the Hello is rejected).
+  /// \param executor    borrowed; must outlive the core.
+  WorkerCore(std::uint64_t fingerprint, SliceExecutor& executor) noexcept
+      : fingerprint_(fingerprint), executor_(&executor) {}
+
+  /// The opening frame. Also (re)arms it as the pending request.
+  [[nodiscard]] Frame hello();
+
+  /// Consumes one validated frame; returns the frames to send in response
+  /// (possibly none). Frames that do not answer the pending request —
+  /// duplicates, stale replies after a reconnect — are ignored.
+  [[nodiscard]] std::vector<Frame> on_frame(const Frame& frame);
+
+  /// The reply to the pending request is overdue: returns a copy of that
+  /// request to resend, or nullopt when nothing is outstanding.
+  [[nodiscard]] std::optional<Frame> on_retry_tick();
+
+  /// Reset to the Hello handshake after a reconnect (TCP driver). Keeps
+  /// no lease state: whatever was in flight will expire server-side.
+  [[nodiscard]] Frame on_reconnect();
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool done() const noexcept {
+    return state_ == State::kDone || state_ == State::kFailed;
+  }
+  [[nodiscard]] bool failed() const noexcept {
+    return state_ == State::kFailed;
+  }
+  [[nodiscard]] std::uint64_t worker_id() const noexcept { return worker_id_; }
+  [[nodiscard]] std::size_t slices_executed() const noexcept {
+    return slices_executed_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<Frame> request(Frame frame);
+
+  std::uint64_t fingerprint_;
+  SliceExecutor* executor_;
+  State state_ = State::kAwaitHelloAck;
+  std::optional<Frame> pending_;  ///< last request awaiting its reply
+  std::uint64_t worker_id_ = 0;
+  std::size_t slices_executed_ = 0;
+};
+
+}  // namespace hdtest::fuzz::fleet

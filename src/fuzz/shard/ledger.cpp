@@ -70,6 +70,12 @@ bool ProgressLedger::gave_up() const {
   return gave_up_;
 }
 
+void ProgressLedger::abandon() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (decided_) return;
+  decide_locked(scan_, /*gave_up=*/true);
+}
+
 std::vector<CampaignRecord> ProgressLedger::take_records() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!decided_) {

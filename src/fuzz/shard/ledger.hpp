@@ -61,6 +61,12 @@ class ProgressLedger {
   /// Moves out the ordered records [0, cut). \pre finished().
   [[nodiscard]] std::vector<CampaignRecord> take_records();
 
+  /// Force-decides the cut at the current replay frontier — the drain path
+  /// for a coordinator told to stop (e.g. SIGTERM) before the stopping rule
+  /// fires naturally. Everything already merged is kept, in-flight work is
+  /// dropped, and the result reports gave_up. No-op once decided.
+  void abandon();
+
  private:
   void advance_locked();
   void decide_locked(std::size_t cut, bool gave_up);

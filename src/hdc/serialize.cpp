@@ -12,6 +12,8 @@
 
 #include "hdc/encoder.hpp"
 #include "util/bitops.hpp"
+#include "util/checked.hpp"
+#include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdtest::hdc {
@@ -73,33 +75,17 @@ void require_little_endian(const char* who) {
   }
 }
 
-/// FNV-1a over a byte buffer — cheap corruption detection.
-std::uint64_t fnv1a(const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-std::uint64_t fnv1a(std::span<const std::byte> bytes) {
-  return fnv1a(bytes.data(), bytes.size());
-}
-
-std::uint64_t fnv1a(const std::string& bytes) {
-  return fnv1a(bytes.data(), bytes.size());
-}
+/// FNV-1a — the shared util::fnv1a, re-exposed under the serializer's
+/// historical local names (one hash for disk sections AND wire frames; see
+/// util/checksum.hpp).
+using util::fnv1a;
 
 /// a * b with overflow detection (hostile header fields must throw, not
-/// wrap into a small allocation that under-reads).
+/// wrap into a small allocation that under-reads). Thin wrapper over the
+/// shared util::checked_mul that keeps the serializer's error prefix.
 std::size_t checked_mul(std::size_t a, std::size_t b, const char* what) {
-  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) {
-    throw std::runtime_error(std::string("load_model: ") + what +
-                             " size overflows");
-  }
-  return a * b;
+  return util::checked_mul(a, b,
+                           (std::string("load_model: ") + what).c_str());
 }
 
 std::size_t align_up(std::size_t value, std::size_t align) {
@@ -695,6 +681,13 @@ void save_model(const HdcClassifier& model, const std::string& path,
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_model: cannot open " + path);
   save_model(model, out, version);
+  // Close explicitly: buffered bytes are flushed by the destructor too, but
+  // the destructor swallows failures — an ENOSPC surfacing at close would
+  // otherwise leave a silently truncated model on disk.
+  out.close();
+  if (out.fail()) {
+    throw std::runtime_error("save_model: close failed for " + path);
+  }
 }
 
 HdcClassifier load_model(std::istream& in) {

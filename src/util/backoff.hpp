@@ -1,0 +1,47 @@
+#pragma once
+/// \file backoff.hpp
+/// Capped exponential backoff with deterministic, seedable jitter.
+///
+/// The delay for attempt k is a *pure function* of (policy, k, seed):
+///
+///   base = min(initial_ms * 2^k, max_ms)
+///   delay = base/2 + uniform(seed, k) in [0, base/2]   (when jitter is on)
+///
+/// Purity matters here for the same reason it does everywhere else in this
+/// codebase: the fleet's SimTransport replays retry schedules from a seed,
+/// so a fault scenario that once livelocked is reproducible bit-for-bit.
+/// The TCP worker uses the same policy with its connection nonce as the
+/// seed — real fleets get decorrelated retry storms, tests get replays.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace hdtest::util {
+
+/// Capped exponential backoff schedule (see file comment).
+struct BackoffPolicy {
+  std::uint64_t initial_ms = 50;
+  std::uint64_t max_ms = 5000;
+  /// Half-range jitter on/off. With jitter off, delay == base exactly.
+  bool jitter = true;
+
+  /// Delay before retry attempt \p attempt (0-based). Pure.
+  [[nodiscard]] std::uint64_t delay_ms(std::size_t attempt,
+                                       std::uint64_t seed = 0) const noexcept {
+    std::uint64_t base = initial_ms == 0 ? 1 : initial_ms;
+    for (std::size_t k = 0; k < attempt && base < max_ms; ++k) {
+      base *= 2;
+    }
+    if (base > max_ms) base = max_ms;
+    if (!jitter) return base;
+    // Derive the jitter from (seed, attempt) so consecutive attempts of one
+    // worker decorrelate, but a replay with the same seed is identical.
+    const std::uint64_t half = base / 2;
+    if (half == 0) return base;
+    util::Rng rng(util::Rng::stream_seed(seed, attempt));
+    return half + rng.uniform_u64(half + 1);
+  }
+};
+
+}  // namespace hdtest::util

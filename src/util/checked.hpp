@@ -1,0 +1,37 @@
+#pragma once
+/// \file checked.hpp
+/// Overflow-checked size arithmetic — the serializer-safety contract's
+/// sanctioned primitives (see src/util/contracts.hpp, invariant 3, and the
+/// hdtest-checked-arith lint check).
+///
+/// Every size computed from untrusted bytes (model-file headers, wire-frame
+/// length fields) must route through these before it can size an allocation
+/// or an offset, so a hostile or corrupted field throws a typed error
+/// instead of wrapping into a small allocation that under-reads.
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace hdtest::util {
+
+/// a * b, throwing std::runtime_error("<what> size overflows") on overflow.
+[[nodiscard]] inline std::size_t checked_mul(std::size_t a, std::size_t b,
+                                             const char* what) {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) {
+    throw std::runtime_error(std::string(what) + " size overflows");
+  }
+  return a * b;
+}
+
+/// a + b, throwing std::runtime_error("<what> size overflows") on wrap.
+[[nodiscard]] inline std::size_t checked_add(std::size_t a, std::size_t b,
+                                             const char* what) {
+  if (b > std::numeric_limits<std::size_t>::max() - a) {
+    throw std::runtime_error(std::string(what) + " size overflows");
+  }
+  return a + b;
+}
+
+}  // namespace hdtest::util

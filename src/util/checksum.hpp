@@ -1,0 +1,63 @@
+#pragma once
+/// \file checksum.hpp
+/// FNV-1a — the project's shared cheap-corruption-detection hash.
+///
+/// One definition serves every integrity surface: the model serializer's
+/// section/table/file checksums (serialize format v3), and the fleet wire
+/// protocol's frame header/body checksums (src/fuzz/fleet/wire.hpp). The
+/// two layers deliberately share the same hash so a record block framed for
+/// the wire and a section framed for disk have identical corruption
+/// guarantees: any single flipped byte changes the digest.
+///
+/// FNV-1a is not cryptographic — it defends against faults (bit rot,
+/// truncation, kernel/NIC bugs, buggy peers), not against adversaries who
+/// can recompute the checksum of a forged payload.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hdtest::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// Continues an FNV-1a digest over one more byte.
+[[nodiscard]] constexpr std::uint64_t fnv1a_byte(std::uint64_t hash,
+                                                 std::uint8_t byte) noexcept {
+  return (hash ^ byte) * kFnv1aPrime;
+}
+
+/// FNV-1a over a raw byte buffer.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data,
+                                         std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = kFnv1aOffsetBasis;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash = fnv1a_byte(hash, bytes[i]);
+  }
+  return hash;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(
+    std::span<const std::byte> bytes) noexcept {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(
+    std::span<const std::uint8_t> bytes) noexcept {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(const std::string& bytes) noexcept {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+/// Folds a 64-bit digest to 32 bits (xor-fold) — used where a frame field
+/// only has room for 32 bits; still detects every single-byte flip.
+[[nodiscard]] constexpr std::uint32_t fnv1a_fold32(std::uint64_t hash) noexcept {
+  return static_cast<std::uint32_t>(hash ^ (hash >> 32));
+}
+
+}  // namespace hdtest::util

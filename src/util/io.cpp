@@ -1,0 +1,82 @@
+#include "util/io.hpp"
+
+#include <cerrno>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace hdtest::util::io {
+
+#if defined(_WIN32)
+
+int open_readonly(const char*) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+long read_full(int, void*, std::size_t) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+long write_full(int, const void*, std::size_t) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+int close_fd(int) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+
+#else
+
+int open_readonly(const char* path) noexcept {
+  for (;;) {
+    const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+long read_full(int fd, void* buf, std::size_t size) noexcept {
+  auto* cursor = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::read(fd, cursor + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<long>(done);
+}
+
+long write_full(int fd, const void* buf, std::size_t size) noexcept {
+  const auto* cursor = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::write(fd, cursor + done, size - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<long>(done);
+}
+
+int close_fd(int fd) noexcept {
+  const int rc = ::close(fd);
+  // See the header: EINTR means the fd is already gone (Linux semantics) —
+  // report success; real failures (EIO/ENOSPC from deferred writes) pass
+  // through to the caller.
+  if (rc != 0 && errno == EINTR) return 0;
+  return rc;
+}
+
+#endif
+
+}  // namespace hdtest::util::io

@@ -1,0 +1,47 @@
+#pragma once
+/// \file io.hpp
+/// EINTR-safe POSIX I/O primitives.
+///
+/// Raw ::read / ::write / ::open can return early with EINTR whenever a
+/// signal lands (profilers, SIGCHLD from a worker pool, the SIGTERM drain
+/// path of the fleet coordinator), and ::read/::write may also transfer
+/// fewer bytes than asked on sockets and pipes. Every fd-level I/O path in
+/// the project — MappedFile's open/stat, the fleet TCP transport — routes
+/// through these wrappers so a stray signal can never masquerade as a
+/// truncated file or a dropped frame.
+///
+/// Error reporting: helpers return values and leave errno set (they are
+/// transport-layer primitives; the callers own the error story). None of
+/// them throw.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdtest::util::io {
+
+/// ::open(path, O_RDONLY | O_CLOEXEC) retried on EINTR.
+/// Returns the fd, or -1 with errno set.
+[[nodiscard]] int open_readonly(const char* path) noexcept;
+
+/// Reads exactly \p size bytes unless EOF or an error intervenes, retrying
+/// on EINTR and continuing across short reads.
+/// Returns the number of bytes read: == size on success, < size on EOF,
+/// or -1 with errno set on error.
+[[nodiscard]] long read_full(int fd, void* buf, std::size_t size) noexcept;
+
+/// Writes exactly \p size bytes, retrying on EINTR and continuing across
+/// short writes.
+/// Returns size on success, or -1 with errno set on error.
+[[nodiscard]] long write_full(int fd, const void* buf,
+                              std::size_t size) noexcept;
+
+/// ::close with EINTR treated as success: on Linux the fd is released even
+/// when close is interrupted, so retrying could close an unrelated fd that
+/// another thread just opened under the same number — the one place where
+/// an EINTR loop is itself the bug.
+/// Returns 0 on success, -1 with errno set. Read-side callers may ignore
+/// the result; WRITE-side callers must not — a deferred-write failure can
+/// surface at close time, and swallowing it turns data loss silent.
+int close_fd(int fd) noexcept;
+
+}  // namespace hdtest::util::io

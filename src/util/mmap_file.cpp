@@ -5,11 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/io.hpp"
+
 #if !defined(_WIN32)
-#include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
-#include <unistd.h>
 #endif
 
 namespace hdtest::util {
@@ -34,17 +34,19 @@ MappedFile MappedFile::open(const std::string& path) {
 #else
 
 MappedFile MappedFile::open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  // io::open_readonly retries EINTR, so a signal landing mid-open (the
+  // coordinator's SIGTERM drain, a profiler tick) can't fake an open error.
+  const int fd = io::open_readonly(path.c_str());
   if (fd < 0) fail(path, "cannot open");
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
     const int saved = errno;
-    ::close(fd);
+    io::close_fd(fd);
     errno = saved;
     fail(path, "cannot stat");
   }
   if (st.st_size <= 0) {
-    ::close(fd);
+    io::close_fd(fd);
     throw std::runtime_error("MappedFile: empty file '" + path + "'");
   }
   const auto size = static_cast<std::size_t>(st.st_size);
@@ -52,7 +54,9 @@ MappedFile MappedFile::open(const std::string& path) {
   // cache pages; the file stays immutable from our side.
   void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
   const int saved = errno;
-  ::close(fd);
+  // Read path: the mapping holds its own reference, close result is
+  // immaterial (close_fd still normalizes EINTR).
+  io::close_fd(fd);
   if (addr == MAP_FAILED) {
     errno = saved;
     fail(path, "cannot mmap");

@@ -1,0 +1,198 @@
+#include "util/net.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/io.hpp"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace hdtest::util::net {
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    // Sockets are bidirectional; there is no meaningful deferred-write error
+    // to harvest here (send_all already reported delivery failures), so the
+    // EINTR-normalized close result is intentionally dropped.
+    (void)io::close_fd(fd_);
+    fd_ = -1;
+  }
+}
+
+#if defined(_WIN32)
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw std::runtime_error("net: sockets are not supported on this platform");
+}
+}  // namespace
+
+Socket listen_tcp(std::uint16_t, int) { unsupported(); }
+std::uint16_t local_port(const Socket&) { unsupported(); }
+Socket accept_tcp(const Socket&, int) { unsupported(); }
+Socket connect_tcp(const std::string&, std::uint16_t) { unsupported(); }
+bool send_all(const Socket&, const void*, std::size_t) noexcept {
+  return false;
+}
+long recv_some(const Socket&, void*, std::size_t, int) noexcept { return -2; }
+
+#else
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("net: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+/// poll() one fd for \p events, EINTR-safe. Returns poll's result.
+int poll_one(int fd, short events, int timeout_ms) noexcept {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+}  // namespace
+
+Socket listen_tcp(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket");
+  Socket socket(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0) {
+    fail("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail("bind");
+  }
+  if (::listen(fd, backlog) != 0) fail("listen");
+  return socket;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    fail("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket accept_tcp(const Socket& listener, int timeout_ms) {
+  const int ready = poll_one(listener.fd(), POLLIN, timeout_ms);
+  if (ready < 0) fail("poll(accept)");
+  if (ready == 0) return Socket();
+  for (;;) {
+    const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // The peer can vanish between poll and accept; that is not fatal.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Socket();
+    }
+    fail("accept");
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket");
+  Socket socket(fd);
+  const sockaddr_in addr = loopback_addr(host, port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      const int one = 1;
+      // Frames are small request/response pairs; Nagle only adds latency.
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // refused/unreachable: caller retries with backoff
+  }
+}
+
+bool send_all(const Socket& socket, const void* data,
+              std::size_t size) noexcept {
+  const auto* cursor = static_cast<const unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ::ssize_t n =
+        ::send(socket.fd(), cursor + done, size - done, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+long recv_some(const Socket& socket, void* buf, std::size_t capacity,
+               int timeout_ms) noexcept {
+  const int ready = poll_one(socket.fd(), POLLIN, timeout_ms);
+  if (ready < 0) return -2;
+  if (ready == 0) return -1;
+  for (;;) {
+    const ::ssize_t n = ::recv(socket.fd(), buf, capacity, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    return -2;
+  }
+}
+
+#endif
+
+std::uint64_t now_ms() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void sleep_ms(std::uint64_t ms) noexcept {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace hdtest::util::net

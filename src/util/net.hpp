@@ -1,0 +1,83 @@
+#pragma once
+/// \file net.hpp
+/// Minimal TCP socket layer for the fleet transport.
+///
+/// Wraps the handful of POSIX socket calls the coordinator/worker protocol
+/// needs — listen, accept, connect, poll-bounded receive, full send —
+/// behind RAII and EINTR-safe loops (util/io.hpp discipline). Everything
+/// here is transport plumbing: framing, checksums, retries, and protocol
+/// state live above it (src/fuzz/fleet/), and nothing here is on the fuzz
+/// hot path.
+///
+/// Wall-clock access (now_ms) lives here too, NOT under src/fuzz/: fleet
+/// code takes timestamps as plain integers so the deterministic cores and
+/// the simulator never read an ambient clock (the hdtest-determinism
+/// contract), while the TCP drivers inject this one.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hdtest::util::net {
+
+/// Move-only RAII socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Closes now (EINTR-normalized); the destructor otherwise does it.
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening IPv4 socket bound to 127.0.0.1:\p port (port 0 picks
+/// an ephemeral port; read it back with local_port). SO_REUSEADDR is set so
+/// restarted coordinators rebind promptly.
+/// \throws std::runtime_error with errno text on failure.
+[[nodiscard]] Socket listen_tcp(std::uint16_t port, int backlog = 16);
+
+/// The locally bound port of a socket (after listen_tcp with port 0).
+/// \throws std::runtime_error on failure.
+[[nodiscard]] std::uint16_t local_port(const Socket& socket);
+
+/// Accepts one pending connection, or returns an invalid Socket when the
+/// wait times out. EINTR-safe. \p timeout_ms < 0 blocks indefinitely.
+/// \throws std::runtime_error on a hard accept failure.
+[[nodiscard]] Socket accept_tcp(const Socket& listener, int timeout_ms);
+
+/// Connects to \p host:\p port (blocking). Returns an invalid Socket on
+/// connection failure (refused/unreachable — the caller owns retry policy).
+/// \throws std::runtime_error only on setup errors (bad address, no fds).
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Sends the whole buffer (EINTR-safe, short-write-safe, SIGPIPE
+/// suppressed). Returns false when the peer is gone or the send fails.
+[[nodiscard]] bool send_all(const Socket& socket, const void* data,
+                            std::size_t size) noexcept;
+
+/// Receives up to \p capacity bytes, waiting at most \p timeout_ms.
+/// Returns the byte count (> 0), 0 when the peer closed cleanly, -1 on
+/// timeout, -2 on error. EINTR-safe on both the wait and the read.
+[[nodiscard]] long recv_some(const Socket& socket, void* buf,
+                             std::size_t capacity, int timeout_ms) noexcept;
+
+/// Milliseconds from a monotonic clock — the timestamp source the TCP
+/// drivers inject into the deterministic fleet cores.
+[[nodiscard]] std::uint64_t now_ms() noexcept;
+
+/// Sleeps the calling thread for \p ms milliseconds (EINTR-safe).
+void sleep_ms(std::uint64_t ms) noexcept;
+
+}  // namespace hdtest::util::net

@@ -1,0 +1,430 @@
+// Federation determinism under fault injection: the tentpole property.
+//
+// A SimFleet run — any worker count, any seeded schedule of drops,
+// duplicates, corruption, truncation, delays, and kill/restarts — must
+// merge exactly the records a solo sequential execution produces. The
+// matrix test sweeps 200 randomized schedules across both stopping modes;
+// further tests pin the individual fault dispositions (corruption retried
+// never merged, duplicates acked without merging, shape mismatches
+// rejected and re-leased) at the CoordinatorCore level, and a real-fuzzer
+// test closes the loop against run_campaign(workers=1) itself.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "data/image.hpp"
+#include "data/synthetic_digits.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/sim.hpp"
+#include "fuzz/fleet/worker.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/shard/ledger.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/seed_bank.hpp"
+#include "fuzz/shard/stop_token.hpp"
+#include "hdc/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::fleet {
+namespace {
+
+/// Cheap deterministic executor: every field of every record is a pure
+/// function of the stream seed, exactly the property the real
+/// FuzzSliceExecutor has, at none of the cost.
+class SyntheticExecutor final : public SliceExecutor {
+ public:
+  explicit SyntheticExecutor(const shard::ShardPlanner& planner) noexcept
+      : planner_(&planner) {}
+
+  [[nodiscard]] std::vector<CampaignRecord> execute(
+      const shard::StreamSlice& slice) override {
+    std::vector<CampaignRecord> records;
+    records.reserve(slice.count);
+    for (std::size_t s = slice.first; s < slice.end(); ++s) {
+      util::Rng rng(planner_->stream_seed(s));
+      CampaignRecord record;
+      record.image_index = planner_->input_of(s);
+      record.true_label = static_cast<int>(record.image_index % 10);
+      record.outcome.success = rng.bernoulli(0.35);
+      record.outcome.reference_label = record.image_index % 10;
+      record.outcome.iterations = 1 + rng.uniform_u64(30);
+      record.outcome.encodes = 10 * record.outcome.iterations;
+      record.outcome.discarded = rng.uniform_u64(5);
+      if (record.outcome.success) {
+        record.outcome.adversarial_label = rng.uniform_u64(10);
+        record.outcome.perturbation.l1 = rng.uniform01();
+        record.outcome.perturbation.l2 = rng.uniform01();
+        record.outcome.perturbation.linf = rng.uniform01();
+        record.outcome.perturbation.pixels_changed = 1 + rng.uniform_u64(16);
+        data::Image image(4, 4);
+        for (auto& pixel : image.pixels()) {
+          pixel = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        }
+        record.outcome.adversarial = std::move(image);
+      }
+      records.push_back(std::move(record));
+    }
+    return records;
+  }
+
+ private:
+  const shard::ShardPlanner* planner_;
+};
+
+/// The reference a federated run must match: execute every block in plan
+/// order on one "worker" and replay the stopping rule through the same
+/// ledger the solo runtime uses.
+CampaignResult solo_reference(const shard::ShardPlanner& planner,
+                              std::size_t target, SliceExecutor& executor) {
+  shard::StopToken token(planner.stream_limit());
+  shard::ProgressLedger ledger(target, planner.stream_limit(), &token);
+  for (std::size_t b = 0; b < planner.num_blocks() && !ledger.finished();
+       ++b) {
+    const auto slice = planner.slice(b);
+    ledger.commit(slice.first, executor.execute(slice));
+  }
+  CampaignResult result;
+  result.gave_up = ledger.gave_up();
+  result.records = ledger.take_records();
+  return result;
+}
+
+TEST(FleetSim, TwoHundredFaultSchedulesMergeBitIdentical) {
+  // ISSUE acceptance: >= 200 randomized fault schedules, both stopping
+  // modes, varying worker counts — every one must merge records
+  // bit-identical to the solo run. Aggregate counters then prove the
+  // matrix actually exercised the fault paths rather than passing vacuously.
+  std::size_t faults = 0;
+  std::size_t corrupt = 0;
+  std::size_t duplicates = 0;
+  std::size_t reissued = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const bool target_mode = (seed % 2) == 0;
+    const std::size_t num_inputs = 5 + seed % 7;
+    const std::size_t limit = target_mode ? 24 + seed % 17 : num_inputs;
+    const std::size_t block = 1 + seed % 5;
+    const std::size_t target = target_mode ? 2 + seed % 4 : 0;
+    const shard::ShardPlanner planner(
+        target_mode ? shard::ShardPlanner::Mode::kTargetCount
+                    : shard::ShardPlanner::Mode::kSweep,
+        num_inputs, 0x5eedULL + seed, limit, block);
+    SyntheticExecutor executor(planner);
+    const auto expected = solo_reference(planner, target, executor);
+
+    FaultPlan plan;
+    plan.seed = seed * 7919 + 1;
+    plan.drop_pct = static_cast<unsigned>(seed % 4) * 8;
+    plan.duplicate_pct = static_cast<unsigned>(seed % 3) * 10;
+    plan.corrupt_pct = static_cast<unsigned>(seed % 5) * 5;
+    plan.truncate_pct = static_cast<unsigned>(seed % 2) * 7;
+    plan.delay_pct = 20;
+    plan.max_faults = 48;
+    SimFleet fleet(planner, target, /*workers=*/1 + seed % 4, executor, plan);
+    const auto merged = fleet.run();
+    ASSERT_TRUE(identical_records(merged, expected)) << "seed " << seed;
+    EXPECT_EQ(merged.gave_up, expected.gave_up) << "seed " << seed;
+
+    faults += fleet.faults_injected();
+    corrupt += fleet.stats().corrupt_frames;
+    duplicates += fleet.stats().duplicate_commits;
+    reissued += fleet.stats().leases_reissued;
+  }
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(corrupt, 0u);
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_GT(reissued, 0u);
+}
+
+TEST(FleetSim, KillAndRestartSchedulesMergeBitIdentical) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kTargetCount,
+                                    6, 0xdeadULL, 30, 3);
+  SyntheticExecutor executor(planner);
+  const auto expected = solo_reference(planner, /*target=*/4, executor);
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    FaultPlan plan;
+    plan.seed = 0xbeefULL + seed;
+    plan.drop_pct = 10;
+    plan.delay_pct = 25;
+    plan.max_faults = 32;
+    // Worker 0 dies mid-campaign and comes back as a fresh incarnation;
+    // worker 2 dies for good. Workers 1 (and the restarted 0) must pick
+    // up the orphaned leases.
+    plan.kills.push_back({/*worker=*/0, /*at=*/50 + seed * 17,
+                          /*restart=*/true, /*restart_after=*/120});
+    plan.kills.push_back({/*worker=*/2, /*at=*/200 + seed * 31,
+                          /*restart=*/false, /*restart_after=*/0});
+    SimFleet fleet(planner, /*target=*/4, /*workers=*/3, executor, plan);
+    const auto merged = fleet.run();
+    ASSERT_TRUE(identical_records(merged, expected)) << "seed " << seed;
+  }
+}
+
+TEST(FleetSim, HeavyCorruptionIsRetriedAndNeverMerged) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 12,
+                                    0xc0ffeeULL, 12, 2);
+  SyntheticExecutor executor(planner);
+  const auto expected = solo_reference(planner, /*target=*/0, executor);
+
+  std::size_t corrupt_seen = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    FaultPlan plan;
+    plan.seed = 0xbadULL * (seed + 1);
+    plan.corrupt_pct = 60;
+    plan.truncate_pct = 20;
+    plan.max_faults = 24;
+    SimFleet fleet(planner, /*target=*/0, /*workers=*/2, executor, plan);
+    const auto merged = fleet.run();
+    ASSERT_TRUE(identical_records(merged, expected)) << "seed " << seed;
+    corrupt_seen += fleet.stats().corrupt_frames;
+  }
+  // The schedules above corrupt more than half of all copies until the
+  // budget runs out; at least one commit-carrying frame must have been
+  // mangled — and per the identical_records assertions, none was merged.
+  EXPECT_GT(corrupt_seen, 0u);
+}
+
+TEST(FleetSim, FaultFreeRunsAreBitIdenticalAcrossWorkerCounts) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kTargetCount,
+                                    9, 0xabcULL, 40, 4);
+  SyntheticExecutor executor(planner);
+  const auto expected = solo_reference(planner, /*target=*/3, executor);
+  for (std::size_t workers = 1; workers <= 5; ++workers) {
+    FaultPlan plan;
+    plan.seed = workers;
+    SimFleet fleet(planner, /*target=*/3, workers, executor, plan);
+    const auto merged = fleet.run();
+    ASSERT_TRUE(identical_records(merged, expected)) << workers;
+    EXPECT_EQ(fleet.stats().corrupt_frames, 0u);
+    EXPECT_EQ(fleet.stats().commits_rejected, 0u);
+  }
+}
+
+// ---- CoordinatorCore-level fault dispositions ----------------------------
+
+/// Pulls the single frame of \p kind out of the outbox (asserts there is
+/// exactly one such frame queued for \p conn).
+std::optional<Frame> take_reply(CoordinatorCore& core, ConnId conn,
+                                MessageKind kind) {
+  std::optional<Frame> found;
+  for (auto& out : core.take_outbox()) {
+    if (out.conn == conn &&
+        out.frame.kind == static_cast<std::uint16_t>(kind)) {
+      EXPECT_FALSE(found.has_value()) << "duplicate reply kind";
+      found = std::move(out.frame);
+    }
+  }
+  return found;
+}
+
+/// Handshakes \p conn and returns its first lease grant.
+LeaseGrant handshake_and_lease(CoordinatorCore& core, ConnId conn,
+                               std::uint64_t now) {
+  core.on_connect(conn);
+  core.on_frame(conn, make_hello({core.fingerprint()}), now);
+  EXPECT_TRUE(take_reply(core, conn, MessageKind::kHelloAck).has_value());
+  core.on_frame(conn, make_lease_request(), now);
+  const auto grant = take_reply(core, conn, MessageKind::kLeaseGrant);
+  EXPECT_TRUE(grant.has_value());
+  return decode_lease_grant(grant->body);
+}
+
+Commit commit_for(SyntheticExecutor& executor, const LeaseGrant& grant) {
+  Commit commit;
+  commit.lease_id = grant.lease_id;
+  commit.first_stream = grant.first_stream;
+  commit.records =
+      executor.execute({static_cast<std::size_t>(grant.first_stream),
+                        static_cast<std::size_t>(grant.stream_count)});
+  return commit;
+}
+
+TEST(FleetCoordinator, CorruptCommitIsReleasedToTheNextWorker) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 6,
+                                    0x11ULL, 6, 2);
+  SyntheticExecutor executor(planner);
+  CoordinatorCore core(planner, /*target=*/0,
+                       {/*lease_timeout=*/1000, "synthetic"});
+
+  const auto grant1 = handshake_and_lease(core, /*conn=*/1, /*now=*/0);
+  EXPECT_EQ(grant1.first_stream, 0u);
+  // Worker 1's commit arrives mangled: the transport rejects the frame and
+  // reports corruption. The lease must be revoked, the block re-leased.
+  core.on_corrupt_frame(1);
+  core.on_disconnect(1);
+  EXPECT_EQ(core.stats().corrupt_frames, 1u);
+  EXPECT_GE(core.stats().leases_reissued, 1u);
+
+  const auto grant2 = handshake_and_lease(core, /*conn=*/2, /*now=*/10);
+  EXPECT_EQ(grant2.first_stream, 0u);  // same block, fresh lease
+  EXPECT_NE(grant2.lease_id, grant1.lease_id);
+
+  core.on_frame(2, make_commit(commit_for(executor, grant2)), 20);
+  EXPECT_TRUE(take_reply(core, 2, MessageKind::kCommitAck).has_value());
+  EXPECT_EQ(core.stats().commits_accepted, 1u);
+}
+
+TEST(FleetCoordinator, DuplicateCommitIsAckedWithoutMerging) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0x22ULL, 4, 2);
+  SyntheticExecutor executor(planner);
+  CoordinatorCore core(planner, /*target=*/0,
+                       {/*lease_timeout=*/1000, "synthetic"});
+
+  const auto grant = handshake_and_lease(core, 1, 0);
+  const Commit commit = commit_for(executor, grant);
+  core.on_frame(1, make_commit(commit), 5);
+  EXPECT_TRUE(take_reply(core, 1, MessageKind::kCommitAck).has_value());
+  // The CommitAck was lost; the worker resends the identical commit. It
+  // must be acknowledged again (so the worker can move on) but not merged
+  // a second time.
+  core.on_frame(1, make_commit(commit), 6);
+  EXPECT_TRUE(take_reply(core, 1, MessageKind::kCommitAck).has_value());
+  EXPECT_EQ(core.stats().commits_accepted, 1u);
+  EXPECT_EQ(core.stats().duplicate_commits, 1u);
+
+  // Finish the campaign and check the duplicate left no trace.
+  const auto grant2 = handshake_and_lease(core, 2, 10);
+  core.on_frame(2, make_commit(commit_for(executor, grant2)), 15);
+  ASSERT_TRUE(core.finished());
+  const auto merged = core.take_result();
+  const auto expected = solo_reference(planner, 0, executor);
+  EXPECT_TRUE(identical_records(merged, expected));
+}
+
+TEST(FleetCoordinator, MismatchedCommitShapeIsRejectedAndReleased) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 6,
+                                    0x33ULL, 6, 3);
+  SyntheticExecutor executor(planner);
+  CoordinatorCore core(planner, /*target=*/0,
+                       {/*lease_timeout=*/1000, "synthetic"});
+
+  const auto grant = handshake_and_lease(core, 1, 0);
+  // A commit whose shape violates the plan (wrong stream count for the
+  // leased block) must be rejected with kBadCommit — never merged.
+  Commit bad;
+  bad.lease_id = grant.lease_id;
+  bad.first_stream = grant.first_stream;
+  bad.records = executor.execute({grant.first_stream, 2});  // plan says 3
+  core.on_frame(1, make_commit(bad), 5);
+  const auto reject = take_reply(core, 1, MessageKind::kReject);
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(decode_reject(reject->body).reason, RejectReason::kBadCommit);
+  EXPECT_EQ(core.stats().commits_rejected, 1u);
+  EXPECT_EQ(core.stats().commits_accepted, 0u);
+
+  // The block goes back in the pool and completes normally.
+  const auto again = handshake_and_lease(core, 2, 10);
+  EXPECT_EQ(again.first_stream, grant.first_stream);
+  core.on_frame(2, make_commit(commit_for(executor, again)), 15);
+  EXPECT_EQ(core.stats().commits_accepted, 1u);
+}
+
+TEST(FleetCoordinator, WrongFingerprintIsFatallyRejected) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0x44ULL, 4, 2);
+  CoordinatorCore core(planner, /*target=*/0,
+                       {/*lease_timeout=*/1000, "synthetic"});
+  core.on_connect(1);
+  core.on_frame(1, make_hello({core.fingerprint() ^ 1}), 0);
+  bool rejected = false;
+  for (const auto& out : core.take_outbox()) {
+    if (out.frame.kind == static_cast<std::uint16_t>(MessageKind::kReject)) {
+      EXPECT_EQ(decode_reject(out.frame.body).reason,
+                RejectReason::kBadFingerprint);
+      EXPECT_TRUE(out.close_after);
+      rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(core.stats().workers_rejected, 1u);
+}
+
+TEST(FleetCoordinator, DrainAbandonsAtTheFrontierAndShutsWorkersDown) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 8,
+                                    0x55ULL, 8, 2);
+  SyntheticExecutor executor(planner);
+  CoordinatorCore core(planner, /*target=*/0,
+                       {/*lease_timeout=*/1000, "synthetic"});
+  const auto grant = handshake_and_lease(core, 1, 0);
+  core.on_frame(1, make_commit(commit_for(executor, grant)), 5);
+  EXPECT_TRUE(take_reply(core, 1, MessageKind::kCommitAck).has_value());
+
+  core.drain();  // SIGTERM path
+  ASSERT_TRUE(core.finished());
+  bool shutdown = false;
+  for (const auto& out : core.take_outbox()) {
+    if (out.frame.kind ==
+        static_cast<std::uint16_t>(MessageKind::kShutdown)) {
+      shutdown = true;
+    }
+  }
+  EXPECT_TRUE(shutdown);
+  const auto partial = core.take_result();
+  EXPECT_TRUE(partial.gave_up);
+  EXPECT_EQ(partial.records.size(), 2u);  // exactly the committed frontier
+}
+
+// ---- end-to-end against the real runtime ---------------------------------
+
+TEST(FleetSim, RealFuzzerMatchesRunCampaignSolo) {
+  // The acceptance property verbatim: a federated campaign with a REAL
+  // fuzzer under fault injection merges records bit-identical to
+  // run_campaign(workers=1), in both stopping modes.
+  hdc::ModelConfig model_config;
+  model_config.dim = 256;
+  model_config.seed = 5;
+  const auto pair = data::make_digit_train_test(10, 2, 31);
+  hdc::HdcClassifier model(model_config, 28, 28, 10);
+  model.fit(pair.train);
+  const GaussNoiseMutation strategy;
+  FuzzConfig fuzz_config;
+  fuzz_config.iter_times = 3;
+  fuzz_config.seeds_per_iteration = 4;
+  const Fuzzer fuzzer(model, strategy, fuzz_config);
+
+  CampaignConfig sweep;
+  sweep.fuzz = fuzz_config;
+  sweep.max_images = 6;
+  sweep.seed = 9;
+  CampaignConfig targeted;
+  targeted.fuzz = fuzz_config;
+  targeted.target_adversarials = 2;
+  targeted.max_streams = 10;
+  targeted.shard_block = 3;
+  targeted.seed = 9;
+
+  for (const auto& config : {sweep, targeted}) {
+    CampaignConfig solo = config;
+    solo.workers = 1;
+    const auto expected = run_campaign(fuzzer, pair.test, solo);
+    const auto planner = shard::plan_campaign(config, pair.test.size());
+    shard::SeedBank bank(fuzzer, pair.test);
+    FuzzSliceExecutor executor(planner, fuzzer, pair.test, &bank);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      FaultPlan plan;
+      plan.seed = seed * 101;
+      plan.drop_pct = 10;
+      plan.duplicate_pct = 10;
+      plan.corrupt_pct = 10;
+      plan.delay_pct = 20;
+      plan.max_faults = 24;
+      SimFleet fleet(planner, config.target_adversarials, /*workers=*/3,
+                     executor, plan);
+      const auto merged = fleet.run();
+      ASSERT_TRUE(identical_records(merged, expected))
+          << "target=" << config.target_adversarials << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz::fleet

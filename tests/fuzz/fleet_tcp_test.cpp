@@ -1,0 +1,188 @@
+// Loopback-TCP federation: real sockets, real threads, one worker lost
+// mid-campaign. The merged result must still be bit-identical to
+// run_campaign(workers=1). Also pins the fatal-fingerprint path over a
+// real connection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+
+#include "data/synthetic_digits.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/tcp.hpp"
+#include "fuzz/fleet/worker.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/seed_bank.hpp"
+#include "hdc/classifier.hpp"
+#include "util/net.hpp"
+
+namespace hdtest::fuzz::fleet {
+namespace {
+
+/// Small shared campaign fixture: data, fitted model, fuzzer, planner.
+class LoopbackCampaign {
+ public:
+  LoopbackCampaign()
+      : pair_(data::make_digit_train_test(10, 2, 31)),
+        model_(make_model_config(), 28, 28, 10) {
+    model_.fit(pair_.train);
+    fuzz_config_.iter_times = 3;
+    fuzz_config_.seeds_per_iteration = 4;
+    fuzzer_.emplace(model_, strategy_, fuzz_config_);
+    config_.fuzz = fuzz_config_;
+    config_.target_adversarials = 2;
+    config_.max_streams = 9;
+    config_.shard_block = 3;
+    config_.seed = 7;
+    planner_.emplace(shard::plan_campaign(config_, pair_.test.size()));
+  }
+
+  [[nodiscard]] const data::Dataset& test() const { return pair_.test; }
+  [[nodiscard]] const Fuzzer& fuzzer() const { return *fuzzer_; }
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+  [[nodiscard]] const shard::ShardPlanner& planner() const {
+    return *planner_;
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return campaign_fingerprint(*planner_, config_.target_adversarials);
+  }
+
+ private:
+  static hdc::ModelConfig make_model_config() {
+    hdc::ModelConfig config;
+    config.dim = 256;
+    config.seed = 5;
+    return config;
+  }
+
+  data::TrainTestPair pair_;
+  hdc::HdcClassifier model_;
+  GaussNoiseMutation strategy_;
+  FuzzConfig fuzz_config_;
+  std::optional<Fuzzer> fuzzer_;
+  CampaignConfig config_;
+  std::optional<shard::ShardPlanner> planner_;
+};
+
+TEST(FleetTcp, LoopbackFleetSurvivesWorkerLossAndMatchesSolo) {
+  LoopbackCampaign campaign;
+  CampaignConfig solo = campaign.config();
+  solo.workers = 1;
+  const auto expected = run_campaign(campaign.fuzzer(), campaign.test(), solo);
+
+  TcpCoordinator::Options coordinator_options;
+  coordinator_options.lease_timeout_ms = 300;
+  coordinator_options.linger_ms = 500;
+  TcpCoordinator coordinator(campaign.planner(),
+                             campaign.config().target_adversarials,
+                             coordinator_options);
+  const std::uint16_t port = coordinator.port();
+  ASSERT_NE(port, 0);
+
+  std::atomic<bool> coordinator_stop{false};
+  std::optional<CampaignResult> merged;
+  std::thread serve([&] { merged = coordinator.run(&coordinator_stop); });
+
+  // Worker A runs to clean shutdown. Worker B is stopped almost
+  // immediately — whatever lease it holds must expire and be re-issued.
+  std::atomic<bool> lost_stop{false};
+  bool clean_a = false;
+  std::thread worker_a([&] {
+    shard::SeedBank bank(campaign.fuzzer(), campaign.test());
+    FuzzSliceExecutor executor(campaign.planner(), campaign.fuzzer(),
+                               campaign.test(), &bank);
+    TcpWorker::Options options;
+    options.port = port;
+    options.response_timeout_ms = 200;
+    TcpWorker worker(campaign.fingerprint(), executor, options);
+    clean_a = worker.run();
+  });
+  std::thread worker_b([&] {
+    shard::SeedBank bank(campaign.fuzzer(), campaign.test());
+    FuzzSliceExecutor executor(campaign.planner(), campaign.fuzzer(),
+                               campaign.test(), &bank);
+    TcpWorker::Options options;
+    options.port = port;
+    options.response_timeout_ms = 200;
+    TcpWorker worker(campaign.fingerprint(), executor, options);
+    (void)worker.run(&lost_stop);
+  });
+  util::net::sleep_ms(50);
+  lost_stop.store(true);  // worker B vanishes mid-campaign
+
+  worker_a.join();
+  worker_b.join();
+  EXPECT_TRUE(clean_a);
+  // Backstop: if the fleet somehow wedged, drain instead of hanging the
+  // suite. On the healthy path the campaign already finished and this flag
+  // is a no-op.
+  coordinator_stop.store(true);
+  serve.join();
+
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_FALSE(merged->gave_up);
+  EXPECT_TRUE(identical_records(*merged, expected));
+  EXPECT_GT(coordinator.stats().commits_accepted, 0u);
+}
+
+TEST(FleetTcp, WrongFingerprintWorkerIsTurnedAway) {
+  LoopbackCampaign campaign;
+
+  TcpCoordinator::Options coordinator_options;
+  coordinator_options.lease_timeout_ms = 300;
+  coordinator_options.linger_ms = 200;
+  TcpCoordinator coordinator(campaign.planner(),
+                             campaign.config().target_adversarials,
+                             coordinator_options);
+  const std::uint16_t port = coordinator.port();
+
+  std::atomic<bool> coordinator_stop{false};
+  std::optional<CampaignResult> merged;
+  std::thread serve([&] { merged = coordinator.run(&coordinator_stop); });
+
+  // A worker built for a DIFFERENT campaign must be rejected outright...
+  bool imposter_clean = true;
+  std::thread imposter([&] {
+    shard::SeedBank bank(campaign.fuzzer(), campaign.test());
+    FuzzSliceExecutor executor(campaign.planner(), campaign.fuzzer(),
+                               campaign.test(), &bank);
+    TcpWorker::Options options;
+    options.port = port;
+    options.response_timeout_ms = 200;
+    options.max_reconnects = 2;
+    TcpWorker worker(campaign.fingerprint() ^ 1, executor, options);
+    imposter_clean = worker.run();
+  });
+  imposter.join();
+  EXPECT_FALSE(imposter_clean);
+
+  // ...while the campaign itself stays serviceable for a correct worker.
+  bool clean = false;
+  std::thread worker([&] {
+    shard::SeedBank bank(campaign.fuzzer(), campaign.test());
+    FuzzSliceExecutor executor(campaign.planner(), campaign.fuzzer(),
+                               campaign.test(), &bank);
+    TcpWorker::Options options;
+    options.port = port;
+    options.response_timeout_ms = 200;
+    TcpWorker tcp_worker(campaign.fingerprint(), executor, options);
+    clean = tcp_worker.run();
+  });
+  worker.join();
+  EXPECT_TRUE(clean);
+  coordinator_stop.store(true);
+  serve.join();
+
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_GE(coordinator.stats().workers_rejected, 1u);
+  EXPECT_FALSE(merged->gave_up);
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,318 @@
+// Wire- and message-layer tests for fleet federation: frame round trips,
+// the flip-every-bit rejection sweep (the corruption half of the
+// robustness contract), truncation/hostile-length handling, FrameReader
+// stream reassembly + poisoning, the record codec, and the campaign
+// fingerprint's sensitivity to every identity input.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "data/image.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::fleet {
+namespace {
+
+std::vector<std::uint8_t> some_body(std::size_t n) {
+  std::vector<std::uint8_t> body(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    body[i] = static_cast<std::uint8_t>((i * 7 + 13) & 0xff);
+  }
+  return body;
+}
+
+/// A realistic Commit frame: one successful record with an image and one
+/// failure, the payload shape the corruption sweep must always reject.
+std::vector<std::uint8_t> encoded_commit_frame() {
+  Commit commit;
+  commit.lease_id = 42;
+  commit.first_stream = 8;
+  CampaignRecord hit;
+  hit.image_index = 8;
+  hit.true_label = 3;
+  hit.outcome.success = true;
+  hit.outcome.reference_label = 3;
+  hit.outcome.adversarial_label = 7;
+  hit.outcome.iterations = 12;
+  hit.outcome.encodes = 120;
+  hit.outcome.discarded = 4;
+  hit.outcome.perturbation.l1 = 1.25;
+  hit.outcome.perturbation.l2 = 0.5;
+  hit.outcome.perturbation.linf = 0.1;
+  hit.outcome.perturbation.pixels_changed = 9;
+  hit.outcome.adversarial = data::Image(6, 5, /*fill=*/0);
+  {
+    auto pixels = hit.outcome.adversarial.pixels();
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+      pixels[i] = static_cast<std::uint8_t>(i * 11);
+    }
+  }
+  CampaignRecord miss;
+  miss.image_index = 9;
+  miss.true_label = 5;
+  miss.outcome.success = false;
+  miss.outcome.reference_label = 5;
+  miss.outcome.iterations = 30;
+  miss.outcome.encodes = 300;
+  commit.records = {hit, miss};
+  const Frame frame = make_commit(commit);
+  return encode_frame(frame.kind, frame.body);
+}
+
+TEST(FleetWire, FrameRoundTrip) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                              std::size_t{4096}}) {
+    const auto body = some_body(n);
+    const auto bytes =
+        encode_frame(static_cast<std::uint16_t>(MessageKind::kCommit), body);
+    ASSERT_EQ(bytes.size(), kFrameHeaderBytes + n + kFrameTrailerBytes);
+    const auto decoded = decode_frame(bytes);
+    ASSERT_EQ(decoded.status, FrameStatus::kOk)
+        << frame_status_name(decoded.status);
+    EXPECT_EQ(decoded.consumed, bytes.size());
+    EXPECT_EQ(decoded.frame.kind,
+              static_cast<std::uint16_t>(MessageKind::kCommit));
+    EXPECT_EQ(decoded.frame.body, body);
+    // Datagram decode agrees when the buffer is exactly one frame.
+    EXPECT_EQ(decode_datagram(bytes).status, FrameStatus::kOk);
+  }
+}
+
+TEST(FleetWire, EveryBitFlipOfACommitFrameIsRejected) {
+  // The ISSUE acceptance sweep: flip every bit of every byte of a real
+  // committed block; the decoder must reject every mutant with a typed
+  // status — no flip may ever surface as a valid (let alone different)
+  // frame that could reach the ledger.
+  const auto pristine = encoded_commit_frame();
+  ASSERT_EQ(decode_datagram(pristine).status, FrameStatus::kOk);
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutant = pristine;
+      mutant[byte] = static_cast<std::uint8_t>(mutant[byte] ^ (1u << bit));
+      const auto decoded = decode_datagram(mutant);
+      ASSERT_NE(decoded.status, FrameStatus::kOk)
+          << "flip of bit " << bit << " in byte " << byte
+          << " slipped through as a valid frame";
+    }
+  }
+}
+
+TEST(FleetWire, EveryTruncationOfACommitFrameIsRejected) {
+  const auto pristine = encoded_commit_frame();
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(pristine.data(), len);
+    // A datagram has no "more bytes coming": every proper prefix errors.
+    EXPECT_NE(decode_datagram(prefix).status, FrameStatus::kOk) << len;
+    // The stream decoder instead asks for more and consumes nothing.
+    const auto decoded = decode_frame(prefix);
+    EXPECT_EQ(decoded.status, FrameStatus::kNeedMore) << len;
+    EXPECT_EQ(decoded.consumed, 0u);
+    EXPECT_GT(decoded.need, len);
+  }
+}
+
+TEST(FleetWire, HostileLengthWithValidChecksumIsCapped) {
+  // Forge a header whose length field is absurd but whose checksum
+  // validates — the cap must still refuse to allocate.
+  std::vector<std::uint8_t> header;
+  for (const std::uint8_t m : kWireMagic) put_u8(header, m);
+  put_u16(header, kWireVersion);
+  put_u16(header, static_cast<std::uint16_t>(MessageKind::kCommit));
+  put_u32(header, 0xffffffffu);  // ~4 GiB body
+  put_u32(header, util::fnv1a_fold32(
+                      util::fnv1a(header.data(), header.size())));
+  ASSERT_EQ(header.size(), kFrameHeaderBytes);
+  EXPECT_EQ(decode_frame(header).status, FrameStatus::kOversized);
+  EXPECT_EQ(decode_datagram(header).status, FrameStatus::kOversized);
+}
+
+TEST(FleetWire, WrongMagicAndVersionAreTyped) {
+  auto bytes = encoded_commit_frame();
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(decode_frame(bad_magic).status, FrameStatus::kBadMagic);
+  // A bumped version with a fixed-up checksum is kBadVersion (a peer from
+  // the future), not a checksum failure.
+  auto bad_version = bytes;
+  bad_version[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+  std::vector<std::uint8_t> head(bad_version.begin(),
+                                 bad_version.begin() + 12);
+  const std::uint32_t sum =
+      util::fnv1a_fold32(util::fnv1a(head.data(), head.size()));
+  for (int i = 0; i < 4; ++i) {
+    bad_version[12 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((sum >> (8 * i)) & 0xff);
+  }
+  EXPECT_EQ(decode_frame(bad_version).status, FrameStatus::kBadVersion);
+}
+
+TEST(FleetWire, DatagramRejectsTrailingGarbage) {
+  auto bytes = encoded_commit_frame();
+  bytes.push_back(0);
+  EXPECT_NE(decode_datagram(bytes).status, FrameStatus::kOk);
+}
+
+TEST(FleetWire, EncodeRefusesOversizedBody) {
+  const std::vector<std::uint8_t> huge(kMaxBodyBytes + 1);
+  EXPECT_THROW((void)encode_frame(1, huge), std::length_error);
+}
+
+TEST(FleetWire, FrameReaderReassemblesByteAtATime) {
+  const auto first = encode_frame(
+      static_cast<std::uint16_t>(MessageKind::kLeaseRequest), {});
+  const auto second = encoded_commit_frame();
+  std::vector<std::uint8_t> stream = first;
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameReader reader;
+  std::vector<Frame> seen;
+  Frame frame;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(std::span<const std::uint8_t>(&byte, 1));
+    while (reader.next(frame) == FrameStatus::kOk) seen.push_back(frame);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind,
+            static_cast<std::uint16_t>(MessageKind::kLeaseRequest));
+  EXPECT_EQ(seen[1].kind, static_cast<std::uint16_t>(MessageKind::kCommit));
+  EXPECT_FALSE(reader.poisoned());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FleetWire, FrameReaderPoisonsPermanentlyOnCorruption) {
+  auto corrupt = encoded_commit_frame();
+  corrupt[20] ^= 0x40;  // body byte: fails the trailing checksum
+  const auto clean = encode_frame(
+      static_cast<std::uint16_t>(MessageKind::kIdle), {});
+
+  FrameReader reader;
+  reader.feed(corrupt);
+  Frame frame;
+  EXPECT_EQ(reader.next(frame), FrameStatus::kBodyChecksum);
+  ASSERT_TRUE(reader.poisoned());
+  // Even a pristine follow-up frame cannot resurrect the stream: framing
+  // is gone, the transport must drop the connection.
+  reader.feed(clean);
+  EXPECT_EQ(reader.next(frame), FrameStatus::kBodyChecksum);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(FleetProtocol, MessageRoundTrips) {
+  EXPECT_EQ(decode_hello(make_hello({0xabcdULL}).body).fingerprint, 0xabcdULL);
+  EXPECT_EQ(decode_hello_ack(make_hello_ack({7}).body).worker_id, 7u);
+  const auto grant = decode_lease_grant(make_lease_grant({5, 40, 4}).body);
+  EXPECT_EQ(grant.lease_id, 5u);
+  EXPECT_EQ(grant.first_stream, 40u);
+  EXPECT_EQ(grant.stream_count, 4u);
+  EXPECT_EQ(decode_commit_ack(make_commit_ack({9}).body).lease_id, 9u);
+  EXPECT_EQ(decode_reject(make_reject({RejectReason::kBadCommit}).body).reason,
+            RejectReason::kBadCommit);
+  EXPECT_NO_THROW(decode_empty(make_lease_request().body, "LeaseRequest"));
+  EXPECT_NO_THROW(decode_empty(make_idle().body, "Idle"));
+  EXPECT_NO_THROW(decode_empty(make_shutdown().body, "Shutdown"));
+  EXPECT_THROW(decode_empty(make_hello({1}).body, "Hello"), WireFormatError);
+}
+
+TEST(FleetProtocol, KnownKindCoversExactlyTheEnum) {
+  EXPECT_FALSE(known_kind(0));
+  for (std::uint16_t kind = 1; kind <= 9; ++kind) {
+    EXPECT_TRUE(known_kind(kind)) << kind;
+  }
+  EXPECT_FALSE(known_kind(10));
+  EXPECT_FALSE(known_kind(0xffff));
+}
+
+TEST(FleetProtocol, CommitRoundTripPreservesEveryRecordField) {
+  const auto bytes = encoded_commit_frame();
+  const auto decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, FrameStatus::kOk);
+  const Commit commit = decode_commit(decoded.frame.body);
+  EXPECT_EQ(commit.lease_id, 42u);
+  EXPECT_EQ(commit.first_stream, 8u);
+  ASSERT_EQ(commit.records.size(), 2u);
+
+  const CampaignRecord& hit = commit.records[0];
+  EXPECT_EQ(hit.image_index, 8u);
+  EXPECT_EQ(hit.true_label, 3);
+  EXPECT_TRUE(hit.outcome.success);
+  EXPECT_EQ(hit.outcome.reference_label, 3u);
+  EXPECT_EQ(hit.outcome.adversarial_label, 7u);
+  EXPECT_EQ(hit.outcome.iterations, 12u);
+  EXPECT_EQ(hit.outcome.encodes, 120u);
+  EXPECT_EQ(hit.outcome.discarded, 4u);
+  EXPECT_EQ(hit.outcome.perturbation.l1, 1.25);
+  EXPECT_EQ(hit.outcome.perturbation.l2, 0.5);
+  EXPECT_EQ(hit.outcome.perturbation.linf, 0.1);
+  EXPECT_EQ(hit.outcome.perturbation.pixels_changed, 9u);
+  ASSERT_EQ(hit.outcome.adversarial.width(), 6u);
+  ASSERT_EQ(hit.outcome.adversarial.height(), 5u);
+  for (std::size_t i = 0; i < hit.outcome.adversarial.size(); ++i) {
+    EXPECT_EQ(hit.outcome.adversarial.pixels()[i],
+              static_cast<std::uint8_t>(i * 11));
+  }
+  // Wall-clock is outside record identity and never travels.
+  EXPECT_EQ(hit.outcome.seconds, 0.0);
+
+  const CampaignRecord& miss = commit.records[1];
+  EXPECT_FALSE(miss.outcome.success);
+  EXPECT_TRUE(miss.outcome.adversarial.empty());
+  EXPECT_EQ(miss.outcome.iterations, 30u);
+}
+
+TEST(FleetProtocol, MalformedCommitBodiesThrow) {
+  const auto bytes = encoded_commit_frame();
+  const auto decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, FrameStatus::kOk);
+  const auto& body = decoded.frame.body;
+
+  // Truncation at every body prefix is a typed error, never a crash or a
+  // partial decode.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_THROW((void)decode_commit(
+                     std::span<const std::uint8_t>(body.data(), len)),
+                 WireFormatError)
+        << len;
+  }
+  // Trailing bytes after a complete message are rejected too.
+  auto padded = body;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_commit(padded), WireFormatError);
+
+  // A hostile record count cannot trigger a giant allocation: the claim
+  // is size-checked against the bytes actually present before reserving.
+  std::vector<std::uint8_t> hostile;
+  put_u64(hostile, 1);           // lease_id
+  put_u64(hostile, 0);           // first_stream
+  put_u64(hostile, 1ULL << 60);  // record count
+  EXPECT_THROW((void)decode_commit(hostile), WireFormatError);
+}
+
+TEST(FleetProtocol, FingerprintSeparatesEveryCampaignIdentityInput) {
+  using shard::ShardPlanner;
+  const ShardPlanner base(ShardPlanner::Mode::kTargetCount, 7, 42, 23, 5);
+  const std::uint64_t fp = campaign_fingerprint(base, 3);
+  EXPECT_EQ(campaign_fingerprint(base, 3), fp);  // stable
+
+  const ShardPlanner inputs(ShardPlanner::Mode::kTargetCount, 8, 42, 23, 5);
+  const ShardPlanner seed(ShardPlanner::Mode::kTargetCount, 7, 43, 23, 5);
+  const ShardPlanner limit(ShardPlanner::Mode::kTargetCount, 7, 42, 24, 5);
+  const ShardPlanner block(ShardPlanner::Mode::kTargetCount, 7, 42, 23, 4);
+  const ShardPlanner mode(ShardPlanner::Mode::kSweep, 23, 42, 23, 5);
+  EXPECT_NE(campaign_fingerprint(inputs, 3), fp);
+  EXPECT_NE(campaign_fingerprint(seed, 3), fp);
+  EXPECT_NE(campaign_fingerprint(limit, 3), fp);
+  EXPECT_NE(campaign_fingerprint(block, 3), fp);
+  EXPECT_NE(campaign_fingerprint(mode, 3), fp);
+  EXPECT_NE(campaign_fingerprint(base, 4), fp);
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz::fleet

@@ -201,6 +201,70 @@ TEST(ProgressLedger, ReplaysTheSequentialStoppingRule) {
   }
 }
 
+TEST(ProgressLedger, DuplicateAndStaleCommitsReplayTheSequentialRule) {
+  // Fleet federation re-issues expired leases, so the same block can be
+  // committed several times (by different workers, in any order, possibly
+  // after the original committer already landed it). Scrambled orders with
+  // duplicated and stale re-deliveries must still replay to the exact
+  // sequential cut: block content is deterministic, and the ledger merges
+  // each stream exactly once.
+  util::Rng rng(777);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t limit = 1 + rng.uniform_u64(40);
+    const std::size_t target = rng.uniform_u64(6);  // 0 = sweep
+    const std::size_t block = 1 + rng.uniform_u64(7);
+    std::vector<bool> outcomes(limit);
+    for (auto&& o : outcomes) o = rng.bernoulli(0.3);
+
+    StopToken token(limit);
+    ProgressLedger ledger(target, limit, &token);
+    const std::size_t num_blocks = (limit + block - 1) / block;
+    // Commit schedule: every block once, plus a random batch of repeats —
+    // the duplicate (re-leased) and stale (expired-lease landing late)
+    // cases are the same thing from the ledger's point of view.
+    std::vector<std::size_t> schedule;
+    for (std::size_t b = 0; b < num_blocks; ++b) schedule.push_back(b);
+    const std::size_t repeats = rng.uniform_u64(2 * num_blocks + 1);
+    for (std::size_t r = 0; r < repeats; ++r) {
+      schedule.push_back(rng.uniform_u64(num_blocks));
+    }
+    rng.shuffle(schedule);
+
+    for (const auto b : schedule) {
+      const std::size_t first = b * block;
+      const std::size_t count = std::min(block, limit - first);
+      ledger.commit(first, make_records(first,
+                                        {outcomes.begin() + first,
+                                         outcomes.begin() + first + count}));
+    }
+    const auto [expected_cut, expected_gave_up] =
+        sequential_rule(outcomes, target, limit);
+    ASSERT_TRUE(ledger.finished());
+    EXPECT_EQ(ledger.cut(), expected_cut);
+    EXPECT_EQ(ledger.gave_up(), expected_gave_up);
+    const auto records = ledger.take_records();
+    ASSERT_EQ(records.size(), expected_cut);
+    for (std::size_t s = 0; s < records.size(); ++s) {
+      EXPECT_EQ(records[s].image_index, s);  // merged exactly once, in order
+      EXPECT_EQ(records[s].outcome.success, static_cast<bool>(outcomes[s]));
+    }
+  }
+}
+
+TEST(ProgressLedger, AbandonDecidesAtTheReplayFrontier) {
+  StopToken token(20);
+  ProgressLedger ledger(/*target=*/5, /*stream_limit=*/20, &token);
+  ledger.commit(0, make_records(0, {true, false, true, false}));
+  EXPECT_FALSE(ledger.finished());
+  ledger.abandon();
+  ASSERT_TRUE(ledger.finished());
+  EXPECT_EQ(ledger.cut(), 4u);
+  EXPECT_TRUE(ledger.gave_up());
+  EXPECT_EQ(ledger.take_records().size(), 4u);
+  ledger.abandon();  // idempotent
+  EXPECT_TRUE(ledger.finished());
+}
+
 TEST(ProgressLedger, DiscardsSpeculativeOvershoot) {
   StopToken token(100);
   ProgressLedger ledger(/*target=*/2, /*stream_limit=*/100, &token);

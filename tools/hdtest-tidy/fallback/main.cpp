@@ -53,7 +53,9 @@ bool in_determinism_scope(const std::string& path) {
 bool in_checked_arith_scope(const std::string& path) {
   return filename_is(path, "serialize") || filename_is(path, "mmap_file") ||
          (path_in(path, "src/fuzz/shard/") &&
-          (filename_is(path, "ledger") || filename_is(path, "seed_bank")));
+          (filename_is(path, "ledger") || filename_is(path, "seed_bank"))) ||
+         (path_in(path, "src/fuzz/fleet/") &&
+          (filename_is(path, "wire") || filename_is(path, "protocol")));
 }
 
 bool in_simd_home(const std::string& path) {
@@ -83,7 +85,8 @@ void list_checks(std::ostream& os) {
         "hdtest-checked-arith\n"
         "    Size arithmetic in wire-format code must go through\n"
         "    checked_mul/checked_add; raw-byte reads through BufReader.\n"
-        "    Scope: serialize.*, mmap_file.*, shard ledger/seed_bank.\n"
+        "    Scope: serialize.*, mmap_file.*, shard ledger/seed_bank,\n"
+        "    fleet wire/protocol.\n"
         "hdtest-intrinsics-confined\n"
         "    Vendor SIMD intrinsics and headers only under src/util/simd/.\n"
         "    Scope: everything else.\n";
