@@ -63,11 +63,17 @@
 #include "bench_common.hpp"
 #include "data/synthetic_digits.hpp"
 #include "fuzz/campaign.hpp"
+#include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/durable/durable_coordinator.hpp"
+#include "fuzz/fleet/durable/storage.hpp"
+#include "fuzz/fleet/protocol.hpp"
 #include "fuzz/fleet/sim.hpp"
 #include "fuzz/fleet/worker.hpp"
 #include "fuzz/mutation.hpp"
+#include "fuzz/shard/ledger.hpp"
 #include "fuzz/shard/plan.hpp"
 #include "fuzz/shard/seed_bank.hpp"
+#include "fuzz/shard/stop_token.hpp"
 #include "hdc/assoc_memory.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/instrument.hpp"
@@ -691,6 +697,246 @@ bool bench_campaign_federation(bool self_check_only,
 }
 
 // ---------------------------------------------------------------------------
+// Coordinator durability: the cost of the crash-safe WAL. One worker drives
+// the full lease/commit protocol against a CoordinatorCore on a real
+// PosixStorage directory; the variants isolate journaling (batched fsync)
+// and per-commit fsync against the no-journal baseline. A recovery gate —
+// half the campaign committed, the coordinator dropped mid-flight with no
+// final checkpoint, a fresh coordinator recovered from the directory —
+// re-proves the resume path's bit-identity in the optimized build and runs
+// in --self-check (CI's bench smoke).
+
+/// Synthetic durable-bench records: pure function of the stream seed, with
+/// a 28x28 adversarial payload on success so commit frames have realistic
+/// weight.
+std::vector<hdtest::fuzz::CampaignRecord> durable_bench_block(
+    const hdtest::fuzz::shard::ShardPlanner& planner, std::size_t block) {
+  using namespace hdtest;
+  const auto slice = planner.slice(block);
+  std::vector<fuzz::CampaignRecord> records;
+  records.reserve(slice.count);
+  for (std::size_t s = slice.first; s < slice.end(); ++s) {
+    util::Rng rng(planner.stream_seed(s));
+    fuzz::CampaignRecord record;
+    record.image_index = planner.input_of(s);
+    record.true_label = static_cast<int>(record.image_index % 10);
+    record.outcome.success = rng.bernoulli(0.5);
+    record.outcome.reference_label = record.image_index % 10;
+    record.outcome.iterations = 1 + rng.uniform_u64(30);
+    record.outcome.encodes = 10 * record.outcome.iterations;
+    if (record.outcome.success) {
+      record.outcome.adversarial_label = rng.uniform_u64(10);
+      record.outcome.perturbation.pixels_changed = 1 + rng.uniform_u64(16);
+      record.outcome.adversarial = random_image(28, 28, rng.uniform_u64(1u << 30));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+/// Drives the wire-level lease/commit loop until the campaign finishes or
+/// \p max_commits commits have been admitted, pumping the periodic
+/// checkpoint rotation exactly like the real drivers do. Returns commits
+/// admitted.
+std::size_t durable_commit_loop(
+    hdtest::fuzz::fleet::CoordinatorCore& core,
+    hdtest::fuzz::fleet::durable::DurableCoordinator* dc,
+    const hdtest::fuzz::shard::ShardPlanner& planner,
+    const std::vector<std::vector<hdtest::fuzz::CampaignRecord>>& blocks,
+    std::size_t max_commits) {
+  using namespace hdtest::fuzz;
+  const std::size_t block_streams = planner.slice(0).count;
+  std::uint64_t now = 1;
+  std::size_t commits = 0;
+  while (!core.finished() && commits < max_commits) {
+    core.on_frame(1, fleet::make_lease_request(), now++);
+    bool granted = false;
+    fleet::LeaseGrant grant;
+    for (auto& out : core.take_outbox()) {
+      if (out.frame.kind ==
+          static_cast<std::uint16_t>(fleet::MessageKind::kLeaseGrant)) {
+        grant = fleet::decode_lease_grant(out.frame.body);
+        granted = true;
+      }
+    }
+    if (!granted) break;
+    fleet::Commit commit;
+    commit.lease_id = grant.lease_id;
+    commit.first_stream = grant.first_stream;
+    commit.records =
+        blocks[static_cast<std::size_t>(grant.first_stream) / block_streams];
+    core.on_frame(1, fleet::make_commit(commit), now++);
+    (void)core.take_outbox();
+    if (dc != nullptr) dc->maybe_checkpoint();
+    ++commits;
+  }
+  return commits;
+}
+
+/// Returns false when the recovery gate fails. Emits one row per variant.
+bool bench_coordinator_durability(bool self_check_only,
+                                  std::vector<std::string>& json_rows) {
+  using namespace hdtest;
+  namespace durable = fuzz::fleet::durable;
+  bool ok = true;
+
+  const std::size_t streams = benchutil::env_u64(
+      "HDTEST_DURABLE_STREAMS", self_check_only ? 128 : 2048);
+  const std::size_t block_streams = 8;
+  const fuzz::shard::ShardPlanner planner(
+      fuzz::shard::ShardPlanner::Mode::kSweep, streams, 0xd0bULL, streams,
+      block_streams);
+  const std::uint64_t fingerprint = fuzz::fleet::campaign_fingerprint(
+      planner, /*target=*/0);
+  std::vector<std::vector<fuzz::CampaignRecord>> blocks;
+  blocks.reserve(planner.num_blocks());
+  std::size_t total_records = 0;
+  for (std::size_t b = 0; b < planner.num_blocks(); ++b) {
+    blocks.push_back(durable_bench_block(planner, b));
+    total_records += blocks.back().size();
+  }
+
+  struct Variant {
+    const char* name;
+    bool journaled;
+    std::uint64_t fsync_every;
+  };
+  util::TextTable table;
+  table.set_header({"Variant", "Commits", "Records", "Time (s)", "Commits/s",
+                    "vs no-journal", "Fsyncs", "Checkpoints"});
+  table.set_alignments({util::Align::kLeft, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight});
+  util::CsvWriter csv(benchutil::out_dir() + "/coordinator_durability.csv");
+  csv.header({"variant", "commits", "records", "seconds", "commits_per_sec",
+              "overhead_vs_none", "journal_fsyncs", "checkpoints"});
+
+  double none_seconds = 0.0;
+  for (const Variant variant :
+       {Variant{"no_journal", false, 0},
+        Variant{"journal_batched", true, 64},
+        Variant{"journal_fsync_every", true, 1}}) {
+    const std::string dir =
+        benchutil::out_dir() + "/durable_bench_" + variant.name;
+    std::filesystem::remove_all(dir);
+    durable::PosixStorage storage(dir);
+    std::unique_ptr<durable::DurableCoordinator> dc;
+    if (variant.journaled) {
+      durable::DurableOptions options;
+      options.fsync_every_commits = variant.fsync_every;
+      options.checkpoint_every_commits = 64;
+      dc = std::make_unique<durable::DurableCoordinator>(storage, fingerprint,
+                                                         options);
+    }
+    fuzz::fleet::CoordinatorCore core(
+        planner, /*target=*/0,
+        {/*lease_timeout=*/1000, "gauss", dc.get()});
+    if (dc) dc->attach(core);
+    core.on_connect(1);
+    core.on_frame(1, fuzz::fleet::make_hello({core.fingerprint()}), 0);
+    (void)core.take_outbox();
+
+    const util::Stopwatch watch;
+    const std::size_t commits = durable_commit_loop(
+        core, dc.get(), planner, blocks, planner.num_blocks());
+    if (dc) dc->checkpoint_now();
+    const double seconds = watch.seconds();
+    if (variant.journaled == false) none_seconds = seconds;
+    const double cps =
+        seconds > 0.0 ? static_cast<double>(commits) / seconds : 0.0;
+    const double overhead =
+        none_seconds > 0.0 ? seconds / none_seconds : 0.0;
+    const std::uint64_t fsyncs = dc ? dc->journal().syncs() : 0;
+    const std::uint64_t checkpoints = dc ? dc->checkpoints_written() : 0;
+    table.add_row({variant.name, std::to_string(commits),
+                   std::to_string(total_records),
+                   util::TextTable::num(seconds, 3),
+                   util::TextTable::num(cps, 0),
+                   util::TextTable::num(overhead, 2), std::to_string(fsyncs),
+                   std::to_string(checkpoints)});
+    csv.row(variant.name, commits, total_records, seconds, cps, overhead,
+            fsyncs, checkpoints);
+    json_rows.push_back(
+        JsonObject()
+            .add("variant", variant.name)
+            .add("commits", static_cast<double>(commits))
+            .add("records", static_cast<double>(total_records))
+            .add("seconds", seconds)
+            .add("commits_per_sec", cps)
+            .add("overhead_vs_none", overhead)
+            .add("journal_fsyncs", static_cast<double>(fsyncs))
+            .add("checkpoints", static_cast<double>(checkpoints))
+            .str());
+  }
+
+  // Recovery gate: commit 6 of the blocks (not a rotation multiple, so the
+  // journal holds live commits), drop the coordinator with NO final
+  // checkpoint — the on-disk files are exactly what a SIGKILL leaves — and
+  // recover into a fresh core, which must finish the campaign bit-identical
+  // to a solo ledger replay.
+  const std::string dir = benchutil::out_dir() + "/durable_bench_recovery";
+  std::filesystem::remove_all(dir);
+  durable::DurableOptions options;
+  options.fsync_every_commits = 1;
+  options.checkpoint_every_commits = 4;
+  {
+    durable::PosixStorage storage(dir);
+    durable::DurableCoordinator dc(storage, fingerprint, options);
+    fuzz::fleet::CoordinatorCore core(
+        planner, 0, {/*lease_timeout=*/1000, "gauss", &dc});
+    dc.attach(core);
+    core.on_connect(1);
+    core.on_frame(1, fuzz::fleet::make_hello({core.fingerprint()}), 0);
+    (void)core.take_outbox();
+    (void)durable_commit_loop(core, &dc, planner, blocks, 6);
+  }
+  durable::PosixStorage storage(dir);
+  durable::DurableCoordinator dc(storage, fingerprint, options);
+  const std::size_t replayed = dc.recovered().journal.commits.size();
+  fuzz::fleet::CoordinatorCore core(
+      planner, 0, {/*lease_timeout=*/1000, "gauss", &dc});
+  dc.attach(core);
+  core.on_connect(1);
+  core.on_frame(1, fuzz::fleet::make_hello({core.fingerprint()}), 0);
+  (void)core.take_outbox();
+  (void)durable_commit_loop(core, &dc, planner, blocks,
+                            planner.num_blocks());
+  if (!dc.resumed() || replayed == 0) {
+    std::printf("ERROR: recovery gate found no durable state to resume "
+                "(resumed=%d, journal commits=%zu)\n",
+                dc.resumed() ? 1 : 0, replayed);
+    ok = false;
+  }
+
+  fuzz::CampaignResult reference;
+  {
+    fuzz::shard::StopToken token(planner.stream_limit());
+    fuzz::shard::ProgressLedger ledger(/*target=*/0, planner.stream_limit(),
+                                       &token);
+    for (std::size_t b = 0; b < planner.num_blocks(); ++b) {
+      ledger.commit(planner.slice(b).first, blocks[b]);
+    }
+    reference.gave_up = ledger.gave_up();
+    reference.records = ledger.take_records();
+  }
+  if (!core.finished() ||
+      !fuzz::identical_records(core.take_result(), reference)) {
+    std::printf("ERROR: records after crash-recovery diverged from the "
+                "solo ledger replay\n");
+    ok = false;
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(one worker over loopback-free in-process frames, so the "
+              "rows isolate pure WAL cost per admitted commit; the recovery "
+              "gate resumed from a checkpoint plus %zu journaled commits "
+              "and re-proved bit-identity%s)\n",
+              replayed, ok ? "" : " — VIOLATED");
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Model cold-start: stream loads vs the mmap'd serving path, plus the
 // save -> map -> predict_batch round-trip gate.
 
@@ -913,9 +1159,17 @@ int main(int argc, char** argv) {
   if (!bench_campaign_federation(self_check_only, federation_rows)) {
     agreement = false;
   }
+  std::vector<std::string> durability_rows;
+  std::printf("\ncoordinator durability: WAL cost per admitted commit plus "
+              "the crash-recovery bit-identity gate\n");
+  if (!bench_coordinator_durability(self_check_only, durability_rows)) {
+    agreement = false;
+  }
   doc.add_raw("campaigns", benchutil::json_array(campaign_rows));
   doc.add_raw("campaign_scaling", benchutil::json_array(scaling_rows));
   doc.add_raw("campaign_federation", benchutil::json_array(federation_rows));
+  doc.add_raw("coordinator_durability",
+              benchutil::json_array(durability_rows));
   doc.add("hardware_threads",
           static_cast<double>(std::thread::hardware_concurrency()));
 

@@ -13,6 +13,32 @@ CoordinatorCore::CoordinatorCore(const shard::ShardPlanner& planner,
       ledger_(target, planner.stream_limit(), &stop_),
       leases_(planner, options_.lease_timeout) {}
 
+void CoordinatorCore::restore(RestoredState state) {
+  for (const std::size_t block : state.done_blocks) {
+    leases_.restore_done(block);
+  }
+  for (auto& chunk : state.chunks) {
+    // Chunks shaped like a planned block mark it done; the checkpoint's
+    // merged prefix (one chunk spanning many blocks) is covered by the
+    // explicit done_blocks list instead.
+    (void)leases_.restore_covered(chunk.first_stream, chunk.records.size());
+    ledger_.commit(chunk.first_stream, std::move(chunk.records));
+  }
+  leases_.advance_lease_ids(state.max_lease_id);
+  if (state.drained) drain();
+}
+
+CoordinatorCore::DurableSnapshot CoordinatorCore::durable_snapshot() const {
+  DurableSnapshot snap;
+  snap.fingerprint = fingerprint_;
+  snap.next_lease_id = leases_.next_lease_id();
+  snap.drained = drained_;
+  snap.num_blocks = planner_->num_blocks();
+  snap.done_blocks = leases_.done_blocks();
+  snap.ledger = ledger_.snapshot();
+  return snap;
+}
+
 void CoordinatorCore::on_connect(ConnId conn) {
   conns_[conn] = ConnState::kAwaitHello;
 }
@@ -100,6 +126,7 @@ void CoordinatorCore::drain() {
   if (drained_) return;
   drained_ = true;
   ledger_.abandon();
+  if (options_.hook != nullptr) options_.hook->on_drained();
   for (const auto& [conn, state] : conns_) {
     if (state == ConnState::kActive) {
       send(conn, make_shutdown(), /*close_after=*/true);
@@ -154,6 +181,10 @@ void CoordinatorCore::handle_lease_request(ConnId conn, std::uint64_t now) {
   grant.lease_id = granted->lease_id;
   grant.first_stream = granted->slice.first;
   grant.stream_count = granted->slice.count;
+  if (options_.hook != nullptr) {
+    options_.hook->on_lease_granted(grant.lease_id, grant.first_stream,
+                                    grant.stream_count);
+  }
   send(conn, make_lease_grant(grant));
 }
 
@@ -165,6 +196,14 @@ void CoordinatorCore::handle_commit(ConnId conn, const Frame& frame,
       commit.lease_id, commit.first_stream, commit.records.size());
   switch (disposition) {
     case CommitDisposition::kAccept:
+      // Write-ahead: the journal sees the commit before the ledger merges
+      // it. Skipped after drain — the abandon cut is at the current merge
+      // frontier and journaling later commits would move it on replay.
+      if (options_.hook != nullptr && !drained_) {
+        options_.hook->on_commit_admitted(commit.lease_id,
+                                          commit.first_stream,
+                                          commit.records);
+      }
       ledger_.commit(static_cast<std::size_t>(commit.first_stream),
                      std::move(commit.records));
       ++stats_.commits_accepted;

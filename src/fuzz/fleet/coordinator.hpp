@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,32 @@ struct CoordinatorStats {
   std::size_t workers_rejected = 0;   ///< fingerprint/state rejects
 };
 
+/// Observer for the state transitions a durable driver must write ahead
+/// of the in-memory mutation (see fuzz/fleet/durable/). Calls arrive
+/// synchronously from inside the core; implementations must not call back
+/// into it. A null hook (the default) costs nothing.
+class CoordinatorHook {
+ public:
+  virtual ~CoordinatorHook() = default;
+
+  /// A lease was granted (called before the grant frame is queued).
+  virtual void on_lease_granted(std::uint64_t lease_id,
+                                std::uint64_t first_stream,
+                                std::uint64_t stream_count) = 0;
+
+  /// A commit was admitted — called BEFORE the ledger merges the records,
+  /// so a crash between the two replays the commit instead of losing it.
+  /// Not called once the coordinator drained (the abandon cut must not
+  /// move on replay).
+  virtual void on_commit_admitted(std::uint64_t lease_id,
+                                  std::uint64_t first_stream,
+                                  std::span<const CampaignRecord> records) = 0;
+
+  /// drain() was invoked — the abandon path, which unlike a natural finish
+  /// is not re-derivable from the records alone.
+  virtual void on_drained() = 0;
+};
+
 /// See the file comment. Single-threaded: drivers serialize all calls.
 class CoordinatorCore {
  public:
@@ -54,12 +81,53 @@ class CoordinatorCore {
     std::uint64_t lease_timeout = 2000;
     /// Stamped into the CampaignResult.
     std::string strategy_name;
+    /// Durability observer (borrowed, may be null). Appended last so
+    /// existing aggregate initializers stay valid.
+    CoordinatorHook* hook = nullptr;
   };
 
   /// \param planner borrowed; must outlive the core.
   /// \param target  successes to stop at (0 = sweep mode).
   CoordinatorCore(const shard::ShardPlanner& planner, std::size_t target,
                   Options options);
+
+  // ---- durability (fuzz/fleet/durable/) ----------------------------------
+
+  /// Recovery payload for restore(), assembled by the durable layer from
+  /// a checkpoint plus a journal replay.
+  struct RestoredState {
+    struct Chunk {
+      std::size_t first_stream = 0;
+      std::vector<CampaignRecord> records;
+    };
+    /// Admitted records to re-merge (any order; duplicates are idempotent).
+    std::vector<Chunk> chunks;
+    /// Lease blocks known complete (the checkpoint's done bitmap).
+    std::vector<std::size_t> done_blocks;
+    /// Highest lease id a prior incarnation issued — never reused, so a
+    /// stale pre-crash commit can never collide with a fresh live lease.
+    std::uint64_t max_lease_id = 0;
+    /// A pre-crash drain was made durable; re-abandon after the re-merge.
+    bool drained = false;
+  };
+
+  /// Installs recovered durable state. \pre no connections yet. A chunk
+  /// whose shape matches a planned block also marks that block done; the
+  /// ledger then replays the stopping rule over the merged records, so a
+  /// restored campaign decides exactly where the solo run would.
+  void restore(RestoredState state);
+
+  /// Everything a checkpoint persists (plus the planner's block count for
+  /// cross-validation on load).
+  struct DurableSnapshot {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t next_lease_id = 1;
+    bool drained = false;
+    std::size_t num_blocks = 0;
+    std::vector<std::size_t> done_blocks;
+    shard::ProgressLedger::Snapshot ledger;
+  };
+  [[nodiscard]] DurableSnapshot durable_snapshot() const;
 
   // ---- driver events -----------------------------------------------------
 

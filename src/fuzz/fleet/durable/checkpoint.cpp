@@ -1,0 +1,256 @@
+#include "fuzz/fleet/durable/checkpoint.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "util/checked.hpp"
+#include "util/checksum.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'H', 'D', 'C', 'P'};
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kHeaderChecksumAt = 20;
+constexpr std::size_t kSectionEntryBytes = 28;
+
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionDone = 2;
+constexpr std::uint32_t kSectionRecords = 3;
+
+/// Hard cap on the section count a header can claim (the writer emits 3).
+constexpr std::uint32_t kMaxSections = 16;
+
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> build_meta(const CheckpointData& data) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, data.fingerprint);
+  put_u64(body, data.sequence);
+  put_u64(body, data.next_lease_id);
+  put_u8(body, data.drained ? 1 : 0);
+  put_u64(body, data.num_blocks);
+  return body;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> build_done(const CheckpointData& data) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, data.num_blocks);
+  std::vector<std::uint8_t> bitmap(
+      static_cast<std::size_t>(data.num_blocks), 0);
+  for (const std::uint64_t block : data.done_blocks) {
+    bitmap.at(static_cast<std::size_t>(block)) = 1;
+  }
+  body.insert(body.end(), bitmap.begin(), bitmap.end());
+  return body;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> build_records(
+    const CheckpointData& data) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, data.chunks.size());
+  for (const auto& [first_stream, records] : data.chunks) {
+    put_u64(body, first_stream);
+    encode_records(records, body);
+  }
+  return body;
+}
+
+}  // namespace
+
+void write_checkpoint(Storage& storage, const CheckpointData& data,
+                      const std::string& name) {
+  const std::vector<std::vector<std::uint8_t>> sections = {
+      build_meta(data), build_done(data), build_records(data)};
+  const std::uint32_t kinds[] = {kSectionMeta, kSectionDone, kSectionRecords};
+
+  const std::size_t table_bytes = util::checked_add(
+      util::checked_mul(sections.size(), kSectionEntryBytes,
+                        "checkpoint section table"),
+      sizeof(std::uint32_t), "checkpoint section table");
+  std::size_t cursor = util::checked_add(kHeaderBytes, table_bytes,
+                                         "checkpoint layout");
+  std::vector<SectionEntry> entries;
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    SectionEntry entry;
+    entry.kind = kinds[s];
+    entry.offset = cursor;
+    entry.size = sections[s].size();
+    entry.checksum = util::fnv1a(sections[s]);
+    entries.push_back(entry);
+    cursor = util::checked_add(cursor, sections[s].size(),
+                               "checkpoint layout");
+  }
+  const std::size_t file_bytes = cursor;
+
+  std::vector<std::uint8_t> file;
+  file.reserve(file_bytes);
+  for (const std::uint8_t byte : kMagic) put_u8(file, byte);
+  put_u32(file, kCheckpointVersion);
+  put_u64(file, file_bytes);
+  put_u32(file, static_cast<std::uint32_t>(sections.size()));
+  put_u32(file, util::fnv1a_fold32(
+                    util::fnv1a(file.data(), kHeaderChecksumAt)));
+
+  std::vector<std::uint8_t> table;
+  for (const SectionEntry& entry : entries) {
+    put_u32(table, entry.kind);
+    put_u64(table, entry.offset);
+    put_u64(table, entry.size);
+    put_u64(table, entry.checksum);
+  }
+  put_u32(table, util::fnv1a_fold32(util::fnv1a(table)));
+  file.insert(file.end(), table.begin(), table.end());
+  for (const auto& section : sections) {
+    file.insert(file.end(), section.begin(), section.end());
+  }
+
+  const std::string tmp = name + ".tmp";
+  storage.write_new(tmp, file);
+  storage.sync(tmp);
+  storage.rename(tmp, name);
+  storage.sync_dir();
+}
+
+CheckpointData read_checkpoint(Storage& storage, const std::string& name) {
+  const std::vector<std::uint8_t> bytes = storage.read_all(name);
+  const std::span<const std::uint8_t> view(bytes);
+  const auto corrupt = [&name](const std::string& why) -> DurabilityError {
+    return DurabilityError("checkpoint '" + name + "': " + why);
+  };
+
+  if (bytes.size() < kHeaderBytes) throw corrupt("truncated header");
+  if (!std::equal(std::begin(kMagic), std::end(kMagic), bytes.begin())) {
+    throw corrupt("bad magic");
+  }
+  WireReader header(view.subspan(4, kHeaderBytes - 4));
+  const std::uint32_t version = header.u32();
+  const std::uint64_t file_bytes = header.u64();
+  const std::uint32_t section_count = header.u32();
+  const std::uint32_t header_checksum = header.u32();
+  if (header_checksum !=
+      util::fnv1a_fold32(util::fnv1a(bytes.data(), kHeaderChecksumAt))) {
+    throw corrupt("header checksum mismatch");
+  }
+  if (version != kCheckpointVersion) {
+    throw corrupt("unsupported version " + std::to_string(version));
+  }
+  if (file_bytes != bytes.size()) throw corrupt("file size mismatch");
+  if (section_count == 0 || section_count > kMaxSections) {
+    throw corrupt("implausible section count");
+  }
+
+  const std::size_t table_bytes = util::checked_add(
+      util::checked_mul(section_count, kSectionEntryBytes,
+                        "checkpoint section table"),
+      sizeof(std::uint32_t), "checkpoint section table");
+  if (util::checked_add(kHeaderBytes, table_bytes, "checkpoint layout") >
+      bytes.size()) {
+    throw corrupt("section table out of bounds");
+  }
+  const std::span<const std::uint8_t> table =
+      view.subspan(kHeaderBytes, table_bytes);
+  WireReader table_reader(table);
+  std::vector<SectionEntry> entries;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    SectionEntry entry;
+    entry.kind = table_reader.u32();
+    entry.offset = table_reader.u64();
+    entry.size = table_reader.u64();
+    entry.checksum = table_reader.u64();
+    entries.push_back(entry);
+  }
+  if (table_reader.u32() !=
+      util::fnv1a_fold32(util::fnv1a(
+          table.data(), table.size() - sizeof(std::uint32_t)))) {
+    throw corrupt("section table checksum mismatch");
+  }
+
+  const auto section_view =
+      [&](const SectionEntry& entry) -> std::span<const std::uint8_t> {
+    if (entry.offset > bytes.size() ||
+        util::checked_add(static_cast<std::size_t>(entry.offset),
+                          static_cast<std::size_t>(entry.size),
+                          "checkpoint section") > bytes.size()) {
+      throw corrupt("section out of bounds");
+    }
+    const auto body = view.subspan(static_cast<std::size_t>(entry.offset),
+                                   static_cast<std::size_t>(entry.size));
+    if (util::fnv1a(body) != entry.checksum) {
+      throw corrupt("section checksum mismatch");
+    }
+    return body;
+  };
+
+  CheckpointData data;
+  std::uint64_t done_bitmap_blocks = 0;
+  bool saw_meta = false;
+  bool saw_done = false;
+  bool saw_records = false;
+  try {
+    for (const SectionEntry& entry : entries) {
+      WireReader reader(section_view(entry));
+      switch (entry.kind) {
+        case kSectionMeta: {
+          if (saw_meta) throw corrupt("duplicate meta section");
+          saw_meta = true;
+          data.fingerprint = reader.u64();
+          data.sequence = reader.u64();
+          data.next_lease_id = reader.u64();
+          const std::uint8_t drained = reader.u8();
+          if (drained > 1) throw corrupt("meta drained flag malformed");
+          data.drained = drained == 1;
+          data.num_blocks = reader.u64();
+          break;
+        }
+        case kSectionDone: {
+          if (saw_done) throw corrupt("duplicate done section");
+          saw_done = true;
+          const std::uint64_t count = reader.u64();
+          done_bitmap_blocks = count;
+          for (std::uint64_t block = 0; block < count; ++block) {
+            const std::uint8_t bit = reader.u8();
+            if (bit > 1) throw corrupt("done bitmap malformed");
+            if (bit == 1) data.done_blocks.push_back(block);
+          }
+          break;
+        }
+        case kSectionRecords: {
+          if (saw_records) throw corrupt("duplicate records section");
+          saw_records = true;
+          const std::uint64_t chunk_count = reader.u64();
+          for (std::uint64_t c = 0; c < chunk_count; ++c) {
+            const std::uint64_t first_stream = reader.u64();
+            data.chunks.emplace_back(first_stream, decode_records(reader));
+          }
+          break;
+        }
+        default:
+          throw corrupt("unknown section kind " +
+                        std::to_string(entry.kind));
+      }
+      if (!reader.done()) throw corrupt("section has trailing bytes");
+    }
+  } catch (const WireFormatError& err) {
+    throw corrupt(std::string("section malformed: ") + err.what());
+  }
+  if (!saw_meta || !saw_done || !saw_records) {
+    throw corrupt("missing required section");
+  }
+  // Cross-section sanity: the done bitmap must cover exactly the block
+  // space the meta section declares.
+  if (done_bitmap_blocks != data.num_blocks) {
+    throw corrupt("done bitmap does not match num_blocks");
+  }
+  return data;
+}
+
+}  // namespace hdtest::fuzz::fleet::durable

@@ -1,0 +1,79 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Atomic ledger checkpoints: a full snapshot of the coordinator's merge +
+/// lease state in a v3-style chunked section format.
+///
+///   offset  size  field
+///        0     4  magic "HDCP"
+///        4     4  format version (1)
+///        8     8  file_bytes (whole-file size; rejects concatenation)
+///       16     4  section_count
+///       20     4  header checksum: fnv1a_fold32 over bytes [0, 20)
+///       24     -  section table: per section u32 kind, u64 offset,
+///                 u64 size, u64 fnv1a(section bytes); then u32 table
+///                 checksum (fnv1a_fold32 over the entries)
+///        -     -  section payloads (offsets are absolute)
+///
+/// Sections (all required, exactly once each):
+///   kMeta    (1) u64 campaign fingerprint, u64 sequence, u64
+///                next_lease_id, u8 drained, u64 num_blocks
+///   kDone    (2) u64 num_blocks, then one byte per block (1 = complete)
+///   kRecords (3) u64 chunk_count; per chunk u64 first_stream + a
+///                protocol.hpp record block (encode_records)
+///
+/// The header checksum is verified before file_bytes/section_count are
+/// trusted, every section is bounds- and checksum-checked before parsing,
+/// and all size arithmetic routes through util::checked_* — the same
+/// hostile-bytes discipline as the model serializer and the wire codec.
+///
+/// Write protocol (write_checkpoint): temp file -> fsync -> rename over
+/// the real name -> directory fsync. A checkpoint that exists under its
+/// real name is therefore always complete; any corruption found by
+/// read_checkpoint is a genuine storage fault and throws DurabilityError —
+/// there is no torn-tail leniency here, that belongs to the journal.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/durable/storage.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+/// Checkpoint format version.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Default file name inside the campaign's durable directory.
+inline constexpr const char* kCheckpointName = "checkpoint.hdcp";
+
+/// Everything a checkpoint persists (mirrors
+/// CoordinatorCore::DurableSnapshot plus the rotation sequence number).
+struct CheckpointData {
+  /// Monotonic rotation counter; the journal extending this checkpoint
+  /// carries the same value in its Start frame.
+  std::uint64_t sequence = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t next_lease_id = 1;
+  bool drained = false;
+  std::uint64_t num_blocks = 0;
+  /// Completed block indices, ascending.
+  std::vector<std::uint64_t> done_blocks;
+  /// Committed records as (first_stream, records) chunks; replaying them
+  /// through a fresh ledger reproduces the merge state exactly.
+  std::vector<std::pair<std::uint64_t, std::vector<CampaignRecord>>> chunks;
+};
+
+/// Serializes \p data and atomically replaces \p name (see file comment).
+void write_checkpoint(Storage& storage, const CheckpointData& data,
+                      const std::string& name = kCheckpointName);
+
+/// Parses \p name. \throws DurabilityError on any structural or checksum
+/// violation — a damaged checkpoint must stop recovery loudly.
+[[nodiscard]] CheckpointData read_checkpoint(Storage& storage,
+                                             const std::string& name =
+                                                 kCheckpointName);
+
+}  // namespace hdtest::fuzz::fleet::durable

@@ -1,0 +1,162 @@
+#include "fuzz/fleet/durable/durable_coordinator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hdtest::fuzz::fleet::durable {
+
+RecoveredCampaign recover_campaign(Storage& storage) {
+  RecoveredCampaign recovered;
+  const bool have_checkpoint = storage.exists(kCheckpointName);
+  if (have_checkpoint) {
+    recovered.checkpoint = read_checkpoint(storage);
+    recovered.resumed = true;
+  }
+  recovered.journal = replay_journal(storage);
+  if (!recovered.journal.present) {
+    // Journal absent or its Start frame never durably landed: the
+    // checkpoint alone (or a fresh campaign) is the whole story.
+    return recovered;
+  }
+  if (!have_checkpoint) {
+    // reset_to() only runs after its checkpoint is durably renamed, so a
+    // journal without any checkpoint means the checkpoint vanished.
+    throw DurabilityError(
+        "journal present but its checkpoint is missing — the durable "
+        "directory lost an fsync'd file");
+  }
+  if (recovered.journal.fingerprint != recovered.checkpoint.fingerprint) {
+    throw DurabilityError(
+        "journal and checkpoint belong to different campaigns");
+  }
+  if (recovered.journal.sequence > recovered.checkpoint.sequence) {
+    throw DurabilityError(
+        "journal sequence is ahead of the checkpoint — the durable "
+        "directory lost an fsync'd checkpoint");
+  }
+  // journal.sequence < checkpoint.sequence is the benign rotation window
+  // (crash between checkpoint rename and journal reset): every commit in
+  // the stale journal is already in the checkpoint, and re-merging is
+  // idempotent, so both cases replay the same way.
+  return recovered;
+}
+
+DurableCoordinator::DurableCoordinator(Storage& storage,
+                                       std::uint64_t expected_fingerprint,
+                                       DurableOptions options)
+    : storage_(storage),
+      options_(options),
+      expected_fingerprint_(expected_fingerprint),
+      recovered_(recover_campaign(storage)),
+      journal_(storage, JournalOptions{options.fsync_every_commits}) {
+  if (recovered_.resumed &&
+      recovered_.checkpoint.fingerprint != expected_fingerprint_) {
+    throw DurabilityError(
+        "durable directory holds a different campaign (fingerprint "
+        "mismatch) — refusing to merge foreign state");
+  }
+}
+
+void DurableCoordinator::attach(CoordinatorCore& core) {
+  if (core_ != nullptr) {
+    throw DurabilityError("DurableCoordinator::attach called twice");
+  }
+  core_ = &core;
+  sequence_ = recovered_.checkpoint.sequence;
+
+  CoordinatorCore::RestoredState state;
+  if (!recovered_.checkpoint.chunks.empty() ||
+      !recovered_.checkpoint.done_blocks.empty() ||
+      !recovered_.journal.commits.empty() || recovered_.resumed) {
+    for (const std::uint64_t block : recovered_.checkpoint.done_blocks) {
+      state.done_blocks.push_back(static_cast<std::size_t>(block));
+    }
+    for (auto& [first_stream, records] : recovered_.checkpoint.chunks) {
+      if (records.empty()) continue;
+      CoordinatorCore::RestoredState::Chunk chunk;
+      chunk.first_stream = static_cast<std::size_t>(first_stream);
+      chunk.records = std::move(records);
+      state.chunks.push_back(std::move(chunk));
+    }
+    for (auto& commit : recovered_.journal.commits) {
+      if (commit.records.empty()) continue;
+      CoordinatorCore::RestoredState::Chunk chunk;
+      chunk.first_stream = static_cast<std::size_t>(commit.first_stream);
+      chunk.records = std::move(commit.records);
+      state.chunks.push_back(std::move(chunk));
+    }
+    state.max_lease_id =
+        std::max(recovered_.journal.max_lease_id,
+                 recovered_.checkpoint.next_lease_id == 0
+                     ? std::uint64_t{0}
+                     : recovered_.checkpoint.next_lease_id - 1);
+    state.drained =
+        recovered_.checkpoint.drained || recovered_.journal.drained;
+
+    restoring_ = true;
+    core.restore(std::move(state));
+    restoring_ = false;
+  }
+
+  // Collapse whatever mixture the crash left into the clean two-file
+  // invariant before any worker can commit.
+  checkpoint_now();
+}
+
+void DurableCoordinator::maybe_checkpoint() {
+  if (options_.checkpoint_every_commits == 0) return;
+  if (commits_since_checkpoint_ < options_.checkpoint_every_commits) return;
+  checkpoint_now();
+}
+
+void DurableCoordinator::checkpoint_now() {
+  if (core_ == nullptr) {
+    throw DurabilityError("checkpoint_now before attach");
+  }
+  CoordinatorCore::DurableSnapshot snap = core_->durable_snapshot();
+  CheckpointData data;
+  data.sequence = sequence_ + 1;
+  data.fingerprint = snap.fingerprint;
+  data.next_lease_id = snap.next_lease_id;
+  data.drained = snap.drained;
+  data.num_blocks = snap.num_blocks;
+  for (const std::size_t block : snap.done_blocks) {
+    data.done_blocks.push_back(block);
+  }
+  if (!snap.ledger.ordered.empty()) {
+    data.chunks.emplace_back(std::uint64_t{0},
+                             std::move(snap.ledger.ordered));
+  }
+  for (auto& [first_stream, records] : snap.ledger.pending) {
+    data.chunks.emplace_back(first_stream, std::move(records));
+  }
+  write_checkpoint(storage_, data);
+  sequence_ = data.sequence;
+  journal_.reset_to(sequence_, snap.fingerprint);
+  commits_since_checkpoint_ = 0;
+  ++checkpoints_written_;
+}
+
+void DurableCoordinator::flush() { journal_.flush(); }
+
+void DurableCoordinator::on_lease_granted(std::uint64_t lease_id,
+                                          std::uint64_t first_stream,
+                                          std::uint64_t stream_count) {
+  if (restoring_) return;
+  journal_.lease(lease_id, first_stream, stream_count);
+}
+
+void DurableCoordinator::on_commit_admitted(
+    std::uint64_t lease_id, std::uint64_t first_stream,
+    std::span<const CampaignRecord> records) {
+  if (restoring_) return;
+  journal_.commit(lease_id, first_stream, records);
+  ++commits_since_checkpoint_;
+}
+
+void DurableCoordinator::on_drained() {
+  if (restoring_) return;
+  journal_.drain();
+}
+
+}  // namespace hdtest::fuzz::fleet::durable

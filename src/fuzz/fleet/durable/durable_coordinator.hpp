@@ -1,0 +1,134 @@
+#pragma once
+/// \file durable_coordinator.hpp
+/// Glue between CoordinatorCore and the journal/checkpoint pair: the
+/// CoordinatorHook that writes ahead, the rotation policy, and the
+/// recovery path.
+///
+/// Rotation protocol (sequence numbers tie the two files together):
+///   1. write checkpoint N+1 (temp -> fsync -> rename -> dir fsync);
+///   2. reset the journal to an empty file whose Start frame names N+1.
+/// A crash between the steps leaves checkpoint N+1 plus a journal naming
+/// N — every commit in that stale journal is already inside the
+/// checkpoint, and re-merging them on recovery is idempotent, so the
+/// window is safe. A journal naming a HIGHER sequence than the checkpoint
+/// means the fsync'd checkpoint vanished — genuine storage corruption —
+/// and recovery throws.
+///
+/// Recovery (recover_campaign): load the checkpoint if present, replay
+/// the journal (torn tail truncated per journal.hpp), cross-check
+/// sequences and fingerprints. attach() then installs the merged state
+/// into a fresh core, immediately writes a new checkpoint, and rotates
+/// the journal — collapsing whatever mixture of files the crash left into
+/// the clean two-file invariant before the first worker reconnects.
+///
+/// fsync discipline and why ack-before-fsync is safe: stream outcomes are
+/// pure functions of (config, stream index), so a commit lost with an
+/// unsynced journal tail is re-executed bit-identically by the next lease
+/// holder. The journal bounds *redone work*; it is never needed for
+/// correctness of merged records. The one ordering that IS load-bearing:
+/// when a campaign finishes (or drains), the final checkpoint must be
+/// written BEFORE Shutdown frames are flushed to workers — otherwise a
+/// crash after the workers disband leaves a campaign no one will finish.
+/// Both drivers (sim.hpp, tcp.hpp) follow that rule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/durable/checkpoint.hpp"
+#include "fuzz/fleet/durable/journal.hpp"
+#include "fuzz/fleet/durable/storage.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+struct DurableOptions {
+  /// Journal fsync batching (JournalOptions::fsync_every).
+  std::uint64_t fsync_every_commits = 8;
+  /// Rotate (checkpoint + fresh journal) after this many admitted
+  /// commits. 0 disables periodic rotation (still checkpoints at attach
+  /// and finish).
+  std::uint64_t checkpoint_every_commits = 64;
+};
+
+/// What recovery found on disk.
+struct RecoveredCampaign {
+  /// True when any durable campaign state existed (checkpoint present).
+  bool resumed = false;
+  CheckpointData checkpoint;  ///< defaults when !resumed
+  JournalReplay journal;      ///< .present false when absent/never whole
+};
+
+/// Loads and cross-validates checkpoint + journal from \p storage.
+/// \throws DurabilityError on corruption or sequence/fingerprint mismatch
+/// between the two files.
+[[nodiscard]] RecoveredCampaign recover_campaign(Storage& storage);
+
+/// CoordinatorHook implementation + rotation/recovery driver (see file
+/// comment). Single-threaded, like the core it observes.
+class DurableCoordinator final : public CoordinatorHook {
+ public:
+  /// Recovers durable state from \p storage immediately (so a caller can
+  /// inspect resumed() before building the core).
+  /// \param expected_fingerprint the campaign the driver is about to run;
+  ///        recovered state for any other campaign throws DurabilityError.
+  DurableCoordinator(Storage& storage, std::uint64_t expected_fingerprint,
+                     DurableOptions options = {});
+
+  DurableCoordinator(const DurableCoordinator&) = delete;
+  DurableCoordinator& operator=(const DurableCoordinator&) = delete;
+
+  /// Installs recovered state into \p core (whose Options::hook must
+  /// already point at this object), then writes a fresh checkpoint and
+  /// rotates the journal. Call exactly once, before the core serves any
+  /// connection.
+  void attach(CoordinatorCore& core);
+
+  /// Rotates (checkpoint + fresh journal) when the admitted-commit budget
+  /// since the last rotation is spent. Drivers call this once per pump
+  /// iteration.
+  void maybe_checkpoint();
+
+  /// Unconditional rotation — the final-checkpoint path at finish/drain.
+  void checkpoint_now();
+
+  /// Forces batched journal appends durable now.
+  void flush();
+
+  // CoordinatorHook:
+  void on_lease_granted(std::uint64_t lease_id, std::uint64_t first_stream,
+                        std::uint64_t stream_count) override;
+  void on_commit_admitted(std::uint64_t lease_id,
+                          std::uint64_t first_stream,
+                          std::span<const CampaignRecord> records) override;
+  void on_drained() override;
+
+  [[nodiscard]] bool resumed() const noexcept { return recovered_.resumed; }
+  [[nodiscard]] const RecoveredCampaign& recovered() const noexcept {
+    return recovered_;
+  }
+  [[nodiscard]] std::uint64_t sequence() const noexcept { return sequence_; }
+  [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
+    return checkpoints_written_;
+  }
+  [[nodiscard]] const CommitJournal& journal() const noexcept {
+    return journal_;
+  }
+
+ private:
+  Storage& storage_;
+  DurableOptions options_;
+  std::uint64_t expected_fingerprint_;
+  RecoveredCampaign recovered_;
+  CommitJournal journal_;
+  CoordinatorCore* core_ = nullptr;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t commits_since_checkpoint_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  /// True while attach() replays recovered state into the core: the hook
+  /// callbacks fired by that replay must not re-journal what the journal
+  /// just produced.
+  bool restoring_ = false;
+};
+
+}  // namespace hdtest::fuzz::fleet::durable

@@ -1,0 +1,157 @@
+#include "fuzz/fleet/durable/journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "util/checked.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+namespace {
+
+[[nodiscard]] std::vector<std::uint8_t> start_body(std::uint64_t sequence,
+                                                   std::uint64_t fingerprint) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, kJournalVersion);
+  put_u64(body, sequence);
+  put_u64(body, fingerprint);
+  return body;
+}
+
+}  // namespace
+
+CommitJournal::CommitJournal(Storage& storage, JournalOptions options,
+                             std::string name)
+    : storage_(storage), options_(options), name_(std::move(name)) {}
+
+void CommitJournal::reset_to(std::uint64_t sequence,
+                             std::uint64_t fingerprint) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(kJournalStart, start_body(sequence, fingerprint));
+  const std::string tmp = name_ + ".tmp";
+  storage_.write_new(tmp, frame);
+  storage_.sync(tmp);
+  storage_.rename(tmp, name_);
+  storage_.sync_dir();
+  // The renamed-over file inherits the tmp file's synced contents, but the
+  // new inode has not been fsync'd under its final name on every
+  // filesystem — sync it explicitly so the Start frame is unconditionally
+  // durable before any append can land behind it.
+  storage_.sync(name_);
+  pending_ = 0;
+}
+
+void CommitJournal::append_frame(std::uint16_t kind,
+                                 std::span<const std::uint8_t> body) {
+  storage_.append(name_, encode_frame(kind, body));
+  ++appended_;
+  ++pending_;
+  if (options_.fsync_every != 0 && pending_ >= options_.fsync_every) {
+    flush();
+  }
+}
+
+void CommitJournal::lease(std::uint64_t lease_id, std::uint64_t first_stream,
+                          std::uint64_t stream_count) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, lease_id);
+  put_u64(body, first_stream);
+  put_u64(body, stream_count);
+  append_frame(kJournalLease, body);
+}
+
+void CommitJournal::commit(std::uint64_t lease_id, std::uint64_t first_stream,
+                           std::span<const CampaignRecord> records) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, lease_id);
+  put_u64(body, first_stream);
+  encode_records(records, body);
+  append_frame(kJournalCommit, body);
+}
+
+void CommitJournal::drain() {
+  append_frame(kJournalDrain, {});
+  flush();
+}
+
+void CommitJournal::flush() {
+  if (pending_ == 0) return;
+  storage_.sync(name_);
+  ++syncs_;
+  pending_ = 0;
+}
+
+JournalReplay replay_journal(Storage& storage, const std::string& name) {
+  JournalReplay replay;
+  if (!storage.exists(name)) return replay;
+  const std::vector<std::uint8_t> bytes = storage.read_all(name);
+
+  std::size_t offset = 0;
+  bool saw_start = false;
+  try {
+    while (offset < bytes.size()) {
+      const FrameDecode decode =
+          decode_frame(std::span<const std::uint8_t>(bytes).subspan(offset));
+      if (decode.status != FrameStatus::kOk) break;  // torn/corrupt tail
+      const Frame& frame = decode.frame;
+      WireReader reader(frame.body);
+      if (!saw_start) {
+        if (frame.kind != kJournalStart) {
+          throw DurabilityError("journal '" + name +
+                                "' does not begin with a Start frame");
+        }
+        const std::uint32_t version = reader.u32();
+        if (version != kJournalVersion) {
+          throw DurabilityError("journal '" + name +
+                                "' has unsupported version " +
+                                std::to_string(version));
+        }
+        replay.sequence = reader.u64();
+        replay.fingerprint = reader.u64();
+        saw_start = true;
+      } else if (frame.kind == kJournalLease) {
+        const std::uint64_t lease_id = reader.u64();
+        (void)reader.u64();  // first_stream
+        (void)reader.u64();  // stream_count
+        replay.max_lease_id = std::max(replay.max_lease_id, lease_id);
+      } else if (frame.kind == kJournalCommit) {
+        JournalCommit commit;
+        commit.lease_id = reader.u64();
+        commit.first_stream = reader.u64();
+        commit.records = decode_records(reader);
+        replay.max_lease_id = std::max(replay.max_lease_id, commit.lease_id);
+        replay.commits.push_back(std::move(commit));
+      } else if (frame.kind == kJournalDrain) {
+        replay.drained = true;
+      } else {
+        throw DurabilityError("journal '" + name + "' has unexpected kind " +
+                              std::to_string(frame.kind));
+      }
+      if (!reader.done()) {
+        throw DurabilityError("journal '" + name +
+                              "' frame has trailing body bytes");
+      }
+      offset = util::checked_add(offset, decode.consumed, "journal replay");
+    }
+  } catch (const WireFormatError& err) {
+    // The frame's checksum validated, so the body bytes are what the
+    // writer produced — a malformed body is a bug, not a torn write.
+    throw DurabilityError("journal '" + name + "' body malformed: " +
+                          err.what());
+  }
+
+  replay.present = saw_start;
+  replay.valid_bytes = saw_start ? offset : 0;
+  replay.truncated_bytes = bytes.size() - replay.valid_bytes;
+  if (replay.truncated_bytes != 0) {
+    // Torn-tail rule: physically cut the file at the last valid frame so a
+    // later crash cannot resurrect bytes this recovery already rejected.
+    storage.truncate_to(name, replay.valid_bytes);
+    storage.sync(name);
+  }
+  return replay;
+}
+
+}  // namespace hdtest::fuzz::fleet::durable

@@ -1,0 +1,153 @@
+#pragma once
+/// \file journal.hpp
+/// CommitJournal: append-only write-ahead log of admitted commits and
+/// lease-table transitions.
+///
+/// Each journal record is one wire.hpp frame (header checksum verified
+/// before the length is trusted, 64-bit FNV-1a body checksum), so the
+/// on-disk format inherits the wire layer's bit-flip detection verbatim.
+/// Journal frame kinds live in a disjoint range from protocol.hpp's
+/// MessageKind so a journal can never be confused with a captured network
+/// stream:
+///
+///   kind    body
+///   0x4101  Start  — u32 format version (1), u64 checkpoint sequence this
+///                    journal extends, u64 campaign fingerprint
+///   0x4102  Lease  — u64 lease_id, u64 first_stream, u64 stream_count
+///   0x4103  Commit — u64 lease_id, u64 first_stream, record block
+///                    (protocol.hpp encode_records; no wall-clock seconds)
+///   0x4104  Drain  — empty body (campaign decided / drain completed)
+///
+/// A journal file is created by reset_to(): the Start frame is written to
+/// a temp file, fsync'd, renamed into place, and the directory fsync'd —
+/// so a journal that exists under its real name always begins with a
+/// durable, well-formed Start frame.
+///
+/// Torn-tail rule (the heart of crash safety): on replay, the first frame
+/// that fails to decode — short prefix (kNeedMore) or any checksum/magic
+/// failure — marks the torn tail left by a crash. The file is truncated at
+/// the last fully-valid frame boundary and synced; the tail is NEVER
+/// merged. Determinism makes this lossless: a commit that vanishes with
+/// the tail is simply re-executed bit-identically by the next lease
+/// holder. A frame whose checksum validates but whose body is malformed
+/// (or whose kind is unknown) is a protocol bug, not medium corruption,
+/// and throws DurabilityError.
+///
+/// fsync policy: appends are batched; the file is fsync'd every
+/// JournalOptions::fsync_every records (and always at drain/flush). The
+/// coordinator acks commits without waiting for the sync — safe for the
+/// same determinism reason; the journal exists to bound *redone work*, not
+/// to make individual acks durable. See docs/durability.md.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/durable/storage.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+/// Journal frame kinds (disjoint from protocol.hpp MessageKind).
+inline constexpr std::uint16_t kJournalStart = 0x4101;
+inline constexpr std::uint16_t kJournalLease = 0x4102;
+inline constexpr std::uint16_t kJournalCommit = 0x4103;
+inline constexpr std::uint16_t kJournalDrain = 0x4104;
+
+/// Journal format version inside the Start frame.
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// Default file name inside the campaign's durable directory.
+inline constexpr const char* kJournalName = "journal.hdwj";
+
+struct JournalOptions {
+  /// fsync after every N appended records. 1 = every record (most durable,
+  /// slowest), 0 = only at drain/flush (least durable, fastest). Batching
+  /// trades redone work after a crash, never correctness.
+  std::uint64_t fsync_every = 8;
+};
+
+/// Append side of the write-ahead log (replay side: replay_journal).
+class CommitJournal {
+ public:
+  /// Binds to \p storage but touches no file until reset_to().
+  explicit CommitJournal(Storage& storage, JournalOptions options = {},
+                         std::string name = kJournalName);
+
+  /// Atomically replaces the journal with a fresh one containing only a
+  /// Start frame (temp file -> fsync -> rename -> directory fsync). Called
+  /// after every checkpoint: \p sequence names the checkpoint this journal
+  /// extends.
+  void reset_to(std::uint64_t sequence, std::uint64_t fingerprint);
+
+  /// Logs a lease grant (so recovery can keep lease ids unique).
+  void lease(std::uint64_t lease_id, std::uint64_t first_stream,
+             std::uint64_t stream_count);
+
+  /// Logs an admitted commit. Must be called BEFORE the ledger merges the
+  /// records (write-ahead), so a crash between the two replays the commit
+  /// instead of losing it.
+  void commit(std::uint64_t lease_id, std::uint64_t first_stream,
+              std::span<const CampaignRecord> records);
+
+  /// Logs that the campaign decided / drained, then syncs.
+  void drain();
+
+  /// Forces any batched appends durable now.
+  void flush();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Records appended since construction (bench/test observability).
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+
+  /// Number of fsyncs issued (bench/test observability).
+  [[nodiscard]] std::uint64_t syncs() const noexcept { return syncs_; }
+
+ private:
+  void append_frame(std::uint16_t kind,
+                    std::span<const std::uint8_t> body);
+
+  Storage& storage_;
+  JournalOptions options_;
+  std::string name_;
+  std::uint64_t pending_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+/// One replayed Commit frame.
+struct JournalCommit {
+  std::uint64_t lease_id = 0;
+  std::uint64_t first_stream = 0;
+  std::vector<CampaignRecord> records;
+};
+
+/// Everything recovered from a journal file.
+struct JournalReplay {
+  /// False when the file is absent or its Start frame never became whole
+  /// (a crash before reset_to()'s rename durably landed) — recovery then
+  /// proceeds from the checkpoint alone.
+  bool present = false;
+  std::uint64_t sequence = 0;
+  std::uint64_t fingerprint = 0;
+  /// Highest lease id seen in Lease/Commit frames (0 when none).
+  std::uint64_t max_lease_id = 0;
+  bool drained = false;
+  std::vector<JournalCommit> commits;
+  /// Bytes of fully-valid frames kept.
+  std::uint64_t valid_bytes = 0;
+  /// Torn-tail bytes truncated away (0 when the file was clean).
+  std::uint64_t truncated_bytes = 0;
+};
+
+/// Replays \p name from \p storage, applying the torn-tail rule: the file
+/// is physically truncated (and synced) at the last valid frame boundary
+/// when a torn or corrupted tail is found. \throws DurabilityError for
+/// checksum-valid-but-malformed frames (protocol bugs, not crashes).
+[[nodiscard]] JournalReplay replay_journal(Storage& storage,
+                                           const std::string& name =
+                                               kJournalName);
+
+}  // namespace hdtest::fuzz::fleet::durable

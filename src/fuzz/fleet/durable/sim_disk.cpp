@@ -1,0 +1,141 @@
+#include "fuzz/fleet/durable/sim_disk.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/checked.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+SimDisk::SimDisk(DiskFaultPlan plan) : plan_(plan) {}
+
+void SimDisk::check_alive() const {
+  if (crashed_) throw SimCrash();
+}
+
+void SimDisk::mutating_op() {
+  check_alive();
+  ++ops_;
+  if (!fired_ && plan_.crash_after_ops != 0 &&
+      ops_ == plan_.crash_after_ops) {
+    fired_ = true;
+    crash();
+    throw SimCrash();
+  }
+}
+
+SimDisk::NodePtr& SimDisk::live_node(const std::string& name) {
+  NodePtr& slot = live_[name];
+  if (!slot) slot = std::make_shared<FileNode>();
+  return slot;
+}
+
+bool SimDisk::exists(const std::string& name) {
+  check_alive();
+  return live_.find(name) != live_.end();
+}
+
+std::vector<std::uint8_t> SimDisk::read_all(const std::string& name) {
+  check_alive();
+  const auto it = live_.find(name);
+  if (it == live_.end()) throw DurabilityError("read '" + name + "': absent");
+  return it->second->content;
+}
+
+void SimDisk::write_new(const std::string& name,
+                        std::span<const std::uint8_t> bytes) {
+  mutating_op();
+  // Reuse the node in place: like O_TRUNC, an existing file's old contents
+  // are gone immediately, even under a durable directory entry — only the
+  // newly written (and so far unsynced) bytes can survive a crash, torn.
+  NodePtr& node = live_node(name);
+  node->content.assign(bytes.begin(), bytes.end());
+  node->synced = 0;
+}
+
+void SimDisk::append(const std::string& name,
+                     std::span<const std::uint8_t> bytes) {
+  mutating_op();
+  NodePtr& node = live_node(name);
+  node->content.insert(node->content.end(), bytes.begin(), bytes.end());
+}
+
+void SimDisk::truncate_to(const std::string& name, std::uint64_t size) {
+  mutating_op();
+  const auto it = live_.find(name);
+  if (it == live_.end()) {
+    throw DurabilityError("truncate '" + name + "': absent");
+  }
+  FileNode& node = *it->second;
+  if (size > node.content.size()) {
+    throw DurabilityError("truncate '" + name + "': beyond end of file");
+  }
+  node.content.resize(static_cast<std::size_t>(size));
+  node.synced = std::min<std::uint64_t>(node.synced, size);
+}
+
+void SimDisk::sync(const std::string& name) {
+  mutating_op();
+  const auto it = live_.find(name);
+  if (it == live_.end()) throw DurabilityError("sync '" + name + "': absent");
+  it->second->synced = it->second->content.size();
+}
+
+void SimDisk::rename(const std::string& from, const std::string& to) {
+  mutating_op();
+  const auto it = live_.find(from);
+  if (it == live_.end()) {
+    throw DurabilityError("rename '" + from + "': absent");
+  }
+  live_[to] = it->second;
+  live_.erase(from);
+}
+
+void SimDisk::remove(const std::string& name) {
+  mutating_op();
+  live_.erase(name);
+}
+
+void SimDisk::sync_dir() {
+  mutating_op();
+  // Shares nodes: only the *namespace* becomes durable here; how much of
+  // each file's contents survives is still governed by per-file sync().
+  durable_ = live_;
+}
+
+void SimDisk::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  util::Rng rng(util::Rng::stream_seed(plan_.seed, rng_cursor_));
+  ++rng_cursor_;
+  std::set<const void*> visited;
+  for (auto& [name, node] : durable_) {
+    if (!visited.insert(node.get()).second) continue;
+    std::vector<std::uint8_t>& content = node->content;
+    const std::uint64_t size = content.size();
+    const std::uint64_t synced = std::min<std::uint64_t>(node->synced, size);
+    const std::uint64_t tail = size - synced;
+    std::uint64_t keep = 0;
+    if (plan_.torn_tail && tail != 0) keep = rng.uniform_u64(tail + 1);
+    const std::uint64_t kept_size =
+        util::checked_add(static_cast<std::size_t>(synced),
+                          static_cast<std::size_t>(keep), "sim disk torn file");
+    torn_bytes_ = util::checked_add(static_cast<std::size_t>(torn_bytes_),
+                                    static_cast<std::size_t>(size - kept_size),
+                                    "sim disk torn byte counter");
+    content.resize(static_cast<std::size_t>(kept_size));
+    if (plan_.flip_bit_pct != 0) {
+      for (std::uint64_t i = synced; i < kept_size; ++i) {
+        if (rng.uniform_u64(100) < plan_.flip_bit_pct) {
+          content[static_cast<std::size_t>(i)] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+        }
+      }
+    }
+    node->synced = synced;
+  }
+  live_ = durable_;
+}
+
+}  // namespace hdtest::fuzz::fleet::durable

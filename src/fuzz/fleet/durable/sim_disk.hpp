@@ -1,0 +1,135 @@
+#pragma once
+/// \file sim_disk.hpp
+/// Crash-simulating in-memory Storage for durability testing.
+///
+/// SimDisk is to the journal/checkpoint layer what SimFleet is to the wire
+/// protocol: a deterministic adversary. It tracks, per file, how much of
+/// the content has been made durable by sync(), and tracks which directory
+/// entries have been made durable by sync_dir(). A simulated crash then
+/// discards everything the protocol never paid for:
+///
+///   - files whose directory entry was never sync_dir'd disappear;
+///   - renames/removals without a sync_dir roll back (the old entry is
+///     resurrected);
+///   - each surviving file keeps its synced prefix exactly; of the
+///     unsynced tail it keeps a seed-deterministic *torn* prefix
+///     (modeling a partial flush), optionally with bit flips in those
+///     torn bytes (modeling medium corruption in un-fsync'd cache).
+///
+/// Crash scheduling: every mutating operation (write_new, append,
+/// truncate_to, rename, remove, sync, sync_dir) increments an op counter;
+/// when the counter reaches DiskFaultPlan::crash_after_ops the operation
+/// is NOT applied and SimCrash is thrown. Sweeping crash_after_ops over
+/// [1, ops-in-clean-run] therefore kills the coordinator at every
+/// journal-record AND every fsync boundary — the test matrix the durable
+/// design demands. The trigger is one-shot per SimDisk (fired()), so a
+/// resumed coordinator on the same disk runs to completion.
+///
+/// After a crash every Storage call throws SimCrash until reboot().
+
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzz/fleet/durable/storage.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+/// Thrown by SimDisk when the scheduled crash point is reached (and by any
+/// subsequent operation until reboot()). Distinct from DurabilityError so
+/// harnesses can tell "simulated power cut" from "real protocol bug".
+class SimCrash : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "SimDisk: simulated crash";
+  }
+};
+
+/// Deterministic storage-fault schedule. Everything derives from \p seed.
+struct DiskFaultPlan {
+  /// Seed for torn-tail lengths and bit-flip positions.
+  std::uint64_t seed = 0x5d15c0ffeeULL;
+  /// 1-based index of the mutating operation that crashes (the op is not
+  /// applied). 0 disables the scheduled crash. One-shot per SimDisk.
+  std::uint64_t crash_after_ops = 0;
+  /// When true, a crash keeps a random prefix of each file's unsynced
+  /// tail; when false the unsynced tail is dropped entirely.
+  bool torn_tail = true;
+  /// Percentage [0,100] of torn (kept-but-unsynced) bytes that get one
+  /// random bit flipped at crash time.
+  std::uint32_t flip_bit_pct = 0;
+};
+
+/// In-memory crash-simulating Storage (see file comment).
+class SimDisk final : public Storage {
+ public:
+  explicit SimDisk(DiskFaultPlan plan);
+
+  [[nodiscard]] bool exists(const std::string& name) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_all(
+      const std::string& name) override;
+  void write_new(const std::string& name,
+                 std::span<const std::uint8_t> bytes) override;
+  void append(const std::string& name,
+              std::span<const std::uint8_t> bytes) override;
+  void truncate_to(const std::string& name, std::uint64_t size) override;
+  void sync(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+  void sync_dir() override;
+
+  /// Simulates a power cut now (independent of the scheduled crash):
+  /// applies the durability model and puts the disk in the crashed state.
+  void crash();
+
+  /// Clears the crashed state; durable contents become readable again.
+  void reboot() noexcept { crashed_ = false; }
+
+  /// True once the scheduled crash_after_ops trigger has fired.
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  /// True while crashed (between crash() and reboot()).
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// Mutating operations observed so far (a clean run's total bounds the
+  /// crash_after_ops sweep).
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+
+  /// Total unsynced bytes dropped or torn across all crashes so far —
+  /// lets tests assert that torn-tail recovery was actually exercised.
+  [[nodiscard]] std::uint64_t torn_bytes() const noexcept {
+    return torn_bytes_;
+  }
+
+ private:
+  struct FileNode {
+    std::vector<std::uint8_t> content;
+    std::uint64_t synced = 0;
+  };
+  using NodePtr = std::shared_ptr<FileNode>;
+
+  /// Throws if crashed; otherwise counts a mutating op and fires the
+  /// scheduled crash when its index comes up (the caller's op must not be
+  /// applied after a throw).
+  void mutating_op();
+  void check_alive() const;
+  [[nodiscard]] NodePtr& live_node(const std::string& name);
+
+  DiskFaultPlan plan_;
+  std::uint64_t rng_cursor_ = 0;
+  /// Current (volatile) namespace and the last sync_dir'd namespace.
+  /// Maps share FileNode objects: content/synced live on the node, the
+  /// maps only decide which names survive a crash.
+  std::map<std::string, NodePtr> live_;
+  std::map<std::string, NodePtr> durable_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t torn_bytes_ = 0;
+  bool fired_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace hdtest::fuzz::fleet::durable

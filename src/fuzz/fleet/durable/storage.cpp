@@ -1,0 +1,188 @@
+#include "fuzz/fleet/durable/storage.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/io.hpp"
+
+namespace hdtest::fuzz::fleet::durable {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& target) {
+  const int saved = errno;
+  throw DurabilityError(op + " '" + target + "': " + std::strerror(saved));
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+PosixStorage::PosixStorage(std::string root) : root_(std::move(root)) {
+  throw DurabilityError("PosixStorage is not supported on this platform");
+}
+PosixStorage::~PosixStorage() = default;
+bool PosixStorage::exists(const std::string&) { return false; }
+std::vector<std::uint8_t> PosixStorage::read_all(const std::string& name) {
+  fail("read", name);
+}
+void PosixStorage::write_new(const std::string& name,
+                             std::span<const std::uint8_t>) {
+  fail("write", name);
+}
+void PosixStorage::append(const std::string& name,
+                          std::span<const std::uint8_t>) {
+  fail("append", name);
+}
+void PosixStorage::truncate_to(const std::string& name, std::uint64_t) {
+  fail("truncate", name);
+}
+void PosixStorage::sync(const std::string& name) { fail("sync", name); }
+void PosixStorage::rename(const std::string& from, const std::string&) {
+  fail("rename", from);
+}
+void PosixStorage::remove(const std::string& name) { fail("remove", name); }
+void PosixStorage::sync_dir() { fail("sync dir", root_); }
+std::string PosixStorage::path_of(const std::string& name) const {
+  return root_ + "/" + name;
+}
+int PosixStorage::append_fd(const std::string&) { return -1; }
+void PosixStorage::drop_fd(const std::string&) {}
+
+#else
+
+PosixStorage::PosixStorage(std::string root) : root_(std::move(root)) {
+  if (::mkdir(root_.c_str(), 0755) != 0 && errno != EEXIST) {
+    fail("create directory", root_);
+  }
+  struct ::stat st{};
+  if (::stat(root_.c_str(), &st) != 0) fail("stat", root_);
+  if (!S_ISDIR(st.st_mode)) {
+    throw DurabilityError("'" + root_ + "' exists but is not a directory");
+  }
+}
+
+PosixStorage::~PosixStorage() {
+  for (auto& [name, fd] : append_fds_) (void)util::io::close_fd(fd);
+}
+
+bool PosixStorage::exists(const std::string& name) {
+  struct ::stat st{};
+  return ::stat(path_of(name).c_str(), &st) == 0;
+}
+
+std::vector<std::uint8_t> PosixStorage::read_all(const std::string& name) {
+  const std::string path = path_of(name);
+  const int fd = util::io::open_readonly(path.c_str());
+  if (fd < 0) fail("open", path);
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    (void)util::io::close_fd(fd);
+    fail("stat", path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  const long got = util::io::read_full(fd, bytes.data(), bytes.size());
+  (void)util::io::close_fd(fd);
+  if (got < 0 || static_cast<std::size_t>(got) != bytes.size()) {
+    fail("read", path);
+  }
+  return bytes;
+}
+
+void PosixStorage::write_new(const std::string& name,
+                             std::span<const std::uint8_t> bytes) {
+  drop_fd(name);
+  const std::string path = path_of(name);
+  const int fd = util::io::open_create_truncate(path.c_str());
+  if (fd < 0) fail("create", path);
+  const long put = util::io::write_full(fd, bytes.data(), bytes.size());
+  const int closed = util::io::close_fd(fd);
+  if (put < 0 || static_cast<std::size_t>(put) != bytes.size()) {
+    fail("write", path);
+  }
+  if (closed != 0) fail("close", path);
+}
+
+void PosixStorage::append(const std::string& name,
+                          std::span<const std::uint8_t> bytes) {
+  const int fd = append_fd(name);
+  const long put = util::io::write_full(fd, bytes.data(), bytes.size());
+  if (put < 0 || static_cast<std::size_t>(put) != bytes.size()) {
+    fail("append", path_of(name));
+  }
+}
+
+void PosixStorage::truncate_to(const std::string& name, std::uint64_t size) {
+  drop_fd(name);
+  const std::string path = path_of(name);
+  for (;;) {
+    if (::truncate(path.c_str(), static_cast<::off_t>(size)) == 0) return;
+    if (errno != EINTR) fail("truncate", path);
+  }
+}
+
+void PosixStorage::sync(const std::string& name) {
+  const auto it = append_fds_.find(name);
+  if (it != append_fds_.end()) {
+    if (util::io::fsync_fd(it->second) != 0) fail("fsync", path_of(name));
+    return;
+  }
+  const std::string path = path_of(name);
+  const int fd = util::io::open_readonly(path.c_str());
+  if (fd < 0) fail("open", path);
+  const int rc = util::io::fsync_fd(fd);
+  (void)util::io::close_fd(fd);
+  if (rc != 0) fail("fsync", path);
+}
+
+void PosixStorage::rename(const std::string& from, const std::string& to) {
+  drop_fd(from);
+  drop_fd(to);
+  const std::string from_path = path_of(from);
+  if (::rename(from_path.c_str(), path_of(to).c_str()) != 0) {
+    fail("rename", from_path);
+  }
+}
+
+void PosixStorage::remove(const std::string& name) {
+  drop_fd(name);
+  const std::string path = path_of(name);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) fail("remove", path);
+}
+
+void PosixStorage::sync_dir() {
+  if (util::io::fsync_dir(root_.c_str()) != 0) {
+    fail("fsync directory", root_);
+  }
+}
+
+std::string PosixStorage::path_of(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+int PosixStorage::append_fd(const std::string& name) {
+  const auto it = append_fds_.find(name);
+  if (it != append_fds_.end()) return it->second;
+  const std::string path = path_of(name);
+  const int fd = util::io::open_create_append(path.c_str());
+  if (fd < 0) fail("open for append", path);
+  append_fds_.emplace(name, fd);
+  return fd;
+}
+
+void PosixStorage::drop_fd(const std::string& name) {
+  const auto it = append_fds_.find(name);
+  if (it == append_fds_.end()) return;
+  (void)util::io::close_fd(it->second);
+  append_fds_.erase(it);
+}
+
+#endif
+
+}  // namespace hdtest::fuzz::fleet::durable

@@ -1,0 +1,112 @@
+#pragma once
+/// \file storage.hpp
+/// Storage abstraction for the durable coordinator.
+///
+/// The journal/checkpoint layer talks to a single flat directory through
+/// this interface so the same recovery code runs against a real directory
+/// (PosixStorage — EINTR-safe util::io, explicit fsync, directory fsync
+/// for namespace durability) and against the crash-simulating SimDisk
+/// (sim_disk.hpp), which models torn tails, bit flips, and lost renames.
+///
+/// Durability contract the implementations honor:
+///   - append/write_new bytes are crash-durable only after sync(name);
+///   - a create, rename, or remove is crash-durable only after sync_dir()
+///     (until then a crash may resurrect the old directory entry);
+///   - sync/sync_dir that return normally mean "this is now durable".
+///
+/// Every operation throws DurabilityError (or SimCrash under simulation)
+/// on failure — durability faults are never silent.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hdtest::fuzz::fleet::durable {
+
+/// Typed error for storage failures and corrupt durable state. Thrown
+/// instead of returned: a coordinator that cannot persist or recover its
+/// ledger must stop loudly, not limp along volatile.
+class DurabilityError : public std::runtime_error {
+ public:
+  explicit DurabilityError(const std::string& what)
+      : std::runtime_error("fleet durable: " + what) {}
+};
+
+/// Flat-namespace byte storage (see file comment).
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  [[nodiscard]] virtual bool exists(const std::string& name) = 0;
+
+  /// Whole-file read. \throws DurabilityError when absent or unreadable.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_all(
+      const std::string& name) = 0;
+
+  /// Create-or-truncate \p name to exactly \p bytes (not yet durable).
+  virtual void write_new(const std::string& name,
+                         std::span<const std::uint8_t> bytes) = 0;
+
+  /// Appends \p bytes to \p name, creating it when absent (not durable).
+  virtual void append(const std::string& name,
+                      std::span<const std::uint8_t> bytes) = 0;
+
+  /// Truncates \p name to \p size bytes (torn-tail removal on recovery).
+  virtual void truncate_to(const std::string& name, std::uint64_t size) = 0;
+
+  /// Makes \p name's current contents crash-durable.
+  virtual void sync(const std::string& name) = 0;
+
+  /// Atomically replaces \p to with \p from (durable after sync_dir).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes \p name; absent names are ignored (durable after sync_dir).
+  virtual void remove(const std::string& name) = 0;
+
+  /// Makes creations/renames/removals since the last call crash-durable.
+  virtual void sync_dir() = 0;
+};
+
+/// Real-directory storage: every path is root/name, all I/O through the
+/// EINTR-safe util::io layer. Keeps one O_APPEND fd per journal-style file
+/// so a commit append is a single write, not an open/write/close cycle.
+class PosixStorage final : public Storage {
+ public:
+  /// Creates \p root when missing. \throws DurabilityError when the
+  /// directory cannot be created or is not usable.
+  explicit PosixStorage(std::string root);
+  ~PosixStorage() override;
+
+  PosixStorage(const PosixStorage&) = delete;
+  PosixStorage& operator=(const PosixStorage&) = delete;
+
+  [[nodiscard]] bool exists(const std::string& name) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_all(
+      const std::string& name) override;
+  void write_new(const std::string& name,
+                 std::span<const std::uint8_t> bytes) override;
+  void append(const std::string& name,
+              std::span<const std::uint8_t> bytes) override;
+  void truncate_to(const std::string& name, std::uint64_t size) override;
+  void sync(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+  void sync_dir() override;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  [[nodiscard]] std::string path_of(const std::string& name) const;
+  /// The cached O_APPEND fd for \p name, opening it on first use.
+  [[nodiscard]] int append_fd(const std::string& name);
+  void drop_fd(const std::string& name);
+
+  std::string root_;
+  std::map<std::string, int> append_fds_;
+};
+
+}  // namespace hdtest::fuzz::fleet::durable

@@ -1,5 +1,7 @@
 #include "fuzz/fleet/lease.hpp"
 
+#include <stdexcept>
+
 namespace hdtest::fuzz::fleet {
 
 LeaseTable::LeaseTable(const shard::ShardPlanner& planner,
@@ -96,6 +98,31 @@ CommitDisposition LeaseTable::check_commit(std::uint64_t lease_id,
     }
   }
   return CommitDisposition::kMismatch;
+}
+
+std::vector<std::size_t> LeaseTable::done_blocks() const {
+  std::vector<std::size_t> done;
+  for (std::size_t b = 0; b < states_.size(); ++b) {
+    if (states_[b] == BlockState::kDone) done.push_back(b);
+  }
+  return done;
+}
+
+void LeaseTable::restore_done(std::size_t block) {
+  if (block >= states_.size()) {
+    throw std::out_of_range("LeaseTable::restore_done: no such block");
+  }
+  pending_.erase(block);
+  complete_block(block);
+}
+
+bool LeaseTable::restore_covered(std::uint64_t first_stream,
+                                 std::size_t record_count) {
+  const auto block = block_of(first_stream, record_count);
+  if (!block.has_value()) return false;
+  pending_.erase(*block);
+  complete_block(*block);
+  return true;
 }
 
 std::optional<std::size_t> LeaseTable::block_of(

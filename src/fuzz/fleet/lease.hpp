@@ -79,6 +79,33 @@ class LeaseTable {
     return planner_->num_blocks() - done_count_;
   }
 
+  // ---- recovery support (fuzz/fleet/durable/) ----------------------------
+
+  /// Completed block indices, ascending (checkpoint serialization).
+  [[nodiscard]] std::vector<std::size_t> done_blocks() const;
+
+  /// Marks \p block done during recovery (no lease involved). Idempotent.
+  /// \throws std::out_of_range when the plan has no such block.
+  void restore_done(std::size_t block);
+
+  /// Marks the block exactly covering [\p first_stream, + \p record_count)
+  /// done during recovery. Returns false (and does nothing) when no
+  /// planned block has that shape — e.g. a checkpoint's merged prefix
+  /// spanning several blocks, which done_blocks covers instead.
+  bool restore_covered(std::uint64_t first_stream, std::size_t record_count);
+
+  /// The id the next grant will use.
+  [[nodiscard]] std::uint64_t next_lease_id() const noexcept {
+    return next_lease_id_;
+  }
+
+  /// Ensures all future lease ids are > \p beyond: ids issued by a
+  /// pre-crash incarnation must never be reused, so a stale in-flight
+  /// commit can never collide with a fresh live lease.
+  void advance_lease_ids(std::uint64_t beyond) noexcept {
+    if (next_lease_id_ <= beyond) next_lease_id_ = beyond + 1;
+  }
+
  private:
   enum class BlockState : std::uint8_t { kPending, kLeased, kDone };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fuzz/fleet/protocol.hpp"
 #include "util/rng.hpp"
 
 namespace hdtest::fuzz::fleet {
@@ -22,13 +23,26 @@ constexpr std::uint64_t kIdlePacing = 25;
 
 SimFleet::SimFleet(const shard::ShardPlanner& planner, std::size_t target,
                    std::size_t workers, SliceExecutor& executor,
-                   FaultPlan plan, CoordinatorCore::Options options)
+                   FaultPlan plan, CoordinatorCore::Options options,
+                   DurablePlan durable)
     : planner_(&planner),
       executor_(&executor),
       plan_(std::move(plan)),
-      coordinator_(planner, target, std::move(options)),
+      base_options_(std::move(options)),
+      target_(target),
+      fingerprint_(campaign_fingerprint(planner, target)),
+      durable_plan_(std::move(durable)),
       workers_(workers == 0 ? 1 : workers),
-      rng_(util::Rng::stream_seed(plan_.seed, 0xf1ee7)) {}
+      rng_(util::Rng::stream_seed(plan_.seed, 0xf1ee7)) {
+  if (durable_plan_.enabled) {
+    // The coordinator boots lazily inside run() so its recovery I/O lands
+    // on the virtual clock (and its SimCrash lands in the restart path).
+    disk_ = std::make_unique<durable::SimDisk>(durable_plan_.disk);
+  } else {
+    coordinator_ = std::make_unique<CoordinatorCore>(planner, target_,
+                                                     base_options_);
+  }
+}
 
 void SimFleet::schedule(std::uint64_t at, Event event) {
   queue_.emplace(std::make_pair(at, seq_++), std::move(event));
@@ -46,11 +60,10 @@ void SimFleet::start_worker(std::size_t index) {
   ++w.generation;
   w.alive = true;
   w.retry_attempt = 0;
-  w.core = std::make_unique<WorkerCore>(coordinator_.fingerprint(),
-                                        *executor_);
+  w.core = std::make_unique<WorkerCore>(fingerprint_, *executor_);
   w.conn = next_conn_++;
   worker_of_conn_[w.conn] = index;
-  coordinator_.on_connect(w.conn);
+  coordinator_->on_connect(w.conn);
   ++w.request_seq;
   transmit_to_coordinator(index, w.core->hello());
   arm_retry(index);
@@ -95,6 +108,7 @@ void SimFleet::transmit_to_worker(std::size_t worker, const Frame& frame) {
   event.kind = Event::Kind::kToWorker;
   event.worker = worker;
   event.generation = w.generation;
+  event.coordinator_generation = coordinator_generation_;
   event.bytes = encode_frame(frame.kind, frame.body);
   deliver_copies(1 + rng_.uniform_u64(8), std::move(event));
 }
@@ -139,7 +153,8 @@ void SimFleet::handle_worker_frames(std::size_t worker,
 }
 
 void SimFleet::drain_coordinator() {
-  for (CoordinatorCore::Outgoing& out : coordinator_.take_outbox()) {
+  if (!coordinator_) return;
+  for (CoordinatorCore::Outgoing& out : coordinator_->take_outbox()) {
     const auto it = worker_of_conn_.find(out.conn);
     if (it == worker_of_conn_.end()) continue;  // connection already gone
     const std::size_t worker = it->second;
@@ -150,6 +165,84 @@ void SimFleet::drain_coordinator() {
       // frames would go nowhere.
       worker_of_conn_.erase(it);
     }
+  }
+}
+
+void SimFleet::boot_coordinator() {
+  try {
+    disk_->reboot();
+    durable_ = std::make_unique<durable::DurableCoordinator>(
+        *disk_, fingerprint_, durable_plan_.options);
+    CoordinatorCore::Options options = base_options_;
+    options.hook = durable_.get();
+    coordinator_ = std::make_unique<CoordinatorCore>(*planner_, target_,
+                                                     std::move(options));
+    durable_->attach(*coordinator_);
+  } catch (const durable::SimCrash&) {
+    // The scheduled crash landed inside recovery or the boot checkpoint.
+    coordinator_.reset();
+    durable_.reset();
+    on_coordinator_crash();
+    return;
+  }
+  // attach() already wrote a checkpoint of whatever it recovered, so a
+  // campaign that finished before the crash needs no further rotation.
+  final_checkpoint_done_ = coordinator_->finished();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    SimWorker& w = workers_[i];
+    if (w.alive) {
+      // The worker process survived the coordinator crash; it redials and
+      // re-runs the handshake on a fresh connection. Its old in-flight
+      // requests may still arrive here — the protocol absorbs them as
+      // duplicates (that is the point of the exercise).
+      w.conn = next_conn_++;
+      worker_of_conn_[w.conn] = i;
+      coordinator_->on_connect(w.conn);
+      ++w.request_seq;
+      w.retry_attempt = 0;
+      transmit_to_coordinator(i, w.core->on_reconnect());
+      arm_retry(i);
+    } else if (!w.core) {
+      start_worker(i);  // first boot: nobody has started yet
+    }
+    // Killed workers with a pending kRestart stay down until it fires.
+  }
+  drain_coordinator();
+}
+
+void SimFleet::on_coordinator_crash() {
+  ++coordinator_generation_;
+  ++coordinator_restarts_;
+  coordinator_.reset();
+  durable_.reset();
+  // The crash severed every connection; reconnects happen at reboot.
+  worker_of_conn_.clear();
+  if (coordinator_restarts_ > durable_plan_.max_restarts) {
+    throw std::runtime_error(
+        "SimFleet: coordinator restart cap exceeded (" +
+        std::to_string(coordinator_restarts_) + " crashes)");
+  }
+  Event event;
+  event.kind = Event::Kind::kCoordinatorRestart;
+  schedule(now_ + durable_plan_.restart_after, std::move(event));
+}
+
+void SimFleet::pump_durability() {
+  if (!durable_ || !coordinator_) return;
+  try {
+    if (coordinator_->finished()) {
+      if (!final_checkpoint_done_) {
+        // Load-bearing ordering: this runs BEFORE drain_coordinator()
+        // flushes Shutdown frames, so the final state is durable before
+        // any worker is told to disband (durable_coordinator.hpp).
+        durable_->checkpoint_now();
+        final_checkpoint_done_ = true;
+      }
+    } else {
+      durable_->maybe_checkpoint();
+    }
+  } catch (const durable::SimCrash&) {
+    on_coordinator_crash();
   }
 }
 
@@ -169,8 +262,12 @@ CampaignResult SimFleet::run() {
       schedule(kill.at + kill.restart_after, std::move(restart));
     }
   }
-  for (std::size_t i = 0; i < workers_.size(); ++i) start_worker(i);
-  drain_coordinator();
+  if (durable_plan_.enabled) {
+    boot_coordinator();
+  } else {
+    for (std::size_t i = 0; i < workers_.size(); ++i) start_worker(i);
+    drain_coordinator();
+  }
 
   std::size_t steps = 0;
   while (!queue_.empty()) {
@@ -182,21 +279,30 @@ CampaignResult SimFleet::run() {
     Event event = std::move(it->second);
     queue_.erase(it);
 
-    coordinator_.on_tick(now_);
+    if (coordinator_) coordinator_->on_tick(now_);
     SimWorker& w = workers_[event.worker];
     switch (event.kind) {
       case Event::Kind::kToCoordinator: {
-        if (!w.alive || event.generation != w.generation) break;
+        if (!coordinator_ || !w.alive || event.generation != w.generation) {
+          break;
+        }
         const FrameDecode decode = decode_datagram(event.bytes);
-        if (decode.status == FrameStatus::kOk) {
-          coordinator_.on_frame(w.conn, decode.frame, now_);
-        } else {
-          coordinator_.on_corrupt_frame(w.conn);
+        try {
+          if (decode.status == FrameStatus::kOk) {
+            coordinator_->on_frame(w.conn, decode.frame, now_);
+          } else {
+            coordinator_->on_corrupt_frame(w.conn);
+          }
+        } catch (const durable::SimCrash&) {
+          on_coordinator_crash();
         }
         break;
       }
       case Event::Kind::kToWorker: {
-        if (!w.alive || event.generation != w.generation) break;
+        if (!w.alive || event.generation != w.generation ||
+            event.coordinator_generation != coordinator_generation_) {
+          break;  // stale worker incarnation or dead coordinator's frame
+        }
         const FrameDecode decode = decode_datagram(event.bytes);
         if (decode.status != FrameStatus::kOk) {
           // Workers simply wait out corrupted replies; the retry timer
@@ -232,24 +338,37 @@ CampaignResult SimFleet::run() {
         if (!w.alive) break;
         w.alive = false;
         worker_of_conn_.erase(w.conn);
-        coordinator_.on_disconnect(w.conn);
+        if (coordinator_) coordinator_->on_disconnect(w.conn);
         break;
       }
       case Event::Kind::kRestart: {
         if (w.alive) break;
+        if (!coordinator_) {
+          // No one to dial yet; come back after the coordinator does.
+          Event again;
+          again.kind = Event::Kind::kRestart;
+          again.worker = event.worker;
+          schedule(now_ + durable_plan_.restart_after, std::move(again));
+          break;
+        }
         start_worker(event.worker);
         break;
       }
+      case Event::Kind::kCoordinatorRestart: {
+        boot_coordinator();
+        break;
+      }
     }
+    pump_durability();
     drain_coordinator();
   }
 
-  if (!coordinator_.finished()) {
+  if (!coordinator_ || !coordinator_->finished()) {
     throw std::runtime_error(
         "SimFleet: event queue drained before the campaign finished "
         "(all workers dead with work outstanding?)");
   }
-  return coordinator_.take_result();
+  return coordinator_->take_result();
 }
 
 }  // namespace hdtest::fuzz::fleet

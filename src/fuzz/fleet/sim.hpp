@@ -26,6 +26,8 @@
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/durable/durable_coordinator.hpp"
+#include "fuzz/fleet/durable/sim_disk.hpp"
 #include "fuzz/fleet/worker.hpp"
 #include "fuzz/shard/plan.hpp"
 #include "util/backoff.hpp"
@@ -59,6 +61,26 @@ struct FaultPlan {
   std::vector<Kill> kills;
 };
 
+/// Coordinator durability schedule: when enabled, the coordinator journals
+/// and checkpoints to a crash-simulating SimDisk, and a SimCrash thrown by
+/// any storage operation kills the coordinator incarnation. In-flight
+/// frames from the dead incarnation are dropped (generation-stamped), the
+/// disk reboots, a fresh coordinator recovers from the durable directory
+/// after `restart_after` virtual ticks, and live workers reconnect with a
+/// clean Hello — the in-process analogue of SIGKILLing the TCP
+/// coordinator. Sweeping DiskFaultPlan::crash_after_ops over a clean
+/// run's op count kills the coordinator at every journal-record and every
+/// fsync boundary.
+struct DurablePlan {
+  bool enabled = false;
+  durable::DiskFaultPlan disk;
+  durable::DurableOptions options;
+  /// Virtual ticks between a coordinator crash and the replacement boot.
+  std::uint64_t restart_after = 200;
+  /// Loud-failure cap on coordinator restarts per run.
+  std::size_t max_restarts = 8;
+};
+
 /// Wall-clock-free federation harness (see file comment).
 class SimFleet {
  public:
@@ -69,7 +91,7 @@ class SimFleet {
   ///        single-threaded so sharing is safe).
   SimFleet(const shard::ShardPlanner& planner, std::size_t target,
            std::size_t workers, SliceExecutor& executor, FaultPlan plan,
-           CoordinatorCore::Options options = {});
+           CoordinatorCore::Options options = {}, DurablePlan durable = {});
 
   /// Runs to completion and returns the merged result.
   /// \throws std::runtime_error if the campaign cannot complete (all
@@ -77,12 +99,29 @@ class SimFleet {
   [[nodiscard]] CampaignResult run();
 
   [[nodiscard]] const CoordinatorStats& stats() const noexcept {
-    return coordinator_.stats();
+    return coordinator_->stats();
   }
 
   /// Faults actually injected (<= plan.max_faults).
   [[nodiscard]] std::size_t faults_injected() const noexcept {
     return faults_injected_;
+  }
+
+  /// Coordinator incarnations lost to SimCrash (durable runs only).
+  [[nodiscard]] std::size_t coordinator_restarts() const noexcept {
+    return coordinator_restarts_;
+  }
+
+  /// The simulated disk, or nullptr when the run is not durable.
+  [[nodiscard]] const durable::SimDisk* disk() const noexcept {
+    return disk_.get();
+  }
+
+  /// The durable layer of the CURRENT coordinator incarnation, or nullptr
+  /// when the run is not durable (or the coordinator is mid-crash).
+  [[nodiscard]] const durable::DurableCoordinator* durable_state()
+      const noexcept {
+    return durable_.get();
   }
 
  private:
@@ -102,11 +141,16 @@ class SimFleet {
       kRetry,          ///< a worker's resend timer fired
       kKill,
       kRestart,
+      kCoordinatorRestart,  ///< boot a fresh coordinator from the disk
     };
     Kind kind = Kind::kToCoordinator;
     std::size_t worker = 0;
     std::uint64_t generation = 0;
     std::uint64_t request_seq = 0;
+    /// Coordinator incarnation that sent a kToWorker frame; frames from a
+    /// dead incarnation are dropped on delivery (the crash severed its
+    /// connections).
+    std::uint64_t coordinator_generation = 0;
     std::vector<std::uint8_t> bytes;
   };
 
@@ -121,11 +165,29 @@ class SimFleet {
   void arm_retry(std::size_t worker);
   void drain_coordinator();
   void handle_worker_frames(std::size_t worker, std::vector<Frame> frames);
+  /// Builds a coordinator incarnation: reboots the disk, recovers durable
+  /// state, reconnects live workers. Durable runs only.
+  void boot_coordinator();
+  /// Tears down the coordinator after a SimCrash and schedules the reboot.
+  void on_coordinator_crash();
+  /// Per-iteration durability work: periodic rotation, and the final
+  /// checkpoint the moment the campaign finishes (BEFORE Shutdown frames
+  /// are flushed by drain_coordinator — see durable_coordinator.hpp).
+  void pump_durability();
 
   const shard::ShardPlanner* planner_;
   SliceExecutor* executor_;
   FaultPlan plan_;
-  CoordinatorCore coordinator_;
+  CoordinatorCore::Options base_options_;
+  std::size_t target_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  DurablePlan durable_plan_;
+  std::unique_ptr<durable::SimDisk> disk_;
+  std::unique_ptr<durable::DurableCoordinator> durable_;
+  std::unique_ptr<CoordinatorCore> coordinator_;
+  std::uint64_t coordinator_generation_ = 0;
+  std::size_t coordinator_restarts_ = 0;
+  bool final_checkpoint_done_ = false;
   std::vector<SimWorker> workers_;
   std::map<ConnId, std::size_t> worker_of_conn_;
 

@@ -26,12 +26,30 @@ bool send_frame(const net::Socket& socket, const Frame& frame) {
 
 TcpCoordinator::TcpCoordinator(const shard::ShardPlanner& planner,
                                std::size_t target, Options options)
-    : core_(planner, target,
+    : storage_(options.journal_dir.empty()
+                   ? nullptr
+                   : std::make_unique<durable::PosixStorage>(
+                         options.journal_dir)),
+      durable_(storage_ == nullptr
+                   ? nullptr
+                   : std::make_unique<durable::DurableCoordinator>(
+                         *storage_, campaign_fingerprint(planner, target),
+                         options.durable)),
+      core_(planner, target,
             CoordinatorCore::Options{options.lease_timeout_ms,
-                                     options.strategy_name}),
+                                     options.strategy_name, durable_.get()}),
       options_(std::move(options)),
       listener_(net::listen_tcp(options_.port)),
-      port_(net::local_port(listener_)) {}
+      port_(net::local_port(listener_)) {
+  if (durable_ != nullptr) {
+    if (durable_->resumed() && !options_.resume) {
+      throw durable::DurabilityError(
+          "journal dir already holds campaign state; pass resume to merge "
+          "it (or point at an empty directory)");
+    }
+    durable_->attach(core_);
+  }
+}
 
 void TcpCoordinator::close_conn(ConnId id) { conns_.erase(id); }
 
@@ -77,14 +95,16 @@ void TcpCoordinator::flush_outbox() {
 CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
   const std::uint64_t started = net::now_ms();
   std::uint64_t finished_at = 0;
-  bool drained = false;
+  bool final_checkpoint_done = false;
   for (;;) {
     const std::uint64_t now = net::now_ms();
-    if (stop != nullptr && stop->load(std::memory_order_relaxed) &&
-        !drained) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
       core_.drain();  // abandon at the replay frontier, notify workers
+      // The drain checkpoint must be durable BEFORE any Shutdown reaches a
+      // worker; otherwise a crash right here leaves a disbanded fleet and
+      // an undrained journal (durable_coordinator.hpp).
+      if (durable_ != nullptr) durable_->checkpoint_now();
       flush_outbox();
-      drained = true;
       break;
     }
     core_.on_tick(now);
@@ -105,6 +125,19 @@ CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
       const auto it = conns_.find(id);
       if (it != conns_.end()) pump_connection(id, it->second);
     }
+    if (durable_ != nullptr) {
+      if (core_.finished()) {
+        // Same ordering rule as the drain path: make the final state
+        // durable before the Shutdowns queued by the finishing commit are
+        // flushed below.
+        if (!final_checkpoint_done) {
+          durable_->checkpoint_now();
+          final_checkpoint_done = true;
+        }
+      } else {
+        durable_->maybe_checkpoint();
+      }
+    }
     flush_outbox();
 
     if (core_.finished()) {
@@ -113,7 +146,11 @@ CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
       if (conns_.empty() || now - finished_at >= options_.linger_ms) break;
     }
   }
-  if (!core_.finished()) core_.drain();
+  if (!core_.finished()) {
+    core_.drain();
+    if (durable_ != nullptr) durable_->checkpoint_now();
+    flush_outbox();
+  }
   CampaignResult result = core_.take_result();
   result.total_seconds =
       static_cast<double>(net::now_ms() - started) / 1000.0;

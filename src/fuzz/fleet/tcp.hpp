@@ -23,10 +23,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/durable/durable_coordinator.hpp"
 #include "fuzz/fleet/worker.hpp"
 #include "fuzz/fleet/wire.hpp"
 #include "util/backoff.hpp"
@@ -44,15 +46,34 @@ class TcpCoordinator {
     /// their Shutdown before the listener goes away.
     std::uint64_t linger_ms = 3'000;
     std::string strategy_name;
+    /// Directory for the crash-safe journal/checkpoint pair (created if
+    /// absent). Empty = serve without durability, exactly as before.
+    std::string journal_dir;
+    /// Permit merging existing durable state found in journal_dir. When
+    /// false and the directory already holds a campaign, the constructor
+    /// throws instead of silently resuming (an operator must opt in).
+    bool resume = false;
+    /// Journal fsync batching and checkpoint rotation cadence.
+    durable::DurableOptions durable;
   };
 
   /// Binds the listener immediately (so port() is valid before run()).
+  /// When Options::journal_dir is set, also recovers any durable state
+  /// there (crash-safe resume) before the listener accepts anyone.
   /// \throws std::runtime_error when the socket cannot be bound.
+  /// \throws durable::DurabilityError when journal_dir holds corrupt or
+  ///         foreign state, or existing state without Options::resume.
   TcpCoordinator(const shard::ShardPlanner& planner, std::size_t target,
                  Options options);
 
   /// The bound port (useful with Options::port == 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The durable layer, or nullptr when journal_dir was empty.
+  [[nodiscard]] const durable::DurableCoordinator* durable_state()
+      const noexcept {
+    return durable_.get();
+  }
 
   /// Serves until the stopping rule decides, then lingers briefly to hand
   /// out Shutdowns. When \p stop becomes true first, drains gracefully and
@@ -74,6 +95,10 @@ class TcpCoordinator {
   void flush_outbox();
   void close_conn(ConnId id);
 
+  /// Declared before core_: the hook pointer handed to core_'s Options
+  /// must outlive the core, and recovery runs before the core exists.
+  std::unique_ptr<durable::PosixStorage> storage_;
+  std::unique_ptr<durable::DurableCoordinator> durable_;
   CoordinatorCore core_;
   Options options_;
   util::net::Socket listener_;

@@ -70,6 +70,14 @@ bool ProgressLedger::gave_up() const {
   return gave_up_;
 }
 
+ProgressLedger::Snapshot ProgressLedger::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.ordered = ordered_;
+  snap.pending = pending_;
+  return snap;
+}
+
 void ProgressLedger::abandon() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (decided_) return;

@@ -61,6 +61,17 @@ class ProgressLedger {
   /// Moves out the ordered records [0, cut). \pre finished().
   [[nodiscard]] std::vector<CampaignRecord> take_records();
 
+  /// Everything committed so far, as (first_stream -> records) chunks:
+  /// the contiguous merged prefix as one chunk at stream 0 plus the
+  /// pending out-of-order slices. Re-committing the chunks into a fresh
+  /// ledger (in any order) reproduces this ledger's replay state exactly —
+  /// the checkpoint serialization primitive (fuzz/fleet/durable/).
+  struct Snapshot {
+    std::vector<CampaignRecord> ordered;
+    std::map<std::size_t, std::vector<CampaignRecord>> pending;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
   /// Force-decides the cut at the current replay frontier — the drain path
   /// for a coordinator told to stop (e.g. SIGTERM) before the stopping rule
   /// fires naturally. Everything already merged is kept, in-flight work is

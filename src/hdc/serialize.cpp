@@ -1,6 +1,7 @@
 #include "hdc/serialize.hpp"
 
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -14,6 +15,7 @@
 #include "util/bitops.hpp"
 #include "util/checked.hpp"
 #include "util/checksum.hpp"
+#include "util/io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdtest::hdc {
@@ -678,15 +680,42 @@ void save_model(const HdcClassifier& model, std::ostream& out,
 
 void save_model(const HdcClassifier& model, const std::string& path,
                 std::uint32_t version) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_model: cannot open " + path);
-  save_model(model, out, version);
-  // Close explicitly: buffered bytes are flushed by the destructor too, but
-  // the destructor swallows failures — an ENOSPC surfacing at close would
-  // otherwise leave a silently truncated model on disk.
-  out.close();
-  if (out.fail()) {
-    throw std::runtime_error("save_model: close failed for " + path);
+  // Crash-safe save: write a temp file, fsync it, rename over the
+  // destination, fsync the directory. A power cut at any point leaves
+  // either the old model or the complete new one on disk — never a torn
+  // or empty file under the final name.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("save_model: cannot open " + tmp_path);
+    }
+    save_model(model, out, version);
+    // Close explicitly: buffered bytes are flushed by the destructor too,
+    // but the destructor swallows failures — an ENOSPC surfacing at close
+    // would otherwise leave a silently truncated model on disk.
+    out.close();
+    if (out.fail()) {
+      throw std::runtime_error("save_model: close failed for " + tmp_path);
+    }
+  }
+  const int fd = util::io::open_readonly(tmp_path.c_str());
+  if (fd < 0) {
+    throw std::runtime_error("save_model: reopen failed for " + tmp_path);
+  }
+  const int synced = util::io::fsync_fd(fd);
+  const int closed = util::io::close_fd(fd);
+  if (synced != 0 || closed != 0) {
+    (void)std::remove(tmp_path.c_str());
+    throw std::runtime_error("save_model: fsync failed for " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp_path.c_str());
+    throw std::runtime_error("save_model: rename failed for " + path);
+  }
+  if (util::io::fsync_parent_dir(path.c_str()) != 0) {
+    throw std::runtime_error("save_model: directory fsync failed for " +
+                             path);
   }
 }
 

@@ -1,6 +1,7 @@
 #include "util/io.hpp"
 
 #include <cerrno>
+#include <string>
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -12,6 +13,26 @@ namespace hdtest::util::io {
 #if defined(_WIN32)
 
 int open_readonly(const char*) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+int open_create_truncate(const char*) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+int open_create_append(const char*) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+int fsync_fd(int) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+int fsync_dir(const char*) noexcept {
+  errno = ENOSYS;
+  return -1;
+}
+int fsync_parent_dir(const char*) noexcept {
   errno = ENOSYS;
   return -1;
 }
@@ -35,6 +56,52 @@ int open_readonly(const char* path) noexcept {
     const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
     if (fd >= 0 || errno != EINTR) return fd;
   }
+}
+
+int open_create_truncate(const char* path) noexcept {
+  for (;;) {
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int open_create_append(const char* path) noexcept {
+  for (;;) {
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int fsync_fd(int fd) noexcept {
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+int fsync_dir(const char* dir_path) noexcept {
+  for (;;) {
+    const int fd = ::open(dir_path, O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      const int rc = fsync_fd(fd);
+      const int saved = errno;
+      (void)close_fd(fd);
+      errno = saved;
+      return rc;
+    }
+    if (errno != EINTR) return -1;
+  }
+}
+
+int fsync_parent_dir(const char* path) noexcept {
+  std::string dir(path);
+  const std::size_t slash = dir.find_last_of('/');
+  if (slash == std::string::npos) return fsync_dir(".");
+  if (slash == 0) return fsync_dir("/");
+  dir.resize(slash);
+  return fsync_dir(dir.c_str());
 }
 
 long read_full(int fd, void* buf, std::size_t size) noexcept {

@@ -23,6 +23,31 @@ namespace hdtest::util::io {
 /// Returns the fd, or -1 with errno set.
 [[nodiscard]] int open_readonly(const char* path) noexcept;
 
+/// ::open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644) retried on
+/// EINTR. Returns the fd, or -1 with errno set.
+[[nodiscard]] int open_create_truncate(const char* path) noexcept;
+
+/// ::open(path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644) retried
+/// on EINTR. Returns the fd, or -1 with errno set.
+[[nodiscard]] int open_create_append(const char* path) noexcept;
+
+/// ::fsync retried on EINTR. Returns 0 on success, -1 with errno set.
+/// Durability rule used throughout the durable-coordinator layer: file
+/// *contents* become crash-durable at fsync_fd; a file's *existence* (or a
+/// rename over it) becomes crash-durable only when its directory is also
+/// fsync'd (fsync_dir / fsync_parent_dir).
+[[nodiscard]] int fsync_fd(int fd) noexcept;
+
+/// Opens directory \p dir_path read-only and fsyncs it (making entry
+/// creations/renames/removals inside it crash-durable). Returns 0 on
+/// success, -1 with errno set.
+[[nodiscard]] int fsync_dir(const char* dir_path) noexcept;
+
+/// fsync_dir on the parent directory of \p path (the text before the last
+/// '/', or "." when there is none). Returns 0 on success, -1 with errno
+/// set.
+[[nodiscard]] int fsync_parent_dir(const char* path) noexcept;
+
 /// Reads exactly \p size bytes unless EOF or an error intervenes, retrying
 /// on EINTR and continuing across short reads.
 /// Returns the number of bytes read: == size on success, < size on EOF,

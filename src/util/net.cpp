@@ -79,13 +79,31 @@ sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
 }
 
 /// poll() one fd for \p events, EINTR-safe. Returns poll's result.
+///
+/// EINTR resumes with the REMAINING time, not the full timeout: restarting
+/// the whole wait after every signal lets a steady signal stream postpone
+/// the return forever, which is exactly the window where a caller wants to
+/// get back to its stop-flag check (a SIGTERM arriving during the accept
+/// poll must not be absorbed into a fresh full-length wait).
 int poll_one(int fd, short events, int timeout_ms) noexcept {
   pollfd pfd{};
   pfd.fd = fd;
   pfd.events = events;
+  if (timeout_ms < 0) {
+    for (;;) {
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc >= 0 || errno != EINTR) return rc;
+    }
+  }
+  const std::uint64_t deadline =
+      now_ms() + static_cast<std::uint64_t>(timeout_ms);
+  int remaining = timeout_ms;
   for (;;) {
-    const int rc = ::poll(&pfd, 1, timeout_ms);
+    const int rc = ::poll(&pfd, 1, remaining);
     if (rc >= 0 || errno != EINTR) return rc;
+    const std::uint64_t now = now_ms();
+    if (now >= deadline) return 0;  // interrupted into the deadline: timeout
+    remaining = static_cast<int>(deadline - now);
   }
 }
 

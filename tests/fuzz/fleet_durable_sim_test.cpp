@@ -1,0 +1,256 @@
+// Coordinator crash-recovery determinism: the durable tentpole property.
+//
+// A durable SimFleet run journals and checkpoints to a crash-simulating
+// SimDisk; a SimCrash kills the coordinator incarnation and a replacement
+// recovers from the durable directory. The matrix below SIGKILLs the
+// coordinator at EVERY storage operation of a clean run — every journal
+// append, every fsync, every step of the checkpoint rotation dance — with
+// torn tails and bit flips in the unsynced suffix, across both stopping
+// modes and alongside network faults and worker kills. Every run must
+// merge exactly the records of the solo sequential execution; aggregate
+// counters then prove the matrix actually crashed, tore, resumed, and
+// replayed rather than passing vacuously.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/image.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/durable/durable_coordinator.hpp"
+#include "fuzz/fleet/durable/sim_disk.hpp"
+#include "fuzz/fleet/sim.hpp"
+#include "fuzz/fleet/worker.hpp"
+#include "fuzz/shard/ledger.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/stop_token.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::fleet {
+namespace {
+
+/// Same synthetic executor as fleet_sim_test.cpp: every field of every
+/// record is a pure function of the stream seed.
+class SyntheticExecutor final : public SliceExecutor {
+ public:
+  explicit SyntheticExecutor(const shard::ShardPlanner& planner) noexcept
+      : planner_(&planner) {}
+
+  [[nodiscard]] std::vector<CampaignRecord> execute(
+      const shard::StreamSlice& slice) override {
+    std::vector<CampaignRecord> records;
+    records.reserve(slice.count);
+    for (std::size_t s = slice.first; s < slice.end(); ++s) {
+      util::Rng rng(planner_->stream_seed(s));
+      CampaignRecord record;
+      record.image_index = planner_->input_of(s);
+      record.true_label = static_cast<int>(record.image_index % 10);
+      record.outcome.success = rng.bernoulli(0.35);
+      record.outcome.reference_label = record.image_index % 10;
+      record.outcome.iterations = 1 + rng.uniform_u64(30);
+      record.outcome.encodes = 10 * record.outcome.iterations;
+      record.outcome.discarded = rng.uniform_u64(5);
+      if (record.outcome.success) {
+        record.outcome.adversarial_label = rng.uniform_u64(10);
+        record.outcome.perturbation.l1 = rng.uniform01();
+        record.outcome.perturbation.l2 = rng.uniform01();
+        record.outcome.perturbation.linf = rng.uniform01();
+        record.outcome.perturbation.pixels_changed = 1 + rng.uniform_u64(16);
+        data::Image image(4, 4);
+        for (auto& pixel : image.pixels()) {
+          pixel = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        }
+        record.outcome.adversarial = std::move(image);
+      }
+      records.push_back(std::move(record));
+    }
+    return records;
+  }
+
+ private:
+  const shard::ShardPlanner* planner_;
+};
+
+CampaignResult solo_reference(const shard::ShardPlanner& planner,
+                              std::size_t target, SliceExecutor& executor) {
+  shard::StopToken token(planner.stream_limit());
+  shard::ProgressLedger ledger(target, planner.stream_limit(), &token);
+  for (std::size_t b = 0; b < planner.num_blocks() && !ledger.finished();
+       ++b) {
+    const auto slice = planner.slice(b);
+    ledger.commit(slice.first, executor.execute(slice));
+  }
+  CampaignResult result;
+  result.gave_up = ledger.gave_up();
+  result.records = ledger.take_records();
+  return result;
+}
+
+/// A small-but-real campaign: 3-4 blocks, enough commits to cross at least
+/// one periodic rotation at checkpoint_every_commits = 2.
+shard::ShardPlanner make_planner(bool target_mode, std::uint64_t seed) {
+  const std::size_t num_inputs = 6 + seed % 3;
+  const std::size_t limit = target_mode ? 20 : num_inputs;
+  return shard::ShardPlanner(target_mode
+                                 ? shard::ShardPlanner::Mode::kTargetCount
+                                 : shard::ShardPlanner::Mode::kSweep,
+                             num_inputs, 0xd00dULL + seed, limit,
+                             /*block_streams=*/2);
+}
+
+DurablePlan durable_plan() {
+  DurablePlan durable;
+  durable.enabled = true;
+  durable.options.fsync_every_commits = 1;
+  durable.options.checkpoint_every_commits = 2;
+  return durable;
+}
+
+FaultPlan quiet_network(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  return plan;
+}
+
+TEST(FleetDurableSim, CleanDurableRunMergesBitIdentical) {
+  for (const bool target_mode : {false, true}) {
+    const auto planner = make_planner(target_mode, 0);
+    const std::size_t target = target_mode ? 3 : 0;
+    SyntheticExecutor executor(planner);
+    const auto expected = solo_reference(planner, target, executor);
+
+    SimFleet fleet(planner, target, /*workers=*/3, executor,
+                   quiet_network(0x1), {}, durable_plan());
+    const auto merged = fleet.run();
+    EXPECT_TRUE(identical_records(merged, expected))
+        << "target_mode " << target_mode;
+    EXPECT_EQ(fleet.coordinator_restarts(), 0u);
+    ASSERT_NE(fleet.durable_state(), nullptr);
+    // attach() checkpoints once, the periodic budget rotates at least once
+    // mid-flight, and the finish path writes the final checkpoint.
+    EXPECT_GE(fleet.durable_state()->checkpoints_written(), 3u);
+    ASSERT_NE(fleet.disk(), nullptr);
+    EXPECT_GT(fleet.disk()->ops(), 0u);
+  }
+}
+
+TEST(FleetDurableSim, CrashAtEveryStorageOpMergesBitIdentical) {
+  // The kill matrix. A clean durable run counts its storage operations;
+  // the sweep then schedules a crash at op k for every k in [1, ops] —
+  // i.e. at every journal-record and fsync boundary, and inside every
+  // checkpoint rotation — with torn tails and a 25% bit-flip rate in
+  // whatever unsynced suffix survives.
+  std::size_t total_restarts = 0;
+  std::size_t resumed_runs = 0;
+  std::size_t journal_replayed_commits = 0;
+  std::uint64_t total_torn_bytes = 0;
+
+  for (const bool target_mode : {false, true}) {
+    const auto planner = make_planner(target_mode, target_mode ? 1 : 0);
+    const std::size_t target = target_mode ? 3 : 0;
+    SyntheticExecutor executor(planner);
+    const auto expected = solo_reference(planner, target, executor);
+
+    SimFleet clean(planner, target, /*workers=*/2, executor,
+                   quiet_network(0x2), {}, durable_plan());
+    ASSERT_TRUE(identical_records(clean.run(), expected));
+    ASSERT_NE(clean.disk(), nullptr);
+    const std::uint64_t clean_ops = clean.disk()->ops();
+    ASSERT_GT(clean_ops, 10u);
+
+    for (std::uint64_t k = 1; k <= clean_ops; ++k) {
+      DurablePlan durable = durable_plan();
+      durable.disk.seed = 0x0d15c0ULL + k;
+      durable.disk.crash_after_ops = k;
+      durable.disk.torn_tail = true;
+      durable.disk.flip_bit_pct = 25;
+      SimFleet fleet(planner, target, /*workers=*/2, executor,
+                     quiet_network(0x2), {}, durable);
+      const auto merged = fleet.run();
+      ASSERT_TRUE(identical_records(merged, expected))
+          << "target_mode " << target_mode << " crash at op " << k;
+      total_restarts += fleet.coordinator_restarts();
+      ASSERT_NE(fleet.disk(), nullptr);
+      total_torn_bytes += fleet.disk()->torn_bytes();
+      if (fleet.coordinator_restarts() > 0) {
+        // The surviving incarnation is the one that recovered at the
+        // crash point; its recovery report tells us what the disk held.
+        ASSERT_NE(fleet.durable_state(), nullptr);
+        if (fleet.durable_state()->resumed()) {
+          ++resumed_runs;
+          journal_replayed_commits +=
+              fleet.durable_state()->recovered().journal.commits.size();
+        }
+      }
+    }
+  }
+
+  // The matrix must actually have crashed, resumed from checkpoints, torn
+  // unsynced tails, and replayed journaled commits — not passed vacuously.
+  EXPECT_GT(total_restarts, 0u);
+  EXPECT_GT(resumed_runs, 0u);
+  EXPECT_GT(journal_replayed_commits, 0u);
+  EXPECT_GT(total_torn_bytes, 0u);
+}
+
+TEST(FleetDurableSim, CoordinatorCrashComposesWithNetworkAndWorkerFaults) {
+  // Chaos composition: a mid-campaign coordinator crash while the network
+  // drops/duplicates/corrupts/delays frames and a worker is SIGKILL'd and
+  // restarted. Sweeps seeds so the crash lands at different points of the
+  // protocol; every completion must still be bit-identical.
+  std::size_t crashed_runs = 0;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const bool target_mode = (seed % 2) == 1;
+    const auto planner = make_planner(target_mode, seed);
+    const std::size_t target = target_mode ? 2 + seed % 3 : 0;
+    SyntheticExecutor executor(planner);
+    const auto expected = solo_reference(planner, target, executor);
+
+    FaultPlan plan;
+    plan.seed = 0xfa171ULL + seed;
+    plan.drop_pct = 6;
+    plan.duplicate_pct = 6;
+    plan.corrupt_pct = 4;
+    plan.truncate_pct = 2;
+    plan.delay_pct = 10;
+    plan.max_faults = 48;
+    plan.kills.push_back({/*worker=*/seed % 2, /*at=*/120 + 20 * seed,
+                          /*restart=*/true, /*restart_after=*/90});
+
+    DurablePlan durable = durable_plan();
+    durable.disk.seed = seed;
+    durable.disk.crash_after_ops = 9 + seed;  // lands mid-campaign
+    durable.disk.flip_bit_pct = 50;
+    SimFleet fleet(planner, target, /*workers=*/3, executor, plan, {},
+                   durable);
+    const auto merged = fleet.run();
+    ASSERT_TRUE(identical_records(merged, expected)) << "seed " << seed;
+    crashed_runs += fleet.coordinator_restarts() > 0 ? 1 : 0;
+  }
+  EXPECT_GT(crashed_runs, 0u);
+}
+
+TEST(FleetDurableSim, RestartStormStaysWithinTheLoudFailureCap) {
+  // One crash per incarnation would loop forever if crash schedules
+  // re-armed across reboots; the one-shot contract plus the max_restarts
+  // cap make the failure mode loud instead. A single scheduled crash must
+  // consume exactly one restart.
+  const auto planner = make_planner(false, 2);
+  SyntheticExecutor executor(planner);
+  const auto expected = solo_reference(planner, 0, executor);
+
+  DurablePlan durable = durable_plan();
+  durable.disk.crash_after_ops = 12;
+  durable.max_restarts = 1;
+  SimFleet fleet(planner, 0, /*workers=*/2, executor, quiet_network(7),
+                 {}, durable);
+  const auto merged = fleet.run();
+  EXPECT_TRUE(identical_records(merged, expected));
+  EXPECT_EQ(fleet.coordinator_restarts(), 1u);
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz::fleet

@@ -1,0 +1,682 @@
+// Durability layer unit tests: SimDisk crash semantics, journal torn-tail
+// truncation, checkpoint atomicity and hostile-bytes rejection, recovery
+// cross-validation, and the LeaseTable-across-restart properties (a
+// re-issued lease admits exactly one commit in the planned shape; a
+// duplicate commit from a pre-crash worker is acknowledged after resume
+// without double-merging).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "data/image.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/fleet/coordinator.hpp"
+#include "fuzz/fleet/durable/checkpoint.hpp"
+#include "fuzz/fleet/durable/durable_coordinator.hpp"
+#include "fuzz/fleet/durable/journal.hpp"
+#include "fuzz/fleet/durable/sim_disk.hpp"
+#include "fuzz/fleet/protocol.hpp"
+#include "fuzz/fleet/wire.hpp"
+#include "fuzz/fleet/worker.hpp"
+#include "fuzz/shard/ledger.hpp"
+#include "fuzz/shard/plan.hpp"
+#include "fuzz/shard/stop_token.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::fuzz::fleet {
+namespace {
+
+/// Same synthetic executor as fleet_sim_test.cpp: every record is a pure
+/// function of the stream seed.
+class SyntheticExecutor final : public SliceExecutor {
+ public:
+  explicit SyntheticExecutor(const shard::ShardPlanner& planner) noexcept
+      : planner_(&planner) {}
+
+  [[nodiscard]] std::vector<CampaignRecord> execute(
+      const shard::StreamSlice& slice) override {
+    std::vector<CampaignRecord> records;
+    records.reserve(slice.count);
+    for (std::size_t s = slice.first; s < slice.end(); ++s) {
+      util::Rng rng(planner_->stream_seed(s));
+      CampaignRecord record;
+      record.image_index = planner_->input_of(s);
+      record.true_label = static_cast<int>(record.image_index % 10);
+      record.outcome.success = rng.bernoulli(0.35);
+      record.outcome.reference_label = record.image_index % 10;
+      record.outcome.iterations = 1 + rng.uniform_u64(30);
+      record.outcome.encodes = 10 * record.outcome.iterations;
+      record.outcome.discarded = rng.uniform_u64(5);
+      if (record.outcome.success) {
+        record.outcome.adversarial_label = rng.uniform_u64(10);
+        record.outcome.perturbation.l1 = rng.uniform01();
+        record.outcome.perturbation.l2 = rng.uniform01();
+        record.outcome.perturbation.linf = rng.uniform01();
+        record.outcome.perturbation.pixels_changed = 1 + rng.uniform_u64(16);
+        data::Image image(4, 4);
+        for (auto& pixel : image.pixels()) {
+          pixel = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        }
+        record.outcome.adversarial = std::move(image);
+      }
+      records.push_back(std::move(record));
+    }
+    return records;
+  }
+
+ private:
+  const shard::ShardPlanner* planner_;
+};
+
+CampaignResult solo_reference(const shard::ShardPlanner& planner,
+                              std::size_t target, SliceExecutor& executor) {
+  shard::StopToken token(planner.stream_limit());
+  shard::ProgressLedger ledger(target, planner.stream_limit(), &token);
+  for (std::size_t b = 0; b < planner.num_blocks() && !ledger.finished();
+       ++b) {
+    const auto slice = planner.slice(b);
+    ledger.commit(slice.first, executor.execute(slice));
+  }
+  CampaignResult result;
+  result.gave_up = ledger.gave_up();
+  result.records = ledger.take_records();
+  return result;
+}
+
+std::optional<Frame> take_reply(CoordinatorCore& core, ConnId conn,
+                                MessageKind kind) {
+  std::optional<Frame> found;
+  for (auto& out : core.take_outbox()) {
+    if (out.conn == conn &&
+        out.frame.kind == static_cast<std::uint16_t>(kind)) {
+      EXPECT_FALSE(found.has_value()) << "duplicate reply kind";
+      found = std::move(out.frame);
+    }
+  }
+  return found;
+}
+
+LeaseGrant handshake_and_lease(CoordinatorCore& core, ConnId conn,
+                               std::uint64_t now) {
+  core.on_connect(conn);
+  core.on_frame(conn, make_hello({core.fingerprint()}), now);
+  EXPECT_TRUE(take_reply(core, conn, MessageKind::kHelloAck).has_value());
+  core.on_frame(conn, make_lease_request(), now);
+  const auto grant = take_reply(core, conn, MessageKind::kLeaseGrant);
+  EXPECT_TRUE(grant.has_value());
+  return decode_lease_grant(grant->body);
+}
+
+Commit commit_for(SyntheticExecutor& executor, const LeaseGrant& grant) {
+  Commit commit;
+  commit.lease_id = grant.lease_id;
+  commit.first_stream = grant.first_stream;
+  commit.records =
+      executor.execute({static_cast<std::size_t>(grant.first_stream),
+                        static_cast<std::size_t>(grant.stream_count)});
+  return commit;
+}
+
+/// Wraps raw record vectors in CampaignResult so this suite reuses the
+/// canonical identical_records definition.
+bool same_records(const std::vector<CampaignRecord>& a,
+                  const std::vector<CampaignRecord>& b) {
+  CampaignResult result_a;
+  CampaignResult result_b;
+  result_a.records = a;
+  result_b.records = b;
+  return identical_records(result_a, result_b);
+}
+
+/// Overwrites one file on \p disk (and makes the result durable) — the
+/// hostile-bytes hook for corruption tests.
+void rewrite_file(durable::SimDisk& disk, const std::string& name,
+                  const std::vector<std::uint8_t>& bytes) {
+  disk.write_new(name, bytes);
+  disk.sync(name);
+  disk.sync_dir();
+}
+
+// ---- SimDisk crash semantics ---------------------------------------------
+
+TEST(SimDisk, UnsyncedStateVanishesOnCrash) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  disk.write_new("only-written", bytes);
+  disk.write_new("synced-but-no-dir", bytes);
+  disk.sync("synced-but-no-dir");  // content durable, directory entry not
+  disk.crash();
+  disk.reboot();
+  EXPECT_FALSE(disk.exists("only-written"));
+  EXPECT_FALSE(disk.exists("synced-but-no-dir"));
+}
+
+TEST(SimDisk, SyncedPrefixSurvivesExactlyWhenTearingIsOff) {
+  durable::DiskFaultPlan plan;
+  plan.torn_tail = false;
+  durable::SimDisk disk(plan);
+  const std::vector<std::uint8_t> durable_part{10, 11, 12, 13};
+  const std::vector<std::uint8_t> tail{99, 98, 97};
+  disk.write_new("f", durable_part);
+  disk.sync("f");
+  disk.sync_dir();
+  disk.append("f", tail);  // never synced
+  disk.crash();
+  disk.reboot();
+  EXPECT_EQ(disk.read_all("f"), durable_part);
+  EXPECT_EQ(disk.torn_bytes(), tail.size());
+}
+
+TEST(SimDisk, TornTailKeepsOnlyAPrefixOfUnsyncedBytes) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    durable::DiskFaultPlan plan;
+    plan.seed = seed;
+    durable::SimDisk disk(plan);
+    const std::vector<std::uint8_t> durable_part{1, 2, 3, 4};
+    std::vector<std::uint8_t> tail(10);
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+      tail[i] = static_cast<std::uint8_t>(0x80 + i);
+    }
+    disk.write_new("f", durable_part);
+    disk.sync("f");
+    disk.sync_dir();
+    disk.append("f", tail);
+    disk.crash();
+    disk.reboot();
+    const auto after = disk.read_all("f");
+    ASSERT_GE(after.size(), durable_part.size()) << "seed " << seed;
+    ASSERT_LE(after.size(), durable_part.size() + tail.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < durable_part.size(); ++i) {
+      EXPECT_EQ(after[i], durable_part[i]) << "seed " << seed;  // intact
+    }
+  }
+}
+
+TEST(SimDisk, RenameWithoutDirSyncRollsBack) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const std::vector<std::uint8_t> bytes{7};
+  disk.write_new("a", bytes);
+  disk.sync("a");
+  disk.sync_dir();
+  disk.rename("a", "b");  // no sync_dir: the namespace change is volatile
+  disk.crash();
+  disk.reboot();
+  EXPECT_TRUE(disk.exists("a"));
+  EXPECT_FALSE(disk.exists("b"));
+
+  disk.rename("a", "b");
+  disk.sync_dir();
+  disk.crash();
+  disk.reboot();
+  EXPECT_FALSE(disk.exists("a"));
+  EXPECT_TRUE(disk.exists("b"));
+}
+
+TEST(SimDisk, ScheduledCrashFiresExactlyOnceAndSkipsTheOp) {
+  durable::DiskFaultPlan plan;
+  plan.crash_after_ops = 3;
+  durable::SimDisk disk(plan);
+  const std::vector<std::uint8_t> bytes{1};
+  disk.write_new("f", bytes);  // op 1
+  disk.sync("f");              // op 2
+  EXPECT_THROW(disk.sync_dir(), durable::SimCrash);  // op 3: NOT applied
+  EXPECT_TRUE(disk.fired());
+  EXPECT_TRUE(disk.crashed());
+  EXPECT_THROW((void)disk.exists("f"), durable::SimCrash);  // dead until reboot
+  disk.reboot();
+  // The directory sync never happened, so the entry did not survive.
+  EXPECT_FALSE(disk.exists("f"));
+  // One-shot: the same schedule never fires again after reboot.
+  disk.write_new("g", bytes);
+  disk.sync("g");
+  disk.sync_dir();
+  EXPECT_TRUE(disk.exists("g"));
+}
+
+// ---- CommitJournal -------------------------------------------------------
+
+TEST(CommitJournal, RoundTripsLeasesCommitsAndDrain) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 6,
+                                    0xa1ULL, 6, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(/*sequence=*/7, /*fingerprint=*/0xfee1);
+  journal.lease(5, 0, 2);
+  const auto block0 = executor.execute(planner.slice(0));
+  journal.commit(5, 0, block0);
+  journal.lease(6, 2, 2);
+  const auto block1 = executor.execute(planner.slice(1));
+  journal.commit(6, 2, block1);
+  journal.drain();
+
+  const auto replay = durable::replay_journal(disk);
+  EXPECT_TRUE(replay.present);
+  EXPECT_EQ(replay.sequence, 7u);
+  EXPECT_EQ(replay.fingerprint, 0xfee1u);
+  EXPECT_EQ(replay.max_lease_id, 6u);
+  EXPECT_TRUE(replay.drained);
+  EXPECT_EQ(replay.truncated_bytes, 0u);
+  ASSERT_EQ(replay.commits.size(), 2u);
+  EXPECT_EQ(replay.commits[0].first_stream, 0u);
+  EXPECT_EQ(replay.commits[1].first_stream, 2u);
+  EXPECT_TRUE(same_records(replay.commits[0].records, block0));
+  EXPECT_TRUE(same_records(replay.commits[1].records, block1));
+}
+
+TEST(CommitJournal, TornTailIsTruncatedAndNeverReplayed) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0xa2ULL, 4, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(1, 0xcafe);
+  journal.commit(1, 0, executor.execute(planner.slice(0)));
+
+  // A crash tore the next record: only half the frame reached the medium.
+  const auto whole = encode_frame(durable::kJournalDrain, {});
+  const std::vector<std::uint8_t> torn(whole.begin(),
+                                       whole.begin() + whole.size() / 2);
+  disk.append(durable::kJournalName, torn);
+  disk.sync(durable::kJournalName);
+
+  const auto replay = durable::replay_journal(disk);
+  EXPECT_TRUE(replay.present);
+  ASSERT_EQ(replay.commits.size(), 1u);
+  EXPECT_FALSE(replay.drained);  // the torn Drain frame must not count
+  EXPECT_EQ(replay.truncated_bytes, torn.size());
+
+  // The torn bytes were physically removed: a second replay is clean.
+  const auto again = durable::replay_journal(disk);
+  EXPECT_EQ(again.truncated_bytes, 0u);
+  ASSERT_EQ(again.commits.size(), 1u);
+  EXPECT_EQ(again.valid_bytes, replay.valid_bytes);
+}
+
+TEST(CommitJournal, CorruptedTailByteIsDetectedAndTruncated) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0xa3ULL, 4, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(1, 0xcafe);
+  journal.commit(1, 0, executor.execute(planner.slice(0)));
+  const std::uint64_t clean_bytes =
+      durable::replay_journal(disk).valid_bytes;
+  journal.commit(2, 2, executor.execute(planner.slice(1)));
+
+  // A bit flip lands in the (conceptually unsynced) last record.
+  auto bytes = disk.read_all(durable::kJournalName);
+  bytes.back() ^= 0x40;
+  rewrite_file(disk, durable::kJournalName, bytes);
+
+  const auto replay = durable::replay_journal(disk);
+  ASSERT_EQ(replay.commits.size(), 1u);  // the mangled commit is dropped
+  EXPECT_EQ(replay.valid_bytes, clean_bytes);
+  EXPECT_GT(replay.truncated_bytes, 0u);
+}
+
+TEST(CommitJournal, AbsentOrHeadlessJournalReadsAsAbsent) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  EXPECT_FALSE(durable::replay_journal(disk).present);
+
+  // A torn Start frame (reset_to's rename never landed; only a prefix of
+  // the would-be journal exists): treated as absent, file emptied.
+  durable::SimDisk torn_disk(durable::DiskFaultPlan{});
+  const auto start = encode_frame(durable::kJournalDrain, {});
+  const std::vector<std::uint8_t> prefix(start.begin(),
+                                         start.begin() + 5);
+  torn_disk.write_new(durable::kJournalName, prefix);
+  torn_disk.sync(durable::kJournalName);
+  torn_disk.sync_dir();
+  const auto replay = durable::replay_journal(torn_disk);
+  EXPECT_FALSE(replay.present);
+  EXPECT_EQ(replay.valid_bytes, 0u);
+  EXPECT_EQ(replay.truncated_bytes, prefix.size());
+}
+
+TEST(CommitJournal, ChecksumValidButMalformedFramesThrow) {
+  // Checksum-valid frames with a malformed body or an unknown kind are
+  // protocol bugs, not medium corruption: loud failure, no truncation.
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(1, 0xcafe);
+
+  const std::vector<std::uint8_t> short_body{1, 2, 3};
+  disk.append(durable::kJournalName,
+              encode_frame(durable::kJournalLease, short_body));
+  EXPECT_THROW((void)durable::replay_journal(disk),
+               durable::DurabilityError);
+
+  durable::SimDisk disk2(durable::DiskFaultPlan{});
+  durable::CommitJournal journal2(disk2, durable::JournalOptions{1});
+  journal2.reset_to(1, 0xcafe);
+  disk2.append(durable::kJournalName, encode_frame(0x4f0f, {}));
+  EXPECT_THROW((void)durable::replay_journal(disk2),
+               durable::DurabilityError);
+
+  // A valid non-Start frame at offset 0 is equally a protocol bug.
+  durable::SimDisk disk3(durable::DiskFaultPlan{});
+  disk3.write_new(durable::kJournalName,
+                  encode_frame(durable::kJournalDrain, {}));
+  disk3.sync(durable::kJournalName);
+  disk3.sync_dir();
+  EXPECT_THROW((void)durable::replay_journal(disk3),
+               durable::DurabilityError);
+}
+
+TEST(CommitJournal, FsyncBatchingIsObservable) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 8,
+                                    0xa4ULL, 8, 2);
+  SyntheticExecutor executor(planner);
+
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal every(disk, durable::JournalOptions{1});
+  every.reset_to(1, 1);
+  const std::uint64_t before = every.syncs();
+  every.commit(1, 0, executor.execute(planner.slice(0)));
+  every.commit(2, 2, executor.execute(planner.slice(1)));
+  EXPECT_EQ(every.syncs(), before + 2);
+
+  durable::SimDisk disk2(durable::DiskFaultPlan{});
+  durable::CommitJournal lazy(disk2, durable::JournalOptions{0});
+  lazy.reset_to(1, 1);
+  const std::uint64_t lazy_before = lazy.syncs();
+  lazy.commit(1, 0, executor.execute(planner.slice(0)));
+  lazy.commit(2, 2, executor.execute(planner.slice(1)));
+  EXPECT_EQ(lazy.syncs(), lazy_before);  // nothing until an explicit flush
+  lazy.flush();
+  EXPECT_EQ(lazy.syncs(), lazy_before + 1);
+}
+
+// ---- LedgerCheckpoint ----------------------------------------------------
+
+durable::CheckpointData sample_checkpoint(SyntheticExecutor& executor,
+                                          const shard::ShardPlanner& planner) {
+  durable::CheckpointData data;
+  data.sequence = 9;
+  data.fingerprint = 0xfeedULL;
+  data.next_lease_id = 17;
+  data.drained = false;
+  data.num_blocks = planner.num_blocks();
+  data.done_blocks = {0, 2};
+  data.chunks.emplace_back(0, executor.execute(planner.slice(0)));
+  data.chunks.emplace_back(4, executor.execute(planner.slice(2)));
+  return data;
+}
+
+TEST(LedgerCheckpoint, RoundTripsAllFields) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 6,
+                                    0xb1ULL, 6, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const auto data = sample_checkpoint(executor, planner);
+  durable::write_checkpoint(disk, data);
+
+  const auto read = durable::read_checkpoint(disk);
+  EXPECT_EQ(read.sequence, data.sequence);
+  EXPECT_EQ(read.fingerprint, data.fingerprint);
+  EXPECT_EQ(read.next_lease_id, data.next_lease_id);
+  EXPECT_EQ(read.drained, data.drained);
+  EXPECT_EQ(read.num_blocks, data.num_blocks);
+  EXPECT_EQ(read.done_blocks, data.done_blocks);
+  ASSERT_EQ(read.chunks.size(), data.chunks.size());
+  for (std::size_t c = 0; c < data.chunks.size(); ++c) {
+    EXPECT_EQ(read.chunks[c].first, data.chunks[c].first);
+    EXPECT_TRUE(same_records(read.chunks[c].second, data.chunks[c].second));
+  }
+}
+
+TEST(LedgerCheckpoint, EverySingleByteFlipIsRejected) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0xb2ULL, 4, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CheckpointData data;
+  data.sequence = 3;
+  data.fingerprint = 0xfeedULL;
+  data.num_blocks = planner.num_blocks();
+  data.done_blocks = {0};
+  data.chunks.emplace_back(0, executor.execute(planner.slice(0)));
+  durable::write_checkpoint(disk, data);
+  const auto original = disk.read_all(durable::kCheckpointName);
+
+  for (std::size_t at = 0; at < original.size(); ++at) {
+    auto corrupt = original;
+    corrupt[at] ^= 0x01;
+    rewrite_file(disk, durable::kCheckpointName, corrupt);
+    EXPECT_THROW((void)durable::read_checkpoint(disk),
+                 durable::DurabilityError)
+        << "byte " << at << " of " << original.size();
+  }
+
+  // Truncation and extension are equally fatal (no torn-tail leniency).
+  rewrite_file(disk, durable::kCheckpointName,
+               {original.begin(), original.end() - 1});
+  EXPECT_THROW((void)durable::read_checkpoint(disk),
+               durable::DurabilityError);
+  auto extended = original;
+  extended.push_back(0);
+  rewrite_file(disk, durable::kCheckpointName, extended);
+  EXPECT_THROW((void)durable::read_checkpoint(disk),
+               durable::DurabilityError);
+
+  rewrite_file(disk, durable::kCheckpointName, original);
+  EXPECT_EQ(durable::read_checkpoint(disk).sequence, 3u);
+}
+
+// ---- recover_campaign cross-validation -----------------------------------
+
+TEST(RecoverCampaign, FreshDirectoryIsNotResumed) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const auto recovered = durable::recover_campaign(disk);
+  EXPECT_FALSE(recovered.resumed);
+  EXPECT_FALSE(recovered.journal.present);
+}
+
+TEST(RecoverCampaign, JournalWithoutCheckpointThrows) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(4, 0xfee1);
+  EXPECT_THROW((void)durable::recover_campaign(disk),
+               durable::DurabilityError);
+}
+
+TEST(RecoverCampaign, JournalAheadOfCheckpointThrows) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CheckpointData cp;
+  cp.sequence = 2;
+  cp.fingerprint = 0xfee1;
+  cp.num_blocks = 1;
+  durable::write_checkpoint(disk, cp);
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(5, 0xfee1);  // names a checkpoint that vanished
+  EXPECT_THROW((void)durable::recover_campaign(disk),
+               durable::DurabilityError);
+}
+
+TEST(RecoverCampaign, StaleJournalFromRotationWindowIsBenign) {
+  // The crash-between-checkpoint-and-journal-reset window: checkpoint N+1
+  // exists, the journal still names N. Recovery must accept it (replaying
+  // its commits is idempotent).
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0xb3ULL, 4, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(3, 0xfee1);
+  journal.commit(1, 0, executor.execute(planner.slice(0)));
+  durable::CheckpointData cp;
+  cp.sequence = 4;
+  cp.fingerprint = 0xfee1;
+  cp.num_blocks = planner.num_blocks();
+  cp.done_blocks = {0};
+  cp.chunks.emplace_back(0, executor.execute(planner.slice(0)));
+  durable::write_checkpoint(disk, cp);
+
+  const auto recovered = durable::recover_campaign(disk);
+  EXPECT_TRUE(recovered.resumed);
+  EXPECT_EQ(recovered.checkpoint.sequence, 4u);
+  EXPECT_EQ(recovered.journal.sequence, 3u);
+  EXPECT_EQ(recovered.journal.commits.size(), 1u);
+}
+
+TEST(RecoverCampaign, FingerprintMismatchBetweenFilesThrows) {
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  durable::CheckpointData cp;
+  cp.sequence = 2;
+  cp.fingerprint = 0xaaa;
+  cp.num_blocks = 1;
+  durable::write_checkpoint(disk, cp);
+  durable::CommitJournal journal(disk, durable::JournalOptions{1});
+  journal.reset_to(2, 0xbbb);
+  EXPECT_THROW((void)durable::recover_campaign(disk),
+               durable::DurabilityError);
+}
+
+// ---- DurableCoordinator: lease and commit properties across restart ------
+
+durable::DurableOptions strict_options() {
+  durable::DurableOptions options;
+  options.fsync_every_commits = 1;  // every record durable immediately
+  options.checkpoint_every_commits = 0;
+  return options;
+}
+
+TEST(DurableCoordinator, ReissuedLeaseAfterRestartAdmitsExactlyOneCommit) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 6,
+                                    0xc1ULL, 6, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const std::uint64_t fp = campaign_fingerprint(planner, 0);
+
+  LeaseGrant before;
+  {
+    durable::DurableCoordinator dc(disk, fp, strict_options());
+    CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+    dc.attach(core);
+    before = handshake_and_lease(core, 1, 0);
+    // Crash with the lease outstanding, nothing committed.
+    disk.crash();
+  }
+  disk.reboot();
+
+  durable::DurableCoordinator dc(disk, fp, strict_options());
+  EXPECT_TRUE(dc.resumed());
+  CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+  dc.attach(core);
+
+  // The block is pending again and the re-issued lease is strictly newer
+  // (journaled lease ids keep the namespace unique across incarnations).
+  const auto reissued = handshake_and_lease(core, 2, 0);
+  EXPECT_EQ(reissued.first_stream, before.first_stream);
+  EXPECT_GT(reissued.lease_id, before.lease_id);
+
+  // The re-issued lease admits exactly one commit, in the planned shape.
+  core.on_frame(2, make_commit(commit_for(executor, reissued)), 1);
+  EXPECT_TRUE(take_reply(core, 2, MessageKind::kCommitAck).has_value());
+  EXPECT_EQ(core.stats().commits_accepted, 1u);
+  core.on_frame(2, make_commit(commit_for(executor, reissued)), 2);
+  EXPECT_TRUE(take_reply(core, 2, MessageKind::kCommitAck).has_value());
+  EXPECT_EQ(core.stats().commits_accepted, 1u);  // second copy: duplicate
+  EXPECT_EQ(core.stats().duplicate_commits, 1u);
+}
+
+TEST(DurableCoordinator, PreCrashDuplicateCommitIsAckedWithoutDoubleMerge) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 6,
+                                    0xc2ULL, 6, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const std::uint64_t fp = campaign_fingerprint(planner, 0);
+
+  Commit committed;
+  {
+    durable::DurableCoordinator dc(disk, fp, strict_options());
+    CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+    dc.attach(core);
+    const auto grant = handshake_and_lease(core, 1, 0);
+    committed = commit_for(executor, grant);
+    core.on_frame(1, make_commit(committed), 1);
+    EXPECT_TRUE(take_reply(core, 1, MessageKind::kCommitAck).has_value());
+    // Crash after the admit was journaled but (say) before the ack reached
+    // the worker.
+    disk.crash();
+  }
+  disk.reboot();
+
+  durable::DurableCoordinator dc(disk, fp, strict_options());
+  CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+  dc.attach(core);
+
+  // The pre-crash worker reconnects and resends the same commit under its
+  // dead lease id: acknowledged so it can move on, merged zero times more.
+  core.on_connect(7);
+  core.on_frame(7, make_hello({fp}), 10);
+  EXPECT_TRUE(take_reply(core, 7, MessageKind::kHelloAck).has_value());
+  core.on_frame(7, make_commit(committed), 11);
+  EXPECT_TRUE(take_reply(core, 7, MessageKind::kCommitAck).has_value());
+  EXPECT_EQ(core.stats().duplicate_commits, 1u);
+  EXPECT_EQ(core.stats().commits_accepted, 0u);
+
+  // Finish the campaign normally; the merge must equal the solo run.
+  ConnId conn = 8;
+  while (!core.finished()) {
+    const auto grant = handshake_and_lease(core, conn, 20 + conn);
+    core.on_frame(conn, make_commit(commit_for(executor, grant)),
+                  21 + conn);
+    ++conn;
+  }
+  const auto expected = solo_reference(planner, 0, executor);
+  EXPECT_TRUE(identical_records(core.take_result(), expected));
+}
+
+TEST(DurableCoordinator, DrainStateSurvivesRestart) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 8,
+                                    0xc3ULL, 8, 2);
+  SyntheticExecutor executor(planner);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const std::uint64_t fp = campaign_fingerprint(planner, 0);
+
+  {
+    durable::DurableCoordinator dc(disk, fp, strict_options());
+    CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+    dc.attach(core);
+    const auto grant = handshake_and_lease(core, 1, 0);
+    core.on_frame(1, make_commit(commit_for(executor, grant)), 1);
+    core.drain();  // SIGTERM path: abandon at the frontier
+    disk.crash();  // ... and the process dies before its final checkpoint
+  }
+  disk.reboot();
+
+  durable::DurableCoordinator dc(disk, fp, strict_options());
+  CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+  dc.attach(core);
+  ASSERT_TRUE(core.finished());
+  const auto partial = core.take_result();
+  EXPECT_TRUE(partial.gave_up);
+  EXPECT_EQ(partial.records.size(), 2u);  // exactly the pre-drain frontier
+}
+
+TEST(DurableCoordinator, ForeignCampaignStateIsRefused) {
+  const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kSweep, 4,
+                                    0xc4ULL, 4, 2);
+  durable::SimDisk disk(durable::DiskFaultPlan{});
+  const std::uint64_t fp = campaign_fingerprint(planner, 0);
+  {
+    durable::DurableCoordinator dc(disk, fp, strict_options());
+    CoordinatorCore core(planner, 0, {1000, "synthetic", &dc});
+    dc.attach(core);
+    disk.crash();
+  }
+  disk.reboot();
+  EXPECT_THROW(durable::DurableCoordinator(disk, fp ^ 1, strict_options()),
+               durable::DurabilityError);
+}
+
+}  // namespace
+}  // namespace hdtest::fuzz::fleet

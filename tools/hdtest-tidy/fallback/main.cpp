@@ -52,6 +52,7 @@ bool in_determinism_scope(const std::string& path) {
 
 bool in_checked_arith_scope(const std::string& path) {
   return filename_is(path, "serialize") || filename_is(path, "mmap_file") ||
+         path_in(path, "src/fuzz/fleet/durable/") ||
          (path_in(path, "src/fuzz/shard/") &&
           (filename_is(path, "ledger") || filename_is(path, "seed_bank"))) ||
          (path_in(path, "src/fuzz/fleet/") &&
