@@ -80,6 +80,8 @@
 #include "hdc/packed_assoc_memory.hpp"
 #include "hdc/packed_hv.hpp"
 #include "hdc/serialize.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/simd/kernels.hpp"
@@ -1017,6 +1019,99 @@ void bench_model_load(std::size_t dim, std::size_t reps,
           .str());
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry overhead: the observability contract's cost half. The counters
+// on the campaign hot loop are always-on relaxed atomics and the optional
+// machinery (spans, heartbeats) is flag-gated, so fully enabling telemetry
+// must cost <= 2% end to end — and, per the determinism contract, must not
+// move a single record. Min-of-reps on both sides cancels warm-up and
+// scheduler noise; a small absolute slack keeps the ratio gate meaningful
+// when the whole campaign takes tens of milliseconds.
+
+/// Returns false when the overhead or bit-identity gate fails.
+bool bench_telemetry_overhead(bool self_check_only,
+                              std::vector<std::string>& json_rows) {
+  using namespace hdtest;
+  const auto pair = data::make_digit_train_test(20, 4, 99);
+  hdc::ModelConfig model_config;
+  model_config.dim = 1024;
+  model_config.seed = 99;
+  hdc::HdcClassifier model(model_config, 28, 28, 10);
+  model.fit(pair.train);
+  const auto strategy = fuzz::make_strategy("gauss");
+  fuzz::FuzzConfig fuzz_config;
+  fuzz_config.budget = fuzz::default_budget_for_strategy("gauss");
+  const fuzz::Fuzzer fuzzer(model, *strategy, fuzz_config);
+  fuzz::CampaignConfig config;
+  config.fuzz = fuzz_config;
+  config.target_adversarials =
+      benchutil::env_u64("HDTEST_OBS_TARGET", self_check_only ? 10 : 40);
+  config.seed = 5;
+  config.workers = 4;
+
+  const std::size_t reps =
+      benchutil::env_u64("HDTEST_OBS_REPS", self_check_only ? 3 : 7);
+  const bool was_enabled = obs::enabled();
+  const bool was_tracing = obs::trace_enabled();
+
+  // Alternate off/on inside each rep so thermal drift hits both sides
+  // equally; keep the fastest rep of each.
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  fuzz::CampaignResult off_result;
+  fuzz::CampaignResult on_result;
+  for (std::size_t r = 0; r < reps; ++r) {
+    obs::set_enabled(false);
+    obs::set_trace_enabled(false);
+    const util::Stopwatch off_watch;
+    auto off_run = fuzz::run_campaign(fuzzer, pair.test, config);
+    const double off_t = off_watch.seconds();
+    if (r == 0 || off_t < off_seconds) off_seconds = off_t;
+
+    obs::set_enabled(true);
+    obs::set_trace_enabled(true);
+    const util::Stopwatch on_watch;
+    auto on_run = fuzz::run_campaign(fuzzer, pair.test, config);
+    const double on_t = on_watch.seconds();
+    if (r == 0 || on_t < on_seconds) on_seconds = on_t;
+
+    off_result = std::move(off_run);
+    on_result = std::move(on_run);
+  }
+  obs::set_enabled(was_enabled);
+  obs::set_trace_enabled(was_tracing);
+
+  const bool identical = fuzz::identical_records(on_result, off_result);
+  if (!identical) {
+    std::printf("ERROR: enabling telemetry changed the campaign records\n");
+  }
+  const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 0.0;
+  // <= 2% plus 10 ms of absolute slack for timer/scheduler granularity.
+  const bool within = on_seconds <= off_seconds * 1.02 + 0.010;
+  if (!within) {
+    std::printf("ERROR: telemetry overhead gate failed: off %.4fs vs on "
+                "%.4fs (%.2f%%)\n",
+                off_seconds, on_seconds, (ratio - 1.0) * 100.0);
+  }
+  const bool ok = identical && within;
+  std::printf("telemetry overhead (metrics + tracing fully on, min of %zu "
+              "reps): off %.4fs, on %.4fs -> %+.2f%% (gate <= 2%%: %s; "
+              "records %s)\n",
+              reps, off_seconds, on_seconds, (ratio - 1.0) * 100.0,
+              within ? "ok" : "FAILED",
+              identical ? "identical" : "DIVERGED");
+  json_rows.push_back(
+      JsonObject()
+          .add("variant", "metrics_and_tracing_on")
+          .add("reps", static_cast<double>(reps))
+          .add("off_seconds", off_seconds)
+          .add("on_seconds", on_seconds)
+          .add("overhead_ratio", ratio)
+          .add("records", static_cast<double>(on_result.records.size()))
+          .str());
+  return ok;
+}
+
 /// Self-check gate: a small target-count campaign must be bit-identical at
 /// workers 1 and 4 (the shard determinism contract under -O2, every run).
 bool campaign_determinism_gate() {
@@ -1165,11 +1260,18 @@ int main(int argc, char** argv) {
   if (!bench_coordinator_durability(self_check_only, durability_rows)) {
     agreement = false;
   }
+  std::vector<std::string> telemetry_rows;
+  std::printf("\ntelemetry overhead: campaign with metrics + tracing fully "
+              "on vs off (<= 2%% gate, records bit-identical)\n");
+  if (!bench_telemetry_overhead(self_check_only, telemetry_rows)) {
+    agreement = false;
+  }
   doc.add_raw("campaigns", benchutil::json_array(campaign_rows));
   doc.add_raw("campaign_scaling", benchutil::json_array(scaling_rows));
   doc.add_raw("campaign_federation", benchutil::json_array(federation_rows));
   doc.add_raw("coordinator_durability",
               benchutil::json_array(durability_rows));
+  doc.add_raw("telemetry_overhead", benchutil::json_array(telemetry_rows));
   doc.add("hardware_threads",
           static_cast<double>(std::thread::hardware_concurrency()));
 

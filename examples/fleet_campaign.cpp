@@ -42,6 +42,8 @@
 #include "fuzz/shard/plan.hpp"
 #include "fuzz/shard/seed_bank.hpp"
 #include "hdc/classifier.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/argparse.hpp"
 
 namespace {
@@ -88,6 +90,18 @@ int main(int argc, char** argv) {
                 "Coordinator: after the fleet finishes, run the same "
                 "campaign with workers=1 in-process and fail unless the "
                 "records are bit-identical");
+  args.add_flag("metrics-out", "",
+                "Coordinator: rewrite this file with the Prometheus "
+                "exposition of all campaign metrics (empty = off)");
+  args.add_flag("metrics-interval", "1000",
+                "Coordinator: milliseconds between exposition rewrites and "
+                "fleet health log lines");
+  args.add_flag("trace-out", "",
+                "Coordinator: write a Chrome trace_event JSON timeline of "
+                "checkpoint/fsync/replay spans here (empty = off)");
+  args.add_bool("metrics",
+                "Enable campaign telemetry without an exposition file "
+                "(workers need this to emit heartbeats)");
 
   try {
     args.parse(argc, argv);
@@ -102,6 +116,8 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+
+  if (args.get_bool("metrics")) obs::set_enabled(true);
 
   try {
     // Shared, seed-derived campaign state (identical across roles).
@@ -168,6 +184,14 @@ int main(int argc, char** argv) {
     options.resume = args.get_bool("resume");
     options.durable.checkpoint_every_commits = args.get_u64("checkpoint-every");
     options.durable.fsync_every_commits = args.get_u64("fsync-every");
+    options.metrics_out = args.get("metrics-out");
+    options.metrics_interval_ms = args.get_u64("metrics-interval");
+    options.trace_out = args.get("trace-out");
+    if (!options.metrics_out.empty()) obs::set_enabled(true);
+    if (!options.trace_out.empty()) {
+      obs::set_enabled(true);
+      obs::set_trace_enabled(true);
+    }
     fuzz::fleet::TcpCoordinator coordinator(planner, target, options);
     if (const auto* durable = coordinator.durable_state();
         durable != nullptr && durable->resumed()) {

@@ -23,6 +23,8 @@
 #include "fuzz/mutation.hpp"
 #include "fuzz/report.hpp"
 #include "hdc/classifier.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/argparse.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -61,6 +63,12 @@ int main(int argc, char** argv) {
                 "the synthetic digits)");
   args.add_bool("unguided", "Disable distance guidance (baseline mode)");
   args.add_bool("verbose", "Enable info logging");
+  args.add_flag("metrics-out", "",
+                "Write the final Prometheus exposition of all campaign "
+                "metrics to this file (empty = off)");
+  args.add_flag("trace-out", "",
+                "Write a Chrome trace_event JSON timeline of slice sweeps "
+                "to this file (empty = off)");
 
   try {
     args.parse(argc, argv);
@@ -74,6 +82,11 @@ int main(int argc, char** argv) {
   }
   if (args.get_bool("verbose")) {
     util::set_log_level(util::LogLevel::kInfo);
+  }
+  if (!args.get("metrics-out").empty()) obs::set_enabled(true);
+  if (!args.get("trace-out").empty()) {
+    obs::set_enabled(true);
+    obs::set_trace_enabled(true);
   }
 
   try {
@@ -156,6 +169,23 @@ int main(int argc, char** argv) {
       std::printf("%s", fuzz::dump_samples(campaign, test, dir,
                                            strategy->name(), 8)
                             .c_str());
+    }
+    if (const auto path = args.get("metrics-out"); !path.empty()) {
+      const auto text =
+          obs::render_prometheus(obs::Registry::global().snapshot());
+      if (obs::write_text_file(path, text)) {
+        std::printf("metrics exposition written to %s\n", path.c_str());
+      } else {
+        std::cerr << "warning: metrics exposition write failed: " << path
+                  << "\n";
+      }
+    }
+    if (const auto path = args.get("trace-out"); !path.empty()) {
+      if (obs::write_chrome_trace(path)) {
+        std::printf("trace timeline written to %s\n", path.c_str());
+      } else {
+        std::cerr << "warning: trace export write failed: " << path << "\n";
+      }
     }
 
     if (campaign.gave_up) {

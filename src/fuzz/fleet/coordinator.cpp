@@ -2,7 +2,46 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace hdtest::fuzz::fleet {
+
+namespace {
+
+/// Process-wide fleet counters, resolved once (registry lookups lock).
+/// Shared across cores: telemetry aggregates the process, tests that need
+/// per-core numbers read CoordinatorStats instead.
+struct FleetCounters {
+  obs::Counter* commits_admitted;
+  obs::Counter* commits_duplicate;
+  obs::Counter* commits_rejected;
+  obs::Counter* corrupt_frames;
+  obs::Counter* leases_granted;
+  obs::Counter* leases_expired;
+  obs::Counter* leases_reissued;
+  obs::Counter* workers_rejected;
+  obs::Counter* heartbeats;
+  obs::Gauge* connections;
+};
+
+const FleetCounters& fleet_counters() {
+  static const FleetCounters tally = [] {
+    auto& reg = obs::Registry::global();
+    return FleetCounters{&reg.counter("fleet_commits_admitted_total"),
+                         &reg.counter("fleet_commits_duplicate_total"),
+                         &reg.counter("fleet_commits_rejected_total"),
+                         &reg.counter("fleet_corrupt_frames_total"),
+                         &reg.counter("fleet_leases_granted_total"),
+                         &reg.counter("fleet_leases_expired_total"),
+                         &reg.counter("fleet_leases_reissued_total"),
+                         &reg.counter("fleet_workers_rejected_total"),
+                         &reg.counter("fleet_heartbeats_total"),
+                         &reg.gauge("fleet_connections")};
+  }();
+  return tally;
+}
+
+}  // namespace
 
 CoordinatorCore::CoordinatorCore(const shard::ShardPlanner& planner,
                                  std::size_t target, Options options)
@@ -41,18 +80,21 @@ CoordinatorCore::DurableSnapshot CoordinatorCore::durable_snapshot() const {
 
 void CoordinatorCore::on_connect(ConnId conn) {
   conns_[conn] = ConnState::kAwaitHello;
+  fleet_counters().connections->set(conns_.size());
 }
 
 void CoordinatorCore::on_disconnect(ConnId conn) {
   conns_.erase(conn);
-  stats_.leases_reissued += leases_.revoke(conn);
+  fleet_counters().connections->set(conns_.size());
+  note_revoked(leases_.revoke(conn));
 }
 
 void CoordinatorCore::on_corrupt_frame(ConnId conn) {
   ++stats_.corrupt_frames;
+  fleet_counters().corrupt_frames->add(1);
   // The sender's stream can no longer be trusted (and over TCP the framing
   // is lost); whatever it was working on goes back in the pool.
-  stats_.leases_reissued += leases_.revoke(conn);
+  note_revoked(leases_.revoke(conn));
 }
 
 void CoordinatorCore::on_frame(ConnId conn, const Frame& frame,
@@ -68,6 +110,14 @@ void CoordinatorCore::on_frame(ConnId conn, const Frame& frame,
   try {
     const auto kind = static_cast<MessageKind>(frame.kind);
     if (state_it->second == ConnState::kAwaitHello) {
+      if (kind == MessageKind::kHeartbeat) {
+        // A worker that reconnected after a coordinator restart may emit a
+        // heartbeat before its Hello lands. Telemetry is droppable by
+        // contract — validate the body, ignore the report, keep the
+        // connection (see protocol.hpp).
+        (void)decode_heartbeat(frame.body);
+        return;
+      }
       if (kind != MessageKind::kHello) {
         reject(conn, RejectReason::kBadState);
         return;
@@ -75,6 +125,7 @@ void CoordinatorCore::on_frame(ConnId conn, const Frame& frame,
       const Hello hello = decode_hello(frame.body);
       if (hello.fingerprint != fingerprint_) {
         ++stats_.workers_rejected;
+        fleet_counters().workers_rejected->add(1);
         send(conn, make_reject(Reject{RejectReason::kBadFingerprint}),
              /*close_after=*/true);
         conns_.erase(conn);
@@ -104,6 +155,9 @@ void CoordinatorCore::on_frame(ConnId conn, const Frame& frame,
       case MessageKind::kCommit:
         handle_commit(conn, frame, now);
         return;
+      case MessageKind::kHeartbeat:
+        handle_heartbeat(decode_heartbeat(frame.body), now);
+        return;
       default:
         // Workers never send HelloAck/LeaseGrant/Idle/CommitAck/Shutdown/
         // Reject; anything else here is a protocol-order violation.
@@ -119,7 +173,47 @@ void CoordinatorCore::on_frame(ConnId conn, const Frame& frame,
 }
 
 void CoordinatorCore::on_tick(std::uint64_t now) {
-  stats_.leases_reissued += leases_.expire(now);
+  note_expired(leases_.expire(now));
+}
+
+std::vector<WorkerHealth> CoordinatorCore::worker_health() const {
+  std::vector<WorkerHealth> out;
+  out.reserve(health_.size());
+  for (const auto& [id, beat] : health_) out.push_back(beat);
+  return out;
+}
+
+void CoordinatorCore::handle_heartbeat(const Heartbeat& beat,
+                                       std::uint64_t now) {
+  fleet_counters().heartbeats->add(1);
+  WorkerHealth& health = health_[beat.worker_id];
+  if (health.worker_id != 0 && now > health.last_heard &&
+      beat.encodes_done >= health.encodes_done) {
+    const auto delta = static_cast<double>(beat.encodes_done -
+                                           health.encodes_done);
+    health.mutants_per_sec =
+        delta * 1000.0 / static_cast<double>(now - health.last_heard);
+  }
+  health.worker_id = beat.worker_id;
+  health.lease_id = beat.lease_id;
+  health.slices_done = beat.slices_done;
+  health.streams_done = beat.streams_done;
+  health.encodes_done = beat.encodes_done;
+  health.adversarials = beat.adversarials;
+  health.last_heard = now;
+}
+
+void CoordinatorCore::note_expired(std::size_t expired) {
+  stats_.leases_reissued += expired;
+  if (expired != 0) {
+    fleet_counters().leases_expired->add(expired);
+    fleet_counters().leases_reissued->add(expired);
+  }
+}
+
+void CoordinatorCore::note_revoked(std::size_t revoked) {
+  stats_.leases_reissued += revoked;
+  if (revoked != 0) fleet_counters().leases_reissued->add(revoked);
 }
 
 void CoordinatorCore::drain() {
@@ -156,9 +250,10 @@ void CoordinatorCore::send(ConnId conn, Frame frame, bool close_after) {
 
 void CoordinatorCore::reject(ConnId conn, RejectReason reason) {
   ++stats_.workers_rejected;
+  fleet_counters().workers_rejected->add(1);
   send(conn, make_reject(Reject{reason}), /*close_after=*/true);
   conns_.erase(conn);
-  stats_.leases_reissued += leases_.revoke(conn);
+  note_revoked(leases_.revoke(conn));
 }
 
 void CoordinatorCore::handle_lease_request(ConnId conn, std::uint64_t now) {
@@ -168,7 +263,7 @@ void CoordinatorCore::handle_lease_request(ConnId conn, std::uint64_t now) {
     send(conn, make_shutdown());
     return;
   }
-  stats_.leases_reissued += leases_.expire(now);
+  note_expired(leases_.expire(now));
   const auto granted = leases_.grant(conn, now);
   if (!granted.has_value()) {
     // Everything is leased or committed but the ledger hasn't decided yet
@@ -185,13 +280,14 @@ void CoordinatorCore::handle_lease_request(ConnId conn, std::uint64_t now) {
     options_.hook->on_lease_granted(grant.lease_id, grant.first_stream,
                                     grant.stream_count);
   }
+  fleet_counters().leases_granted->add(1);
   send(conn, make_lease_grant(grant));
 }
 
 void CoordinatorCore::handle_commit(ConnId conn, const Frame& frame,
                                     std::uint64_t now) {
   Commit commit = decode_commit(frame.body);
-  stats_.leases_reissued += leases_.expire(now);
+  note_expired(leases_.expire(now));
   const CommitDisposition disposition = leases_.check_commit(
       commit.lease_id, commit.first_stream, commit.records.size());
   switch (disposition) {
@@ -207,16 +303,19 @@ void CoordinatorCore::handle_commit(ConnId conn, const Frame& frame,
       ledger_.commit(static_cast<std::size_t>(commit.first_stream),
                      std::move(commit.records));
       ++stats_.commits_accepted;
+      fleet_counters().commits_admitted->add(1);
       send(conn, make_commit_ack(CommitAck{commit.lease_id}));
       break;
     case CommitDisposition::kDuplicate:
       ++stats_.duplicate_commits;
+      fleet_counters().commits_duplicate->add(1);
       send(conn, make_commit_ack(CommitAck{commit.lease_id}));
       break;
     case CommitDisposition::kMismatch:
       // The records do not match any planned block: rejected, never
       // merged. The lease (if any) was revoked, so the slice re-issues.
       ++stats_.commits_rejected;
+      fleet_counters().commits_rejected->add(1);
       send(conn, make_reject(Reject{RejectReason::kBadCommit}));
       break;
   }

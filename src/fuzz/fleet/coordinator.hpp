@@ -47,6 +47,22 @@ struct CoordinatorStats {
   std::size_t workers_rejected = 0;   ///< fingerprint/state rejects
 };
 
+/// Last-known health of one worker, aggregated from its Heartbeat reports.
+/// Everything here is telemetry: it never feeds the lease table or the
+/// ledger, so a lost (or faulted-away) heartbeat cannot change a result.
+struct WorkerHealth {
+  std::uint64_t worker_id = 0;
+  std::uint64_t lease_id = 0;      ///< current lease (0 = idle)
+  std::uint64_t slices_done = 0;
+  std::uint64_t streams_done = 0;
+  std::uint64_t encodes_done = 0;
+  std::uint64_t adversarials = 0;
+  std::uint64_t last_heard = 0;    ///< driver timestamp of the newest report
+  /// Model queries per second between the last two reports (driver ticks
+  /// are milliseconds under TCP; the simulator's virtual ms behave alike).
+  double mutants_per_sec = 0.0;
+};
+
 /// Observer for the state transitions a durable driver must write ahead
 /// of the in-memory mutation (see fuzz/fleet/durable/). Calls arrive
 /// synchronously from inside the core; implementations must not call back
@@ -177,6 +193,11 @@ class CoordinatorCore {
     return stats_;
   }
 
+  /// Per-worker health aggregated from Heartbeats, worker-id order. Entries
+  /// persist after a worker dies (last_heard stops advancing) — exactly the
+  /// view an operator needs to spot a stalled worker.
+  [[nodiscard]] std::vector<WorkerHealth> worker_health() const;
+
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return fingerprint_;
   }
@@ -188,6 +209,9 @@ class CoordinatorCore {
   void reject(ConnId conn, RejectReason reason);
   void handle_lease_request(ConnId conn, std::uint64_t now);
   void handle_commit(ConnId conn, const Frame& frame, std::uint64_t now);
+  void handle_heartbeat(const Heartbeat& beat, std::uint64_t now);
+  void note_expired(std::size_t expired);
+  void note_revoked(std::size_t revoked);
 
   const shard::ShardPlanner* planner_;
   Options options_;
@@ -196,6 +220,7 @@ class CoordinatorCore {
   shard::ProgressLedger ledger_;
   LeaseTable leases_;
   std::map<ConnId, ConnState> conns_;
+  std::map<std::uint64_t, WorkerHealth> health_;
   std::vector<Outgoing> outbox_;
   CoordinatorStats stats_;
   std::uint64_t next_worker_id_ = 1;

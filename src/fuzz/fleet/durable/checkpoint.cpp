@@ -5,6 +5,7 @@
 
 #include "fuzz/fleet/protocol.hpp"
 #include "fuzz/fleet/wire.hpp"
+#include "obs/registry.hpp"
 #include "util/checked.hpp"
 #include "util/checksum.hpp"
 
@@ -112,6 +113,11 @@ void write_checkpoint(Storage& storage, const CheckpointData& data,
   for (const auto& section : sections) {
     file.insert(file.end(), section.begin(), section.end());
   }
+
+  // Telemetry: checkpoint volume, resolved once (registry lookups lock).
+  static obs::Counter& bytes_total =
+      obs::Registry::global().counter("fleet_checkpoint_bytes_total");
+  bytes_total.add(file.size());
 
   const std::string tmp = name + ".tmp";
   storage.write_new(tmp, file);

@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace hdtest::fuzz::fleet::durable {
+
+namespace {
+
+/// Durability tallies, resolved once (registry lookups lock).
+struct DurableCounters {
+  obs::Counter& checkpoints;
+  obs::Counter& replayed_commits;
+};
+
+const DurableCounters& durable_counters() {
+  static const DurableCounters tally = [] {
+    auto& reg = obs::Registry::global();
+    return DurableCounters{
+        reg.counter("fleet_checkpoints_total"),
+        reg.counter("fleet_recovery_replayed_commits_total")};
+  }();
+  return tally;
+}
+
+}  // namespace
 
 RecoveredCampaign recover_campaign(Storage& storage) {
   RecoveredCampaign recovered;
@@ -93,6 +116,8 @@ void DurableCoordinator::attach(CoordinatorCore& core) {
     state.drained =
         recovered_.checkpoint.drained || recovered_.journal.drained;
 
+    durable_counters().replayed_commits.add(state.chunks.size());
+    const obs::ScopedSpan span(obs::kSpanRecoveryReplay);
     restoring_ = true;
     core.restore(std::move(state));
     restoring_ = false;
@@ -113,6 +138,8 @@ void DurableCoordinator::checkpoint_now() {
   if (core_ == nullptr) {
     throw DurabilityError("checkpoint_now before attach");
   }
+  const obs::ScopedSpan span(obs::kSpanCheckpoint);
+  durable_counters().checkpoints.add(1);
   CoordinatorCore::DurableSnapshot snap = core_->durable_snapshot();
   CheckpointData data;
   data.sequence = sequence_ + 1;

@@ -5,6 +5,8 @@
 
 #include "fuzz/fleet/protocol.hpp"
 #include "fuzz/fleet/wire.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/checked.hpp"
 
 namespace hdtest::fuzz::fleet::durable {
@@ -78,7 +80,14 @@ void CommitJournal::drain() {
 
 void CommitJournal::flush() {
   if (pending_ == 0) return;
-  storage_.sync(name_);
+  // Resolved once (registry lookups lock); fed only while obs is enabled,
+  // see ScopedSpan.
+  static obs::Histogram& fsync_ns =
+      obs::Registry::global().histogram("fleet_journal_fsync_ns");
+  {
+    const obs::ScopedSpan span(obs::kSpanJournalFsync, &fsync_ns);
+    storage_.sync(name_);
+  }
   ++syncs_;
   pending_ = 0;
 }

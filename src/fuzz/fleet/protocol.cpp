@@ -32,7 +32,7 @@ void finish(WireReader& reader, const char* kind_name) {
 
 bool known_kind(std::uint16_t kind) noexcept {
   return kind >= static_cast<std::uint16_t>(MessageKind::kHello) &&
-         kind <= static_cast<std::uint16_t>(MessageKind::kReject);
+         kind <= static_cast<std::uint16_t>(MessageKind::kHeartbeat);
 }
 
 Frame make_hello(const Hello& msg) {
@@ -79,6 +79,17 @@ Frame make_reject(const Reject& msg) {
   std::vector<std::uint8_t> body;
   put_u32(body, static_cast<std::uint32_t>(msg.reason));
   return frame_of(MessageKind::kReject, std::move(body));
+}
+
+Frame make_heartbeat(const Heartbeat& msg) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, msg.worker_id);
+  put_u64(body, msg.lease_id);
+  put_u64(body, msg.slices_done);
+  put_u64(body, msg.streams_done);
+  put_u64(body, msg.encodes_done);
+  put_u64(body, msg.adversarials);
+  return frame_of(MessageKind::kHeartbeat, std::move(body));
 }
 
 Hello decode_hello(std::span<const std::uint8_t> body) {
@@ -135,6 +146,19 @@ Reject decode_reject(std::span<const std::uint8_t> body) {
   }
   msg.reason = static_cast<RejectReason>(reason);
   finish(reader, "Reject");
+  return msg;
+}
+
+Heartbeat decode_heartbeat(std::span<const std::uint8_t> body) {
+  WireReader reader(body);
+  Heartbeat msg;
+  msg.worker_id = reader.u64();
+  msg.lease_id = reader.u64();
+  msg.slices_done = reader.u64();
+  msg.streams_done = reader.u64();
+  msg.encodes_done = reader.u64();
+  msg.adversarials = reader.u64();
+  finish(reader, "Heartbeat");
   return msg;
 }
 

@@ -52,6 +52,7 @@ enum class MessageKind : std::uint16_t {
   kCommitAck = 7,
   kShutdown = 8,
   kReject = 9,
+  kHeartbeat = 10,
 };
 
 /// True when \p kind is a value this protocol version understands.
@@ -92,6 +93,23 @@ struct Reject {
   RejectReason reason = RejectReason::kBadState;
 };
 
+/// One-way worker -> coordinator health report, outside the request/response
+/// lease loop: the coordinator never replies to one, and a worker never
+/// retries one. Carries cumulative tallies only — no wall-clock fields (the
+/// coordinator pairs each report with its own injected timestamp to compute
+/// rates), so heartbeats cannot smuggle nondeterminism into merged results.
+/// A heartbeat arriving before the Hello handshake (e.g. after a coordinator
+/// restart) is silently dropped rather than rejected: losing telemetry must
+/// never kill a healthy connection.
+struct Heartbeat {
+  std::uint64_t worker_id = 0;
+  std::uint64_t lease_id = 0;      ///< 0 when no lease is held
+  std::uint64_t slices_done = 0;   ///< slices fully executed
+  std::uint64_t streams_done = 0;  ///< fuzz streams completed
+  std::uint64_t encodes_done = 0;  ///< model queries spent (mutants)
+  std::uint64_t adversarials = 0;  ///< successful streams
+};
+
 // ---- encoders (message -> Frame) -----------------------------------------
 
 [[nodiscard]] Frame make_hello(const Hello& msg);
@@ -103,6 +121,7 @@ struct Reject {
 [[nodiscard]] Frame make_commit_ack(const CommitAck& msg);
 [[nodiscard]] Frame make_shutdown();
 [[nodiscard]] Frame make_reject(const Reject& msg);
+[[nodiscard]] Frame make_heartbeat(const Heartbeat& msg);
 
 // ---- decoders (frame body -> message) ------------------------------------
 // All throw WireFormatError on truncation, trailing bytes, hostile counts,
@@ -114,6 +133,7 @@ struct Reject {
 [[nodiscard]] Commit decode_commit(std::span<const std::uint8_t> body);
 [[nodiscard]] CommitAck decode_commit_ack(std::span<const std::uint8_t> body);
 [[nodiscard]] Reject decode_reject(std::span<const std::uint8_t> body);
+[[nodiscard]] Heartbeat decode_heartbeat(std::span<const std::uint8_t> body);
 
 /// Asserts an empty-body message (LeaseRequest/Idle/Shutdown) really has
 /// no body. \throws WireFormatError otherwise.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fuzz/fleet/protocol.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace hdtest::fuzz::fleet {
@@ -67,6 +68,7 @@ void SimFleet::start_worker(std::size_t index) {
   ++w.request_seq;
   transmit_to_coordinator(index, w.core->hello());
   arm_retry(index);
+  arm_heartbeat(index);
 }
 
 void SimFleet::deliver_copies(std::uint64_t base_delay, Event event) {
@@ -125,6 +127,16 @@ void SimFleet::arm_retry(std::size_t worker) {
   event.generation = w.generation;
   event.request_seq = w.request_seq;
   schedule(now_ + wait, std::move(event));
+}
+
+void SimFleet::arm_heartbeat(std::size_t worker) {
+  if (plan_.heartbeat_every == 0) return;
+  SimWorker& w = workers_[worker];
+  Event event;
+  event.kind = Event::Kind::kHeartbeat;
+  event.worker = worker;
+  event.generation = w.generation;
+  schedule(now_ + plan_.heartbeat_every, std::move(event));
 }
 
 void SimFleet::handle_worker_frames(std::size_t worker,
@@ -332,6 +344,18 @@ CampaignResult SimFleet::run() {
             (static_cast<std::uint64_t>(event.worker) << 8) ^ w.generation);
         schedule(now_ + retry_policy_.delay_ms(w.retry_attempt, jitter_seed),
                  std::move(next));
+        break;
+      }
+      case Event::Kind::kHeartbeat: {
+        if (!w.alive || event.generation != w.generation || w.core->done()) {
+          break;  // stale incarnation or finished worker: chain ends here
+        }
+        // Emission mirrors the TCP driver's gate; the chain keeps ticking
+        // either way so flipping obs mid-run behaves sanely.
+        if (obs::enabled() && w.core->heartbeat_ready()) {
+          transmit_to_coordinator(event.worker, w.core->heartbeat());
+        }
+        arm_heartbeat(event.worker);
         break;
       }
       case Event::Kind::kKill: {

@@ -48,6 +48,13 @@ struct FaultPlan {
   /// Total faults injected before the network turns faithful (liveness).
   std::size_t max_faults = 64;
 
+  /// Virtual ticks between worker heartbeats (0 = none). Heartbeat copies
+  /// ride the same faulty channel — they consume fault-RNG draws and can be
+  /// dropped/corrupted like any frame — which is exactly what the
+  /// metrics-on/off property test leans on: telemetry may reshape the fault
+  /// schedule, but the merged records must not move.
+  std::uint64_t heartbeat_every = 0;
+
   /// Kill worker `index` at virtual time `at`; when `restart` is set a
   /// fresh incarnation (new connection, clean handshake) comes back after
   /// `restart_after` ticks. In-flight messages of the dead incarnation are
@@ -139,6 +146,7 @@ class SimFleet {
       kToCoordinator,  ///< worker bytes arriving at the coordinator
       kToWorker,       ///< coordinator bytes arriving at a worker
       kRetry,          ///< a worker's resend timer fired
+      kHeartbeat,      ///< a worker's health-report timer fired
       kKill,
       kRestart,
       kCoordinatorRestart,  ///< boot a fresh coordinator from the disk
@@ -163,6 +171,7 @@ class SimFleet {
   void deliver_copies(std::uint64_t base_delay, Event event);
   [[nodiscard]] bool fault_roll(unsigned pct);
   void arm_retry(std::size_t worker);
+  void arm_heartbeat(std::size_t worker);
   void drain_coordinator();
   void handle_worker_frames(std::size_t worker, std::vector<Frame> frames);
   /// Builds a coordinator incarnation: reboots the disk, recovers durable

@@ -3,6 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
 namespace hdtest::fuzz::fleet {
 
 namespace net = util::net;
@@ -15,9 +19,35 @@ constexpr std::size_t kRecvChunk = 4096;
 /// starved worker doesn't hammer the socket.
 constexpr std::uint64_t kIdlePollMs = 100;
 
+/// Transport-level tallies, resolved once (registry lookups lock).
+struct NetCounters {
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_received;
+  obs::Counter* frames_sent;
+  obs::Counter* frames_received;
+  obs::Counter* accepts;
+  obs::Counter* worker_reconnects;
+};
+
+const NetCounters& net_counters() {
+  static const NetCounters tally = [] {
+    auto& reg = obs::Registry::global();
+    return NetCounters{&reg.counter("fleet_net_bytes_sent_total"),
+                       &reg.counter("fleet_net_bytes_received_total"),
+                       &reg.counter("fleet_net_frames_sent_total"),
+                       &reg.counter("fleet_net_frames_received_total"),
+                       &reg.counter("fleet_net_accepts_total"),
+                       &reg.counter("fleet_worker_reconnects_total")};
+  }();
+  return tally;
+}
+
 bool send_frame(const net::Socket& socket, const Frame& frame) {
   const std::vector<std::uint8_t> bytes = encode_frame(frame.kind, frame.body);
-  return net::send_all(socket, bytes.data(), bytes.size());
+  if (!net::send_all(socket, bytes.data(), bytes.size())) return false;
+  net_counters().frames_sent->add(1);
+  net_counters().bytes_sent->add(bytes.size());
+  return true;
 }
 
 }  // namespace
@@ -64,10 +94,12 @@ void TcpCoordinator::pump_connection(ConnId id, Conn& conn) {
     close_conn(id);
     return;
   }
+  net_counters().bytes_received->add(static_cast<std::uint64_t>(got));
   conn.reader.feed(std::span<const std::uint8_t>(
       buf, static_cast<std::size_t>(got)));
   Frame frame;
   while (conn.reader.next(frame) == FrameStatus::kOk) {
+    net_counters().frames_received->add(1);
     core_.on_frame(id, frame, net::now_ms());
   }
   if (conn.reader.poisoned()) {
@@ -92,12 +124,44 @@ void TcpCoordinator::flush_outbox() {
   }
 }
 
+void TcpCoordinator::publish_metrics() const {
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  if (!obs::write_text_file(options_.metrics_out, render_prometheus(snap))) {
+    util::log_warn("metrics exposition write failed: ", options_.metrics_out);
+    return;
+  }
+  // One structured line per worker: greppable in text mode, parseable in
+  // JSON mode — the operator's fleet status table.
+  for (const WorkerHealth& w : core_.worker_health()) {
+    util::log_structured(
+        util::LogLevel::kInfo, "fleet worker",
+        {util::field("worker", w.worker_id), util::field("lease", w.lease_id),
+         util::field("slices", w.slices_done),
+         util::field("streams", w.streams_done),
+         util::field("mutants", w.encodes_done),
+         util::field("adversarials", w.adversarials),
+         util::field("mutants_per_sec", w.mutants_per_sec),
+         util::field("last_heard_ms", w.last_heard)});
+  }
+  util::log_structured(
+      util::LogLevel::kInfo, "fleet totals",
+      {util::field("admitted", snap.counter_value("fleet_commits_admitted_total")),
+       util::field("reissued", snap.counter_value("fleet_leases_reissued_total")),
+       util::field("heartbeats", snap.counter_value("fleet_heartbeats_total"))});
+}
+
 CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
   const std::uint64_t started = net::now_ms();
   std::uint64_t finished_at = 0;
+  std::uint64_t next_metrics_at = 0;
+  const bool metrics_on = obs::enabled() && !options_.metrics_out.empty();
   bool final_checkpoint_done = false;
   for (;;) {
     const std::uint64_t now = net::now_ms();
+    if (metrics_on && now >= next_metrics_at) {
+      publish_metrics();
+      next_metrics_at = now + options_.metrics_interval_ms;
+    }
     if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
       core_.drain();  // abandon at the replay frontier, notify workers
       // The drain checkpoint must be durable BEFORE any Shutdown reaches a
@@ -111,6 +175,7 @@ CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
 
     if (auto accepted = net::accept_tcp(listener_, /*timeout_ms=*/10);
         accepted.valid()) {
+      net_counters().accepts->add(1);
       const ConnId id = next_conn_++;
       Conn conn;
       conn.socket = std::move(accepted);
@@ -151,6 +216,11 @@ CampaignResult TcpCoordinator::run(const std::atomic<bool>* stop) {
     if (durable_ != nullptr) durable_->checkpoint_now();
     flush_outbox();
   }
+  if (metrics_on) publish_metrics();
+  if (obs::enabled() && !options_.trace_out.empty() &&
+      !obs::write_chrome_trace(options_.trace_out)) {
+    util::log_warn("trace export write failed: ", options_.trace_out);
+  }
   CampaignResult result = core_.take_result();
   result.total_seconds =
       static_cast<double>(net::now_ms() - started) / 1000.0;
@@ -166,6 +236,7 @@ bool TcpWorker::run(const std::atomic<bool>* stop) {
     return stop != nullptr && stop->load(std::memory_order_relaxed);
   };
 
+  bool connected_before = false;
   while (failures < options_.max_reconnects) {
     if (stopped()) return false;
     if (failures > 0) {
@@ -176,6 +247,8 @@ bool TcpWorker::run(const std::atomic<bool>* stop) {
       ++failures;
       continue;
     }
+    if (connected_before) net_counters().worker_reconnects->add(1);
+    connected_before = true;
     if (!send_frame(socket, core_.on_reconnect())) {
       ++failures;
       continue;
@@ -184,9 +257,21 @@ bool TcpWorker::run(const std::atomic<bool>* stop) {
     FrameReader reader;
     std::size_t resends = 0;
     bool conn_ok = true;
+    const bool beats_on = obs::enabled() && options_.heartbeat_interval_ms > 0;
+    std::uint64_t next_beat_at =
+        net::now_ms() + options_.heartbeat_interval_ms;
     while (conn_ok) {
       if (core_.done()) return !core_.failed();
       if (stopped()) return false;
+      if (beats_on && core_.heartbeat_ready()) {
+        const std::uint64_t beat_now = net::now_ms();
+        if (beat_now >= next_beat_at) {
+          // Fire-and-forget: a lost heartbeat only stales the health table,
+          // so a send failure here is left for the request path to notice.
+          (void)send_frame(socket, core_.heartbeat());
+          next_beat_at = beat_now + options_.heartbeat_interval_ms;
+        }
+      }
       std::uint8_t buf[kRecvChunk];
       const long got =
           net::recv_some(socket, buf, sizeof buf,

@@ -55,6 +55,15 @@ class TcpCoordinator {
     bool resume = false;
     /// Journal fsync batching and checkpoint rotation cadence.
     durable::DurableOptions durable;
+    /// When non-empty, the run loop periodically (and once at exit)
+    /// rewrites this file with the Prometheus exposition of the global
+    /// metrics registry, and logs a fleet health table at info level.
+    std::string metrics_out;
+    /// Cadence of the periodic exposition rewrite / health table.
+    std::uint64_t metrics_interval_ms = 1'000;
+    /// When non-empty, drains the global trace ring into this file
+    /// (Chrome trace_event JSON) after the campaign decides.
+    std::string trace_out;
   };
 
   /// Binds the listener immediately (so port() is valid before run()).
@@ -94,6 +103,7 @@ class TcpCoordinator {
   void pump_connection(ConnId id, Conn& conn);
   void flush_outbox();
   void close_conn(ConnId id);
+  void publish_metrics() const;
 
   /// Declared before core_: the hook pointer handed to core_'s Options
   /// must outlive the core, and recovery runs before the core exists.
@@ -121,6 +131,9 @@ class TcpWorker {
     std::size_t max_reconnects = 16;
     /// Jitter seed for the reconnect backoff (decorrelates a fleet).
     std::uint64_t backoff_seed = 0;
+    /// Heartbeat cadence. Emission additionally requires obs::enabled()
+    /// and a completed handshake; 0 disables heartbeats outright.
+    std::uint64_t heartbeat_interval_ms = 500;
   };
 
   TcpWorker(std::uint64_t fingerprint, SliceExecutor& executor,

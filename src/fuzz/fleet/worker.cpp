@@ -11,6 +11,9 @@ std::vector<CampaignRecord> FuzzSliceExecutor::execute(
   // Identical to CampaignRuntime::execute_slice minus the StopToken check:
   // a remote worker has no view of the merge frontier, so it runs the whole
   // lease and lets the coordinator's ledger discard any overshoot.
+  if (tally_.streams == nullptr) {
+    tally_ = FuzzTally::for_strategy(fuzzer_->strategy().name());
+  }
   std::vector<CampaignRecord> records;
   records.reserve(slice.count);
   for (std::size_t s = slice.first; s < slice.end(); ++s) {
@@ -23,6 +26,7 @@ std::vector<CampaignRecord> FuzzSliceExecutor::execute(
     record.outcome = seed != nullptr
                          ? fuzzer_->fuzz_one(inputs_->images[i], rng, *seed)
                          : fuzzer_->fuzz_one(inputs_->images[i], rng);
+    tally_.note(record.outcome);
     records.push_back(std::move(record));
   }
   return records;
@@ -30,6 +34,7 @@ std::vector<CampaignRecord> FuzzSliceExecutor::execute(
 
 Frame WorkerCore::hello() {
   state_ = State::kAwaitHelloAck;
+  current_lease_ = 0;  // whatever was in flight will expire server-side
   Frame frame = make_hello(Hello{fingerprint_});
   pending_ = frame;
   return frame;
@@ -84,14 +89,21 @@ std::vector<Frame> WorkerCore::on_frame(const Frame& frame) {
       Commit commit;
       commit.lease_id = grant.lease_id;
       commit.first_stream = grant.first_stream;
+      current_lease_ = grant.lease_id;
       commit.records = executor_->execute(slice);
       ++slices_executed_;
+      for (const CampaignRecord& record : commit.records) {
+        ++streams_done_;
+        encodes_done_ += record.outcome.encodes;
+        if (record.outcome.success) ++adversarials_;
+      }
       state_ = State::kAwaitCommitAck;
       return request(make_commit(commit));
     }
     case State::kAwaitCommitAck: {
       if (kind != MessageKind::kCommitAck) return {};
       (void)decode_commit_ack(frame.body);
+      current_lease_ = 0;
       state_ = State::kAwaitGrant;
       return request(make_lease_request());
     }
@@ -105,6 +117,17 @@ std::vector<Frame> WorkerCore::on_frame(const Frame& frame) {
 std::optional<Frame> WorkerCore::on_retry_tick() {
   if (done()) return std::nullopt;
   return pending_;
+}
+
+Frame WorkerCore::heartbeat() const {
+  Heartbeat beat;
+  beat.worker_id = worker_id_;
+  beat.lease_id = current_lease_;
+  beat.slices_done = slices_executed_;
+  beat.streams_done = streams_done_;
+  beat.encodes_done = encodes_done_;
+  beat.adversarials = adversarials_;
+  return make_heartbeat(beat);
 }
 
 }  // namespace hdtest::fuzz::fleet

@@ -32,6 +32,7 @@
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/shard/plan.hpp"
 #include "fuzz/shard/seed_bank.hpp"
+#include "fuzz/telemetry.hpp"
 
 namespace hdtest::fuzz::fleet {
 
@@ -61,6 +62,9 @@ class FuzzSliceExecutor final : public SliceExecutor {
   const Fuzzer* fuzzer_;
   const data::Dataset* inputs_;
   shard::SeedBank* bank_;
+  /// Per-strategy counters, resolved lazily on the first slice (execute is
+  /// per-lease, well off the per-mutant hot loop).
+  FuzzTally tally_;
 };
 
 /// See the file comment. Single-threaded; drivers serialize all calls.
@@ -108,6 +112,20 @@ class WorkerCore {
     return slices_executed_;
   }
 
+  // ---- health reporting ----------------------------------------------------
+
+  /// True once heartbeats make sense: the handshake assigned a worker id
+  /// and the campaign is still running. Drivers gate emission on this (and
+  /// on obs::enabled()).
+  [[nodiscard]] bool heartbeat_ready() const noexcept {
+    return worker_id_ != 0 && !done();
+  }
+
+  /// One-way health report with the cumulative tallies. Deliberately does
+  /// NOT arm pending_: a heartbeat expects no reply, is never resent, and
+  /// must not disturb the request/response loop.
+  [[nodiscard]] Frame heartbeat() const;
+
  private:
   [[nodiscard]] std::vector<Frame> request(Frame frame);
 
@@ -117,6 +135,10 @@ class WorkerCore {
   std::optional<Frame> pending_;  ///< last request awaiting its reply
   std::uint64_t worker_id_ = 0;
   std::size_t slices_executed_ = 0;
+  std::uint64_t current_lease_ = 0;  ///< lease being executed/committed
+  std::uint64_t streams_done_ = 0;
+  std::uint64_t encodes_done_ = 0;
+  std::uint64_t adversarials_ = 0;
 };
 
 }  // namespace hdtest::fuzz::fleet

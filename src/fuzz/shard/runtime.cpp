@@ -11,10 +11,34 @@
 #include "fuzz/shard/plan.hpp"
 #include "fuzz/shard/seed_bank.hpp"
 #include "fuzz/shard/stop_token.hpp"
+#include "fuzz/telemetry.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace hdtest::fuzz::shard {
+
+namespace {
+
+/// Shard-runtime counters, resolved once per process (off every slice).
+struct ShardTally {
+  obs::Counter* slices;
+  obs::Counter* commits;
+  obs::Counter* stop_cuts;
+};
+
+const ShardTally& shard_tally() {
+  static const ShardTally tally = [] {
+    auto& reg = obs::Registry::global();
+    return ShardTally{&reg.counter("shard_slices_claimed_total"),
+                      &reg.counter("shard_ledger_commits_total"),
+                      &reg.counter("shard_stop_cuts_total")};
+  }();
+  return tally;
+}
+
+}  // namespace
 
 void CampaignGrid::add(const std::string& strategy_spec,
                        const data::Dataset& inputs, CampaignConfig config) {
@@ -39,7 +63,8 @@ struct CampaignRuntime::JobState {
                &stop),
         bank(planner.mode() == ShardPlanner::Mode::kTargetCount
                  ? std::make_unique<SeedBank>(*job_in.fuzzer, *job_in.inputs)
-                 : nullptr) {}
+                 : nullptr),
+        tally(FuzzTally::for_strategy(job_in.fuzzer->strategy().name())) {}
 
   const CampaignJob* job;
   ShardPlanner planner;
@@ -48,6 +73,9 @@ struct CampaignRuntime::JobState {
   /// Sweeps visit each input exactly once, so caching contexts would only
   /// pin memory; wrap-around mode shares one build per input across shards.
   std::unique_ptr<SeedBank> bank;
+  /// Per-strategy counters, resolved here (JobState construction is off
+  /// the slice loop) so execute_slice only bumps relaxed atomics.
+  FuzzTally tally;
 
   util::Stopwatch watch;
   double seconds = 0.0;  ///< set once at the finish transition
@@ -139,13 +167,19 @@ void CampaignRuntime::execute_slice(JobState& job, std::size_t block) {
   const auto slice = job.planner.slice(block, job.stop.bound());
   const Fuzzer& fuzzer = *job.job->fuzzer;
   const data::Dataset& inputs = *job.job->inputs;
+  const ShardTally& shard = shard_tally();
+  shard.slices->add(1);
+  const obs::ScopedSpan span(obs::kSpanSweep);
 
   std::vector<CampaignRecord> records;
   records.reserve(slice.count);
   for (std::size_t s = slice.first; s < slice.end(); ++s) {
     // A rejected stream is at or past the decided cut; everything after it
     // in this slice is too (the bound is monotone), so stop committing.
-    if (!job.stop.admits(s)) break;
+    if (!job.stop.admits(s)) {
+      shard.stop_cuts->add(1);
+      break;
+    }
     const std::size_t i = job.planner.input_of(s);
     util::Rng rng(job.planner.stream_seed(s));
     CampaignRecord record;
@@ -156,9 +190,11 @@ void CampaignRuntime::execute_slice(JobState& job, std::size_t block) {
     record.outcome = seed != nullptr
                          ? fuzzer.fuzz_one(inputs.images[i], rng, *seed)
                          : fuzzer.fuzz_one(inputs.images[i], rng);
+    job.tally.note(record.outcome);
     records.push_back(std::move(record));
   }
   job.ledger.commit(slice.first, std::move(records));
+  shard.commits->add(1);
   scheduler_->note_commit(job);
 }
 

@@ -1,0 +1,26 @@
+#include "fuzz/telemetry.hpp"
+
+namespace hdtest::fuzz {
+
+FuzzTally FuzzTally::for_strategy(const std::string& strategy) {
+  auto& reg = obs::Registry::global();
+  const std::string label = "{strategy=\"" + strategy + "\"}";
+  FuzzTally tally;
+  tally.streams = &reg.counter("fuzz_streams_total" + label);
+  tally.mutants = &reg.counter("fuzz_mutants_total" + label);
+  tally.adversarials = &reg.counter("fuzz_adversarials_total" + label);
+  tally.discarded = &reg.counter("fuzz_discarded_total" + label);
+  tally.iterations = &reg.counter("fuzz_iterations_total" + label);
+  return tally;
+}
+
+void FuzzTally::note(const FuzzOutcome& outcome) const noexcept {
+  if (streams == nullptr) return;
+  streams->add(1);
+  mutants->add(outcome.encodes);
+  discarded->add(outcome.discarded);
+  iterations->add(outcome.iterations);
+  if (outcome.success) adversarials->add(1);
+}
+
+}  // namespace hdtest::fuzz

@@ -1,0 +1,37 @@
+#pragma once
+/// \file telemetry.hpp
+/// Per-strategy campaign counters, pre-resolved so the slice loops only
+/// perform relaxed atomic bumps.
+///
+/// Registry name lookups take a mutex, which must never happen per stream.
+/// A FuzzTally resolves its five counters once (job construction, worker
+/// attach) and note() then costs a handful of relaxed fetch_adds — the
+/// out-of-band telemetry contract (docs/observability.md). A
+/// default-constructed tally is a no-op, so code paths without a strategy
+/// context stay instrument-free.
+
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+#include "obs/registry.hpp"
+
+namespace hdtest::fuzz {
+
+/// Handles into obs::Registry::global() for one mutation strategy. Metric
+/// names embed the strategy as a Prometheus label, e.g.
+/// `fuzz_mutants_total{strategy="rand"}`.
+struct FuzzTally {
+  obs::Counter* streams = nullptr;       ///< fuzz_streams_total
+  obs::Counter* mutants = nullptr;       ///< fuzz_mutants_total (encodes)
+  obs::Counter* adversarials = nullptr;  ///< fuzz_adversarials_total
+  obs::Counter* discarded = nullptr;     ///< fuzz_discarded_total
+  obs::Counter* iterations = nullptr;    ///< fuzz_iterations_total
+
+  /// Resolves (creating on first use) the counters for \p strategy.
+  [[nodiscard]] static FuzzTally for_strategy(const std::string& strategy);
+
+  /// Accounts one finished stream. No-op on a default-constructed tally.
+  void note(const FuzzOutcome& outcome) const noexcept;
+};
+
+}  // namespace hdtest::fuzz

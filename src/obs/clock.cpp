@@ -1,0 +1,14 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace hdtest::obs {
+
+std::uint64_t monotonic_ns() noexcept {
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tick).count();
+  return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+}  // namespace hdtest::obs

@@ -1,0 +1,25 @@
+#pragma once
+/// \file clock.hpp
+/// The telemetry layer's only wall-clock source.
+///
+/// Everything else under src/obs/ sits inside the hdtest-determinism lint
+/// scope: campaign and fleet code must never read an ambient clock, because
+/// record identity (fuzz::identical_records) is defined without wall time
+/// and merged results must not depend on when a slice happened to run.
+/// Telemetry still needs real timestamps — latency histograms and trace
+/// spans are meaningless without them — so this one translation unit is
+/// carved out of the scope (tools/hdtest-tidy, both engines) and every
+/// other obs type funnels its clock reads through it. Instrumented code
+/// outside src/obs/ never calls this directly; it constructs the RAII
+/// span/timer types, which keep the reads on the telemetry side of the
+/// determinism boundary.
+
+#include <cstdint>
+
+namespace hdtest::obs {
+
+/// Nanoseconds from an arbitrary monotonic epoch (std::chrono::steady_clock).
+/// Never decreases within a process; unrelated across processes.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+}  // namespace hdtest::obs

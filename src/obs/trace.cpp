@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#include "obs/clock.hpp"
+
+namespace hdtest::obs {
+
+namespace {
+
+std::atomic<bool>& trace_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+/// Stable small per-thread index, assigned in first-use order. Used as the
+/// Chrome "tid" so spans from different threads land on different lanes
+/// without touching std::this_thread (determinism lint scope).
+std::uint32_t lane_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+void append_micros(std::string& out, std::uint64_t ns) {
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const std::uint64_t frac = ns % 1000;
+  if (frac < 100) out += '0';
+  if (frac < 10) out += '0';
+  out += std::to_string(frac);
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return trace_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept {
+  trace_flag().store(on, std::memory_order_relaxed);
+}
+
+TraceRing::TraceRing(std::size_t limit) : limit_(limit == 0 ? 1 : limit) {
+  ring_.resize(limit_);
+}
+
+void TraceRing::record(const TraceEvent& ev) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (used_ < limit_) {
+    ring_[(head_ + used_) % limit_] = ev;
+    ++used_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the window.
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % limit_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(used_);
+  for (std::size_t i = 0; i < used_; ++i) {
+    out.push_back(ring_[(head_ + i) % limit_]);
+  }
+  head_ = 0;
+  used_ = 0;
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+TraceRing& global_trace_ring() {
+  static TraceRing ring;
+  return ring;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency) noexcept
+    : name_(name), latency_(latency) {
+  // Arm for the ring when tracing, and also for the latency histogram alone
+  // when metrics are on (a latency span is worth the two clock reads even
+  // without a timeline).
+  if (!trace_enabled() && !(latency_ != nullptr && enabled())) return;
+  armed_ = true;
+  start_ns_ = monotonic_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  const std::uint64_t stop_ns = monotonic_ns();
+  const std::uint64_t dur = stop_ns >= start_ns_ ? stop_ns - start_ns_ : 0;
+  if (latency_ != nullptr) latency_->record(dur);
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = dur;
+  ev.lane = lane_id();
+  global_trace_ring().record(ev);
+}
+
+std::string render_chrome_trace(std::span<const TraceEvent> events) {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"";
+    out += ev.name;  // taxonomy literals: no escaping needed
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_micros(out, ev.start_ns);
+    out += ",\"dur\":";
+    append_micros(out, ev.dur_ns);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.lane);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const auto events = global_trace_ring().drain();
+  return write_text_file(path, render_chrome_trace(events));
+}
+
+}  // namespace hdtest::obs

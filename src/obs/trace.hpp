@@ -1,0 +1,112 @@
+#pragma once
+/// \file trace.hpp
+/// RAII scoped spans over a bounded ring buffer, exported as Chrome
+/// `trace_event` JSON (chrome://tracing, Perfetto).
+///
+/// Span taxonomy (docs/observability.md): the constants below name the
+/// campaign phases worth seeing on a timeline — per-input encode warm-up,
+/// slice sweeps, ledger/coordinator commits, durable checkpoints, journal
+/// fsyncs, and recovery replay. Span names must be string literals (the
+/// ring stores the pointer, not a copy).
+///
+/// Determinism contract: constructing a span reads the clock *inside
+/// src/obs/* (clock.hpp carve-out) and only when tracing is enabled;
+/// recording takes a short mutex on the span's destruction — acceptable
+/// because spans wrap slice/checkpoint-scale work, never the per-mutant
+/// hot loop. Spans carry no campaign data, so enabling tracing cannot
+/// change any record. When the ring fills, the oldest events are dropped
+/// (and tallied) — telemetry never blocks or grows without bound.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace hdtest::obs {
+
+// Span taxonomy.
+inline constexpr const char* kSpanEncode = "encode";
+inline constexpr const char* kSpanSweep = "sweep";
+inline constexpr const char* kSpanCommit = "commit";
+inline constexpr const char* kSpanCheckpoint = "checkpoint";
+inline constexpr const char* kSpanJournalFsync = "journal_fsync";
+inline constexpr const char* kSpanRecoveryReplay = "recovery_replay";
+
+/// One completed span. `name` must point at a string literal.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t lane = 0;  ///< stable per-thread index (first-use order)
+};
+
+/// Tracing switch, independent of the metrics flag: spans cost a clock
+/// read + mutex each, so they stay off unless a driver was asked for
+/// --trace-out (or a test flips them on).
+[[nodiscard]] bool trace_enabled() noexcept;
+void set_trace_enabled(bool on) noexcept;
+
+/// Bounded MPSC-ish event store: record() from any thread, drain() from
+/// whoever exports. Overflow drops the OLDEST events (the most recent
+/// window is the one an operator debugging a stall needs).
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultLimit = 8192;
+
+  explicit TraceRing(std::size_t limit = kDefaultLimit);
+
+  void record(const TraceEvent& ev);
+
+  /// Removes and returns all buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// Events discarded to make room since construction.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest buffered event
+  std::size_t used_ = 0;
+  std::size_t limit_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The ring the RAII spans feed and --trace-out drains.
+[[nodiscard]] TraceRing& global_trace_ring();
+
+/// Times a scope. No-op (no clock read) unless, at construction, tracing is
+/// enabled or a latency histogram is attached while metrics are enabled —
+/// the histogram is fed from the same pair of clock reads, with or without
+/// a timeline; the ring sees the span only when tracing.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* latency = nullptr) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* latency_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Renders events as a Chrome trace_event JSON document:
+/// {"traceEvents":[{"name":..,"ph":"X","ts":µs,"dur":µs,"pid":1,"tid":lane}]}
+[[nodiscard]] std::string render_chrome_trace(
+    std::span<const TraceEvent> events);
+
+/// Drains the global ring and writes the JSON document to \p path.
+/// Returns false on I/O failure (drivers log-and-continue).
+[[nodiscard]] bool write_chrome_trace(const std::string& path);
+
+}  // namespace hdtest::obs

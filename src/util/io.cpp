@@ -3,12 +3,26 @@
 #include <cerrno>
 #include <string>
 
+#include "obs/registry.hpp"
+
 #if !defined(_WIN32)
 #include <fcntl.h>
 #include <unistd.h>
 #endif
 
 namespace hdtest::util::io {
+
+namespace {
+
+/// Signal-interruption tally; resolved once (registry lookups lock), bumped
+/// with a single relaxed add inside the retry loops.
+[[maybe_unused]] obs::Counter& eintr_retries() noexcept {
+  static obs::Counter& tally =
+      obs::Registry::global().counter("io_eintr_retries_total");
+  return tally;
+}
+
+}  // namespace
 
 #if defined(_WIN32)
 
@@ -55,6 +69,7 @@ int open_readonly(const char* path) noexcept {
   for (;;) {
     const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
     if (fd >= 0 || errno != EINTR) return fd;
+    eintr_retries().add(1);
   }
 }
 
@@ -63,6 +78,7 @@ int open_create_truncate(const char* path) noexcept {
     const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                           0644);
     if (fd >= 0 || errno != EINTR) return fd;
+    eintr_retries().add(1);
   }
 }
 
@@ -71,6 +87,7 @@ int open_create_append(const char* path) noexcept {
     const int fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
                           0644);
     if (fd >= 0 || errno != EINTR) return fd;
+    eintr_retries().add(1);
   }
 }
 
@@ -78,6 +95,7 @@ int fsync_fd(int fd) noexcept {
   for (;;) {
     const int rc = ::fsync(fd);
     if (rc == 0 || errno != EINTR) return rc;
+    eintr_retries().add(1);
   }
 }
 
@@ -92,6 +110,7 @@ int fsync_dir(const char* dir_path) noexcept {
       return rc;
     }
     if (errno != EINTR) return -1;
+    eintr_retries().add(1);
   }
 }
 
@@ -114,7 +133,10 @@ long read_full(int fd, void* buf, std::size_t size) noexcept {
       continue;
     }
     if (n == 0) break;  // EOF
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      eintr_retries().add(1);
+      continue;
+    }
     return -1;
   }
   return static_cast<long>(done);
@@ -129,7 +151,10 @@ long write_full(int fd, const void* buf, std::size_t size) noexcept {
       done += static_cast<std::size_t>(n);
       continue;
     }
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      eintr_retries().add(1);
+      continue;
+    }
     return -1;
   }
   return static_cast<long>(done);

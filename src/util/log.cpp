@@ -11,11 +11,20 @@ namespace {
 
 std::atomic<int>& level_storage() noexcept {
   static std::atomic<int> level = [] {
-    const char* env = std::getenv("HDTEST_LOG");
+    const char* env = std::getenv("HDTEST_LOG_LEVEL");
+    if (env == nullptr) env = std::getenv("HDTEST_LOG");
     return static_cast<int>(env != nullptr ? parse_log_level(env)
                                            : LogLevel::kWarn);
   }();
   return level;
+}
+
+std::atomic<bool>& json_storage() noexcept {
+  static std::atomic<bool> json = [] {
+    const char* env = std::getenv("HDTEST_LOG_FORMAT");
+    return env != nullptr && std::string_view(env) == "json";
+  }();
+  return json;
 }
 
 const char* level_name(LogLevel level) noexcept {
@@ -28,6 +37,95 @@ const char* level_name(LogLevel level) noexcept {
   return "?????";
 }
 
+const char* level_word(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "unknown";
+}
+
+/// RFC 8259 string escaping for the JSON line shape.
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// key=value needs quotes when the value would be ambiguous to grep/cut.
+bool needs_quotes(std::string_view value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void append_member(std::string& out, std::string_view key,
+                   std::string_view value) {
+  out += '"';
+  append_json_escaped(out, key);
+  out += "\":\"";
+  append_json_escaped(out, value);
+  out += '"';
+}
+
+std::mutex& sink_mutex() noexcept {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void emit(LogLevel level, std::string_view event,
+          std::span<const LogField> fields) {
+  std::string line;
+  if (log_json()) {
+    line += "{";
+    append_member(line, "level", level_word(level));
+    line += ',';
+    append_member(line, "event", event);
+    for (const LogField& f : fields) {
+      line += ',';
+      append_member(line, f.key, f.value);
+    }
+    line += '}';
+    const std::lock_guard<std::mutex> lock(sink_mutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  line.append(event);
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    if (needs_quotes(f.value)) {
+      line += '"';
+      line += f.value;
+      line += '"';
+    } else {
+      line += f.value;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[hdtest %s] %s\n", level_name(level), line.c_str());
+}
+
 }  // namespace
 
 LogLevel log_level() noexcept {
@@ -36,6 +134,14 @@ LogLevel log_level() noexcept {
 
 void set_log_level(LogLevel level) noexcept {
   level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_json() noexcept {
+  return json_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_json(bool on) noexcept {
+  json_storage().store(on, std::memory_order_relaxed);
 }
 
 LogLevel parse_log_level(std::string_view text) noexcept {
@@ -58,10 +164,13 @@ LogLevel parse_log_level(std::string_view text) noexcept {
 
 void log_message(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) return;
-  static std::mutex mutex;
-  const std::lock_guard<std::mutex> lock(mutex);
-  std::fprintf(stderr, "[hdtest %s] %.*s\n", level_name(level),
-               static_cast<int>(message.size()), message.data());
+  emit(level, message, {});
+}
+
+void log_structured(LogLevel level, std::string_view event,
+                    std::span<const LogField> fields) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  emit(level, event, fields);
 }
 
 }  // namespace hdtest::util

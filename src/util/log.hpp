@@ -1,15 +1,28 @@
 #pragma once
 /// \file log.hpp
-/// Leveled logging for library diagnostics.
+/// Leveled, structured logging for library diagnostics.
 ///
-/// The level is taken from the HDTEST_LOG environment variable at first use
-/// ("error", "warn", "info", "debug"; default "warn") and can be overridden
+/// The level is taken from the HDTEST_LOG_LEVEL environment variable at
+/// first use (falling back to the older HDTEST_LOG spelling; "error",
+/// "warn", "info", "debug"; default "warn") and can be overridden
 /// programmatically with set_level(). Logging goes to stderr so that bench
 /// tables on stdout stay machine-parsable.
+///
+/// Two output shapes, switched by HDTEST_LOG_FORMAT=json or set_log_json():
+///
+///   [hdtest INFO ] fleet serving port=4242 workers=3
+///   {"level":"info","event":"fleet serving","port":"4242","workers":"3"}
+///
+/// Structured lines carry an event string plus key=value fields, so
+/// operators can grep text logs and machines can parse the JSON shape
+/// without a second code path in the caller.
 
+#include <initializer_list>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace hdtest::util {
 
@@ -18,15 +31,37 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 /// Current global log level.
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Overrides the global log level (wins over HDTEST_LOG).
+/// Overrides the global log level (wins over the environment).
 void set_log_level(LogLevel level) noexcept;
 
 /// Parses "error"/"warn"/"info"/"debug" (case-insensitive); returns kWarn for
 /// unknown strings.
 [[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
 
-/// Emits one log line if \p level is enabled. Prefer the HDTEST_LOG_* macros.
+/// Whether log lines are emitted as JSON objects (one per line).
+[[nodiscard]] bool log_json() noexcept;
+
+/// Overrides the output shape (wins over HDTEST_LOG_FORMAT).
+void set_log_json(bool on) noexcept;
+
+/// One key=value pair attached to a structured log line.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+/// Emits one log line if \p level is enabled. Prefer the typed wrappers.
 void log_message(LogLevel level, std::string_view message);
+
+/// Emits one structured line: an event string plus key=value fields.
+void log_structured(LogLevel level, std::string_view event,
+                    std::span<const LogField> fields);
+
+inline void log_structured(LogLevel level, std::string_view event,
+                           std::initializer_list<LogField> fields) {
+  log_structured(level, event,
+                 std::span<const LogField>(fields.begin(), fields.size()));
+}
 
 namespace detail {
 template <typename... Parts>
@@ -36,6 +71,13 @@ std::string concat(const Parts&... parts) {
   return os.str();
 }
 }  // namespace detail
+
+/// Builds a LogField from any streamable value:
+/// log_structured(LogLevel::kInfo, "lease granted", {field("id", lease_id)});
+template <typename Value>
+[[nodiscard]] LogField field(std::string key, const Value& value) {
+  return LogField{std::move(key), detail::concat(value)};
+}
 
 /// Convenience wrappers: hdtest::util::log_info("trained ", n, " classes");
 template <typename... Parts>

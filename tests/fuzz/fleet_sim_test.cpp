@@ -31,6 +31,7 @@
 #include "fuzz/shard/seed_bank.hpp"
 #include "fuzz/shard/stop_token.hpp"
 #include "hdc/classifier.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace hdtest::fuzz::fleet {
@@ -190,6 +191,53 @@ TEST(FleetSim, HeavyCorruptionIsRetriedAndNeverMerged) {
   // budget runs out; at least one commit-carrying frame must have been
   // mangled — and per the identical_records assertions, none was merged.
   EXPECT_GT(corrupt_seen, 0u);
+}
+
+TEST(FleetSim, MetricsOnAndOffMergeBitIdenticalUnderFaults) {
+  // The observability contract: enabling telemetry changes what the fleet
+  // REPORTS, never what it COMPUTES. Heartbeat frames ride the same faulty
+  // channel as everything else — each one consumes fault-RNG draws, so
+  // flipping metrics on reshapes the entire downstream fault schedule —
+  // and the merged records still must not move.
+  const bool was_enabled = obs::enabled();
+  const auto heartbeat_count = [] {
+    return obs::Registry::global().snapshot().counter_value(
+        "fleet_heartbeats_total");
+  };
+  const auto beats_before = heartbeat_count();
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const std::size_t target = 2 + seed % 3;
+    const shard::ShardPlanner planner(shard::ShardPlanner::Mode::kTargetCount,
+                                      6 + seed % 5, 0xfeedULL + seed, 30,
+                                      2 + seed % 3);
+    SyntheticExecutor executor(planner);
+    const auto expected = solo_reference(planner, target, executor);
+
+    FaultPlan plan;
+    plan.seed = 0x0b5ULL * (seed + 1);
+    plan.drop_pct = 12;
+    plan.duplicate_pct = 10;
+    plan.corrupt_pct = 10;
+    plan.delay_pct = 20;
+    plan.max_faults = 40;
+    plan.heartbeat_every = 3 + seed % 5;
+
+    obs::set_enabled(false);
+    SimFleet quiet_fleet(planner, target, /*workers=*/1 + seed % 3, executor,
+                         plan);
+    const auto quiet = quiet_fleet.run();
+    ASSERT_TRUE(identical_records(quiet, expected)) << "seed " << seed;
+
+    obs::set_enabled(true);
+    SimFleet loud_fleet(planner, target, /*workers=*/1 + seed % 3, executor,
+                        plan);
+    const auto loud = loud_fleet.run();
+    ASSERT_TRUE(identical_records(loud, expected)) << "seed " << seed;
+    EXPECT_EQ(loud.gave_up, quiet.gave_up) << "seed " << seed;
+  }
+  obs::set_enabled(was_enabled);
+  // Vacuity check: the metrics-on runs really did deliver heartbeats.
+  EXPECT_GT(heartbeat_count(), beats_before);
 }
 
 TEST(FleetSim, FaultFreeRunsAreBitIdenticalAcrossWorkerCounts) {

@@ -223,11 +223,57 @@ TEST(FleetProtocol, MessageRoundTrips) {
 
 TEST(FleetProtocol, KnownKindCoversExactlyTheEnum) {
   EXPECT_FALSE(known_kind(0));
-  for (std::uint16_t kind = 1; kind <= 9; ++kind) {
+  for (std::uint16_t kind = 1; kind <= 10; ++kind) {
     EXPECT_TRUE(known_kind(kind)) << kind;
   }
-  EXPECT_FALSE(known_kind(10));
+  EXPECT_FALSE(known_kind(11));
   EXPECT_FALSE(known_kind(0xffff));
+}
+
+TEST(FleetProtocol, HeartbeatRoundTripPreservesEveryField) {
+  Heartbeat beat;
+  beat.worker_id = 3;
+  beat.lease_id = 17;
+  beat.slices_done = 5;
+  beat.streams_done = 40;
+  beat.encodes_done = 1200;
+  beat.adversarials = 2;
+  const Frame frame = make_heartbeat(beat);
+  EXPECT_EQ(frame.kind, static_cast<std::uint16_t>(MessageKind::kHeartbeat));
+  const Heartbeat back = decode_heartbeat(frame.body);
+  EXPECT_EQ(back.worker_id, 3u);
+  EXPECT_EQ(back.lease_id, 17u);
+  EXPECT_EQ(back.slices_done, 5u);
+  EXPECT_EQ(back.streams_done, 40u);
+  EXPECT_EQ(back.encodes_done, 1200u);
+  EXPECT_EQ(back.adversarials, 2u);
+}
+
+TEST(FleetProtocol, MalformedHeartbeatBodiesThrow) {
+  const Frame frame = make_heartbeat({1, 2, 3, 4, 5, 6});
+  auto truncated = frame.body;
+  truncated.pop_back();
+  EXPECT_THROW((void)decode_heartbeat(truncated), WireFormatError);
+  auto padded = frame.body;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_heartbeat(padded), WireFormatError);
+}
+
+TEST(FleetWire, EveryBitFlipOfAHeartbeatFrameIsRejected) {
+  // Same corruption contract as Commit: a faulted heartbeat must never
+  // decode as a valid frame (the coordinator would ingest bogus health).
+  const Frame frame = make_heartbeat({3, 17, 5, 40, 1200, 2});
+  const auto pristine = encode_frame(frame.kind, frame.body);
+  ASSERT_EQ(decode_datagram(pristine).status, FrameStatus::kOk);
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutant = pristine;
+      mutant[byte] = static_cast<std::uint8_t>(mutant[byte] ^ (1u << bit));
+      ASSERT_NE(decode_datagram(mutant).status, FrameStatus::kOk)
+          << "flip of bit " << bit << " in byte " << byte
+          << " slipped through as a valid frame";
+    }
+  }
 }
 
 TEST(FleetProtocol, CommitRoundTripPreservesEveryRecordField) {

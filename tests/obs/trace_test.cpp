@@ -1,0 +1,147 @@
+/// \file trace_test.cpp
+/// Trace subsystem contract: the bounded ring drops the OLDEST events when
+/// full, ScopedSpan arms exactly per the documented gating table (tracing
+/// on -> ring + histogram; metrics on + histogram attached -> histogram
+/// only; both off -> no clock read at all), and the Chrome export renders
+/// well-formed trace_event JSON.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace hdtest::obs {
+namespace {
+
+/// Saves and restores both telemetry flags so a failing assertion cannot
+/// leak state into later tests in the same process.
+class FlagGuard {
+ public:
+  FlagGuard() : enabled_(enabled()), tracing_(trace_enabled()) {}
+  ~FlagGuard() {
+    set_enabled(enabled_);
+    set_trace_enabled(tracing_);
+  }
+
+ private:
+  bool enabled_;
+  bool tracing_;
+};
+
+TraceEvent stamped(std::uint64_t start) {
+  TraceEvent ev;
+  ev.name = "stamped";
+  ev.start_ns = start;
+  ev.dur_ns = 1;
+  return ev;
+}
+
+TEST(ObsTrace, RingDropsOldestWhenFullAndTalliesTheLoss) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.limit(), 4u);
+  for (std::uint64_t i = 0; i < 6; ++i) ring.record(stamped(i));
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // The two oldest (0, 1) were evicted; the survivors drain oldest-first.
+    EXPECT_EQ(events[i].start_ns, i + 2) << i;
+  }
+  EXPECT_TRUE(ring.drain().empty());
+  // dropped() is a lifetime tally, not reset by drain.
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(ObsTrace, RingWrapsRepeatedlyWithoutLosingOrder) {
+  TraceRing ring(3);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.record(stamped(i));
+  auto events = ring.drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].start_ns, 7u);
+  EXPECT_EQ(events[2].start_ns, 9u);
+  // The ring keeps working after a drain.
+  ring.record(stamped(100));
+  events = ring.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_ns, 100u);
+}
+
+TEST(ObsTrace, ScopedSpanFeedsTheRingWhenTracingIsEnabled) {
+  const FlagGuard guard;
+  set_trace_enabled(true);
+  (void)global_trace_ring().drain();
+  {
+    const ScopedSpan span(kSpanCheckpoint);
+  }
+  const auto events = global_trace_ring().drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string_view(events[0].name), kSpanCheckpoint);
+}
+
+TEST(ObsTrace, ScopedSpanFeedsOnlyTheHistogramWhenMetricsOnTracingOff) {
+  const FlagGuard guard;
+  set_enabled(true);
+  set_trace_enabled(false);
+  (void)global_trace_ring().drain();
+  Histogram lat;
+  {
+    const ScopedSpan span(kSpanJournalFsync, &lat);
+  }
+  // The latency histogram got the duration...
+  std::uint64_t events = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) events += lat.bucket(b);
+  EXPECT_EQ(events, 1u);
+  // ...but nothing reached the timeline.
+  EXPECT_TRUE(global_trace_ring().drain().empty());
+}
+
+TEST(ObsTrace, ScopedSpanIsInertWhenEverythingIsOff) {
+  const FlagGuard guard;
+  set_enabled(false);
+  set_trace_enabled(false);
+  (void)global_trace_ring().drain();
+  Histogram lat;
+  {
+    const ScopedSpan bare(kSpanSweep);
+    const ScopedSpan with_hist(kSpanSweep, &lat);
+  }
+  std::uint64_t events = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) events += lat.bucket(b);
+  EXPECT_EQ(events, 0u);
+  EXPECT_TRUE(global_trace_ring().drain().empty());
+}
+
+TEST(ObsTrace, ChromeExportRendersMicrosecondCompleteEvents) {
+  std::vector<TraceEvent> events;
+  TraceEvent ev;
+  ev.name = "sweep";
+  ev.start_ns = 3'000;  // 3 µs
+  ev.dur_ns = 12'000;   // 12 µs
+  ev.lane = 2;
+  events.push_back(ev);
+  ev.name = "commit";
+  ev.lane = 0;
+  events.push_back(ev);
+  const std::string json = render_chrome_trace(events);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ObsTrace, ChromeExportOfNothingIsStillAValidDocument) {
+  const std::string json = render_chrome_trace({});
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdtest::obs

@@ -5,6 +5,7 @@
 #include "clang/AST/ASTContext.h"
 #include "clang/ASTMatchers/ASTMatchFinder.h"
 #include "clang/Basic/SourceManager.h"
+#include "llvm/Support/Path.h"
 
 using namespace clang::ast_matchers;
 
@@ -14,7 +15,12 @@ namespace {
 
 bool inDeterministicScope(const SourceManager &SM, SourceLocation Loc) {
   const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
-  return File.contains("src/fuzz/") || File.contains("src/defense/");
+  if (File.contains("src/fuzz/") || File.contains("src/defense/"))
+    return true;
+  // src/obs/ is in scope minus its clock translation unit — the sanctioned
+  // wall-clock carve-out (obs::monotonic_ns).
+  const StringRef Name = llvm::sys::path::filename(File);
+  return File.contains("src/obs/") && !Name.starts_with("clock.");
 }
 
 } // namespace
