@@ -1,0 +1,72 @@
+/// \file cpu_device.cpp
+/// The production device: every block forwards to the runtime-dispatched
+/// SIMD kernel table. Reading the table per call (one atomic load) keeps
+/// HDTEST_KERNEL_BACKEND and set_kernels_for_testing working unchanged
+/// underneath the device layer — forcing a kernel backend mid-test retargets
+/// this device without re-selecting it.
+
+#include "device/device.hpp"
+#include "util/simd/kernels.hpp"
+
+namespace hdtest::hdc {
+
+namespace {
+
+class CpuDevice final : public Device {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "cpu"; }
+
+  HDTEST_HOT_PATH [[nodiscard]] std::size_t hamming_block(
+      const std::uint64_t* a, const std::uint64_t* b,
+      std::size_t words) const noexcept override {
+    return util::simd::kernels().xor_popcount(a, b, words);
+  }
+
+  HDTEST_HOT_PATH bool encode_accumulate(
+      std::uint64_t* slices, std::size_t words, std::size_t levels,
+      const std::uint64_t* a, const std::uint64_t* b,
+      std::uint64_t* carry_out) const noexcept override {
+    return util::simd::kernels().csa_add(slices, words, levels, a, b,
+                                         carry_out);
+  }
+
+  HDTEST_HOT_PATH void encode_patch(
+      std::uint64_t* slices, std::size_t words, std::size_t levels,
+      const std::uint64_t* pos, const std::uint64_t* old_val,
+      const std::uint64_t* new_val) const noexcept override {
+    util::simd::kernels().csa_patch(slices, words, levels, pos, old_val,
+                                    new_val);
+  }
+
+  HDTEST_HOT_PATH void bipolarize_block(
+      const std::int32_t* lanes, std::size_t n, const std::uint64_t* tie_break,
+      std::uint64_t* out) const noexcept override {
+    util::simd::kernels().bipolarize_packed(lanes, n, tie_break, out);
+  }
+
+  HDTEST_HOT_PATH void slice_bipolarize_block(
+      const std::uint64_t* slices, std::size_t words, std::size_t levels,
+      std::uint32_t threshold, const std::uint64_t* tie_break,
+      std::uint64_t* out) const noexcept override {
+    util::simd::kernels().slice_bipolarize(slices, words, levels, threshold,
+                                           tie_break, out);
+  }
+
+  HDTEST_HOT_PATH void am_sweep_block(
+      const std::uint64_t* am, std::size_t classes, std::size_t stride,
+      const std::uint64_t* const* queries, std::size_t count,
+      std::uint32_t* best_class, std::uint64_t* best_ham,
+      std::uint64_t* ref_ham, std::uint32_t ref_class) const noexcept override {
+    util::simd::kernels().am_sweep(am, classes, stride, queries, count,
+                                   best_class, best_ham, ref_ham, ref_class);
+  }
+};
+
+}  // namespace
+
+const Device& cpu_device() noexcept {
+  static const CpuDevice instance;
+  return instance;
+}
+
+}  // namespace hdtest::hdc

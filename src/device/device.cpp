@@ -1,0 +1,80 @@
+/// \file device.cpp
+/// Device registry and the one-time startup selection behind
+/// hdc::active_device(). Mirrors the kernel layer's selection machinery
+/// (util/simd/kernels.cpp) one level up.
+
+#include "device/device.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace hdtest::hdc {
+
+namespace {
+
+/// Registered backends in preference order (default first). Both are
+/// process-lifetime singletons, so raw pointers are safe to cache.
+const std::array<const Device*, 2>& registry() noexcept {
+  static const std::array<const Device*, 2> devices = {&cpu_device(),
+                                                       &oracle_device()};
+  return devices;
+}
+
+const Device* find_device(const char* name) noexcept {
+  for (const Device* d : registry()) {
+    if (std::strcmp(d->name(), name) == 0) return d;
+  }
+  return nullptr;
+}
+
+/// Default selection: HDTEST_DEVICE override when set (warning + fallback
+/// on an unknown value so a forced CI matrix cannot crash), else cpu.
+const Device* select_default() noexcept {
+  const char* forced = std::getenv("HDTEST_DEVICE");
+  if (forced != nullptr && *forced != '\0') {
+    if (const Device* d = find_device(forced)) return d;
+    std::fprintf(stderr,
+                 "hdtest: HDTEST_DEVICE=%s is unknown (want cpu|oracle); "
+                 "falling back to %s\n",
+                 forced, registry().front()->name());
+  }
+  return registry().front();
+}
+
+std::atomic<const Device*> g_active{nullptr};
+
+}  // namespace
+
+const Device& active_device() noexcept {
+  const Device* d = g_active.load(std::memory_order_acquire);
+  if (d == nullptr) {
+    // Benign race: concurrent first calls compute the same selection.
+    d = select_default();
+    g_active.store(d, std::memory_order_release);
+  }
+  return *d;
+}
+
+std::span<const Device* const> registered_devices() noexcept {
+  return registry();
+}
+
+void set_device_for_testing(const char* name) {
+  if (name == nullptr || *name == '\0') {
+    g_active.store(select_default(), std::memory_order_release);
+    return;
+  }
+  const Device* d = find_device(name);
+  if (d == nullptr) {
+    throw std::invalid_argument(std::string("set_device_for_testing: device '") +
+                                name + "' is not registered");
+  }
+  g_active.store(d, std::memory_order_release);
+}
+
+}  // namespace hdtest::hdc

@@ -39,7 +39,7 @@ constexpr char kMagic[4] = {'H', 'D', 'T', 'M'};
 //  12  u32 header bytes (64)
 //  16  u64 file bytes (total; truncation detector)
 //  24  u32 section count
-//  28  u32 reserved (0)
+//  28  u32 flags (bit 0 = kHeaderFlagRematCodebooks; all other bits 0)
 //  32  u64 section table offset (64)
 //  40  u64 table checksum (FNV-1a over the table bytes)
 //  48  u64 file checksum (FNV-1a over bytes [64, file bytes))
@@ -63,7 +63,17 @@ enum SectionKind : std::uint32_t {
   kPositionCodebookSection = 4,  ///< (width*height) x stride u64
   kValueCodebookSection = 5,     ///< value_levels x stride u64
   kTieBreakSection = 6,      ///< stride u64 packed tie-break words
+  kCodebookDigestSection = 7,  ///< u64 position + u64 value FNV-1a digests
 };
+
+/// Header flag: the position codebook mirror (and, for the random value
+/// strategy, the value mirror) is omitted from the file; loaders
+/// rematerialize those rows from the config seed and verify them against
+/// the kCodebookDigestSection digests. Pre-remat readers require the flags
+/// word to be zero, so they reject flagged files with a clean error instead
+/// of misparsing them.
+constexpr std::uint32_t kHeaderFlagRematCodebooks = 1u << 0;
+constexpr std::uint32_t kKnownHeaderFlags = kHeaderFlagRematCodebooks;
 
 /// All formats are little-endian on disk; a big-endian host would need a
 /// swapping layer nobody has asked for yet, so reject it cleanly instead of
@@ -364,19 +374,33 @@ std::string build_v3_file(const HdcClassifier& model) {
                am_words.size_bytes());
   sections.push_back(std::move(am_blob));
 
-  SectionBlob pos_blob;
-  pos_blob.kind = kPositionCodebookSection;
-  const auto pos_words = model.encoder().packed_position_memory().words();
-  append_bytes(pos_blob.bytes, pos_words.data(),
-               pos_words.size_bytes());
-  sections.push_back(std::move(pos_blob));
+  // A rematerializing model regenerates its position rows (and, under the
+  // random value strategy, its value rows) from the seed on every encode,
+  // so the file drops those mirror sections and records a 16-byte digest
+  // section instead; loaders re-derive the rows and prove they match what
+  // this process encoded with. Correlated value codebooks (level /
+  // thermometer) are not per-row regenerable, so their mirror stays stored
+  // even in remat mode.
+  const auto& positions = model.encoder().packed_position_memory();
+  const auto& values = model.encoder().packed_value_memory();
+  const bool remat = positions.rematerializing();
+  if (!remat) {
+    SectionBlob pos_blob;
+    pos_blob.kind = kPositionCodebookSection;
+    const auto pos_words = positions.words();
+    append_bytes(pos_blob.bytes, pos_words.data(),
+                 pos_words.size_bytes());
+    sections.push_back(std::move(pos_blob));
+  }
 
-  SectionBlob val_blob;
-  val_blob.kind = kValueCodebookSection;
-  const auto val_words = model.encoder().packed_value_memory().words();
-  append_bytes(val_blob.bytes, val_words.data(),
-               val_words.size_bytes());
-  sections.push_back(std::move(val_blob));
+  if (!values.rematerializing()) {
+    SectionBlob val_blob;
+    val_blob.kind = kValueCodebookSection;
+    const auto val_words = values.words();
+    append_bytes(val_blob.bytes, val_words.data(),
+                 val_words.size_bytes());
+    sections.push_back(std::move(val_blob));
+  }
 
   SectionBlob tb_blob;
   tb_blob.kind = kTieBreakSection;
@@ -384,6 +408,14 @@ std::string build_v3_file(const HdcClassifier& model) {
   append_bytes(tb_blob.bytes, tb_words.data(),
                tb_words.size_bytes());
   sections.push_back(std::move(tb_blob));
+
+  if (remat) {
+    SectionBlob digest_blob;
+    digest_blob.kind = kCodebookDigestSection;
+    append_pod(digest_blob.bytes, positions.content_digest());
+    append_pod(digest_blob.bytes, values.content_digest());
+    sections.push_back(std::move(digest_blob));
+  }
 
   // Lay the sections out 64-byte aligned after the header + table.
   const std::size_t table_bytes = sections.size() * kEntryBytes;
@@ -420,7 +452,7 @@ std::string build_v3_file(const HdcClassifier& model) {
   append_pod(file, kHeaderBytes);
   append_pod(file, static_cast<std::uint64_t>(file_bytes));
   append_pod(file, static_cast<std::uint32_t>(sections.size()));
-  append_pod(file, std::uint32_t{0});
+  append_pod(file, remat ? kHeaderFlagRematCodebooks : std::uint32_t{0});
   append_pod(file, static_cast<std::uint64_t>(kHeaderBytes));
   append_pod(file, table_checksum);
   append_pod(file, fnv1a(body));
@@ -439,9 +471,12 @@ struct ParsedV3 {
   std::size_t stride = 0;
   std::span<const std::byte> accumulators;
   std::span<const std::byte> am_words;
-  std::span<const std::byte> positions;
-  std::span<const std::byte> values;
+  std::span<const std::byte> positions;  ///< empty for a remat file
+  std::span<const std::byte> values;     ///< empty when the value rows remat
   std::span<const std::byte> tie_break;
+  bool remat = false;  ///< header flag: codebook mirrors omitted
+  std::uint64_t position_digest = 0;  ///< meaningful only when remat
+  std::uint64_t value_digest = 0;     ///< meaningful only when remat
 };
 
 /// Validates a complete v3 file image and resolves its sections. Structural
@@ -478,14 +513,18 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
         "load_model: file size does not match header (truncated or padded)");
   }
   const auto section_count = header.get<std::uint32_t>("header");
-  const auto reserved0 = header.get<std::uint32_t>("header");
+  const auto flags = header.get<std::uint32_t>("header");
   const auto table_offset = header.get<std::uint64_t>("header");
   const auto table_checksum = header.get<std::uint64_t>("header");
   const auto file_checksum = header.get<std::uint64_t>("header");
   const auto reserved1 = header.get<std::uint64_t>("header");
-  if (reserved0 != 0 || reserved1 != 0) {
+  if (reserved1 != 0) {
     throw std::runtime_error("load_model: reserved header bytes are non-zero");
   }
+  if ((flags & ~kKnownHeaderFlags) != 0) {
+    throw std::runtime_error("load_model: unknown v3 header flags");
+  }
+  const bool remat = (flags & kHeaderFlagRematCodebooks) != 0;
   if (section_count == 0 || section_count > kMaxSections) {
     throw std::runtime_error("load_model: implausible section count");
   }
@@ -511,8 +550,13 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
     std::span<const std::byte> bytes;
     bool present = false;
   };
-  Entry entries[kTieBreakSection + 1];
+  Entry entries[kCodebookDigestSection + 1];
   BufReader table(file.subspan(kHeaderBytes, table_bytes));
+  // The digest section only exists in the remat layout; a stored-mirror
+  // file carrying one is malformed, so the known-kind ceiling follows the
+  // header flag.
+  const std::uint32_t max_kind = remat ? kCodebookDigestSection
+                                       : kTieBreakSection;
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const auto kind = table.get<std::uint32_t>("section entry");
     const auto reserved = table.get<std::uint32_t>("section entry");
@@ -522,7 +566,7 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
     if (reserved != 0) {
       throw std::runtime_error("load_model: reserved section bytes non-zero");
     }
-    if (kind == 0 || kind > kTieBreakSection) {
+    if (kind == 0 || kind > max_kind) {
       throw std::runtime_error("load_model: unknown v3 section kind " +
                                std::to_string(kind));
     }
@@ -547,10 +591,30 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
       throw std::runtime_error("load_model: v3 section checksum mismatch");
     }
   }
+  // Presence rules follow the flags word: a stored-mirror file carries
+  // exactly kinds 1..6; a remat file drops the position mirror (its rows
+  // regenerate from the seed), must carry the digest section, and the value
+  // mirror's fate is settled below once the config's value strategy is
+  // known.
   for (std::uint32_t kind = kConfigSection; kind <= kTieBreakSection; ++kind) {
+    if (remat && (kind == kPositionCodebookSection ||
+                  kind == kValueCodebookSection)) {
+      continue;
+    }
     if (!entries[kind].present) {
       throw std::runtime_error("load_model: missing v3 section kind " +
                                std::to_string(kind));
+    }
+  }
+  if (remat) {
+    if (entries[kPositionCodebookSection].present) {
+      throw std::runtime_error(
+          "load_model: remat v3 file carries a position codebook section");
+    }
+    if (!entries[kCodebookDigestSection].present) {
+      throw std::runtime_error(
+          "load_model: missing v3 section kind " +
+          std::to_string(kCodebookDigestSection));
     }
   }
   if (entries[kConfigSection].bytes.size() != 64) {
@@ -573,6 +637,30 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
   if (parsed.stride != util::words_for_bits(parsed.config.dim)) {
     throw std::runtime_error("load_model: packed stride does not match dim");
   }
+  // The file's storage mode overrides the process default: loading must
+  // reconstruct exactly what was saved, regardless of HDTEST_CODEBOOK in
+  // the loading process.
+  parsed.remat = remat;
+  parsed.config.codebook =
+      remat ? CodebookMode::kRemat : CodebookMode::kStored;
+  if (remat) {
+    // Only the random value strategy derives each row independently from
+    // the seed; a remat file with a correlated (level/thermometer) strategy
+    // must still ship its value mirror — without it the codebook cannot be
+    // regenerated and the file is unusable.
+    const bool value_rows_regenerable =
+        parsed.config.value_strategy == ValueStrategy::kRandom;
+    if (value_rows_regenerable && entries[kValueCodebookSection].present) {
+      throw std::runtime_error(
+          "load_model: remat v3 file carries a regenerable value codebook "
+          "section");
+    }
+    if (!value_rows_regenerable && !entries[kValueCodebookSection].present) {
+      throw std::runtime_error(
+          "load_model: remat v3 file cannot regenerate its correlated value "
+          "codebook (value codebook section missing)");
+    }
+  }
 
   // Exact-size checks, overflow-safe: a section that disagrees with the
   // config shapes is hostile or corrupt — reject before any allocation.
@@ -594,23 +682,36 @@ ParsedV3 parse_v3(std::span<const std::byte> file, bool verify_checksum) {
       checked_mul(checked_mul(parsed.classes, parsed.stride, "AM words"),
                   sizeof(std::uint64_t), "AM words"),
       "AM words");
-  parsed.positions = expect(
-      entries[kPositionCodebookSection].bytes,
-      checked_mul(checked_mul(checked_mul(parsed.width, parsed.height,
-                                          "position codebook"),
-                              parsed.stride, "position codebook"),
-                  sizeof(std::uint64_t), "position codebook"),
-      "position codebook");
-  parsed.values = expect(
-      entries[kValueCodebookSection].bytes,
-      checked_mul(checked_mul(parsed.config.value_levels, parsed.stride,
-                              "value codebook"),
-                  sizeof(std::uint64_t), "value codebook"),
-      "value codebook");
+  if (!remat) {
+    parsed.positions = expect(
+        entries[kPositionCodebookSection].bytes,
+        checked_mul(checked_mul(checked_mul(parsed.width, parsed.height,
+                                            "position codebook"),
+                                parsed.stride, "position codebook"),
+                    sizeof(std::uint64_t), "position codebook"),
+        "position codebook");
+  }
+  if (entries[kValueCodebookSection].present) {
+    parsed.values = expect(
+        entries[kValueCodebookSection].bytes,
+        checked_mul(checked_mul(parsed.config.value_levels, parsed.stride,
+                                "value codebook"),
+                    sizeof(std::uint64_t), "value codebook"),
+        "value codebook");
+  }
   parsed.tie_break =
       expect(entries[kTieBreakSection].bytes,
              checked_mul(parsed.stride, sizeof(std::uint64_t), "tie-break"),
              "tie-break");
+  if (remat) {
+    const auto digest =
+        expect(entries[kCodebookDigestSection].bytes,
+               2 * sizeof(std::uint64_t), "codebook digest");
+    BufReader digest_reader(digest);
+    parsed.position_digest =
+        digest_reader.get<std::uint64_t>("codebook digest");
+    parsed.value_digest = digest_reader.get<std::uint64_t>("codebook digest");
+  }
   return parsed;
 }
 
@@ -653,6 +754,21 @@ HdcClassifier load_v3_buffer(std::span<const std::byte> file) {
                           copy_words(parsed.am_words)));
   } catch (const std::invalid_argument& error) {
     throw std::runtime_error(std::string("load_model: ") + error.what());
+  }
+  if (parsed.remat) {
+    // The rebuilt encoder rematerializes its codebooks from the stored
+    // seed; prove that regeneration reproduces what the saving process
+    // encoded with before handing the model out — a wrong-seed or
+    // cross-version file must fail loudly here, not mispredict quietly.
+    const auto& encoder = model.encoder();
+    if (encoder.packed_position_memory().content_digest() !=
+            parsed.position_digest ||
+        encoder.packed_value_memory().content_digest() !=
+            parsed.value_digest) {
+      throw std::runtime_error(
+          "load_model: codebook digest mismatch (seed cannot regenerate the "
+          "saved codebooks)");
+    }
   }
   return model;
 }
@@ -772,12 +888,28 @@ MappedModel::MappedModel(const std::string& path, MapOptions options)
   try {
     // Everything below is a non-owning view into the mapping (validated
     // shapes + clean padding) except the tie-break, whose stride words are
-    // copied once so the encode kernel can take a PackedHv.
-    positions_ = PackedItemMemory::view(
-        config_.dim, checked_mul(width_, height_, "position codebook"),
-        view_words(parsed.positions));
-    values_ = PackedItemMemory::view(config_.dim, config_.value_levels,
-                                     view_words(parsed.values));
+    // copied once so the encode kernel can take a PackedHv. A remat file
+    // carries no position mirror (and no value mirror under the random
+    // strategy): those codebooks are rebuilt as rematerializing memories
+    // over the stored seed instead of views into the file.
+    if (parsed.remat) {
+      positions_ = PackedItemMemory::remat(
+          config_.dim, checked_mul(width_, height_, "position codebook"),
+          position_codebook_seed(config_));
+      values_ = parsed.values.empty()
+                    ? PackedItemMemory::remat(config_.dim,
+                                              config_.value_levels,
+                                              value_codebook_seed(config_))
+                    : PackedItemMemory::view(config_.dim,
+                                             config_.value_levels,
+                                             view_words(parsed.values));
+    } else {
+      positions_ = PackedItemMemory::view(
+          config_.dim, checked_mul(width_, height_, "position codebook"),
+          view_words(parsed.positions));
+      values_ = PackedItemMemory::view(config_.dim, config_.value_levels,
+                                       view_words(parsed.values));
+    }
     tie_break_ =
         PackedHv::from_words(config_.dim, view_words(parsed.tie_break));
     am_ = PackedAssocMemory::view(config_.dim, parsed.classes,
@@ -787,6 +919,18 @@ MappedModel::MappedModel(const std::string& path, MapOptions options)
     // Shape/padding defects in a structurally valid file are malformed
     // input, not programmer error.
     throw std::runtime_error(std::string("MappedModel: ") + error.what());
+  }
+  if (parsed.remat && options.verify_checksum) {
+    // One regeneration sweep over the codebooks at map time is the only way
+    // to prove the seed reproduces the digests the saver recorded. Maps
+    // with verify_checksum off keep their O(1) cold start and defer that
+    // trust to the serving stack, exactly as for the file checksum.
+    if (positions_.content_digest() != parsed.position_digest ||
+        values_.content_digest() != parsed.value_digest) {
+      throw std::runtime_error(
+          "MappedModel: codebook digest mismatch (seed cannot regenerate "
+          "the saved codebooks)");
+    }
   }
 }
 

@@ -17,11 +17,28 @@
 ///      packed snapshot verbatim, zero dense->packed rebuilds.
 ///  v3  a chunked, 64-byte-aligned, explicitly little-endian layout built
 ///      for mmap: a fixed 64-byte header (magic, version, endianness
-///      marker, file size, whole-file checksum) followed by a section table
-///      and self-describing sections — config, accumulator lanes, the
-///      packed AM rows, both packed item-memory codebook mirrors, and the
-///      packed tie-break words. Every section payload is 64-byte aligned,
-///      so a read-only mapping can serve the AM rows and codebooks in place.
+///      marker, file size, flags, whole-file checksum) followed by a
+///      section table and self-describing sections — config, accumulator
+///      lanes, the packed AM rows, the packed item-memory codebook mirrors,
+///      and the packed tie-break words. Every section payload is 64-byte
+///      aligned, so a read-only mapping can serve the AM rows and codebooks
+///      in place.
+///
+///      A model trained with CodebookMode::kRemat writes the *remat
+///      variant* of v3 (header flag bit 0): the position codebook mirror —
+///      by far the largest section — is omitted, as is the value mirror
+///      when the random value strategy can regenerate it row-by-row from
+///      the seed; a 16-byte codebook-digest section (FNV-1a over each
+///      mirror's packed words) rides along instead. Loaders rematerialize
+///      the dropped codebooks from the stored seed and verify them against
+///      the digests, so a wrong-seed or cross-version file fails loudly
+///      instead of mispredicting quietly. Correlated value strategies
+///      (level/thermometer) keep their value mirror stored even in remat
+///      mode. The file's storage mode wins on load: a remat file loads as
+///      a remat model and a stored file as a stored model, regardless of
+///      the loading process's HDTEST_CODEBOOK default. Pre-remat readers
+///      required the flags word to be zero, so they reject remat files
+///      with a clean "reserved header bytes" error.
 ///
 /// Byte order: all three formats are little-endian on disk (v1/v2 de facto,
 /// v3 by contract with a header marker). Big-endian hosts are cleanly
@@ -34,11 +51,13 @@
 ///
 /// Zero-copy serving: MappedModel mmaps a v3 file read-only and hands
 /// PackedAssocMemory / PackedItemMemory non-owning views over the mapping.
-/// Construction performs zero dense->packed rebuilds, zero codebook
-/// regenerations from the seed, and zero dense-HV materializations
-/// (instrument counters prove it; asserted by tests/hdc/mapped_model_test),
-/// and N processes mapping one model file share its pages through the
-/// kernel page cache.
+/// For stored-mirror files, construction performs zero dense->packed
+/// rebuilds, zero codebook regenerations from the seed, and zero dense-HV
+/// materializations (instrument counters prove it; asserted by
+/// tests/hdc/mapped_model_test), and N processes mapping one model file
+/// share its pages through the kernel page cache. For remat files the
+/// omitted codebooks become rematerializing memories over the stored seed —
+/// rows regenerate per encode, and the map stays dense-free either way.
 
 #include <cstddef>
 #include <cstdint>
@@ -85,20 +104,25 @@ void save_model(const HdcClassifier& model, const std::string& path,
 
 /// Options for MappedModel.
 struct MapOptions {
-  /// Verify the header's whole-file checksum at map time. Catches any
-  /// corruption but touches every page once; serving stacks that trust
-  /// their artifact store can turn it off for a pure O(1) cold start
-  /// (structural validation — header, section table, config, shapes,
-  /// padding bits — always runs either way).
+  /// Verify the header's whole-file checksum at map time, and — for remat
+  /// files — regenerate the omitted codebooks once and check them against
+  /// the stored digests. Catches any corruption (and any seed that cannot
+  /// reproduce the saved codebooks) but touches every page once; serving
+  /// stacks that trust their artifact store can turn it off for a pure
+  /// O(1) cold start (structural validation — header, section table,
+  /// config, shapes, padding bits — always runs either way).
   bool verify_checksum = true;
 };
 
 /// A v3 model file served directly from a read-only memory mapping.
 ///
-/// The packed associative memory, both packed codebook mirrors, and the
-/// packed tie-break are non-owning views over the mapping: no copies, no
-/// dense->packed rebuilds, no codebook regeneration from the seed. All
-/// views (and anything copied from them) must not outlive this object.
+/// The packed associative memory, the packed codebook mirrors the file
+/// carries, and the packed tie-break are non-owning views over the
+/// mapping: no copies, no dense->packed rebuilds, no codebook regeneration
+/// from the seed. Codebooks a remat file omits are served as
+/// rematerializing memories instead (rows regenerate from the seed per
+/// encode — still dense-free). All views (and anything copied from them)
+/// must not outlive this object.
 ///
 /// Thread-safety: all member functions are const over immutable state, so
 /// one MappedModel may serve queries from many threads.
@@ -124,7 +148,9 @@ class MappedModel {
   /// The packed associative memory, serving the mapped rows in place.
   [[nodiscard]] const PackedAssocMemory& am() const noexcept { return am_; }
 
-  /// The packed codebook mirrors, serving the mapped rows in place.
+  /// The packed codebooks: mapped rows served in place for sections the
+  /// file carries, rematerializing memories for codebooks a remat file
+  /// omits (check rematerializing() before asking for stored words).
   [[nodiscard]] const PackedItemMemory& position_codebook() const noexcept {
     return positions_;
   }

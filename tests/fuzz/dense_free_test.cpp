@@ -121,6 +121,54 @@ TEST_F(DenseFreeTest, PreparedSeedMatchesSelfContainedFuzzOne) {
   }
 }
 
+TEST_F(DenseFreeTest, StoredCodebooksNeverRematerializeARow) {
+  // The stored-mirror configuration must stay on the zero-regeneration
+  // path end to end: warm-up, steady-state loop, everything.
+  hdc::ModelConfig config;
+  config.dim = 1024;
+  config.seed = 5;
+  config.codebook = hdc::CodebookMode::kStored;
+  hdc::HdcClassifier stored(config, 28, 28, 10);
+  stored.fit(test_images());
+  const GaussNoiseMutation strategy;
+  FuzzConfig fuzz_config;
+  fuzz_config.iter_times = 4;
+  const Fuzzer fuzzer(stored, strategy, fuzz_config);
+  hdc::instrument::reset();
+  const auto seed = fuzzer.prepare_seed(test_images().images[0]);
+  util::Rng rng(3);
+  (void)fuzzer.fuzz_one(test_images().images[0], rng, seed);
+  EXPECT_EQ(hdc::instrument::codebook_row_rematerializations(), 0u)
+      << "a stored-mirror codebook regenerated a row";
+}
+
+TEST_F(DenseFreeTest, RematFuzzLoopIsDenseFreeAndCountsItsRows) {
+  // Rematerializing codebooks trade row regenerations for mirror memory,
+  // but the steady-state guarantee is unchanged: zero dense HVs, zero
+  // from_dense re-packs — regeneration happens in packed space.
+  hdc::ModelConfig config;
+  config.dim = 1024;
+  config.seed = 5;
+  config.codebook = hdc::CodebookMode::kRemat;
+  hdc::HdcClassifier remat(config, 28, 28, 10);
+  remat.fit(test_images());
+  const GaussNoiseMutation strategy;
+  FuzzConfig fuzz_config;
+  fuzz_config.iter_times = 4;
+  const Fuzzer fuzzer(remat, strategy, fuzz_config);
+  const auto seed = fuzzer.prepare_seed(test_images().images[0]);
+  util::Rng rng(3);
+  hdc::instrument::reset();
+  const auto outcome = fuzzer.fuzz_one(test_images().images[0], rng, seed);
+  EXPECT_GT(outcome.encodes, 1u);
+  EXPECT_EQ(hdc::instrument::dense_hv_materializations(), 0u)
+      << "remat fuzz_one materialized a dense Hypervector";
+  EXPECT_EQ(hdc::instrument::packed_from_dense(), 0u)
+      << "remat fuzz_one re-packed a dense query";
+  EXPECT_GT(hdc::instrument::codebook_row_rematerializations(), 0u)
+      << "remat fuzz_one never regenerated a row — mirrors leaked back in";
+}
+
 TEST_F(DenseFreeTest, PrepareSeedsMatchesPerInputForAnyWorkerCount) {
   const GaussNoiseMutation strategy;
   const Fuzzer fuzzer(model(), strategy, FuzzConfig{});

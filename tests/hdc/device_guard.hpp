@@ -1,0 +1,18 @@
+#pragma once
+/// \file device_guard.hpp
+/// Shared RAII helper for the device-sweeping property tests.
+
+#include "device/device.hpp"
+
+namespace hdtest::hdc {
+
+/// Forces one compute device for the scope of a test, restoring the default
+/// selection (which honors HDTEST_DEVICE) on destruction.
+struct DeviceGuard {
+  explicit DeviceGuard(const char* name) { set_device_for_testing(name); }
+  ~DeviceGuard() { set_device_for_testing(nullptr); }
+  DeviceGuard(const DeviceGuard&) = delete;
+  DeviceGuard& operator=(const DeviceGuard&) = delete;
+};
+
+}  // namespace hdtest::hdc

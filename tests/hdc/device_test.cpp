@@ -1,0 +1,226 @@
+// Tests for the hdc::Device backend abstraction: registry and selection
+// semantics, and bit-exact agreement between the cpu device (SIMD kernel
+// table underneath) and the scalar oracle device on every block operation
+// it exposes, across word counts that exercise tails and multi-word rows.
+
+#include "device/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "device_guard.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace hdtest::hdc {
+namespace {
+
+std::vector<std::uint64_t> random_words(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng.next_u64();
+  return words;
+}
+
+TEST(Device, RegistryListsCpuThenOracle) {
+  const auto devices = registered_devices();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_STREQ(devices[0]->name(), "cpu");
+  EXPECT_STREQ(devices[1]->name(), "oracle");
+  EXPECT_EQ(devices[0], &cpu_device());
+  EXPECT_EQ(devices[1], &oracle_device());
+}
+
+TEST(Device, ForcingABackendChangesTheActiveDevice) {
+  {
+    DeviceGuard guard("oracle");
+    EXPECT_STREQ(active_device().name(), "oracle");
+    EXPECT_EQ(&active_device(), &oracle_device());
+  }
+  {
+    DeviceGuard guard("cpu");
+    EXPECT_STREQ(active_device().name(), "cpu");
+    EXPECT_EQ(&active_device(), &cpu_device());
+  }
+}
+
+TEST(Device, UnknownNameThrowsAndLeavesSelectionIntact) {
+  DeviceGuard guard("cpu");
+  EXPECT_THROW(set_device_for_testing("tpu"), std::invalid_argument);
+  EXPECT_STREQ(active_device().name(), "cpu");
+}
+
+TEST(Device, EmptyNameRerunsDefaultSelection) {
+  set_device_for_testing("oracle");
+  set_device_for_testing("");
+  // Default selection honors HDTEST_DEVICE; under the forced-oracle CI leg
+  // the default IS oracle, so only membership is asserted.
+  const std::string name = active_device().name();
+  EXPECT_TRUE(name == "cpu" || name == "oracle") << name;
+}
+
+TEST(Device, HammingBlockMatchesOracleAcrossWordCounts) {
+  util::Rng rng(11);
+  for (const std::size_t words : {1u, 2u, 3u, 7u, 64u, 257u}) {
+    const auto a = random_words(words, rng);
+    const auto b = random_words(words, rng);
+    const auto expected =
+        oracle_device().hamming_block(a.data(), b.data(), words);
+    EXPECT_EQ(cpu_device().hamming_block(a.data(), b.data(), words), expected)
+        << "words=" << words;
+    EXPECT_EQ(oracle_device().hamming_block(a.data(), a.data(), words), 0u);
+  }
+}
+
+TEST(Device, EncodeAccumulateMatchesOracleIncludingEscapes) {
+  util::Rng rng(22);
+  for (const std::size_t words : {1u, 3u, 16u}) {
+    for (const std::size_t levels : {1u, 2u, 3u, 5u}) {
+      auto cpu_bank = random_words(words * levels, rng);
+      auto oracle_bank = cpu_bank;
+      std::vector<std::uint64_t> cpu_carry(words, 0);
+      std::vector<std::uint64_t> oracle_carry(words, 0);
+      const auto a = random_words(words, rng);
+      const auto b = random_words(words, rng);
+      for (const std::uint64_t* second : {b.data(), (const std::uint64_t*)nullptr}) {
+        const bool cpu_escaped = cpu_device().encode_accumulate(
+            cpu_bank.data(), words, levels, a.data(), second,
+            cpu_carry.data());
+        const bool oracle_escaped = oracle_device().encode_accumulate(
+            oracle_bank.data(), words, levels, a.data(), second,
+            oracle_carry.data());
+        EXPECT_EQ(cpu_escaped, oracle_escaped)
+            << "words=" << words << " levels=" << levels;
+        EXPECT_EQ(cpu_bank, oracle_bank);
+        EXPECT_EQ(cpu_carry, oracle_carry);
+        // Re-zero escaped carries to restore the all-zero precondition.
+        std::fill(cpu_carry.begin(), cpu_carry.end(), 0);
+        std::fill(oracle_carry.begin(), oracle_carry.end(), 0);
+      }
+    }
+  }
+}
+
+TEST(Device, EncodePatchMatchesOracle) {
+  util::Rng rng(33);
+  for (const std::size_t words : {1u, 4u, 9u}) {
+    // Enough headroom that the weight-2 adds cannot escape the bank (the
+    // caller's bias contract): start from a low-valued bank.
+    const std::size_t levels = 6;
+    std::vector<std::uint64_t> cpu_bank(words * levels, 0);
+    for (std::size_t w = 0; w < words; ++w) cpu_bank[w] = rng.next_u64();
+    auto oracle_bank = cpu_bank;
+    const auto pos = random_words(words, rng);
+    const auto old_val = random_words(words, rng);
+    const auto new_val = random_words(words, rng);
+    cpu_device().encode_patch(cpu_bank.data(), words, levels, pos.data(),
+                              old_val.data(), new_val.data());
+    oracle_device().encode_patch(oracle_bank.data(), words, levels,
+                                 pos.data(), old_val.data(), new_val.data());
+    EXPECT_EQ(cpu_bank, oracle_bank) << "words=" << words;
+  }
+}
+
+TEST(Device, BipolarizeBlockMatchesOracleWithTiesAndTails) {
+  util::Rng rng(44);
+  for (const std::size_t n : {63u, 64u, 65u, 1000u}) {
+    std::vector<std::int32_t> lanes(n);
+    for (auto& lane : lanes) {
+      // Force frequent zeros so the tie-break path is exercised.
+      lane = static_cast<std::int32_t>(rng.uniform_u64(5)) - 2;
+    }
+    const auto tie = random_words(util::words_for_bits(n), rng);
+    std::vector<std::uint64_t> cpu_out(util::words_for_bits(n), ~0ULL);
+    std::vector<std::uint64_t> oracle_out(util::words_for_bits(n), ~0ULL);
+    cpu_device().bipolarize_block(lanes.data(), n, tie.data(), cpu_out.data());
+    oracle_device().bipolarize_block(lanes.data(), n, tie.data(),
+                                     oracle_out.data());
+    EXPECT_EQ(cpu_out, oracle_out) << "n=" << n;
+    // Tail bits past n must be zero (both backends share the contract).
+    EXPECT_EQ(oracle_out.back() & ~util::tail_mask(n), 0u) << "n=" << n;
+  }
+}
+
+TEST(Device, SliceBipolarizeBlockMatchesOracle) {
+  util::Rng rng(55);
+  for (const std::size_t words : {1u, 2u, 5u}) {
+    for (const std::size_t levels : {1u, 3u, 6u}) {
+      const auto bank = random_words(words * levels, rng);
+      const auto tie = random_words(words, rng);
+      const auto max_count = (std::uint32_t{1} << levels) - 1;
+      for (const std::uint32_t threshold :
+           {std::uint32_t{0}, max_count / 2, max_count}) {
+        std::vector<std::uint64_t> cpu_out(words, 0);
+        std::vector<std::uint64_t> oracle_out(words, 0);
+        cpu_device().slice_bipolarize_block(bank.data(), words, levels,
+                                            threshold, tie.data(),
+                                            cpu_out.data());
+        oracle_device().slice_bipolarize_block(bank.data(), words, levels,
+                                               threshold, tie.data(),
+                                               oracle_out.data());
+        EXPECT_EQ(cpu_out, oracle_out)
+            << "words=" << words << " levels=" << levels
+            << " threshold=" << threshold;
+      }
+    }
+  }
+}
+
+TEST(Device, AmSweepBlockMatchesOracleWithReferenceTracking) {
+  util::Rng rng(66);
+  for (const std::size_t dim : {63u, 64u, 65u, 500u}) {
+    const std::size_t stride = util::words_for_bits(dim);
+    const std::size_t classes = 7;
+    const std::size_t count = 5;
+    auto am = random_words(classes * stride, rng);
+    // Clear padding bits so Hamming distances are well defined.
+    for (std::size_t c = 0; c < classes; ++c) {
+      am[c * stride + stride - 1] &= util::tail_mask(dim);
+    }
+    std::vector<std::vector<std::uint64_t>> queries;
+    std::vector<const std::uint64_t*> query_ptrs;
+    for (std::size_t q = 0; q < count; ++q) {
+      // Duplicate one AM row as a query to force exact ties.
+      auto query = (q == 2) ? std::vector<std::uint64_t>(
+                                  am.begin() + 3 * stride,
+                                  am.begin() + 4 * stride)
+                            : random_words(stride, rng);
+      query.back() &= util::tail_mask(dim);
+      queries.push_back(std::move(query));
+    }
+    for (const auto& query : queries) query_ptrs.push_back(query.data());
+
+    std::vector<std::uint32_t> cpu_best(count, 99);
+    std::vector<std::uint32_t> oracle_best(count, 77);
+    std::vector<std::uint64_t> cpu_ham(count, 0);
+    std::vector<std::uint64_t> oracle_ham(count, 0);
+    std::vector<std::uint64_t> cpu_ref(count, 0);
+    std::vector<std::uint64_t> oracle_ref(count, 0);
+    cpu_device().am_sweep_block(am.data(), classes, stride, query_ptrs.data(),
+                                count, cpu_best.data(), cpu_ham.data(),
+                                cpu_ref.data(), 4);
+    oracle_device().am_sweep_block(am.data(), classes, stride,
+                                   query_ptrs.data(), count,
+                                   oracle_best.data(), oracle_ham.data(),
+                                   oracle_ref.data(), 4);
+    EXPECT_EQ(cpu_best, oracle_best) << "dim=" << dim;
+    EXPECT_EQ(cpu_ham, oracle_ham) << "dim=" << dim;
+    EXPECT_EQ(cpu_ref, oracle_ref) << "dim=" << dim;
+    // The duplicated-row query must resolve to its row with distance zero.
+    EXPECT_EQ(oracle_best[2], 3u);
+    EXPECT_EQ(oracle_ham[2], 0u);
+    // And without reference tracking both accept a null ref_ham.
+    oracle_device().am_sweep_block(am.data(), classes, stride,
+                                   query_ptrs.data(), count,
+                                   oracle_best.data(), oracle_ham.data(),
+                                   nullptr, 0);
+    EXPECT_EQ(cpu_best, oracle_best);
+  }
+}
+
+}  // namespace
+}  // namespace hdtest::hdc

@@ -18,7 +18,8 @@ bool inWireScope(const SourceManager &SM, SourceLocation Loc) {
   const StringRef Name = llvm::sys::path::filename(File);
   if (Name.starts_with("serialize.") || Name.starts_with("mmap_file."))
     return true;
-  if (File.contains("src/fuzz/fleet/durable/") || File.contains("src/obs/"))
+  if (File.contains("src/fuzz/fleet/durable/") || File.contains("src/obs/") ||
+      File.contains("src/device/"))
     return true;
   if (File.contains("src/fuzz/fleet/") &&
       (Name.starts_with("wire.") || Name.starts_with("protocol.")))

@@ -17,6 +17,10 @@ bool inDeterministicScope(const SourceManager &SM, SourceLocation Loc) {
   const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
   if (File.contains("src/fuzz/") || File.contains("src/defense/"))
     return true;
+  // src/device/ is in scope: backend selection and every block operation
+  // must be bit-reproducible across runs.
+  if (File.contains("src/device/"))
+    return true;
   // src/obs/ is in scope minus its clock translation unit — the sanctioned
   // wall-clock carve-out (obs::monotonic_ns).
   const StringRef Name = llvm::sys::path::filename(File);
